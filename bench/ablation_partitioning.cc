@@ -1,0 +1,57 @@
+// Ablation: partitioning strategies across the dataset stand-ins — random
+// hash (Pregel+'s default), edge-balanced LDG (our GraphLab edge-cut), and
+// PowerGraph-style vertex cuts (greedy vs random edge placement). The
+// classic result this reproduces: on skewed social graphs, vertex cuts
+// bound the replication factor where edge cuts leave most edges crossing
+// machines — the design space behind the paper's mirroring and GraphLab
+// comparisons.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "graph/vertex_cut.h"
+
+namespace vcmp {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBanner(std::cout,
+              "Ablation: partitioning strategies (8 machines)");
+  TablePrinter table({"Dataset", "hash cross-edge %", "LDG cross-edge %",
+                      "greedy-cut replication", "random-cut replication",
+                      "greedy edge imbalance"});
+  for (DatasetId id : {DatasetId::kDblp, DatasetId::kWebSt,
+                       DatasetId::kOrkut, DatasetId::kTwitter}) {
+    const Dataset& dataset = CachedDataset(id);
+    const Graph& graph = dataset.graph;
+    Partitioning hash = HashPartitioner().Partition(graph, 8);
+    Partitioning ldg = GreedyEdgeCutPartitioner().Partition(graph, 8);
+    VertexCut greedy = GreedyVertexCut(graph, 8);
+    VertexCut random = RandomVertexCut(graph, 8);
+    double edges = static_cast<double>(graph.NumEdges());
+    table.AddRow({
+        dataset.info.name,
+        StrFormat("%.0f%%", 100.0 * hash.CountCrossEdges(graph) / edges),
+        StrFormat("%.0f%%", 100.0 * ldg.CountCrossEdges(graph) / edges),
+        StrFormat("%.2f", greedy.ReplicationFactor()),
+        StrFormat("%.2f", random.ReplicationFactor()),
+        StrFormat("%.2f", greedy.EdgeImbalance(graph)),
+    });
+  }
+  table.Print(std::cout);
+  std::cout << "\nHash leaves ~7/8 of edges crossing machines; LDG "
+               "recovers locality where it\nexists; greedy vertex cuts "
+               "keep the replication factor (and with it the\n"
+               "replica-sync traffic) low even on celebrity-skewed "
+               "graphs.\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vcmp
+
+int main() {
+  vcmp::bench::Run();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation: the paper's "Alternative Workload Settings" (Section 4.9) —
+// batching BPPR by splitting every vertex's walk budget (the default used
+// throughout the evaluation) versus batching by source subsets (each unit
+// task is one PPR query; a batch is a subset of the query sources). Both
+// schemes process the same total walk volume; they differ in how a batch's
+// congestion and residual memory are composed.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/units.h"
+#include "tasks/bppr.h"
+#include "tasks/bppr_source_batch.h"
+
+namespace vcmp {
+namespace bench {
+namespace {
+
+void Run() {
+  const Dataset& dataset = CachedDataset(DatasetId::kDblp);
+  const double n = dataset.PaperScaleVertices();
+  // Equal total walk volume: walk-split runs W walks from every vertex;
+  // source-split runs n queries of W walks each.
+  const double walks_per_vertex = 10240.0;
+
+  PrintBanner(
+      std::cout,
+      StrFormat("Ablation: batching semantics (BPPR, DBLP, Galaxy-8; total "
+                "= %.0f walks/vertex x %.0f vertices)",
+                walks_per_vertex, n));
+  TablePrinter table({"#Batches", "walk-split time", "walk-split mem",
+                      "source-split time", "source-split mem"});
+
+  RunnerOptions options;
+  options.cluster = ClusterSpec::Galaxy8();
+  BpprTask walk_task;
+  BpprSourceBatchTask::Params source_params;
+  source_params.walks_per_source =
+      static_cast<uint64_t>(walks_per_vertex);
+  BpprSourceBatchTask source_task(source_params);
+
+  for (uint32_t batches : DoublingBatches()) {
+    MultiProcessingRunner walk_runner(dataset, options);
+    auto walk_report = walk_runner.Run(
+        walk_task, BatchSchedule::Equal(walks_per_vertex, batches));
+    VCMP_CHECK(walk_report.ok());
+
+    MultiProcessingRunner source_runner(dataset, options);
+    auto source_report =
+        source_runner.Run(source_task, BatchSchedule::Equal(n, batches));
+    VCMP_CHECK(source_report.ok());
+
+    table.AddRow(
+        {StrFormat("%u", batches), TimeCell(walk_report.value()),
+         StrFormat("%.1fGB",
+                   BytesToGiB(walk_report.value().peak_memory_bytes)),
+         TimeCell(source_report.value()),
+         StrFormat("%.1fGB",
+                   BytesToGiB(source_report.value().peak_memory_bytes))});
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nBoth semantics hit the same congestion wall at 1 batch; they "
+         "differ in residual\ncomposition — walk-split batches leave "
+         "records at every vertex after every batch,\nsource-split "
+         "batches only for the sources processed so far.\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vcmp
+
+int main() {
+  vcmp::bench::Run();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Second tuning case study (the paper's additional materials promise
+// "more case studies"): the disk-bound tuner for GraphD. Where Section
+// 5's tuner models peak/residual MEMORY, the out-of-core planner models
+// the per-batch buffered-message demand and picks the smallest equal
+// split that stays below the disk-saturation edge — the optimization
+// strategy of Section 4.4 automated end-to-end.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/units.h"
+#include "core/tuning/disk_planner.h"
+#include "tasks/bppr.h"
+
+namespace vcmp {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBanner(std::cout,
+              "Case study: disk-bound tuning of GraphD (BPPR, Orkut, "
+              "Galaxy-27)");
+  const Dataset& dataset = CachedDataset(DatasetId::kOrkut);
+  RunnerOptions options;
+  options.cluster = ClusterSpec::Galaxy27();
+  options.system = SystemKind::kGraphD;
+  BpprTask task;
+
+  TablePrinter table({"Workload", "Full-Parallelism", "util",
+                      "Tuned", "util'", "Learned schedule"});
+  for (double workload : {1024.0, 2048.0, 4096.0, 8192.0}) {
+    MultiProcessingRunner full_runner(dataset, options);
+    auto full =
+        full_runner.Run(task, BatchSchedule::FullParallelism(workload));
+    VCMP_CHECK(full.ok());
+
+    DiskTuner tuner(dataset, options);
+    auto plan = tuner.Tune(task, workload);
+    VCMP_CHECK(plan.ok()) << plan.status().ToString();
+    MultiProcessingRunner tuned_runner(dataset, options);
+    auto tuned = tuned_runner.Run(task, plan.value().schedule);
+    VCMP_CHECK(tuned.ok());
+
+    auto util_cell = [](const RunReport& report) {
+      return report.disk_saturated
+                 ? std::string("> 100%")
+                 : StrFormat("%.0f%%", 100.0 * report.disk_utilization);
+    };
+    table.AddRow({StrFormat("%.0f", workload), TimeCell(full.value()),
+                  util_cell(full.value()), TimeCell(tuned.value()),
+                  util_cell(tuned.value()),
+                  StrFormat("%zu x %.0f",
+                            plan.value().schedule.NumBatches(),
+                            plan.value().schedule.workloads().front())});
+  }
+  table.Print(std::cout);
+  std::cout << "\nThe planner trains on light 1-batch runs, fits the "
+               "buffered-demand model Mbuf(W),\nand stops shrinking "
+               "batches exactly at the disk-saturation edge (Section "
+               "4.4's strategy).\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vcmp
+
+int main() {
+  vcmp::bench::Run();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces Figure 2: "Full-Parallelism may be sub-optimal" — BPPR on
+// DBLP over Galaxy-8 for Pregel+ (W=10240), GraphD (W=6144) and
+// Pregel+(mirror) (W=160), swept over doubling batch counts. The paper's
+// bars show 1-batch (Full-Parallelism) losing badly to 2-4 batches.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace vcmp {
+namespace bench {
+namespace {
+
+void Run() {
+  std::vector<PanelSetting> settings = {
+      {"(10240,8,Pregel+)", DatasetId::kDblp, ClusterSpec::Galaxy8(),
+       SystemKind::kPregelPlus, "BPPR", 10240},
+      {"(6144,8,GraphD)", DatasetId::kDblp, ClusterSpec::Galaxy8(),
+       SystemKind::kGraphD, "BPPR", 6144},
+      {"(160,8,Pregel+(mirror))", DatasetId::kDblp, ClusterSpec::Galaxy8(),
+       SystemKind::kPregelPlusMirror, "BPPR", 160},
+  };
+  PrintBatchSweepPanel(
+      "Figure 2: Full-Parallelism may be sub-optimal (BPPR, DBLP, "
+      "Galaxy-8); '*' marks the optimal batch count",
+      settings, DoublingBatches());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vcmp
+
+int main() {
+  vcmp::bench::Run();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces Figure 3: batch sweeps on Galaxy-8, four panels — varying
+// task (a), dataset (b), machine count (c) and system (d). Defaults are
+// DBLP / BPPR / Pregel+ unless a panel varies them. The paper's summary:
+// running times are mostly NOT monotone in the batch count; the optimum
+// sits at an intermediate batch count except for a few light settings.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace vcmp {
+namespace bench {
+namespace {
+
+void PanelA() {
+  std::vector<PanelSetting> settings = {
+      {"(12288,8,BPPR)", DatasetId::kDblp, ClusterSpec::Galaxy8(),
+       SystemKind::kPregelPlus, "BPPR", 12288},
+      {"(4096,8,MSSP)", DatasetId::kDblp, ClusterSpec::Galaxy8(),
+       SystemKind::kPregelPlus, "MSSP", 4096},
+      {"(655368,8,BKHS)", DatasetId::kDblp, ClusterSpec::Galaxy8(),
+       SystemKind::kPregelPlus, "BKHS", 655368},
+  };
+  PrintBatchSweepPanel("Figure 3(a): varying task (Galaxy-8)", settings,
+                       DoublingBatches());
+}
+
+void PanelB() {
+  std::vector<PanelSetting> settings = {
+      {"(10240,8,DBLP)", DatasetId::kDblp, ClusterSpec::Galaxy8(),
+       SystemKind::kPregelPlus, "BPPR", 10240},
+      {"(20480,8,Web-St)", DatasetId::kWebSt, ClusterSpec::Galaxy8(),
+       SystemKind::kPregelPlus, "BPPR", 20480},
+      {"(512,8,Orkut)", DatasetId::kOrkut, ClusterSpec::Galaxy8(),
+       SystemKind::kPregelPlus, "BPPR", 512},
+  };
+  PrintBatchSweepPanel("Figure 3(b): varying dataset (Galaxy-8)", settings,
+                       DoublingBatches());
+}
+
+void PanelC() {
+  std::vector<PanelSetting> settings = {
+      {"(2048,2,Pregel+)", DatasetId::kDblp,
+       ClusterSpec::Galaxy8().WithMachines(2), SystemKind::kPregelPlus,
+       "BPPR", 2048},
+      {"(5120,4,Pregel+)", DatasetId::kDblp,
+       ClusterSpec::Galaxy8().WithMachines(4), SystemKind::kPregelPlus,
+       "BPPR", 5120},
+      {"(10240,8,Pregel+)", DatasetId::kDblp, ClusterSpec::Galaxy8(),
+       SystemKind::kPregelPlus, "BPPR", 10240},
+  };
+  PrintBatchSweepPanel("Figure 3(c): varying #machines (Galaxy-8)",
+                       settings, DoublingBatches());
+}
+
+void PanelD() {
+  std::vector<PanelSetting> settings = {
+      {"(10240,8,Pregel+)", DatasetId::kDblp, ClusterSpec::Galaxy8(),
+       SystemKind::kPregelPlus, "BPPR", 10240},
+      {"(2048,8,Giraph)", DatasetId::kDblp, ClusterSpec::Galaxy8(),
+       SystemKind::kGiraph, "BPPR", 2048},
+      {"(1024,8,Giraph-async)", DatasetId::kDblp, ClusterSpec::Galaxy8(),
+       SystemKind::kGiraphAsync, "BPPR", 1024},
+      {"(160,8,Pregel+(mirror))", DatasetId::kDblp, ClusterSpec::Galaxy8(),
+       SystemKind::kPregelPlusMirror, "BPPR", 160},
+      {"(2048,8,GraphD)", DatasetId::kDblp, ClusterSpec::Galaxy8(),
+       SystemKind::kGraphD, "BPPR", 2048},
+      {"(20480,8,GraphLab)", DatasetId::kDblp, ClusterSpec::Galaxy8(),
+       SystemKind::kGraphLab, "BPPR", 20480, /*scale_override=*/512.0},
+  };
+  PrintBatchSweepPanel("Figure 3(d): varying system (Galaxy-8)", settings,
+                       DoublingBatches());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vcmp
+
+int main() {
+  vcmp::bench::PanelA();
+  vcmp::bench::PanelB();
+  vcmp::bench::PanelC();
+  vcmp::bench::PanelD();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Reproduces Figure 4: "Optimal batching is workload-dependent" — BPPR on
+// DBLP, Galaxy-8, Pregel+, workloads {1024, 10240, 12288}. The paper:
+// W=1024 is best at 1 batch, W=10240 at 2 batches, W=12288 at 4 batches.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace vcmp {
+namespace bench {
+namespace {
+
+void Run() {
+  std::vector<PanelSetting> settings = {
+      {"(1024,8,Pregel+)", DatasetId::kDblp, ClusterSpec::Galaxy8(),
+       SystemKind::kPregelPlus, "BPPR", 1024},
+      {"(10240,8,Pregel+)", DatasetId::kDblp, ClusterSpec::Galaxy8(),
+       SystemKind::kPregelPlus, "BPPR", 10240},
+      {"(12288,8,Pregel+)", DatasetId::kDblp, ClusterSpec::Galaxy8(),
+       SystemKind::kPregelPlus, "BPPR", 12288},
+  };
+  PrintBatchSweepPanel(
+      "Figure 4: a larger workload favours more batches (BPPR, DBLP, "
+      "Galaxy-8)",
+      settings, DoublingBatches());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vcmp
+
+int main() {
+  vcmp::bench::Run();
+  return 0;
+}

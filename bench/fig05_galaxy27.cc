@@ -1,0 +1,88 @@
+// Reproduces Figure 5: batch sweeps on Galaxy-27 — varying task (a),
+// dataset (b, including the billion-edge Twitter/Friendster stand-ins),
+// machine count (c) and system (d). Defaults: DBLP / BPPR / Pregel+.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace vcmp {
+namespace bench {
+namespace {
+
+void PanelA() {
+  std::vector<PanelSetting> settings = {
+      {"(34560,27,BPPR)", DatasetId::kDblp, ClusterSpec::Galaxy27(),
+       SystemKind::kPregelPlus, "BPPR", 34560},
+      {"(3456,27,MSSP)", DatasetId::kDblp, ClusterSpec::Galaxy27(),
+       SystemKind::kPregelPlus, "MSSP", 3456},
+      {"(25600,27,BKHS)", DatasetId::kDblp, ClusterSpec::Galaxy27(),
+       SystemKind::kPregelPlus, "BKHS", 25600},
+  };
+  PrintBatchSweepPanel("Figure 5(a): varying task (Galaxy-27)", settings,
+                       DoublingBatches());
+}
+
+void PanelB() {
+  std::vector<PanelSetting> settings = {
+      {"(34560,27,DBLP)", DatasetId::kDblp, ClusterSpec::Galaxy27(),
+       SystemKind::kPregelPlus, "BPPR", 34560},
+      {"(69120,27,Web-St)", DatasetId::kWebSt, ClusterSpec::Galaxy27(),
+       SystemKind::kPregelPlus, "BPPR", 69120},
+      {"(3000,27,Orkut)", DatasetId::kOrkut, ClusterSpec::Galaxy27(),
+       SystemKind::kPregelPlus, "BPPR", 3000},
+      {"(8192,27,LiveJournal)", DatasetId::kLiveJournal,
+       ClusterSpec::Galaxy27(), SystemKind::kPregelPlus, "BPPR", 8192},
+      {"(128,27,Twitter)", DatasetId::kTwitter, ClusterSpec::Galaxy27(),
+       SystemKind::kPregelPlus, "BPPR", 128},
+      {"(16,27,Friendster)", DatasetId::kFriendster,
+       ClusterSpec::Galaxy27(), SystemKind::kPregelPlus, "BPPR", 16},
+  };
+  PrintBatchSweepPanel("Figure 5(b): varying dataset (Galaxy-27)",
+                       settings, DoublingBatches());
+}
+
+void PanelC() {
+  std::vector<PanelSetting> settings = {
+      {"(10240,8,Pregel+)", DatasetId::kDblp,
+       ClusterSpec::Galaxy8(), SystemKind::kPregelPlus, "BPPR", 10240},
+      {"(20480,16,Pregel+)", DatasetId::kDblp,
+       ClusterSpec::Galaxy27().WithMachines(16), SystemKind::kPregelPlus,
+       "BPPR", 20480},
+      {"(34560,27,Pregel+)", DatasetId::kDblp, ClusterSpec::Galaxy27(),
+       SystemKind::kPregelPlus, "BPPR", 34560},
+  };
+  PrintBatchSweepPanel("Figure 5(c): varying #machines (Galaxy-27)",
+                       settings, DoublingBatches());
+}
+
+void PanelD() {
+  std::vector<PanelSetting> settings = {
+      {"(34560,27,Pregel+)", DatasetId::kDblp, ClusterSpec::Galaxy27(),
+       SystemKind::kPregelPlus, "BPPR", 34560},
+      {"(6400,27,Giraph)", DatasetId::kDblp, ClusterSpec::Galaxy27(),
+       SystemKind::kGiraph, "BPPR", 6400},
+      {"(6400,27,Giraph-async)", DatasetId::kDblp, ClusterSpec::Galaxy27(),
+       SystemKind::kGiraphAsync, "BPPR", 6400},
+      {"(256,27,Pregel+(mirror))", DatasetId::kDblp,
+       ClusterSpec::Galaxy27(), SystemKind::kPregelPlusMirror, "BPPR", 256},
+      {"(5120,27,GraphD)", DatasetId::kDblp, ClusterSpec::Galaxy27(),
+       SystemKind::kGraphD, "BPPR", 5120},
+      {"(1600,27,GraphLab)", DatasetId::kDblp, ClusterSpec::Galaxy27(),
+       SystemKind::kGraphLab, "BPPR", 1600, /*scale_override=*/512.0},
+  };
+  PrintBatchSweepPanel("Figure 5(d): varying system (Galaxy-27)", settings,
+                       DoublingBatches());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vcmp
+
+int main() {
+  vcmp::bench::PanelA();
+  vcmp::bench::PanelB();
+  vcmp::bench::PanelC();
+  vcmp::bench::PanelD();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Reproduces Figure 7: running times AND monetary costs on the Docker-32
+// cloud cluster, four panels (task / dataset / #machines / system). Each
+// batch-count column also accumulates the credit cost of running every
+// row's experiment at that setting, as the paper's x-axis labels do; the
+// caption reports the optimal total (each row billed at its own best
+// batch count).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "sim/monetary_model.h"
+
+namespace vcmp {
+namespace bench {
+namespace {
+
+void MonetaryPanel(const std::string& title,
+                   const std::vector<PanelSetting>& settings) {
+  PrintBanner(std::cout, title);
+  std::vector<uint32_t> batch_counts = DoublingBatches();
+  std::vector<std::string> headers = {"(Workload,#Machines,...)"};
+  for (uint32_t batches : batch_counts) {
+    headers.push_back(StrFormat("%u-batch", batches));
+  }
+  TablePrinter table(std::move(headers));
+
+  std::vector<double> column_cost(batch_counts.size(), 0.0);
+  std::vector<bool> column_lower_bound(batch_counts.size(), false);
+  double optimal_total = 0.0;
+  for (const PanelSetting& setting : settings) {
+    std::vector<std::string> row = {setting.label};
+    double row_best = 1e300;
+    for (size_t i = 0; i < batch_counts.size(); ++i) {
+      RunReport report = RunSetting(
+          setting, BatchSchedule::Equal(setting.workload, batch_counts[i]));
+      row.push_back(TimeCell(report) + " " +
+                    MonetaryModel::Format(report.monetary_cost,
+                                          report.overloaded));
+      column_cost[i] += report.monetary_cost;
+      column_lower_bound[i] = column_lower_bound[i] || report.overloaded;
+      if (!report.overloaded) {
+        row_best = std::min(row_best, report.monetary_cost);
+      }
+    }
+    optimal_total += row_best;
+    table.AddRow(std::move(row));
+  }
+  std::vector<std::string> totals = {"column credit total"};
+  for (size_t i = 0; i < batch_counts.size(); ++i) {
+    totals.push_back(
+        MonetaryModel::Format(column_cost[i], column_lower_bound[i]));
+  }
+  table.AddRow(std::move(totals));
+  table.Print(std::cout);
+  std::cout << "Optimal monetary cost (per-row best batch): "
+            << MonetaryModel::Format(optimal_total, false) << "\n";
+}
+
+void Run() {
+  MonetaryPanel(
+      "Figure 7(a): varying task (Docker-32) — paper optimum $57",
+      {
+          {"(40960,32,BPPR)", DatasetId::kDblp, ClusterSpec::Docker32(),
+           SystemKind::kPregelPlus, "BPPR", 40960},
+          {"(4096,32,MSSP)", DatasetId::kDblp, ClusterSpec::Docker32(),
+           SystemKind::kPregelPlus, "MSSP", 4096},
+          {"(8192,32,BKHS)", DatasetId::kDblp, ClusterSpec::Docker32(),
+           SystemKind::kPregelPlus, "BKHS", 8192},
+      });
+  MonetaryPanel(
+      "Figure 7(b): varying dataset (Docker-32) — paper optimum $94",
+      {
+          {"(40960,32,DBLP)", DatasetId::kDblp, ClusterSpec::Docker32(),
+           SystemKind::kPregelPlus, "BPPR", 40960},
+          {"(81920,32,Web-St)", DatasetId::kWebSt, ClusterSpec::Docker32(),
+           SystemKind::kPregelPlus, "BPPR", 81920},
+          {"(4096,32,Orkut)", DatasetId::kOrkut, ClusterSpec::Docker32(),
+           SystemKind::kPregelPlus, "BPPR", 4096},
+          {"(128,32,Twitter)", DatasetId::kTwitter,
+           ClusterSpec::Docker32(), SystemKind::kPregelPlus, "BPPR", 128},
+      });
+  MonetaryPanel(
+      "Figure 7(c): varying #machines (Docker) — paper optimum $44",
+      {
+          {"(10240,8,Pregel+)", DatasetId::kDblp,
+           ClusterSpec::Docker32().WithMachines(8),
+           SystemKind::kPregelPlus, "BPPR", 10240},
+          {"(20480,16,Pregel+)", DatasetId::kDblp,
+           ClusterSpec::Docker32().WithMachines(16),
+           SystemKind::kPregelPlus, "BPPR", 20480},
+          {"(40960,32,Pregel+)", DatasetId::kDblp, ClusterSpec::Docker32(),
+           SystemKind::kPregelPlus, "BPPR", 40960},
+      });
+  MonetaryPanel(
+      "Figure 7(d): varying system (Docker-32) — paper optimum $52",
+      {
+          {"(40960,32,Pregel+)", DatasetId::kDblp, ClusterSpec::Docker32(),
+           SystemKind::kPregelPlus, "BPPR", 40960},
+          {"(4096,32,GraphD)", DatasetId::kDblp, ClusterSpec::Docker32(),
+           SystemKind::kGraphD, "BPPR", 4096},
+          {"(8192,32,Giraph)", DatasetId::kDblp, ClusterSpec::Docker32(),
+           SystemKind::kGiraph, "BPPR", 8192},
+          {"(160,32,Pregel+(mirror))", DatasetId::kDblp,
+           ClusterSpec::Docker32(), SystemKind::kPregelPlusMirror, "BPPR",
+           160},
+      });
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vcmp
+
+int main() {
+  vcmp::bench::Run();
+  return 0;
+}

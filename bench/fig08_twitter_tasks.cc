@@ -1,0 +1,58 @@
+// Reproduces Figure 8: the three tasks on the billion-edge Twitter
+// stand-in, Docker-32. The paper's finding: for BPPR even a small
+// per-vertex workload (128) is message-heavy (messages scale with the
+// vertex count) and the residual memory of earlier batches makes LATER
+// batches peak higher, so Full-Parallelism is optimal; MSSP/BKHS have
+// small residual (proportional to the source count) and behave like the
+// earlier figures.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/units.h"
+
+namespace vcmp {
+namespace bench {
+namespace {
+
+void Run() {
+  std::vector<PanelSetting> settings = {
+      {"(128,32,BPPR)", DatasetId::kTwitter, ClusterSpec::Docker32(),
+       SystemKind::kPregelPlus, "BPPR", 128},
+      {"(16,32,MSSP)", DatasetId::kTwitter, ClusterSpec::Docker32(),
+       SystemKind::kPregelPlus, "MSSP", 16},
+      {"(4096,32,BKHS)", DatasetId::kTwitter, ClusterSpec::Docker32(),
+       SystemKind::kPregelPlus, "BKHS", 4096},
+  };
+  PrintBatchSweepPanel(
+      "Figure 8: tasks on the Twitter stand-in (Docker-32)", settings,
+      DoublingBatches());
+
+  // The residual-memory mechanism behind the BPPR result.
+  PrintBanner(std::cout,
+              "Figure 8 mechanism: BPPR residual memory vs batches "
+              "(Twitter)");
+  TablePrinter table({"#Batches", "PeakResidual/machine", "PeakMem/machine",
+                      "Time"});
+  for (uint32_t batches : {1u, 2u, 4u}) {
+    PanelSetting setting = {"", DatasetId::kTwitter,
+                            ClusterSpec::Docker32(),
+                            SystemKind::kPregelPlus, "BPPR", 128};
+    RunReport report =
+        RunSetting(setting, BatchSchedule::Equal(128, batches));
+    table.AddRow({StrFormat("%u", batches),
+                  StrFormat("%.1fGB", BytesToGiB(report.peak_residual_bytes)),
+                  StrFormat("%.1fGB", BytesToGiB(report.peak_memory_bytes)),
+                  TimeCell(report)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vcmp
+
+int main() {
+  vcmp::bench::Run();
+  return 0;
+}

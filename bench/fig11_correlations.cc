@@ -1,0 +1,113 @@
+// Reproduces Figure 11: the correlation diagram of a typical synchronous
+// VC-system. Each arrow of the diagram is verified empirically with a
+// controlled two-point experiment; the table reports the measured sign
+// and whether it agrees with the paper's diagram.
+
+#include <functional>
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace vcmp {
+namespace bench {
+namespace {
+
+RunReport Measure(SystemKind system, double workload, uint32_t machines,
+                  double memory_gib = 16.0) {
+  PanelSetting setting{"", DatasetId::kDblp,
+                       ClusterSpec::Galaxy8().WithMachines(machines),
+                       system, "BPPR", workload};
+  setting.cluster.machine.memory_bytes = memory_gib * (1ULL << 30);
+  setting.cluster.machine.usable_memory_bytes =
+      (memory_gib - 2.0) * (1ULL << 30);
+  return RunSetting(setting, BatchSchedule::FullParallelism(workload));
+}
+
+struct Arrow {
+  std::string description;
+  char expected;  // '+' or '-'.
+  std::function<std::pair<double, double>()> measure;  // (low, high).
+};
+
+void Run() {
+  PrintBanner(std::cout,
+              "Figure 11: measured correlation signs for the diagram's "
+              "arrows");
+
+  std::vector<Arrow> arrows = {
+      {"workload -> message congestion (per round)", '+',
+       [] {
+         return std::make_pair(
+             Measure(SystemKind::kPregelPlus, 512, 8).MessagesPerRound(),
+             Measure(SystemKind::kPregelPlus, 2048, 8).MessagesPerRound());
+       }},
+      {"#machines -> per-machine congestion (memory share)", '-',
+       [] {
+         return std::make_pair(
+             Measure(SystemKind::kPregelPlus, 1024, 4).peak_memory_bytes,
+             Measure(SystemKind::kPregelPlus, 1024, 8).peak_memory_bytes);
+       }},
+      {"message congestion -> memory used (non-out-of-core)", '+',
+       [] {
+         return std::make_pair(
+             Measure(SystemKind::kPregelPlus, 512, 8).peak_memory_bytes,
+             Measure(SystemKind::kPregelPlus, 4096, 8).peak_memory_bytes);
+       }},
+      {"memory used rate -> time (memory-bound state)", '+',
+       [] {
+         return std::make_pair(
+             Measure(SystemKind::kPregelPlus, 4096, 8).total_seconds /
+                 4096.0,
+             Measure(SystemKind::kPregelPlus, 10240, 8).total_seconds /
+                 10240.0);
+       }},
+      {"memory size -> memory-bound state (larger keeps it away)", '-',
+       [] {
+         // Pair ordered (small memory, large memory): expect the
+         // per-unit time to DROP, i.e. a '-' correlation.
+         return std::make_pair(
+             Measure(SystemKind::kPregelPlus, 10240, 8, 16.0)
+                     .total_seconds /
+                 10240.0,
+             Measure(SystemKind::kPregelPlus, 10240, 8, 48.0)
+                     .total_seconds /
+                 10240.0);
+       }},
+      {"message congestion -> disk utilization (out-of-core)", '+',
+       [] {
+         return std::make_pair(
+             Measure(SystemKind::kGraphD, 256, 8).disk_utilization,
+             Measure(SystemKind::kGraphD, 4096, 8).disk_utilization);
+       }},
+      {"disk-bound state -> time (out-of-core)", '+',
+       [] {
+         return std::make_pair(
+             Measure(SystemKind::kGraphD, 1024, 8).total_seconds / 1024.0,
+             Measure(SystemKind::kGraphD, 8192, 8).total_seconds / 8192.0);
+       }},
+  };
+
+  TablePrinter table({"Arrow", "Expected", "Measured(low)", "Measured(high)",
+                      "Sign", "Agrees"});
+  for (const Arrow& arrow : arrows) {
+    auto [low, high] = arrow.measure();
+    // Pairs are ordered (factor low, factor high); the sign of the
+    // response is the measured correlation direction.
+    char sign = high > low ? '+' : '-';
+    bool agrees = sign == arrow.expected;
+    table.AddRow({arrow.description, std::string(1, arrow.expected),
+                  StrFormat("%.3g", low), StrFormat("%.3g", high),
+                  std::string(1, sign),
+                  agrees ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vcmp
+
+int main() {
+  vcmp::bench::Run();
+  return 0;
+}

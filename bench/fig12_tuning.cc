@@ -1,0 +1,75 @@
+// Reproduces Figure 12: the cost-based tuning case study — Optimized
+// (the learned batch schedule of Section 5) vs Full-Parallelism for BPPR
+// and MSSP on DBLP over 2/4/8 Galaxy machines, across workload sweeps.
+// Paper shape: Optimized stays flat and low as the workload grows while
+// Full-Parallelism blows up / overloads; the learned schedules decrease
+// monotonically (e.g. [2747, 1388, 644, 266, 75] for W=5120 on 4
+// machines).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/tuning/tuner.h"
+
+namespace vcmp {
+namespace bench {
+namespace {
+
+void Panel(const std::string& title, const std::string& task_name,
+           uint32_t machines, const std::vector<double>& workloads) {
+  PrintBanner(std::cout, title);
+  TablePrinter table({"Workload", "Full-Parallelism", "Optimized",
+                      "Learned schedule"});
+  const Dataset& dataset = CachedDataset(DatasetId::kDblp);
+  auto task = MakeTask(task_name);
+  VCMP_CHECK(task.ok());
+
+  RunnerOptions options;
+  options.cluster = ClusterSpec::Galaxy8().WithMachines(machines);
+  for (double workload : workloads) {
+    MultiProcessingRunner full_runner(dataset, options);
+    auto full =
+        full_runner.Run(*task.value(),
+                        BatchSchedule::FullParallelism(workload));
+    VCMP_CHECK(full.ok()) << full.status().ToString();
+
+    Tuner tuner(dataset, options);
+    auto plan = tuner.Tune(*task.value(), workload);
+    VCMP_CHECK(plan.ok()) << plan.status().ToString();
+    MultiProcessingRunner tuned_runner(dataset, options);
+    auto tuned = tuned_runner.Run(*task.value(), plan.value().schedule);
+    VCMP_CHECK(tuned.ok()) << tuned.status().ToString();
+
+    table.AddRow({StrFormat("%.0f", workload), TimeCell(full.value()),
+                  TimeCell(tuned.value()),
+                  plan.value().schedule.ToString()});
+  }
+  table.Print(std::cout);
+}
+
+void Run() {
+  Panel("Figure 12(a): BPPR, 2 machines", "BPPR", 2,
+        {1280, 1536, 1792, 2048, 2304, 2560, 3072});
+  Panel("Figure 12(b): BPPR, 4 machines", "BPPR", 4,
+        {3584, 4096, 4608, 5120, 6144});
+  Panel("Figure 12(c): BPPR, 8 machines", "BPPR", 8,
+        {4096, 5120, 6144, 7168, 8192});
+  // The paper's MSSP ranges end right at its clusters' overload
+  // boundary; our calibration sits slightly below it at those values, so
+  // each panel extends the sweep upward until Full-Parallelism breaks.
+  Panel("Figure 12(d): MSSP, 2 machines", "MSSP", 2,
+        {136, 144, 152, 160, 320, 640});
+  Panel("Figure 12(e): MSSP, 4 machines", "MSSP", 4,
+        {384, 416, 448, 480, 512, 1024});
+  Panel("Figure 12(f): MSSP, 8 machines", "MSSP", 8,
+        {832, 896, 960, 1024, 2048, 4096});
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vcmp
+
+int main() {
+  vcmp::bench::Run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Finer-granularity batch exploration (the paper's additional materials:
+// "we include more results for batch settings with finer granularity").
+// The doubling sweep {1,2,4,8,16} brackets the optimum; this bench runs
+// the automated search (core/batch_search.h) to pin it down between the
+// doubling points, and renders the probes as the paper-style bar chart.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/batch_search.h"
+#include "metrics/ascii_chart.h"
+#include "tasks/bppr.h"
+
+namespace vcmp {
+namespace bench {
+namespace {
+
+void Explore(const std::string& title, double workload,
+             uint32_t machines) {
+  PrintBanner(std::cout, title);
+  const Dataset& dataset = CachedDataset(DatasetId::kDblp);
+  RunnerOptions options;
+  options.cluster = ClusterSpec::Galaxy8().WithMachines(machines);
+  BpprTask task;
+  auto search = FindOptimalBatchCount(dataset, options, task, workload);
+  VCMP_CHECK(search.ok()) << search.status().ToString();
+
+  std::vector<BatchProbe> probes = search.value().probes;
+  std::sort(probes.begin(), probes.end(),
+            [](const BatchProbe& a, const BatchProbe& b) {
+              return a.batches < b.batches;
+            });
+  std::vector<ChartBar> bars;
+  for (const BatchProbe& probe : probes) {
+    bars.push_back({StrFormat("%u-batch", probe.batches), probe.seconds,
+                    probe.overloaded,
+                    probe.batches == search.value().best_batches});
+  }
+  std::cout << RenderBarChart(bars);
+  std::cout << StrFormat("Refined optimum: %u batches (%.1fs) from %zu "
+                         "simulated probes\n",
+                         search.value().best_batches,
+                         search.value().best_seconds, probes.size());
+}
+
+void Run() {
+  Explore("Fine-grained batch search: BPPR W=10240, Galaxy-8", 10240.0, 8);
+  Explore("Fine-grained batch search: BPPR W=12288, Galaxy-8", 12288.0, 8);
+  Explore("Fine-grained batch search: BPPR W=5120, 4 machines", 5120.0, 4);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vcmp
+
+int main() {
+  vcmp::bench::Run();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Table 2: (workload, #batches) -> per-machine memory / time /
+// network-overuse time on 4 and 8 Galaxy machines (BPPR, DBLP, Pregel+).
+// Paper shape: memory grows with workload, shrinks with batches and with
+// machines; the optimal batch count is the one whose memory lands just
+// below the ~14GB usable capacity; network overuse varies far less than
+// total time (memory dominates network, Section 4.3).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/units.h"
+
+namespace vcmp {
+namespace bench {
+namespace {
+
+std::string Cell(const RunReport& report) {
+  if (report.overloaded) {
+    return StrFormat("Overflow/Overload/-");
+  }
+  return StrFormat("%.1fGB/%.1fmin/%.1fmin",
+                   BytesToGiB(report.peak_memory_bytes),
+                   report.total_seconds / 60.0,
+                   report.network_overuse_seconds / 60.0);
+}
+
+void Run() {
+  PrintBanner(std::cout,
+              "Table 2: memory / time / network-overuse per machine "
+              "(BPPR, DBLP, Pregel+)");
+  TablePrinter table(
+      {"Workload", "Batches", "4 machines", "8 machines"});
+  for (double workload : {1024.0, 4096.0, 12288.0}) {
+    for (uint32_t batches : {1u, 2u, 4u}) {
+      std::vector<std::string> row = {
+          batches == 1 ? StrFormat("%.0f", workload) : "",
+          StrFormat("%u", batches)};
+      for (uint32_t machines : {4u, 8u}) {
+        PanelSetting setting{"", DatasetId::kDblp,
+                             ClusterSpec::Galaxy8().WithMachines(machines),
+                             SystemKind::kPregelPlus, "BPPR", workload};
+        RunReport report =
+            RunSetting(setting, BatchSchedule::Equal(workload, batches));
+        row.push_back(Cell(report));
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper anchors (4 machines): W=1024 -> 4.3/3.6/3.0GB over "
+               "1/2/4 batches; W=4096 -> 15.0/12.1/9.6GB;\n"
+               "W=12288 -> Overflow / Overflow / 15.1GB-Overload. Optimal "
+               "batches use just under the ~14GB usable memory.\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vcmp
+
+int main() {
+  vcmp::bench::Run();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Reproduces Table 3: "#Batches vs. disk utilization vs. network" for
+// GraphD on 27 machines (BPPR). The paper reports workload 2048 without
+// naming the dataset; on our DBLP stand-in that never exceeds GraphD's
+// message-buffer budget, so we use the Orkut stand-in at W=4096, which
+// lands in the same spill regime the paper measured. Paper shape:
+// 1-2 batches saturate the disk (>100% utilisation, huge I/O queue, long
+// I/O overuse); from 4 batches on the utilisation drops to a stable ~27%
+// and the queue collapses; past the optimum (4 batches) the added
+// synchronisation rounds grow the total time again.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace vcmp {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBanner(std::cout,
+              "Table 3: #batches vs disk utilisation (GraphD, Orkut, "
+              "Galaxy-27, workload 4096; paper ran W=2048)");
+  TablePrinter table({"#Batches", "Overuse(Network)", "Overuse(I/O)",
+                      "MaxDiskUtil", "I/OQueueLen", "TotalTime"});
+  double best_seconds = 1e300;
+  uint32_t best_batches = 0;
+  std::vector<std::pair<uint32_t, RunReport>> rows;
+  for (uint32_t batches : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    PanelSetting setting{"", DatasetId::kOrkut, ClusterSpec::Galaxy27(),
+                         SystemKind::kGraphD, "BPPR", 4096};
+    RunReport report =
+        RunSetting(setting, BatchSchedule::Equal(4096, batches));
+    if (!report.overloaded && report.total_seconds < best_seconds) {
+      best_seconds = report.total_seconds;
+      best_batches = batches;
+    }
+    rows.emplace_back(batches, std::move(report));
+  }
+  for (const auto& [batches, report] : rows) {
+    table.AddRow({
+        StrFormat("%u%s", batches,
+                  batches == best_batches ? " (OPT)" : ""),
+        StrFormat("%.0fs", report.network_overuse_seconds),
+        StrFormat("%.0fs", report.disk_overuse_seconds),
+        report.disk_saturated &&
+                report.disk_overuse_seconds > 0.02 * report.total_seconds
+            ? "> 100%"
+            : StrFormat("%.0f%%", 100.0 * report.disk_utilization),
+        StrFormat("%.0f", report.max_io_queue_length),
+        TimeCell(report),
+    });
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper anchors: 1-batch > 100% util / queue 20256 / 285s; "
+               "4-batch (OPT) 27% / queue 19 / 201s; 128-batch 26% / "
+               "632s.\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vcmp
+
+int main() {
+  vcmp::bench::Run();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a graph, pick a cluster and a VC-system, run a batch
+// Personalized PageRank multi-processing job under two different batch
+// schedules, and compare the simulated outcome.
+//
+//   $ ./build/examples/quickstart
+//
+// This is the 60-second tour of the public API:
+//   LoadDataset -> MultiProcessingRunner -> BatchSchedule -> RunReport.
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/units.h"
+#include "core/batch_schedule.h"
+#include "core/runner.h"
+#include "graph/datasets.h"
+#include "tasks/bppr.h"
+
+int main() {
+  using namespace vcmp;
+
+  // 1. A graph. Stand-ins for the paper's six SNAP datasets are built in;
+  //    scale_override shrinks generation while the simulator keeps
+  //    reporting paper-scale statistics.
+  Dataset dblp = LoadDataset(DatasetId::kDblp, /*scale_override=*/64.0);
+  std::cout << "Loaded " << dblp.info.name << " stand-in: "
+            << dblp.graph.ToString() << " (scale " << dblp.scale << ")\n";
+
+  // 2. A cluster and a system. Galaxy-8 is the paper's 8-machine local
+  //    cluster; Pregel+ is the C++/MPI baseline system.
+  RunnerOptions options;
+  options.cluster = ClusterSpec::Galaxy8();
+  options.system = SystemKind::kPregelPlus;
+
+  // 3. A multi-processing task: W = 10240 alpha-decay random walks from
+  //    every vertex (the paper's heavy BPPR workload).
+  BpprTask task;
+  const double workload = 10240.0;
+
+  // 4. Run it two ways: Full-Parallelism vs a 2-batch split.
+  for (uint32_t batches : {1u, 2u}) {
+    MultiProcessingRunner runner(dblp, options);
+    auto report =
+        runner.Run(task, BatchSchedule::Equal(workload, batches));
+    if (!report.ok()) {
+      std::cerr << "run failed: " << report.status().ToString() << "\n";
+      return 1;
+    }
+    const RunReport& r = report.value();
+    std::cout << "\n" << batches << "-batch: "
+              << (r.overloaded ? "OVERLOAD (>6000s)"
+                               : StrFormat("%.1fs", r.total_seconds))
+              << "\n  rounds: " << r.total_rounds
+              << ", messages/round: " << FormatCount(r.MessagesPerRound())
+              << "\n  peak memory/machine: "
+              << StrFormat("%.1fGB", BytesToGiB(r.peak_memory_bytes))
+              << " (physical: 16GB)\n";
+  }
+
+  std::cout << "\nThe round-congestion tradeoff in action: halving the "
+               "per-round congestion\nkeeps every machine inside physical "
+               "memory and more than repays the extra rounds.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Tuning advisor: the Section-5 workflow as a command-line tool. Given a
+// task, a workload and a cluster size, it trains the cost models on light
+// doubling workloads, fits M*(W) and Mres(W) with Levenberg-Marquardt,
+// prints the fitted models, and emits the learned batch schedule — then
+// verifies it against Full-Parallelism.
+//
+//   $ ./build/examples/tuning_advisor [workload] [machines] [task]
+//   $ ./build/examples/tuning_advisor 5120 4 BPPR
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/units.h"
+#include "core/runner.h"
+#include "core/tuning/tuner.h"
+#include "graph/datasets.h"
+#include "tasks/task_registry.h"
+
+int main(int argc, char** argv) {
+  using namespace vcmp;
+
+  double workload = argc > 1 ? std::atof(argv[1]) : 5120.0;
+  uint32_t machines =
+      argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 4;
+  std::string task_name = argc > 3 ? argv[3] : "BPPR";
+
+  auto task = MakeTask(task_name);
+  if (!task.ok()) {
+    std::cerr << task.status().ToString() << "\n";
+    return 1;
+  }
+  Dataset dblp = LoadDataset(DatasetId::kDblp, /*scale_override=*/64.0);
+  RunnerOptions options;
+  options.cluster = ClusterSpec::Galaxy8().WithMachines(machines);
+
+  std::cout << "Tuning " << task_name << " workload " << workload << " on "
+            << options.cluster.ToString() << " over "
+            << dblp.graph.ToString() << "\n\n";
+
+  // --- Training phase ---
+  Tuner tuner(dblp, options);
+  auto plan = tuner.Tune(*task.value(), workload);
+  if (!plan.ok()) {
+    std::cerr << "tuning failed: " << plan.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Training samples (1-batch light workloads):\n";
+  for (const TrainingSample& sample : plan.value().samples) {
+    std::cout << StrFormat("  W=%-6.0f peak=%7.2fGB residual=%7.2fGB"
+                           " time=%.1fs\n",
+                           sample.workload,
+                           BytesToGiB(sample.peak_memory_bytes),
+                           BytesToGiB(sample.residual_memory_bytes),
+                           sample.seconds);
+  }
+  std::cout << "\nFitted models: " << plan.value().models.ToString()
+            << "\nLearned schedule: " << plan.value().schedule.ToString()
+            << StrFormat("  (training cost: %.1fs simulated)\n\n",
+                         plan.value().training_seconds);
+
+  // --- Verification ---
+  for (bool tuned : {false, true}) {
+    MultiProcessingRunner runner(dblp, options);
+    BatchSchedule schedule =
+        tuned ? plan.value().schedule
+              : BatchSchedule::FullParallelism(workload);
+    auto report = runner.Run(*task.value(), schedule);
+    if (!report.ok()) {
+      std::cerr << report.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << (tuned ? "Optimized:        " : "Full-Parallelism: ")
+              << (report.value().overloaded
+                      ? "OVERLOAD (>6000s)"
+                      : StrFormat("%.1fs", report.value().total_seconds))
+              << StrFormat("  peak mem %.1fGB\n",
+                           BytesToGiB(report.value().peak_memory_bytes));
+  }
+  return 0;
+}

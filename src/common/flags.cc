@@ -1,0 +1,105 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace vcmp {
+
+void FlagParser::Define(const std::string& name,
+                        const std::string& default_value,
+                        const std::string& help) {
+  VCMP_CHECK(flags_.find(name) == flags_.end())
+      << "flag --" << name << " defined twice";
+  Flag flag;
+  flag.value = default_value;
+  flag.default_value = default_value;
+  flag.help = help;
+  flags_.emplace(name, std::move(flag));
+  definition_order_.push_back(name);
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (!StartsWith(arg, "--")) {
+      return Status::InvalidArgument("unexpected positional argument '" +
+                                     arg + "'");
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    size_t equals = body.find('=');
+    if (equals != std::string::npos) {
+      name = body.substr(0, equals);
+      value = body.substr(equals + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name +
+                                     " (see --help)");
+    }
+    if (!has_value) {
+      // `--key value` when the next token is not a flag; bare `--key`
+      // means boolean true.
+      if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+    it->second.set = true;
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::HelpText() const {
+  std::ostringstream out;
+  out << program_ << " - " << description_ << "\n\nFlags:\n";
+  for (const std::string& name : definition_order_) {
+    const Flag& flag = flags_.at(name);
+    out << StrFormat("  --%-24s %s (default: %s)\n", name.c_str(),
+                     flag.help.c_str(), flag.default_value.c_str());
+  }
+  return out.str();
+}
+
+const FlagParser::Flag& FlagParser::Require(const std::string& name) const {
+  auto it = flags_.find(name);
+  VCMP_CHECK(it != flags_.end()) << "flag --" << name << " not defined";
+  return it->second;
+}
+
+std::string FlagParser::GetString(const std::string& name) const {
+  return Require(name).value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return std::atof(Require(name).value.c_str());
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  return std::atoll(Require(name).value.c_str());
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  const std::string& value = Require(name).value;
+  return value == "true" || value == "1" || value == "yes";
+}
+
+bool FlagParser::IsSet(const std::string& name) const {
+  return Require(name).set;
+}
+
+}  // namespace vcmp

@@ -1,0 +1,68 @@
+#ifndef VCMP_COMMON_FLAGS_H_
+#define VCMP_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vcmp {
+
+/// Minimal command-line flag parser for the tools and examples.
+///
+/// Accepts `--key=value`, `--key value` and bare `--key` (boolean true).
+/// Flags must be registered before Parse so that typos are hard errors and
+/// `HelpText()` is complete.
+///
+///   FlagParser flags("vcmp_sim", "Run a simulated multi-processing job");
+///   flags.Define("workload", "10240", "total workload W");
+///   flags.Define("tune", "false", "use the Section-5 tuner");
+///   VCMP_RETURN_IF_ERROR(flags.Parse(argc, argv));
+///   double w = flags.GetDouble("workload");
+class FlagParser {
+ public:
+  FlagParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Registers a flag with its default value and help line.
+  void Define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  /// Parses argv. Returns InvalidArgument on unknown flags, missing
+  /// values, or non-flag positional arguments.
+  Status Parse(int argc, const char* const* argv);
+
+  /// True when --help was passed (callers print HelpText() and exit 0).
+  bool help_requested() const { return help_requested_; }
+  std::string HelpText() const;
+
+  /// Typed access; the flag must have been defined (CHECK otherwise).
+  std::string GetString(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// True when the flag was explicitly set on the command line.
+  bool IsSet(const std::string& name) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+    bool set = false;
+  };
+
+  const Flag& Require(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> definition_order_;
+  bool help_requested_ = false;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_COMMON_FLAGS_H_

@@ -1,0 +1,72 @@
+#ifndef VCMP_COMMON_LOGGING_H_
+#define VCMP_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace vcmp {
+
+/// Log severity levels, ordered by importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is emitted. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; writes one line to stderr at destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process at destruction; used by VCMP_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace vcmp
+
+#define VCMP_LOG(level)                                              \
+  ::vcmp::internal_logging::LogMessage(::vcmp::LogLevel::k##level,   \
+                                       __FILE__, __LINE__)           \
+      .stream()
+
+/// Invariant check: logs the failed condition and aborts when false.
+#define VCMP_CHECK(cond)                                             \
+  if (cond) {                                                        \
+  } else /* NOLINT */                                                \
+    ::vcmp::internal_logging::FatalLogMessage(__FILE__, __LINE__)    \
+        .stream()                                                    \
+        << "Check failed: " #cond " "
+
+#define VCMP_CHECK_OK(expr)                                          \
+  do {                                                               \
+    ::vcmp::Status _st = (expr);                                     \
+    VCMP_CHECK(_st.ok()) << _st.ToString();                          \
+  } while (0)
+
+#endif  // VCMP_COMMON_LOGGING_H_

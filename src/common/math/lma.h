@@ -1,0 +1,77 @@
+#ifndef VCMP_COMMON_MATH_LMA_H_
+#define VCMP_COMMON_MATH_LMA_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vcmp {
+
+/// Options for the Levenberg–Marquardt solver.
+struct LmaOptions {
+  int max_iterations = 200;
+  /// Convergence threshold on the relative decrease of the squared error.
+  double tolerance = 1e-10;
+  /// Initial damping factor lambda.
+  double initial_lambda = 1e-3;
+  /// Number of random restarts; the best (lowest-residual) fit wins.
+  int restarts = 8;
+  /// Seed for the restart initialisation stream.
+  uint64_t seed = 0x5eedULL;
+};
+
+/// Result of a nonlinear least-squares fit.
+struct LmaFit {
+  std::vector<double> params;
+  /// Sum of squared residuals at the solution.
+  double residual = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Model interface: given parameters theta and input x, returns f(x; theta)
+/// and writes df/dtheta_i into jacobian_row (length = theta.size()).
+using LmaModel = std::function<double(const std::vector<double>& theta,
+                                      double x, double* jacobian_row)>;
+
+/// General Levenberg–Marquardt nonlinear least squares:
+/// minimises sum_i (y_i - f(x_i; theta))^2 starting from `initial`.
+/// Uses the standard damped normal equations with multiplicative lambda
+/// adaptation (x10 on rejection, /10 on acceptance), per Madsen, Nielsen &
+/// Tingleff (2004), the reference the paper cites.
+LmaFit LevenbergMarquardt(const LmaModel& model,
+                          const std::vector<double>& xs,
+                          const std::vector<double>& ys,
+                          const std::vector<double>& initial,
+                          const LmaOptions& options = {});
+
+/// A fitted power-law memory model M(W) = a * W^b + c (paper Eq. 2).
+struct PowerLawFit {
+  double a = 0.0;
+  double b = 1.0;
+  double c = 0.0;
+  double residual = 0.0;
+  bool converged = false;
+
+  /// Evaluates a * x^b + c.
+  double Eval(double x) const;
+
+  /// Inverts the model: returns x such that Eval(x) = y, i.e.
+  /// ((y - c) / a)^(1/b). Returns 0 when y <= c or the fit is degenerate
+  /// (a <= 0), matching the planner's "no budget left" semantics.
+  double Invert(double y) const;
+};
+
+/// Fits M(W) = a*W^b + c to (xs, ys) with randomly-restarted LMA, as the
+/// paper's tuning framework does (Section 5, "Training"). xs must be
+/// positive. Returns InvalidArgument for degenerate input (fewer than 3
+/// points or mismatched lengths).
+Result<PowerLawFit> FitPowerLaw(const std::vector<double>& xs,
+                                const std::vector<double>& ys,
+                                const LmaOptions& options = {});
+
+}  // namespace vcmp
+
+#endif  // VCMP_COMMON_MATH_LMA_H_

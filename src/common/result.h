@@ -1,0 +1,55 @@
+#ifndef VCMP_COMMON_RESULT_H_
+#define VCMP_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace vcmp {
+
+/// Value-or-error return type. A Result is either OK and holds a T, or
+/// holds a non-OK Status. Accessing value() on an error Result is a
+/// programming error (checked in debug builds via assert-like abort).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from an error status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the
+/// error status to the caller.
+#define VCMP_ASSIGN_OR_RETURN(lhs, expr)             \
+  auto VCMP_CONCAT_(_res_, __LINE__) = (expr);       \
+  if (!VCMP_CONCAT_(_res_, __LINE__).ok())           \
+    return VCMP_CONCAT_(_res_, __LINE__).status();   \
+  lhs = std::move(VCMP_CONCAT_(_res_, __LINE__)).value()
+
+#define VCMP_CONCAT_INNER_(a, b) a##b
+#define VCMP_CONCAT_(a, b) VCMP_CONCAT_INNER_(a, b)
+
+}  // namespace vcmp
+
+#endif  // VCMP_COMMON_RESULT_H_

@@ -1,0 +1,107 @@
+#ifndef VCMP_COMMON_RNG_H_
+#define VCMP_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace vcmp {
+
+/// Deterministic pseudo-random number generator (SplitMix64 core).
+///
+/// Every stochastic component in vcmp draws from an explicitly seeded Rng so
+/// that tests and benchmark tables are bit-reproducible across runs and
+/// machines. SplitMix64 passes BigCrush, has a 2^64 period per stream, and
+/// supports cheap stream splitting via Fork().
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + kGamma) {}
+
+  /// Next 64 uniformly distributed bits.
+  uint64_t NextUint64() {
+    uint64_t z = (state_ += kGamma);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's nearly-divisionless bounded generation (biased by < 2^-64
+    // per draw which is negligible for simulation purposes).
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(NextUint64()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Binomial(n, p) sample. Exact for small n; uses a normal approximation
+  /// with continuity correction for large n*p*(1-p), which is what the
+  /// aggregate walk-count simulation needs (n up to billions).
+  uint64_t NextBinomial(uint64_t n, double p);
+
+  /// Standard normal via the polar (Marsaglia) method.
+  double NextGaussian();
+
+  /// Derives an independent child stream; deterministic given this stream's
+  /// state, so Fork() sequences are reproducible.
+  Rng Fork() { return Rng(NextUint64()); }
+
+ private:
+  static constexpr uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+  uint64_t state_;
+};
+
+inline double Rng::NextGaussian() {
+  // Polar method: rejection-samples a point in the unit disc.
+  while (true) {
+    double u = 2.0 * NextDouble() - 1.0;
+    double v = 2.0 * NextDouble() - 1.0;
+    double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+inline uint64_t Rng::NextBinomial(uint64_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  if (p > 0.5) return n - NextBinomial(n, 1.0 - p);  // Symmetry; now p <= 0.5.
+  double np = static_cast<double>(n) * p;
+  double var = np * (1.0 - p);
+  if (var > 64.0) {
+    // Normal approximation with continuity correction; clamp to support.
+    double x = np + std::sqrt(var) * NextGaussian() + 0.5;
+    if (x < 0.0) return 0;
+    if (x > static_cast<double>(n)) return n;
+    return static_cast<uint64_t>(x);
+  }
+  if (n <= 128) {
+    // Exact by repeated Bernoulli for small n.
+    uint64_t count = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      count += NextBernoulli(p) ? 1 : 0;
+    }
+    return count;
+  }
+  // Large n but small mean (var <= 64 and p <= 0.5 implies np <= 128):
+  // Poisson(np) approximation via Knuth's product method.
+  double limit = std::exp(-np);
+  uint64_t k = 0;
+  double prod = NextDouble();
+  while (prod > limit && k < n) {
+    ++k;
+    prod *= NextDouble();
+  }
+  return k;
+}
+
+}  // namespace vcmp
+
+#endif  // VCMP_COMMON_RNG_H_

@@ -1,0 +1,68 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace vcmp {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    // +1 for the terminating NUL that vsnprintf writes.
+    std::vsnprintf(out.data(), static_cast<size_t>(needed) + 1, fmt,
+                   args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string> SplitString(const std::string& s,
+                                     const std::string& delims) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start < s.size()) {
+    size_t end = s.find_first_of(delims, start);
+    if (end == std::string::npos) end = s.size();
+    if (end > start) parts.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+std::string FormatSeconds(double seconds) {
+  if (seconds < 0) return "Overload";
+  if (seconds >= 600.0) return StrFormat("%.0fmin", seconds / 60.0);
+  if (seconds >= 100.0) return StrFormat("%.0fs", seconds);
+  return StrFormat("%.1fs", seconds);
+}
+
+std::string FormatBytes(double bytes) {
+  constexpr double kGb = 1024.0 * 1024.0 * 1024.0;
+  constexpr double kMb = 1024.0 * 1024.0;
+  constexpr double kKb = 1024.0;
+  if (bytes >= kGb) return StrFormat("%.1fGB", bytes / kGb);
+  if (bytes >= kMb) return StrFormat("%.0fMB", bytes / kMb);
+  if (bytes >= kKb) return StrFormat("%.0fKB", bytes / kKb);
+  return StrFormat("%.0fB", bytes);
+}
+
+std::string FormatCount(double count) {
+  if (count >= 1e9) return StrFormat("%.1fB", count / 1e9);
+  if (count >= 1e6) return StrFormat("%.1fM", count / 1e6);
+  if (count >= 1e4) return StrFormat("%.1fK", count / 1e3);
+  return StrFormat("%.0f", count);
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace vcmp

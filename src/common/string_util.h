@@ -1,0 +1,33 @@
+#ifndef VCMP_COMMON_STRING_UTIL_H_
+#define VCMP_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vcmp {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `s` on any of the characters in `delims`, dropping empty pieces.
+std::vector<std::string> SplitString(const std::string& s,
+                                     const std::string& delims);
+
+/// Renders a duration in seconds the way the paper's tables do:
+/// "173.3s", "39min", or "Overload" past the cut-off.
+std::string FormatSeconds(double seconds);
+
+/// Renders a byte count as "1.5GB" / "63.7MB" / "412KB" / "12B".
+std::string FormatBytes(double bytes);
+
+/// Renders a large count as "63.7M" / "1.5B" / "2048".
+std::string FormatCount(double count);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace vcmp
+
+#endif  // VCMP_COMMON_STRING_UTIL_H_

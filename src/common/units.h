@@ -1,0 +1,31 @@
+#ifndef VCMP_COMMON_UNITS_H_
+#define VCMP_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace vcmp {
+
+/// Byte-size constants, decimal flavour used informally in the paper text
+/// ("16GB memory") is actually binary in practice; we use binary units.
+inline constexpr uint64_t kKiB = 1024ULL;
+inline constexpr uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr uint64_t kGiB = 1024ULL * kMiB;
+
+/// Counts used by the paper's dataset table (K=10^3, M=10^6, B=10^9).
+inline constexpr uint64_t kKilo = 1000ULL;
+inline constexpr uint64_t kMega = 1000ULL * kKilo;
+inline constexpr uint64_t kGiga = 1000ULL * kMega;
+
+/// Converts bytes to fractional GiB for reporting.
+inline double BytesToGiB(double bytes) {
+  return bytes / static_cast<double>(kGiB);
+}
+
+/// Converts bytes to fractional MiB for reporting.
+inline double BytesToMiB(double bytes) {
+  return bytes / static_cast<double>(kMiB);
+}
+
+}  // namespace vcmp
+
+#endif  // VCMP_COMMON_UNITS_H_

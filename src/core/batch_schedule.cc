@@ -1,0 +1,76 @@
+#include "core/batch_schedule.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace vcmp {
+
+BatchSchedule BatchSchedule::Equal(double total, uint32_t batches) {
+  VCMP_CHECK(batches > 0);
+  VCMP_CHECK(total > 0.0);
+  auto total_units = static_cast<uint64_t>(std::llround(total));
+  std::vector<double> workloads(batches);
+  uint64_t base = total_units / batches;
+  uint64_t remainder = total_units % batches;
+  for (uint32_t i = 0; i < batches; ++i) {
+    workloads[i] = static_cast<double>(base + (i < remainder ? 1 : 0));
+  }
+  return BatchSchedule(std::move(workloads));
+}
+
+BatchSchedule BatchSchedule::FullParallelism(double total) {
+  return Equal(total, 1);
+}
+
+BatchSchedule BatchSchedule::TwoBatch(double total, double delta) {
+  VCMP_CHECK(std::fabs(delta) <= total)
+      << "two-batch delta exceeds the total workload";
+  double first = (total + delta) / 2.0;
+  double second = total - first;
+  return BatchSchedule({first, second});
+}
+
+BatchSchedule BatchSchedule::GeometricDecay(double total,
+                                            uint32_t batches,
+                                            double ratio) {
+  VCMP_CHECK(batches > 0);
+  VCMP_CHECK(total > 0.0);
+  VCMP_CHECK(ratio > 0.0 && ratio <= 1.0);
+  // Normalise weights ratio^0 .. ratio^(b-1) to the total, keeping
+  // workloads integral (the remainder goes to the first batch).
+  std::vector<double> weights(batches);
+  double weight_sum = 0.0;
+  double w = 1.0;
+  for (uint32_t i = 0; i < batches; ++i) {
+    weights[i] = w;
+    weight_sum += w;
+    w *= ratio;
+  }
+  std::vector<double> workloads(batches);
+  double assigned = 0.0;
+  for (uint32_t i = 0; i < batches; ++i) {
+    workloads[i] = std::floor(total * weights[i] / weight_sum);
+    assigned += workloads[i];
+  }
+  workloads[0] += total - assigned;
+  return BatchSchedule(std::move(workloads));
+}
+
+double BatchSchedule::TotalWorkload() const {
+  return std::accumulate(workloads_.begin(), workloads_.end(), 0.0);
+}
+
+std::string BatchSchedule::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < workloads_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%.0f", workloads_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace vcmp

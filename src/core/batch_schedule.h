@@ -1,0 +1,53 @@
+#ifndef VCMP_CORE_BATCH_SCHEDULE_H_
+#define VCMP_CORE_BATCH_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vcmp {
+
+/// A concurrency scheme S = {W1, ..., Wt}: the workload division the paper
+/// studies (Section 4's k-batch mechanism, Section 4.7's unequal batches,
+/// Section 5's learned schedules). Batches execute sequentially; the units
+/// inside one batch run concurrently.
+class BatchSchedule {
+ public:
+  BatchSchedule() = default;
+  explicit BatchSchedule(std::vector<double> workloads)
+      : workloads_(std::move(workloads)) {}
+
+  /// The paper's k-batch mechanism: `total` divided into `batches` equal
+  /// parts (earlier batches take the rounding remainder, keeping workloads
+  /// integral).
+  static BatchSchedule Equal(double total, uint32_t batches);
+
+  /// 1-batch == Full-Parallelism.
+  static BatchSchedule FullParallelism(double total);
+
+  /// Section 4.7: two batches with W1 - W2 = delta (delta may be
+  /// negative; |delta| <= total).
+  static BatchSchedule TwoBatch(double total, double delta);
+
+  /// Decreasing batches W_{i+1} = ratio * W_i (ratio in (0, 1]),
+  /// normalised to sum to `total`. A cheap approximation of the learned
+  /// schedules of Section 5, which the paper observes always decrease
+  /// ("later batches should have smaller workloads", Section 4.10).
+  static BatchSchedule GeometricDecay(double total, uint32_t batches,
+                                      double ratio);
+
+  const std::vector<double>& workloads() const { return workloads_; }
+  size_t NumBatches() const { return workloads_.size(); }
+  double TotalWorkload() const;
+  bool IsFullParallelism() const { return workloads_.size() == 1; }
+
+  /// e.g. "[2747, 1388, 644, 266, 75]".
+  std::string ToString() const;
+
+ private:
+  std::vector<double> workloads_;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_CORE_BATCH_SCHEDULE_H_

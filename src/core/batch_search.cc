@@ -1,0 +1,101 @@
+#include "core/batch_search.h"
+
+#include <algorithm>
+
+namespace vcmp {
+namespace {
+
+/// Runs one batch count; pushes the probe; returns its simulated seconds
+/// (the overload cut-off for overloaded runs, so comparisons stay sane).
+Result<double> Probe(const Dataset& dataset,
+                     const RunnerOptions& runner_options,
+                     const MultiTask& task, double workload,
+                     uint32_t batches, BatchSearchResult* out) {
+  for (const BatchProbe& probe : out->probes) {
+    if (probe.batches == batches) return probe.seconds;  // Memoised.
+  }
+  MultiProcessingRunner runner(dataset, runner_options);
+  VCMP_ASSIGN_OR_RETURN(
+      RunReport report,
+      runner.Run(task, BatchSchedule::Equal(workload, batches)));
+  BatchProbe probe;
+  probe.batches = batches;
+  probe.seconds = report.total_seconds;
+  probe.overloaded = report.overloaded;
+  out->probes.push_back(probe);
+  return probe.seconds;
+}
+
+}  // namespace
+
+Result<BatchSearchResult> FindOptimalBatchCount(
+    const Dataset& dataset, const RunnerOptions& runner_options,
+    const MultiTask& task, double workload,
+    const BatchSearchOptions& options) {
+  if (workload < 1.0) {
+    return Status::InvalidArgument("workload must be >= 1");
+  }
+  if (options.max_batches == 0) {
+    return Status::InvalidArgument("max_batches must be >= 1");
+  }
+  BatchSearchResult result;
+
+  // Phase 1: doubling sweep, stopping once times have risen twice in a
+  // row past the minimum (unimodal shape).
+  uint32_t best = 1;
+  double best_seconds = 0.0;
+  int rises = 0;
+  double previous = 0.0;
+  for (uint32_t batches = 1;
+       batches <= options.max_batches &&
+       batches <= static_cast<uint32_t>(workload);
+       batches *= 2) {
+    VCMP_ASSIGN_OR_RETURN(
+        double seconds,
+        Probe(dataset, runner_options, task, workload, batches, &result));
+    if (result.probes.size() == 1 || seconds < best_seconds) {
+      best = batches;
+      best_seconds = seconds;
+    }
+    rises = (result.probes.size() > 1 && seconds > previous) ? rises + 1 : 0;
+    previous = seconds;
+    if (rises >= 2) break;
+  }
+
+  // Phase 2: refine inside (best/2, best*2) with a shrinking bracket.
+  if (options.refine && best > 1) {
+    uint32_t lo = std::max(1u, best / 2);
+    uint32_t hi = std::min(options.max_batches, best * 2);
+    for (uint32_t i = 0; i < options.refinement_probes && hi - lo > 1;
+         ++i) {
+      uint32_t candidate =
+          (i % 2 == 0) ? (lo + best) / 2 : (best + hi) / 2;
+      if (candidate == best || candidate < lo || candidate > hi) {
+        break;
+      }
+      VCMP_ASSIGN_OR_RETURN(double seconds,
+                            Probe(dataset, runner_options, task, workload,
+                                  candidate, &result));
+      if (seconds < best_seconds) {
+        // Move the bracket around the new optimum.
+        if (candidate < best) {
+          hi = best;
+        } else {
+          lo = best;
+        }
+        best = candidate;
+        best_seconds = seconds;
+      } else if (candidate < best) {
+        lo = candidate;
+      } else {
+        hi = candidate;
+      }
+    }
+  }
+
+  result.best_batches = best;
+  result.best_seconds = best_seconds;
+  return result;
+}
+
+}  // namespace vcmp

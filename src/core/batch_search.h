@@ -1,0 +1,53 @@
+#ifndef VCMP_CORE_BATCH_SEARCH_H_
+#define VCMP_CORE_BATCH_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/runner.h"
+#include "tasks/task.h"
+
+namespace vcmp {
+
+/// One probed batch count and its outcome.
+struct BatchProbe {
+  uint32_t batches = 0;
+  double seconds = 0.0;
+  bool overloaded = false;
+};
+
+/// Result of a batch-count search.
+struct BatchSearchResult {
+  uint32_t best_batches = 1;
+  double best_seconds = 0.0;
+  /// Every (batches, seconds) probe, in evaluation order.
+  std::vector<BatchProbe> probes;
+};
+
+/// Options for FindOptimalBatchCount.
+struct BatchSearchOptions {
+  /// Upper bound on the batch count considered.
+  uint32_t max_batches = 256;
+  /// Refine between the best doubling point and its neighbours (the
+  /// paper's "finer granularity" exploration beyond {1,2,4,8,16}).
+  bool refine = true;
+  /// Number of golden-section-style refinement probes.
+  uint32_t refinement_probes = 6;
+};
+
+/// Sweeps doubling batch counts {1, 2, 4, ...} for `task` at `workload`
+/// and then (optionally) refines around the best doubling point with a
+/// bracketed search, exploiting the empirically unimodal shape of the
+/// round-congestion tradeoff (time falls until the congestion bound is
+/// cleared, then rises with synchronisation overhead). This is the
+/// trial-and-error tuning loop of the paper's "Practical Guidelines"
+/// (Section 4.10), automated against the simulator.
+Result<BatchSearchResult> FindOptimalBatchCount(
+    const Dataset& dataset, const RunnerOptions& runner_options,
+    const MultiTask& task, double workload,
+    const BatchSearchOptions& options = {});
+
+}  // namespace vcmp
+
+#endif  // VCMP_CORE_BATCH_SEARCH_H_

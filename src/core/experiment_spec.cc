@@ -1,0 +1,161 @@
+#include "core/experiment_spec.h"
+
+#include <set>
+
+#include "common/string_util.h"
+#include "core/batch_search.h"
+#include "core/tuning/tuner.h"
+#include "graph/datasets.h"
+#include "tasks/task_registry.h"
+
+namespace vcmp {
+namespace {
+
+const std::set<std::string>& KnownKeys() {
+  static const auto& keys = *new std::set<std::string>{
+      "dataset", "task",  "system", "cluster", "machines",
+      "workload", "schedule", "scale", "seed", "threads"};
+  return keys;
+}
+
+Result<ClusterSpec> ResolveCluster(const ExperimentSpec& spec) {
+  ClusterSpec cluster;
+  if (spec.cluster == "galaxy") {
+    cluster = ClusterSpec::Galaxy8();
+  } else if (spec.cluster == "galaxy27") {
+    cluster = ClusterSpec::Galaxy27();
+  } else if (spec.cluster == "docker") {
+    cluster = ClusterSpec::Docker32();
+  } else {
+    return Status::InvalidArgument("experiment '" + spec.name +
+                                   "': unknown cluster '" + spec.cluster +
+                                   "'");
+  }
+  if (spec.machines > 0) cluster = cluster.WithMachines(spec.machines);
+  return cluster;
+}
+
+/// Parses "equal:4", "twobatch:2560", "geometric:5,0.5", "tuned",
+/// "search".
+Result<BatchSchedule> ResolveSchedule(const ExperimentSpec& spec,
+                                      const Dataset& dataset,
+                                      const RunnerOptions& options,
+                                      const MultiTask& task) {
+  std::vector<std::string> parts = SplitString(spec.schedule, ":");
+  const std::string& kind = parts[0];
+  if (kind == "tuned") {
+    Tuner tuner(dataset, options);
+    VCMP_ASSIGN_OR_RETURN(TunedPlan plan,
+                          tuner.Tune(task, spec.workload));
+    return plan.schedule;
+  }
+  if (kind == "search") {
+    VCMP_ASSIGN_OR_RETURN(
+        BatchSearchResult search,
+        FindOptimalBatchCount(dataset, options, task, spec.workload));
+    return BatchSchedule::Equal(spec.workload, search.best_batches);
+  }
+  if (parts.size() != 2) {
+    return Status::InvalidArgument("experiment '" + spec.name +
+                                   "': malformed schedule '" +
+                                   spec.schedule + "'");
+  }
+  if (kind == "equal") {
+    return BatchSchedule::Equal(
+        spec.workload, static_cast<uint32_t>(std::atoi(parts[1].c_str())));
+  }
+  if (kind == "twobatch") {
+    return BatchSchedule::TwoBatch(spec.workload,
+                                   std::atof(parts[1].c_str()));
+  }
+  if (kind == "geometric") {
+    std::vector<std::string> args = SplitString(parts[1], ",");
+    if (args.size() != 2) {
+      return Status::InvalidArgument(
+          "experiment '" + spec.name +
+          "': geometric schedule needs 'geometric:K,RATIO'");
+    }
+    return BatchSchedule::GeometricDecay(
+        spec.workload, static_cast<uint32_t>(std::atoi(args[0].c_str())),
+        std::atof(args[1].c_str()));
+  }
+  return Status::InvalidArgument("experiment '" + spec.name +
+                                 "': unknown schedule kind '" + kind + "'");
+}
+
+}  // namespace
+
+Result<std::vector<ExperimentSpec>> ParseExperimentSpecs(
+    const IniDocument& document) {
+  std::vector<ExperimentSpec> specs;
+  for (const IniDocument::Section& section : document.sections()) {
+    if (section.name.empty()) {
+      return Status::InvalidArgument(
+          "experiment keys must live inside a [named] section");
+    }
+    for (const auto& [key, value] : section.values) {
+      (void)value;
+      if (KnownKeys().find(key) == KnownKeys().end()) {
+        return Status::InvalidArgument("experiment '" + section.name +
+                                       "': unknown key '" + key + "'");
+      }
+    }
+    ExperimentSpec spec;
+    spec.name = section.name;
+    spec.dataset = IniDocument::GetString(section, "dataset", spec.dataset);
+    spec.task = IniDocument::GetString(section, "task", spec.task);
+    spec.system = IniDocument::GetString(section, "system", spec.system);
+    spec.cluster = IniDocument::GetString(section, "cluster", spec.cluster);
+    VCMP_ASSIGN_OR_RETURN(int64_t machines,
+                          IniDocument::GetInt(section, "machines", 0));
+    spec.machines = static_cast<uint32_t>(machines);
+    VCMP_ASSIGN_OR_RETURN(
+        spec.workload,
+        IniDocument::GetDouble(section, "workload", spec.workload));
+    spec.schedule = IniDocument::GetString(section, "schedule",
+                                           spec.schedule);
+    VCMP_ASSIGN_OR_RETURN(spec.scale,
+                          IniDocument::GetDouble(section, "scale", 0.0));
+    VCMP_ASSIGN_OR_RETURN(int64_t seed,
+                          IniDocument::GetInt(section, "seed", 1));
+    spec.seed = static_cast<uint64_t>(seed);
+    VCMP_ASSIGN_OR_RETURN(int64_t threads,
+                          IniDocument::GetInt(section, "threads", 1));
+    spec.threads = static_cast<uint32_t>(threads);
+    specs.push_back(std::move(spec));
+  }
+  if (specs.empty()) {
+    return Status::InvalidArgument("no experiment sections found");
+  }
+  return specs;
+}
+
+Result<ExperimentResult> RunExperiment(const ExperimentSpec& spec) {
+  VCMP_ASSIGN_OR_RETURN(DatasetInfo info, FindDataset(spec.dataset));
+  Dataset dataset = LoadDataset(info.id, spec.scale);
+
+  RunnerOptions options;
+  VCMP_ASSIGN_OR_RETURN(options.cluster, ResolveCluster(spec));
+  SystemKind system = SystemKind::kPregelPlus;
+  if (!SystemKindFromName(spec.system, &system)) {
+    return Status::InvalidArgument("experiment '" + spec.name +
+                                   "': unknown system '" + spec.system +
+                                   "'");
+  }
+  options.system = system;
+  options.seed = spec.seed;
+  options.execution_threads = spec.threads;
+
+  VCMP_ASSIGN_OR_RETURN(std::unique_ptr<MultiTask> task,
+                        MakeTask(spec.task));
+  ExperimentResult result;
+  result.spec = spec;
+  VCMP_ASSIGN_OR_RETURN(
+      result.schedule,
+      ResolveSchedule(spec, dataset, options, *task));
+  MultiProcessingRunner runner(dataset, options);
+  VCMP_ASSIGN_OR_RETURN(result.report, runner.Run(*task, result.schedule));
+  return result;
+}
+
+}  // namespace vcmp

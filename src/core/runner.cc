@@ -1,0 +1,111 @@
+#include "core/runner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sim/monetary_model.h"
+
+namespace vcmp {
+
+MultiProcessingRunner::MultiProcessingRunner(const Dataset& dataset,
+                                             RunnerOptions options)
+    : dataset_(dataset),
+      options_(std::move(options)),
+      profile_(options_.profile_override.has_value()
+                   ? *options_.profile_override
+                   : ProfileFor(options_.system)) {
+  std::unique_ptr<Partitioner> partitioner =
+      MakePartitioner(profile_.partitioner);
+  partition_ =
+      partitioner->Partition(dataset_.graph, options_.cluster.num_machines);
+}
+
+Result<RunReport> MultiProcessingRunner::Run(const MultiTask& task,
+                                             const BatchSchedule& schedule) {
+  if (schedule.NumBatches() == 0) {
+    return Status::InvalidArgument("empty batch schedule");
+  }
+
+  RunReport report;
+  report.system = profile_.name;
+  report.dataset = dataset_.info.name;
+  report.task = task.name();
+  report.cluster = options_.cluster.name;
+  report.workload = schedule.TotalWorkload();
+
+  TaskContext context{&dataset_.graph, &partition_, dataset_.scale,
+                      profile_.combines_messages};
+  ProgramFlavor flavor = profile_.mirroring ? ProgramFlavor::kBroadcast
+                                            : ProgramFlavor::kPointToPoint;
+
+  std::vector<double> carryover(options_.cluster.num_machines, 0.0);
+  uint64_t batch_index = 0;
+  for (double workload : schedule.workloads()) {
+    ++batch_index;
+    if (workload <= 0.0) continue;  // Degenerate split (Fig. 9 extremes).
+
+    VCMP_ASSIGN_OR_RETURN(
+        std::unique_ptr<VertexProgram> program,
+        task.MakeProgram(context, flavor, workload,
+                         options_.seed * 1315423911ULL + batch_index));
+
+    EngineOptions engine_options;
+    engine_options.cluster = options_.cluster;
+    engine_options.profile = profile_;
+    engine_options.cost = options_.cost;
+    engine_options.stat_scale = dataset_.scale;
+    engine_options.carryover_residual_bytes = carryover;
+    engine_options.max_rounds = options_.max_rounds;
+    engine_options.execution_threads = options_.execution_threads;
+    engine_options.checkpoint_interval_rounds =
+        options_.checkpoint_interval_rounds;
+    engine_options.seed = options_.seed + batch_index;
+
+    SyncEngine engine(dataset_.graph, partition_, engine_options);
+    VCMP_ASSIGN_OR_RETURN(EngineResult result, engine.Run(*program));
+
+    BatchReport batch;
+    batch.workload = workload;
+    batch.seconds = result.seconds + options_.cost.batch_overhead_seconds;
+    batch.overloaded = result.overloaded;
+    batch.rounds = result.num_rounds;
+    batch.messages = result.total_messages;
+    batch.peak_memory_bytes = result.peak_memory_bytes;
+    batch.peak_residual_bytes = result.peak_residual_bytes;
+    batch.peak_buffered_bytes = result.peak_buffered_bytes;
+    batch.network_overuse_seconds = result.network_overuse_seconds;
+    batch.disk_overuse_seconds = result.disk_overuse_seconds;
+    batch.disk_utilization = result.disk_utilization;
+    batch.disk_saturated = result.disk_saturated;
+    batch.max_io_queue_length = result.max_io_queue_length;
+    report.Absorb(batch);
+
+    if (options_.batch_observer) options_.batch_observer(*program);
+
+    if (batch.overloaded ||
+        report.total_seconds > options_.cost.overload_cutoff_seconds) {
+      report.overloaded = true;
+      break;  // The paper stops overloaded runs at the cut-off.
+    }
+
+    // Residual memory of this batch persists into the next ones.
+    for (uint32_t machine = 0; machine < carryover.size(); ++machine) {
+      carryover[machine] += program->ResidualBytes(machine);
+    }
+  }
+
+  if (report.overloaded) {
+    report.total_seconds = std::max(
+        report.total_seconds, options_.cost.overload_cutoff_seconds);
+  }
+  if (options_.cluster.cloud) {
+    MonetaryModel billing;
+    report.monetary_cost =
+        billing.Cost(options_.cluster, report.total_seconds,
+                     report.overloaded,
+                     options_.cost.overload_cutoff_seconds);
+  }
+  return report;
+}
+
+}  // namespace vcmp

@@ -1,0 +1,69 @@
+#ifndef VCMP_CORE_RUNNER_H_
+#define VCMP_CORE_RUNNER_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "common/result.h"
+#include "core/batch_schedule.h"
+#include "engine/sync_engine.h"
+#include "engine/system_profile.h"
+#include "graph/datasets.h"
+#include "graph/partition.h"
+#include "metrics/run_report.h"
+#include "sim/cluster_spec.h"
+#include "sim/cost_model.h"
+#include "tasks/task.h"
+
+namespace vcmp {
+
+/// Configuration of a multi-processing run.
+struct RunnerOptions {
+  ClusterSpec cluster = ClusterSpec::Galaxy8();
+  SystemKind system = SystemKind::kPregelPlus;
+  CostParams cost;
+  uint64_t seed = 1;
+  uint64_t max_rounds = 4096;
+  /// Compute-phase threads per engine run (results are thread-count
+  /// invariant; see EngineOptions::execution_threads).
+  uint32_t execution_threads = 1;
+  /// Pregel checkpointing every N rounds (0 = off); applied per batch.
+  uint64_t checkpoint_interval_rounds = 0;
+  /// Replaces the canonical profile for `system` (ablation studies).
+  std::optional<SystemProfile> profile_override;
+  /// Called with each batch's finished program (result aggregation).
+  std::function<void(const VertexProgram&)> batch_observer;
+};
+
+/// Executes a multi-processing task under a batch schedule: batches run
+/// sequentially on the chosen VC-system, residual memory accumulates
+/// across batches (Section 5 "the intermediate results of the i-th batch
+/// have to be stored for final result aggregation"), and the report
+/// aggregates the paper's monitored statistics.
+class MultiProcessingRunner {
+ public:
+  /// `dataset` must outlive the runner.
+  MultiProcessingRunner(const Dataset& dataset, RunnerOptions options);
+
+  MultiProcessingRunner(const MultiProcessingRunner&) = delete;
+  MultiProcessingRunner& operator=(const MultiProcessingRunner&) = delete;
+
+  /// Runs all batches. A batch that overloads marks the run overloaded and
+  /// stops execution (the paper bills such runs at the 6000 s cut-off).
+  /// Zero-workload batches are skipped.
+  Result<RunReport> Run(const MultiTask& task, const BatchSchedule& schedule);
+
+  const SystemProfile& profile() const { return profile_; }
+  const Partitioning& partition() const { return partition_; }
+
+ private:
+  const Dataset& dataset_;
+  RunnerOptions options_;
+  SystemProfile profile_;
+  Partitioning partition_;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_CORE_RUNNER_H_

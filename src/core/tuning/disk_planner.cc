@@ -1,0 +1,78 @@
+#include "core/tuning/disk_planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vcmp {
+
+DiskTuner::DiskTuner(const Dataset& dataset, RunnerOptions runner_options)
+    : dataset_(dataset), runner_options_(std::move(runner_options)) {}
+
+Result<DiskTuner::Plan> DiskTuner::Tune(const MultiTask& task,
+                                        double total_workload,
+                                        const DiskPlannerOptions& options) {
+  if (total_workload < 4.0) {
+    return Status::InvalidArgument("target workload too small to train on");
+  }
+  const SystemProfile& profile =
+      runner_options_.profile_override.has_value()
+          ? *runner_options_.profile_override
+          : ProfileFor(runner_options_.system);
+  if (!profile.out_of_core) {
+    return Status::FailedPrecondition(
+        "the disk-bound tuner targets out-of-core systems; use Tuner for "
+        "in-memory ones");
+  }
+
+  Plan plan;
+  // Training: doubling light workloads, 1 batch each, recording the
+  // peak per-round buffered-message demand.
+  double w = 2.0;
+  while (plan.samples.size() < 8 &&
+         (w <= 0.25 * total_workload || plan.samples.size() < 4)) {
+    if (w >= total_workload) break;
+    MultiProcessingRunner runner(dataset_, runner_options_);
+    VCMP_ASSIGN_OR_RETURN(
+        RunReport report,
+        runner.Run(task, BatchSchedule::FullParallelism(w)));
+    Sample sample;
+    sample.workload = w;
+    sample.buffered_bytes = report.peak_buffered_bytes;
+    sample.seconds = report.total_seconds;
+    plan.samples.push_back(sample);
+    plan.training_seconds += sample.seconds;
+    w *= 2.0;
+  }
+  if (plan.samples.size() < 3) {
+    return Status::FailedPrecondition(
+        "not enough headroom below the target workload to train");
+  }
+
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const Sample& sample : plan.samples) {
+    xs.push_back(sample.workload);
+    ys.push_back(sample.buffered_bytes);
+  }
+  VCMP_ASSIGN_OR_RETURN(plan.buffer_model, FitPowerLaw(xs, ys));
+
+  // The largest per-batch workload whose buffered demand stays below the
+  // saturation edge.
+  double edge = options.max_buffer_budget_ratio * profile.ooc_budget_bytes;
+  double max_batch_workload = plan.buffer_model.Invert(edge);
+  uint32_t batches = 1;
+  if (max_batch_workload >= 1.0 &&
+      max_batch_workload < total_workload) {
+    batches = static_cast<uint32_t>(
+        std::ceil(total_workload / max_batch_workload));
+  } else if (max_batch_workload < 1.0) {
+    // Even one workload unit saturates: cap at the batch limit.
+    batches = options.max_batches;
+  }
+  batches = std::min(batches, options.max_batches);
+  batches = std::max(batches, 1u);
+  plan.schedule = BatchSchedule::Equal(total_workload, batches);
+  return plan;
+}
+
+}  // namespace vcmp

@@ -1,0 +1,62 @@
+#ifndef VCMP_CORE_TUNING_DISK_PLANNER_H_
+#define VCMP_CORE_TUNING_DISK_PLANNER_H_
+
+#include "common/math/lma.h"
+#include "common/result.h"
+#include "core/batch_schedule.h"
+#include "core/runner.h"
+
+namespace vcmp {
+
+/// Options for the out-of-core (disk-bound) tuner.
+struct DiskPlannerOptions {
+  /// Per-batch buffered-message demand is kept below this multiple of the
+  /// system's spill budget. Past ~1.6x the budget, the spill volume
+  /// outruns the overlap window and the disk saturates (the >100%
+  /// utilisation regime of Table 3); the optimization strategy of
+  /// Section 4.4 is to stop shrinking batches right at that edge.
+  double max_buffer_budget_ratio = 1.6;
+  uint32_t max_batches = 1024;
+};
+
+/// The second tuning case study (the paper's additional materials): a
+/// cost-based batch planner for OUT-OF-CORE systems. Unlike the
+/// memory-bound planner of Section 5, GraphD is insensitive to residual
+/// memory (buffers are capped by the budget) and is instead governed by
+/// per-round disk saturation, so the learned model is the per-batch
+/// buffered-message demand Mbuf(W) = a*W^b + c, and the schedule is the
+/// smallest EQUAL split whose per-batch demand stays below the saturation
+/// edge — matching the paper's "minimize the number of batches until
+/// per-batch parallelization incurs 100% disk utilization".
+class DiskTuner {
+ public:
+  DiskTuner(const Dataset& dataset, RunnerOptions runner_options);
+
+  /// One training sample: buffered-message demand of a light workload.
+  struct Sample {
+    double workload = 0.0;
+    double buffered_bytes = 0.0;
+    double seconds = 0.0;
+  };
+
+  /// Output of the pipeline.
+  struct Plan {
+    std::vector<Sample> samples;
+    PowerLawFit buffer_model;
+    BatchSchedule schedule;
+    double training_seconds = 0.0;
+  };
+
+  /// Trains on doubling light workloads, fits Mbuf(W), and returns the
+  /// minimal equal split below the saturation edge.
+  Result<Plan> Tune(const MultiTask& task, double total_workload,
+                    const DiskPlannerOptions& options = {});
+
+ private:
+  const Dataset& dataset_;
+  RunnerOptions runner_options_;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_CORE_TUNING_DISK_PLANNER_H_

@@ -1,0 +1,36 @@
+#include "core/tuning/memory_fit.h"
+
+#include "common/string_util.h"
+
+namespace vcmp {
+
+std::string MemoryModels::ToString() const {
+  return StrFormat(
+      "M*(W) = %.3g * W^%.3f + %.3g ; Mres(W) = %.3g * W^%.3f + %.3g",
+      peak.a, peak.b, peak.c, residual.a, residual.b, residual.c);
+}
+
+Result<MemoryModels> FitMemoryModels(
+    const std::vector<TrainingSample>& samples, const LmaOptions& options) {
+  if (samples.size() < 3) {
+    return Status::InvalidArgument(
+        "memory-model fitting needs at least 3 training samples");
+  }
+  std::vector<double> workloads;
+  std::vector<double> peaks;
+  std::vector<double> residuals;
+  workloads.reserve(samples.size());
+  for (const TrainingSample& sample : samples) {
+    workloads.push_back(sample.workload);
+    peaks.push_back(sample.peak_memory_bytes);
+    residuals.push_back(sample.residual_memory_bytes);
+  }
+  MemoryModels models;
+  VCMP_ASSIGN_OR_RETURN(models.peak,
+                        FitPowerLaw(workloads, peaks, options));
+  VCMP_ASSIGN_OR_RETURN(models.residual,
+                        FitPowerLaw(workloads, residuals, options));
+  return models;
+}
+
+}  // namespace vcmp

@@ -1,0 +1,41 @@
+#ifndef VCMP_CORE_TUNING_MEMORY_FIT_H_
+#define VCMP_CORE_TUNING_MEMORY_FIT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/math/lma.h"
+#include "common/result.h"
+
+namespace vcmp {
+
+/// One training observation: a light workload and the memory statistics it
+/// produced (Section 5, "Training").
+struct TrainingSample {
+  double workload = 0.0;
+  /// Max per-machine peak memory of a fresh 1-batch run: y_r.
+  double peak_memory_bytes = 0.0;
+  /// Max per-machine residual memory after the run completes: y'_r.
+  double residual_memory_bytes = 0.0;
+  double seconds = 0.0;
+};
+
+/// The paper's Eq. 2 pair: M*(W) = a1*W^b1 + c1 (peak memory) and
+/// Mres(W) = a2*W^b2 + c2 (residual memory), fitted with
+/// Levenberg–Marquardt.
+struct MemoryModels {
+  PowerLawFit peak;
+  PowerLawFit residual;
+
+  std::string ToString() const;
+};
+
+/// Fits both exponential models to the training samples. Needs >= 3
+/// samples with positive workloads.
+Result<MemoryModels> FitMemoryModels(
+    const std::vector<TrainingSample>& samples,
+    const LmaOptions& options = {});
+
+}  // namespace vcmp
+
+#endif  // VCMP_CORE_TUNING_MEMORY_FIT_H_

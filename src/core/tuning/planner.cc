@@ -1,0 +1,49 @@
+#include "core/tuning/planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vcmp {
+
+Result<BatchSchedule> PlanSchedule(const MemoryModels& models,
+                                   double total_workload,
+                                   const PlannerOptions& options) {
+  if (total_workload < 1.0) {
+    return Status::InvalidArgument("total workload must be >= 1");
+  }
+  const double budget =
+      options.overload_fraction * options.machine_memory_bytes;
+
+  std::vector<double> workloads;
+  double processed = 0.0;
+  while (processed < total_workload) {
+    if (workloads.size() >= options.max_batches) {
+      // Schedule exploded: residual growth never lets the remainder fit.
+      return Status::FailedPrecondition(
+          "planned schedule exceeds the batch limit; the workload cannot "
+          "fit under the memory budget");
+    }
+    // Eq. 5: the memory available to the next batch is the budget minus
+    // the residual footprint of everything processed so far.
+    double residual = processed > 0.0 ? models.residual.Eval(processed) : 0.0;
+    double available = budget - residual;
+    double next = models.peak.Invert(available);
+    next = std::floor(next);
+    double remaining = total_workload - processed;
+    next = std::min(next, remaining);
+    if (next < options.min_batch_workload) {
+      if (remaining <= options.min_batch_workload) {
+        next = remaining;  // Tail crumb: absorb it.
+      } else {
+        return Status::FailedPrecondition(
+            "residual memory alone exceeds the budget before the workload "
+            "is fully scheduled");
+      }
+    }
+    workloads.push_back(next);
+    processed += next;
+  }
+  return BatchSchedule(std::move(workloads));
+}
+
+}  // namespace vcmp

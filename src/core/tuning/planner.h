@@ -1,0 +1,38 @@
+#ifndef VCMP_CORE_TUNING_PLANNER_H_
+#define VCMP_CORE_TUNING_PLANNER_H_
+
+#include "common/result.h"
+#include "core/batch_schedule.h"
+#include "core/tuning/memory_fit.h"
+
+namespace vcmp {
+
+/// Planner configuration (the paper's Eq. 1/6 parameters).
+struct PlannerOptions {
+  /// Overloading parameter p: a machine is overloaded when p percent of
+  /// its physical memory is occupied.
+  double overload_fraction = 0.85;
+  /// Physical memory per machine, M in the paper.
+  double machine_memory_bytes = 16.0 * (1ULL << 30);
+  /// Safety limits on the produced schedule.
+  uint32_t max_batches = 64;
+  double min_batch_workload = 1.0;
+};
+
+/// Computes the learned batch execution strategy S* = {W1, ..., Wt}
+/// (Section 5, "Computing W_j"): each W_{j+1} is the largest workload whose
+/// predicted peak memory fits beside the residual memory of everything
+/// already processed,
+///
+///   W_{i+1} = ((p*M - Mres(sum W_j) - c1) / a1)^(1/b1),       (Eq. 6)
+///
+/// iterated until the total workload W is covered. Returns
+/// FailedPrecondition when even the minimum batch cannot fit (residual
+/// memory alone exceeds the budget).
+Result<BatchSchedule> PlanSchedule(const MemoryModels& models,
+                                   double total_workload,
+                                   const PlannerOptions& options = {});
+
+}  // namespace vcmp
+
+#endif  // VCMP_CORE_TUNING_PLANNER_H_

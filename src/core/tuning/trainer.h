@@ -1,0 +1,45 @@
+#ifndef VCMP_CORE_TUNING_TRAINER_H_
+#define VCMP_CORE_TUNING_TRAINER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/runner.h"
+#include "core/tuning/memory_fit.h"
+
+namespace vcmp {
+
+/// Training-phase configuration (Section 5, "Training").
+struct TrainerOptions {
+  /// Train at workloads 2^1 .. 2^h scaled by `workload_base`; h grows
+  /// until the next doubling would exceed `max_fraction` of the target
+  /// workload, bounded by max_points.
+  double workload_base = 1.0;
+  uint32_t min_points = 4;
+  uint32_t max_points = 8;
+  /// Training workloads stay below this fraction of the evaluation
+  /// workload W (the paper: W >> 2^h keeps training cost minor).
+  double max_fraction = 0.25;
+};
+
+/// Runs the light-weight training workloads and collects the runtime
+/// statistics the tuner fits (max memory y_r and max residual y'_r).
+class Trainer {
+ public:
+  /// `dataset` must outlive the trainer. `runner_options` describes the
+  /// production deployment (cluster, system); training runs use the same.
+  Trainer(const Dataset& dataset, RunnerOptions runner_options);
+
+  /// Collects samples at doubling workloads below `target_workload`.
+  Result<std::vector<TrainingSample>> CollectSamples(
+      const MultiTask& task, double target_workload,
+      const TrainerOptions& options = {});
+
+ private:
+  const Dataset& dataset_;
+  RunnerOptions runner_options_;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_CORE_TUNING_TRAINER_H_

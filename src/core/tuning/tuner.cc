@@ -1,0 +1,39 @@
+#include "core/tuning/tuner.h"
+
+namespace vcmp {
+
+Tuner::Tuner(const Dataset& dataset, RunnerOptions runner_options)
+    : dataset_(dataset), runner_options_(std::move(runner_options)) {}
+
+Result<TunedPlan> Tuner::Tune(const MultiTask& task, double total_workload,
+                              const TrainerOptions& trainer_options,
+                              const PlannerOptions& planner_options) {
+  TunedPlan plan;
+
+  Trainer trainer(dataset_, runner_options_);
+  VCMP_ASSIGN_OR_RETURN(
+      plan.samples,
+      trainer.CollectSamples(task, total_workload, trainer_options));
+  for (const TrainingSample& sample : plan.samples) {
+    plan.training_seconds += sample.seconds;
+  }
+
+  VCMP_ASSIGN_OR_RETURN(plan.models, FitMemoryModels(plan.samples));
+
+  PlannerOptions planner = planner_options;
+  planner.machine_memory_bytes =
+      runner_options_.cluster.machine.memory_bytes;
+  auto planned = PlanSchedule(plan.models, total_workload, planner);
+  if (planned.ok()) {
+    plan.schedule = std::move(planned).value();
+  } else if (planned.status().code() == StatusCode::kFailedPrecondition) {
+    // Degenerate fit (residual dominates): run everything in one batch and
+    // let the operator see the overload rather than fail silently.
+    plan.schedule = BatchSchedule::FullParallelism(total_workload);
+  } else {
+    return planned.status();
+  }
+  return plan;
+}
+
+}  // namespace vcmp

@@ -1,0 +1,45 @@
+#ifndef VCMP_CORE_TUNING_TUNER_H_
+#define VCMP_CORE_TUNING_TUNER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/batch_schedule.h"
+#include "core/runner.h"
+#include "core/tuning/memory_fit.h"
+#include "core/tuning/planner.h"
+#include "core/tuning/trainer.h"
+
+namespace vcmp {
+
+/// Output of the end-to-end tuning pipeline.
+struct TunedPlan {
+  std::vector<TrainingSample> samples;
+  MemoryModels models;
+  BatchSchedule schedule;
+  /// Wall-clock spent on the training runs (simulated; the paper requires
+  /// it to be minor relative to evaluation).
+  double training_seconds = 0.0;
+};
+
+/// The learning-based tuning framework of Section 5: train on light
+/// doubling workloads, fit the exponential memory models with LMA, and
+/// derive the concurrency scheme via Eq. 6. Falls back to Full-Parallelism
+/// when the fit predicts that even the full workload fits in memory.
+class Tuner {
+ public:
+  Tuner(const Dataset& dataset, RunnerOptions runner_options);
+
+  /// Produces the optimized schedule for `total_workload`.
+  Result<TunedPlan> Tune(const MultiTask& task, double total_workload,
+                         const TrainerOptions& trainer_options = {},
+                         const PlannerOptions& planner_options = {});
+
+ private:
+  const Dataset& dataset_;
+  RunnerOptions runner_options_;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_CORE_TUNING_TUNER_H_

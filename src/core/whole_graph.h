@@ -1,0 +1,61 @@
+#ifndef VCMP_CORE_WHOLE_GRAPH_H_
+#define VCMP_CORE_WHOLE_GRAPH_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/batch_schedule.h"
+#include "graph/datasets.h"
+#include "sim/cluster_spec.h"
+#include "sim/cost_model.h"
+#include "tasks/task.h"
+
+namespace vcmp {
+
+/// Options for the whole-graph-access mode (Section 4.9, Fig. 10).
+struct WholeGraphOptions {
+  ClusterSpec cluster = ClusterSpec::Galaxy8();
+  CostParams cost;
+  uint64_t seed = 1;
+  uint64_t max_rounds = 4096;
+  /// Bytes per per-vertex partial result that the final aggregation
+  /// all-reduces (8 = packed PPR mass counter).
+  double result_record_bytes = 8.0;
+};
+
+/// Per-batch and total costs of a whole-graph run.
+struct WholeGraphReport {
+  double algorithm_seconds = 0.0;
+  double aggregation_seconds = 0.0;
+  bool overloaded = false;
+  double peak_memory_bytes = 0.0;
+  uint64_t total_rounds = 0;
+
+  double TotalSeconds() const {
+    return algorithm_seconds + aggregation_seconds;
+  }
+};
+
+/// The alternative deployment of Section 4.9: the graph is replicated to
+/// every machine and the *workload* is partitioned instead — each machine
+/// runs an independent single-machine VC-system over its workload share,
+/// and a final aggregation merges the per-machine partial results.
+///
+/// Communication vanishes, but every machine must hold the full graph, so
+/// the memory-bound state arrives earlier; with a proper batch scheme the
+/// mode can still beat default partitioning (Fig. 10).
+class WholeGraphRunner {
+ public:
+  WholeGraphRunner(const Dataset& dataset, WholeGraphOptions options);
+
+  Result<WholeGraphReport> Run(const MultiTask& task,
+                               const BatchSchedule& schedule);
+
+ private:
+  const Dataset& dataset_;
+  WholeGraphOptions options_;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_CORE_WHOLE_GRAPH_H_

@@ -1,0 +1,140 @@
+#ifndef VCMP_ENGINE_GAS_ENGINE_H_
+#define VCMP_ENGINE_GAS_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "engine/system_profile.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "sim/cluster_spec.h"
+#include "graph/vertex_cut.h"
+#include "sim/cost_model.h"
+
+namespace vcmp {
+
+class GasEngine;
+
+/// Context handed to GasVertexProgram::Process.
+class GasContext {
+ public:
+  virtual ~GasContext() = default;
+
+  /// Sends `value` toward `target`'s accumulator and schedules it.
+  /// `multiplicity` is the logical message count (walk counts etc.).
+  virtual void Signal(VertexId target, double value, double multiplicity) = 0;
+
+  /// Extra modelled compute in edge-scan units.
+  virtual void AddComputeUnits(double units) = 0;
+
+  virtual Rng& rng() = 0;
+  /// Scheduling pass (== superstep in sync mode).
+  virtual uint64_t pass() const = 0;
+};
+
+/// GraphLab-style Gather-Apply-Scatter program over a sum accumulator:
+/// signals to a vertex are summed (the gather), Process applies the update
+/// and scatters new signals. Both the synchronous engine (bulk passes with
+/// barriers) and the asynchronous engine (barrier-free scheduling with
+/// distributed locks) execute the same program.
+class GasVertexProgram {
+ public:
+  virtual ~GasVertexProgram() = default;
+
+  /// Emits the initial signals / performs initial activations.
+  virtual void Seed(GasContext& context) = 0;
+
+  /// Handles the accumulated signal for v (sum of Signal values since the
+  /// last call).
+  virtual void Process(VertexId v, double signal, GasContext& context) = 0;
+
+  virtual double StateBytes(uint32_t machine) const {
+    (void)machine;
+    return 0.0;
+  }
+  virtual double ResidualBytes(uint32_t machine) const {
+    (void)machine;
+    return 0.0;
+  }
+
+  /// Work multiplier under asynchronous scheduling relative to bulk
+  /// passes. Convergent fixed-point computations (PageRank) propagate
+  /// eagerly and need fewer total updates (< 1); fixed-work computations
+  /// (walk simulation) cannot be reduced (= 1).
+  virtual double AsyncWorkFactor() const { return 1.0; }
+};
+
+/// Result of a GAS execution.
+struct GasResult {
+  double seconds = 0.0;
+  bool overloaded = false;
+  uint64_t passes = 0;
+  /// Vertex activations processed.
+  double activations = 0.0;
+  /// Logical signals exchanged.
+  double messages = 0.0;
+  /// Network bytes per machine over the whole run (Table 4's
+  /// bytes-per-machine column).
+  double network_bytes_per_machine = 0.0;
+  double peak_memory_bytes = 0.0;
+  double barrier_seconds = 0.0;
+  double lock_seconds = 0.0;
+};
+
+/// Options for a GAS execution.
+struct GasOptions {
+  ClusterSpec cluster = ClusterSpec::Galaxy8();
+  /// GraphLab or GraphLab(async) profile; `synchronous` selects the mode.
+  SystemProfile profile;
+  CostParams cost;
+  double stat_scale = 1.0;
+  uint64_t seed = 7;
+  uint64_t max_passes = 8192;
+  /// GraphLab's priority scheduler (async mode): process vertices with the
+  /// largest pending signal first. Convergent programs settle heavy mass
+  /// early and need fewer activations than FIFO order.
+  bool priority_scheduling = false;
+  /// PowerGraph-style vertex-cut deployment (optional; must outlive the
+  /// engine). When set, cross-machine traffic is replica synchronisation —
+  /// each active vertex exchanges 2*(replicas-1) messages per pass (gather
+  /// partials in, apply broadcast out) — and vertex state is replicated
+  /// accordingly. This bounds hub traffic by the replication factor
+  /// instead of the hub degree.
+  const VertexCut* vertex_cut = nullptr;
+};
+
+/// Executes a GasVertexProgram.
+///
+/// Synchronous mode runs bulk passes with a barrier each, combining
+/// same-target signals at the sender (GraphLab sync's message merging) and
+/// pricing each pass through the CostModel. Asynchronous mode executes the
+/// same scheduling order without barriers or combining, pricing the run
+/// with per-activation distributed-lock overhead that grows with the
+/// cluster's fiber count (Section 4.8).
+class GasEngine {
+ public:
+  GasEngine(const Graph& graph, const Partitioning& partition,
+            GasOptions options);
+
+  GasEngine(const GasEngine&) = delete;
+  GasEngine& operator=(const GasEngine&) = delete;
+
+  Result<GasResult> Run(GasVertexProgram& program);
+
+  const GasOptions& options() const { return options_; }
+
+ private:
+  class Context;
+
+  const Graph& graph_;
+  const Partitioning& partition_;
+  GasOptions options_;
+  std::vector<double> graph_share_bytes_;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_ENGINE_GAS_ENGINE_H_

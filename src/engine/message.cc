@@ -1,0 +1,12 @@
+#include "engine/message.h"
+
+#include "common/string_util.h"
+
+namespace vcmp {
+
+std::string Message::ToString() const {
+  return StrFormat("Message(target=%u, tag=%u, value=%g, mult=%g)", target,
+                   tag, value, multiplicity);
+}
+
+}  // namespace vcmp

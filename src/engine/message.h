@@ -1,0 +1,65 @@
+#ifndef VCMP_ENGINE_MESSAGE_H_
+#define VCMP_ENGINE_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace vcmp {
+
+/// One physical message routed between vertices.
+///
+/// `multiplicity` makes the message *logical-count aware*: a physical
+/// message standing for k paper-level messages (e.g. k random walks taking
+/// the same step, or a sampled MSSP source representing k real sources)
+/// carries multiplicity k. All congestion/memory/network statistics count
+/// logical units, so the simulated cluster sees exactly the traffic the
+/// real system would, while the process routes far fewer objects.
+struct Message {
+  VertexId target = 0;
+  /// Task-defined discriminator (e.g. source vertex of a walk or query).
+  /// Messages with equal (target, tag) may be merged by a Combiner.
+  uint32_t tag = 0;
+  /// Task payload (walk count, path length, rank mass, ...).
+  double value = 0.0;
+  /// Number of paper-level messages this physical message represents.
+  double multiplicity = 1.0;
+
+  std::string ToString() const;
+};
+
+/// Sender-side combining of messages with equal (target, tag), the
+/// mechanism behind Pregel combiners and GraphLab(sync)'s message merging
+/// (Section 4.8). Merging never changes the logical multiplicity — only
+/// the number of wire messages.
+class Combiner {
+ public:
+  virtual ~Combiner() = default;
+
+  /// Folds `from` into `into`; both have equal (target, tag). The
+  /// implementation must add multiplicities.
+  virtual void Merge(Message& into, const Message& from) const = 0;
+};
+
+/// Combiner that sums values (walk counts, rank mass).
+class SumCombiner : public Combiner {
+ public:
+  void Merge(Message& into, const Message& from) const override {
+    into.value += from.value;
+    into.multiplicity += from.multiplicity;
+  }
+};
+
+/// Combiner that keeps the minimum value (shortest-path distances).
+class MinCombiner : public Combiner {
+ public:
+  void Merge(Message& into, const Message& from) const override {
+    if (from.value < into.value) into.value = from.value;
+    into.multiplicity += from.multiplicity;
+  }
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_ENGINE_MESSAGE_H_

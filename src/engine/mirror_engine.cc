@@ -1,0 +1,44 @@
+#include "engine/mirror_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vcmp {
+
+MirrorPlan::MirrorPlan(const Graph& graph, const Partitioning& partition,
+                       uint64_t degree_threshold)
+    : degree_threshold_(degree_threshold),
+      mirrored_(graph.NumVertices(), false),
+      remote_machines_(graph.NumVertices(), 0) {
+  VCMP_CHECK(partition.assignment.size() == graph.NumVertices());
+  std::vector<uint8_t> seen(partition.num_machines, 0);
+  uint64_t mirror_adjacency_entries = 0;
+
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (graph.OutDegree(v) <= degree_threshold) continue;
+    mirrored_[v] = true;
+    std::fill(seen.begin(), seen.end(), 0);
+    uint32_t home = partition.MachineOf(v);
+    uint32_t remote = 0;
+    for (VertexId u : graph.Neighbors(v)) {
+      uint32_t machine = partition.MachineOf(u);
+      if (machine != home && !seen[machine]) {
+        seen[machine] = 1;
+        ++remote;
+      }
+    }
+    remote_machines_[v] = remote;
+    total_mirrors_ += remote;
+    // Each neighbour entry of a mirrored vertex is duplicated once into
+    // the owning mirror's sublist.
+    mirror_adjacency_entries += graph.OutDegree(v);
+  }
+  if (partition.num_machines > 0) {
+    mirror_state_bytes_per_machine_ =
+        static_cast<double>(mirror_adjacency_entries) * sizeof(VertexId) /
+        partition.num_machines;
+  }
+}
+
+}  // namespace vcmp

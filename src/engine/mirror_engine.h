@@ -1,0 +1,55 @@
+#ifndef VCMP_ENGINE_MIRROR_ENGINE_H_
+#define VCMP_ENGINE_MIRROR_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/partition.h"
+
+namespace vcmp {
+
+/// Mirroring tables for Pregel+(mirror) (Section 2.2).
+///
+/// A mirror is created for each high-degree vertex v on every other machine
+/// that contains at least one neighbour of v; v's adjacency list is
+/// partitioned among the mirrors. Forwarding a broadcast then costs one
+/// wire message per mirror machine instead of one per neighbour, removing
+/// the communication skew of power-law graphs.
+class MirrorPlan {
+ public:
+  /// Builds the plan: vertices with degree > `degree_threshold` get
+  /// mirrors on the machines holding their neighbours.
+  MirrorPlan(const Graph& graph, const Partitioning& partition,
+             uint64_t degree_threshold);
+
+  bool IsMirrored(VertexId v) const { return mirrored_[v]; }
+
+  /// Number of machines other than v's home holding >= 1 neighbour of v
+  /// (i.e. wire messages per broadcast for a mirrored vertex).
+  uint32_t RemoteMirrorMachines(VertexId v) const {
+    return remote_machines_[v];
+  }
+
+  /// Total mirrors created across the cluster.
+  uint64_t TotalMirrors() const { return total_mirrors_; }
+
+  /// Extra per-machine memory for mirror adjacency sublists, in bytes at
+  /// generated-graph scale (spread uniformly for accounting).
+  double MirrorStateBytesPerMachine() const {
+    return mirror_state_bytes_per_machine_;
+  }
+
+  uint64_t degree_threshold() const { return degree_threshold_; }
+
+ private:
+  uint64_t degree_threshold_;
+  std::vector<bool> mirrored_;
+  std::vector<uint32_t> remote_machines_;
+  uint64_t total_mirrors_ = 0;
+  double mirror_state_bytes_per_machine_ = 0.0;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_ENGINE_MIRROR_ENGINE_H_

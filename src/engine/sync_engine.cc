@@ -1,0 +1,467 @@
+#include "engine/sync_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace vcmp {
+
+/// Per-machine MessageSink: wired into the machine's Worker, its own
+/// deterministic random stream, and sender-side statistics. One instance
+/// per simulated machine makes the compute phase embarrassingly parallel
+/// across machines while staying bit-identical to serial execution.
+class SyncEngine::Sink : public MessageSink {
+ public:
+  Sink(SyncEngine* engine, std::vector<Worker>* workers, uint32_t machine,
+       uint64_t seed)
+      : engine_(engine),
+        workers_(workers),
+        machine_(machine),
+        rng_(seed) {
+    logical_cross_in_.assign(engine_->partition_.num_machines, 0.0);
+    wire_cross_in_.assign(engine_->partition_.num_machines, 0.0);
+  }
+
+  void BeginRound(uint64_t round) {
+    round_ = round;
+    std::fill(logical_cross_in_.begin(), logical_cross_in_.end(), 0.0);
+    std::fill(wire_cross_in_.begin(), wire_cross_in_.end(), 0.0);
+    compute_units_ = 0.0;
+    aggregate_sum_ = 0.0;
+    aggregate_used_ = false;
+  }
+
+  void Send(VertexId target, uint32_t tag, double value,
+            double multiplicity) override {
+    VCMP_CHECK(!engine_->options_.profile.mirroring)
+        << "Pregel+(mirror) only exposes the broadcast interface";
+    SendInternal(target, tag, value, multiplicity);
+  }
+
+  void Broadcast(VertexId from, uint32_t tag, double value,
+                 double multiplicity_per_neighbor) override {
+    const Graph& graph = engine_->graph_;
+    const Partitioning& partition = engine_->partition_;
+    const MirrorPlan* plan = engine_->mirror_plan_.get();
+    if (plan != nullptr && plan->IsMirrored(from)) {
+      // One wire message per remote mirror machine; the mirrors fan out
+      // locally. Every neighbour still receives (and buffers/processes) a
+      // logical message, but only the mirror hops cross the network and
+      // only they occupy the sender's outbox.
+      const double mult = multiplicity_per_neighbor;
+      WorkerSendStats& send_stats = (*workers_)[machine_].send_stats();
+      const double remote = plan->RemoteMirrorMachines(from);
+      send_stats.wire_cross += remote;
+      send_stats.logical_cross += remote;
+      send_stats.wire_sent += remote;
+      std::vector<uint8_t>& seen = mirror_seen_;
+      seen.assign(partition.num_machines, 0);
+      std::span<const VertexId> neighbors = graph.Neighbors(from);
+      for (VertexId u : neighbors) {
+        uint32_t machine = partition.MachineOf(u);
+        if (machine != machine_ && !seen[machine]) {
+          seen[machine] = 1;
+          wire_cross_in_[machine] += 1.0;   // The mirror-hop message.
+          logical_cross_in_[machine] += 1.0;
+        }
+        (*workers_)[machine_].Stage(machine, Message{u, tag, value, mult},
+                                    combiner_);
+        send_stats.logical_sent += mult;
+      }
+      AddComputeUnits(static_cast<double>(neighbors.size()));
+      return;
+    }
+    // No mirror: broadcast degenerates to per-neighbour sends.
+    for (VertexId u : graph.Neighbors(from)) {
+      SendInternal(u, tag, value, multiplicity_per_neighbor);
+    }
+  }
+
+  void AddComputeUnits(double units) override { compute_units_ += units; }
+
+  void Aggregate(double value) override {
+    aggregate_sum_ += value;
+    aggregate_used_ = true;
+  }
+
+  uint64_t round() const override { return round_; }
+  Rng& rng() override { return rng_; }
+
+  /// Mirror-hop / cross-machine traffic this sink sent INTO each machine.
+  const std::vector<double>& logical_cross_in() const {
+    return logical_cross_in_;
+  }
+  const std::vector<double>& wire_cross_in() const { return wire_cross_in_; }
+  double compute_units() const { return compute_units_; }
+  double aggregate_sum() const { return aggregate_sum_; }
+  bool aggregate_used() const { return aggregate_used_; }
+
+  void set_combiner(const Combiner* combiner) { combiner_ = combiner; }
+
+ private:
+  void SendInternal(VertexId target, uint32_t tag, double value,
+                    double multiplicity) {
+    uint32_t target_machine = engine_->partition_.MachineOf(target);
+    Message message{target, tag, value, multiplicity};
+    bool new_wire =
+        (*workers_)[machine_].Stage(target_machine, message, combiner_);
+    WorkerSendStats& stats = (*workers_)[machine_].send_stats();
+    stats.logical_sent += multiplicity;
+    double wire_units = WireUnits(multiplicity, new_wire);
+    stats.wire_sent += wire_units;
+    if (target_machine != machine_) {
+      stats.logical_cross += multiplicity;
+      stats.wire_cross += wire_units;
+      logical_cross_in_[target_machine] += multiplicity;
+      wire_cross_in_[target_machine] += wire_units;
+    }
+  }
+
+  /// Wire messages represented by one staged physical message: without
+  /// sender-side combining every logical message is serialized separately;
+  /// with combining, merged messages cost one wire unit.
+  double WireUnits(double multiplicity, bool new_wire) const {
+    if (combiner_ != nullptr) return new_wire ? 1.0 : 0.0;
+    return multiplicity;
+  }
+
+  SyncEngine* engine_;
+  std::vector<Worker>* workers_;
+  const uint32_t machine_;
+  Rng rng_;
+  const Combiner* combiner_ = nullptr;
+  uint64_t round_ = 0;
+  double compute_units_ = 0.0;
+  double aggregate_sum_ = 0.0;
+  bool aggregate_used_ = false;
+  std::vector<double> logical_cross_in_;
+  std::vector<double> wire_cross_in_;
+  std::vector<uint8_t> mirror_seen_;
+};
+
+SyncEngine::SyncEngine(const Graph& graph, const Partitioning& partition,
+                       EngineOptions options)
+    : graph_(graph),
+      partition_(partition),
+      options_(std::move(options)),
+      cost_model_(options_.cluster, options_.profile, options_.cost) {
+  if (options_.profile.mirroring) {
+    mirror_plan_ = std::make_unique<MirrorPlan>(
+        graph_, partition_, options_.profile.mirror_degree_threshold);
+  }
+  ComputeGraphShares();
+}
+
+void SyncEngine::ComputeGraphShares() {
+  uint32_t machines = partition_.num_machines;
+  graph_share_bytes_.assign(machines, 0.0);
+  edge_stream_bytes_.assign(machines, 0.0);
+  vertices_by_machine_.assign(machines, {});
+  for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+    uint32_t machine = partition_.MachineOf(v);
+    vertices_by_machine_[machine].push_back(v);
+    // CSR share: one offset entry + degree target entries.
+    graph_share_bytes_[machine] +=
+        sizeof(EdgeIndex) + graph_.OutDegree(v) * sizeof(VertexId);
+    // Out-of-core edge stream: 8-byte (src, dst) records per round.
+    edge_stream_bytes_[machine] += graph_.OutDegree(v) * 8.0;
+  }
+  if (mirror_plan_ != nullptr) {
+    for (uint32_t m = 0; m < machines; ++m) {
+      graph_share_bytes_[m] += mirror_plan_->MirrorStateBytesPerMachine();
+    }
+  }
+}
+
+Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
+  seconds_since_checkpoint_ = 0.0;
+  const uint32_t machines = partition_.num_machines;
+  if (machines != options_.cluster.num_machines) {
+    return Status::InvalidArgument(
+        "partition machine count does not match cluster spec");
+  }
+  if (partition_.assignment.size() != graph_.NumVertices()) {
+    return Status::InvalidArgument("partition does not cover the graph");
+  }
+
+  std::vector<Worker> workers(machines);
+  for (Worker& worker : workers) worker.Reset(machines);
+
+  // One sink per machine: independent deterministic random streams and
+  // sender-side accumulators, so machines can compute concurrently with
+  // results identical to serial execution.
+  std::vector<std::unique_ptr<Sink>> sinks;
+  sinks.reserve(machines);
+  for (uint32_t machine = 0; machine < machines; ++machine) {
+    sinks.push_back(std::make_unique<Sink>(
+        this, &workers, machine,
+        options_.seed * 0x9e3779b97f4a7c15ULL + machine));
+    sinks.back()->set_combiner(options_.profile.combines_messages
+                                   ? program.combiner()
+                                   : nullptr);
+  }
+
+  EngineResult result;
+  const double scale = options_.stat_scale;
+  const double cutoff = options_.cost.overload_cutoff_seconds;
+
+  for (uint64_t round = 0; round <= options_.max_rounds; ++round) {
+    for (Worker& worker : workers) worker.send_stats().Clear();
+
+    ClusterRoundLoad loads(machines);
+
+    // --- Compute phase: machines are independent within a round ---
+    bool any_messages_pending = false;
+    auto process_machine = [&](uint32_t machine) {
+      Worker& worker = workers[machine];
+      Sink& sink = *sinks[machine];
+      sink.BeginRound(round);
+      MachineRoundLoad& load = loads[machine];
+
+      if (round == 0) {
+        // Seeding superstep: every local vertex runs with an empty inbox.
+        for (VertexId v : vertices_by_machine_[machine]) {
+          program.Compute(v, {}, sink);
+          load.active_vertices += 1.0;
+        }
+        return;
+      }
+
+      worker.GroupInbox();
+      const std::vector<Message>& inbox = worker.inbox();
+      size_t i = 0;
+      while (i < inbox.size()) {
+        size_t j = i;
+        while (j < inbox.size() && inbox[j].target == inbox[i].target) ++j;
+        VertexId v = inbox[i].target;
+        program.Compute(
+            v, std::span<const Message>(inbox.data() + i, j - i), sink);
+        load.active_vertices += 1.0;
+        i = j;
+      }
+      for (const Message& message : inbox) {
+        load.recv_messages += message.multiplicity;
+        // Wire units: what was actually serialized/deserialized.
+        load.processed_messages += options_.profile.combines_messages
+                                       ? 1.0
+                                       : message.multiplicity;
+      }
+    };
+
+    const uint32_t thread_count =
+        std::min<uint32_t>(std::max<uint32_t>(options_.execution_threads,
+                                              1u),
+                           machines);
+    if (thread_count <= 1) {
+      for (uint32_t machine = 0; machine < machines; ++machine) {
+        process_machine(machine);
+      }
+    } else {
+      // Static round-robin chunking: machine m goes to thread m % T.
+      std::vector<std::thread> pool;
+      pool.reserve(thread_count);
+      for (uint32_t t = 0; t < thread_count; ++t) {
+        pool.emplace_back([&, t] {
+          for (uint32_t machine = t; machine < machines;
+               machine += thread_count) {
+            process_machine(machine);
+          }
+        });
+      }
+      for (std::thread& worker_thread : pool) worker_thread.join();
+    }
+    double active_vertices_total = 0.0;
+    for (const MachineRoundLoad& load : loads) {
+      active_vertices_total += load.active_vertices;
+    }
+
+    // --- Assemble loads and price the round ---
+    const double bytes_per_message = options_.profile.bytes_per_message;
+    double round_extra_barriers = 0.0;
+    for (uint32_t machine = 0; machine < machines; ++machine) {
+      MachineRoundLoad& load = loads[machine];
+      const WorkerSendStats& send = workers[machine].send_stats();
+      load.cross_bytes_out = send.wire_cross * bytes_per_message * scale;
+      double wire_cross_in = 0.0;
+      for (const auto& sender_sink : sinks) {
+        wire_cross_in += sender_sink->wire_cross_in()[machine];
+      }
+      load.cross_bytes_in = wire_cross_in * bytes_per_message * scale;
+      double recv_wire_units = options_.profile.combines_messages
+                                   ? load.processed_messages
+                                   : load.recv_messages;
+      // A machine's message work is the larger of its receive and send
+      // sides (serialization costs the sender as much as deserialization
+      // costs the receiver); this prices seed supersteps, whose traffic
+      // is all outbound. Sender-side combining does NOT reduce the work:
+      // every logical message still passes through the combiner (it only
+      // shrinks wire bytes and buffers).
+      load.processed_messages =
+          std::max(load.recv_messages, send.logical_sent);
+      if (options_.profile.combines_messages) {
+        // Merged messages skip serialization/allocation; only the fold
+        // remains.
+        load.processed_messages *= options_.profile.combined_work_fraction;
+      }
+      // Receive buffers drain into compute while send buffers stream out:
+      // the resident peak is the larger direction, not their sum.
+      load.buffered_message_bytes =
+          std::max(recv_wire_units, send.wire_sent) * bytes_per_message *
+          scale;
+      // Superstep splitting (Facebook Giraph): a message-heavy round is
+      // chopped into sub-steps, capping the resident buffer at the
+      // threshold; every extra sub-step costs one more barrier.
+      double split_threshold =
+          options_.profile.superstep_split_threshold_bytes;
+      if (split_threshold > 0.0 &&
+          load.buffered_message_bytes > split_threshold) {
+        double sub_steps =
+            std::ceil(load.buffered_message_bytes / split_threshold);
+        round_extra_barriers =
+            std::max(round_extra_barriers, sub_steps - 1.0);
+        load.buffered_message_bytes = split_threshold;
+      }
+      load.sent_messages = send.logical_sent * scale;
+      load.recv_messages *= scale;
+      load.processed_messages *= scale;
+      load.active_vertices *= scale;
+      load.compute_units = sinks[machine]->compute_units() * scale;
+      load.state_bytes =
+          (graph_share_bytes_[machine] + program.StateBytes(machine)) *
+          scale;
+      double carryover = options_.carryover_residual_bytes.empty()
+                             ? 0.0
+                             : options_.carryover_residual_bytes[machine];
+      load.residual_bytes = (carryover + program.ResidualBytes(machine)) *
+                            scale;
+    }
+
+    double edge_stream_per_machine = 0.0;
+    if (options_.profile.out_of_core) {
+      for (double bytes : edge_stream_bytes_) {
+        edge_stream_per_machine = std::max(edge_stream_per_machine, bytes);
+      }
+      // Edge partitions far smaller than memory live in the OS page cache
+      // after the first round; only partitions that genuinely cannot stay
+      // cached keep hitting the disk every round.
+      if (edge_stream_per_machine * scale <
+          0.25 * options_.cluster.machine.usable_memory_bytes) {
+        edge_stream_per_machine = 0.0;
+      }
+      // The semi-streaming engine only streams adjacency lists that are
+      // actually scanned this round; tasks report scans as compute units
+      // (one per edge).
+      double scanned_units = 0.0;
+      for (const auto& sender_sink : sinks) {
+        scanned_units += sender_sink->compute_units();
+      }
+      double scanned_fraction =
+          scanned_units > 0.0
+              ? std::min(1.0, scanned_units /
+                                  std::max<double>(graph_.NumEdges(), 1.0))
+              : std::min(1.0, active_vertices_total /
+                                  std::max<double>(graph_.NumVertices(), 1.0));
+      edge_stream_per_machine *= scale * scanned_fraction;
+    }
+    RoundStats stats =
+        cost_model_.EvaluateRound(loads, edge_stream_per_machine);
+    stats.round = round;
+    if (round_extra_barriers > 0.0) {
+      double extra = round_extra_barriers * stats.barrier_seconds;
+      stats.barrier_seconds += extra;
+      stats.total_seconds += extra;
+    }
+
+    // --- Fault tolerance: checkpoints and injected failures ---
+    if (options_.checkpoint_interval_rounds > 0 && round > 0 &&
+        round % options_.checkpoint_interval_rounds == 0) {
+      // Synchronous checkpoint: every machine flushes its resident data.
+      double checkpoint_time = stats.max_memory_bytes /
+                               options_.cluster.machine.disk_bandwidth;
+      stats.total_seconds += checkpoint_time;
+      result.checkpoint_seconds += checkpoint_time;
+      ++result.checkpoints_taken;
+      seconds_since_checkpoint_ = 0.0;
+    }
+    if (round == options_.inject_failure_at_round &&
+        !result.failure_recovered) {
+      // A machine dies: reload the last checkpoint (or restart) and
+      // replay every round since. The replay re-executes the same
+      // deterministic rounds, so its cost is the elapsed time since the
+      // checkpoint plus the reload itself.
+      double reload_time =
+          options_.checkpoint_interval_rounds > 0
+              ? stats.max_memory_bytes /
+                    options_.cluster.machine.disk_bandwidth
+              : 0.0;
+      double replay_time = options_.checkpoint_interval_rounds > 0
+                               ? seconds_since_checkpoint_
+                               : result.seconds;
+      result.recovery_seconds = reload_time + replay_time;
+      stats.total_seconds += result.recovery_seconds;
+      result.failure_recovered = true;
+    }
+    seconds_since_checkpoint_ += stats.total_seconds;
+
+    result.seconds += stats.total_seconds;
+    result.total_messages += stats.messages;
+    result.peak_memory_bytes =
+        std::max(result.peak_memory_bytes, stats.max_memory_bytes);
+    result.peak_residual_bytes =
+        std::max(result.peak_residual_bytes, stats.max_residual_bytes);
+    result.peak_buffered_bytes =
+        std::max(result.peak_buffered_bytes, stats.max_buffered_bytes);
+    result.network_overuse_seconds += stats.network_overuse_seconds;
+    result.disk_overuse_seconds += stats.disk_overuse_seconds;
+    result.disk_utilization += stats.disk_io_seconds;  // Normalised below.
+    result.disk_saturated = result.disk_saturated || stats.disk_saturated;
+    result.max_io_queue_length =
+        std::max(result.max_io_queue_length, stats.io_queue_length);
+    result.rounds.push_back(stats);
+    result.num_rounds = round + 1;
+
+    if (stats.overflow || result.seconds > cutoff) {
+      result.overloaded = true;
+      if (options_.stop_early_on_overload) break;
+    }
+
+    // --- Deliver: drain all outboxes into next-round inboxes ---
+    for (uint32_t machine = 0; machine < machines; ++machine) {
+      workers[machine].inbox().clear();
+    }
+    for (uint32_t sender = 0; sender < machines; ++sender) {
+      for (uint32_t dest = 0; dest < machines; ++dest) {
+        workers[sender].Drain(dest, &workers[dest].inbox());
+      }
+    }
+    for (uint32_t machine = 0; machine < machines; ++machine) {
+      if (!workers[machine].inbox().empty()) {
+        any_messages_pending = true;
+      }
+    }
+    if (!any_messages_pending) break;  // Quiescence: vote-to-halt.
+    if (program.ShouldTerminate(round + 1)) break;
+    bool aggregate_used = false;
+    double aggregate_sum = 0.0;
+    for (const auto& sender_sink : sinks) {
+      aggregate_used = aggregate_used || sender_sink->aggregate_used();
+      aggregate_sum += sender_sink->aggregate_sum();
+    }
+    if (aggregate_used && program.TerminateOnAggregate(aggregate_sum)) {
+      break;
+    }
+  }
+
+  if (result.seconds > 0.0) {
+    result.disk_utilization =
+        std::min(1.0, result.disk_utilization / result.seconds);
+  }
+  if (result.overloaded) {
+    result.seconds = std::max(result.seconds, cutoff);
+  }
+  return result;
+}
+
+}  // namespace vcmp

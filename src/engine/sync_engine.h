@@ -1,0 +1,135 @@
+#ifndef VCMP_ENGINE_SYNC_ENGINE_H_
+#define VCMP_ENGINE_SYNC_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/mirror_engine.h"
+#include "engine/system_profile.h"
+#include "engine/vertex_program.h"
+#include "engine/worker.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "metrics/round_stats.h"
+#include "sim/cluster_spec.h"
+#include "sim/cost_model.h"
+
+namespace vcmp {
+
+/// Configuration of one engine execution.
+struct EngineOptions {
+  ClusterSpec cluster = ClusterSpec::Galaxy8();
+  SystemProfile profile;
+  CostParams cost;
+  /// Dataset scale factor: extensive statistics are multiplied by this so
+  /// reduced-scale stand-in graphs report paper-scale numbers.
+  double stat_scale = 1.0;
+  /// Residual memory carried over from earlier batches, per machine, in
+  /// generated-graph-scale bytes (the runner accumulates this). Empty
+  /// means zero everywhere.
+  std::vector<double> carryover_residual_bytes;
+  /// Hard cap on rounds (safety net; programs normally quiesce).
+  uint64_t max_rounds = 4096;
+  uint64_t seed = 7;
+  /// Stop executing once overload is certain (memory overflow or the
+  /// simulated clock passing the cut-off); the result is flagged.
+  bool stop_early_on_overload = true;
+  /// Worker threads for the compute phase (machines are processed
+  /// concurrently). Results are bit-identical for any thread count: each
+  /// machine owns a sink with its own deterministic random stream, and
+  /// programs touch only owned-vertex state during Compute.
+  uint32_t execution_threads = 1;
+
+  /// --- Pregel fault tolerance (checkpointing) ---
+  /// Checkpoint every N rounds (0 = off): each machine flushes its vertex
+  /// state, residual results and in-flight messages to disk, adding the
+  /// write time to the round.
+  uint64_t checkpoint_interval_rounds = 0;
+  /// Inject a machine failure at the start of this round (kNoFailure =
+  /// none): recovery reloads the last checkpoint and replays the rounds
+  /// since (from round 0 when checkpointing is off).
+  uint64_t inject_failure_at_round = kNoFailure;
+
+  static constexpr uint64_t kNoFailure = ~0ULL;
+};
+
+/// Outcome of one engine execution (one batch).
+struct EngineResult {
+  std::vector<RoundStats> rounds;
+  /// Simulated wall-clock, capped at the overload cut-off when overloaded.
+  double seconds = 0.0;
+  bool overloaded = false;
+  uint64_t num_rounds = 0;
+  double total_messages = 0.0;       // Logical, paper scale.
+  double peak_memory_bytes = 0.0;    // Max machine demand over rounds.
+  double peak_residual_bytes = 0.0;  // Max machine residual over rounds.
+  /// Peak per-round in-memory message-buffer demand before any
+  /// out-of-core cap (drives the disk-bound tuner).
+  double peak_buffered_bytes = 0.0;
+  /// Fault-tolerance accounting (0 unless enabled in EngineOptions).
+  double checkpoint_seconds = 0.0;
+  double recovery_seconds = 0.0;
+  uint64_t checkpoints_taken = 0;
+  bool failure_recovered = false;
+
+  double network_overuse_seconds = 0.0;
+  double disk_overuse_seconds = 0.0;
+  /// Time-weighted disk utilisation over the run (the paper's metric:
+  /// the fraction of wall-clock the disk spends performing operations).
+  double disk_utilization = 0.0;
+  /// True when any round formed a disk write queue (Table 3's ">100%").
+  bool disk_saturated = false;
+  double max_io_queue_length = 0.0;
+
+  double MessagesPerRound() const {
+    return num_rounds == 0 ? 0.0 : total_messages / num_rounds;
+  }
+};
+
+/// The synchronous superstep engine.
+///
+/// Executes a VertexProgram over a partitioned graph with real message
+/// routing between per-machine workers, and prices each round through the
+/// cost model. One class serves Pregel+, Giraph (profile multipliers),
+/// GraphD (out-of-core costing) and Pregel+(mirror) (broadcast routing via
+/// a MirrorPlan).
+class SyncEngine {
+ public:
+  /// `graph` and `partition` must outlive the engine.
+  SyncEngine(const Graph& graph, const Partitioning& partition,
+             EngineOptions options);
+
+  SyncEngine(const SyncEngine&) = delete;
+  SyncEngine& operator=(const SyncEngine&) = delete;
+
+  /// Runs `program` to quiescence. Returns InvalidArgument when the
+  /// partition does not match the cluster in `options`.
+  Result<EngineResult> Run(VertexProgram& program);
+
+  const EngineOptions& options() const { return options_; }
+  const MirrorPlan* mirror_plan() const { return mirror_plan_.get(); }
+
+ private:
+  class Sink;
+
+  /// Per-machine share of CSR storage, generated scale.
+  void ComputeGraphShares();
+
+  const Graph& graph_;
+  const Partitioning& partition_;
+  EngineOptions options_;
+  CostModel cost_model_;
+  std::unique_ptr<MirrorPlan> mirror_plan_;  // Mirror profiles only.
+  std::vector<double> graph_share_bytes_;    // Per machine.
+  std::vector<double> edge_stream_bytes_;    // Per machine (OOC).
+  std::vector<std::vector<VertexId>> vertices_by_machine_;
+  // Fault-tolerance bookkeeping (reset per Run): simulated time elapsed
+  // since the last checkpoint, i.e. the replay cost of a failure now.
+  double seconds_since_checkpoint_ = 0.0;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_ENGINE_SYNC_ENGINE_H_

@@ -1,0 +1,129 @@
+#include "engine/system_profile.h"
+
+#include "common/logging.h"
+
+namespace vcmp {
+namespace {
+
+SystemProfile MakeGiraph() {
+  SystemProfile p;
+  p.kind = SystemKind::kGiraph;
+  p.name = "Giraph";
+  // JVM: slower per-message processing and fatter in-memory objects, but
+  // Facebook's serialization work keeps wire bytes moderate.
+  p.compute_factor = 2.6;
+  p.bytes_per_message = 28.0;
+  p.message_memory_overhead = 3.4;
+  p.barrier_factor = 1.6;  // Hadoop-based coordination.
+  return p;
+}
+
+SystemProfile MakeGiraphAsync() {
+  SystemProfile p = MakeGiraph();
+  p.kind = SystemKind::kGiraphAsync;
+  p.name = "Giraph(async)";
+  // Receiving and processing decoupled into separate threads: part of the
+  // barrier is hidden, at slight extra memory for the double buffering.
+  p.barrier_factor = 0.8;
+  p.message_memory_overhead = 3.6;
+  p.compute_factor = 2.4;
+  return p;
+}
+
+SystemProfile MakePregelPlus() {
+  SystemProfile p;
+  p.kind = SystemKind::kPregelPlus;
+  p.name = "Pregel+";
+  p.compute_factor = 1.0;
+  p.bytes_per_message = 20.0;
+  p.message_memory_overhead = 1.2;
+  return p;
+}
+
+SystemProfile MakePregelPlusMirror() {
+  SystemProfile p = MakePregelPlus();
+  p.kind = SystemKind::kPregelPlusMirror;
+  p.name = "Pregel+(mirror)";
+  p.mirroring = true;
+  p.mirror_degree_threshold = 64;
+  return p;
+}
+
+SystemProfile MakeGraphD() {
+  SystemProfile p = MakePregelPlus();
+  p.kind = SystemKind::kGraphD;
+  p.name = "GraphD";
+  p.out_of_core = true;
+  p.ooc_budget_bytes = 2.5 * static_cast<double>(1ULL << 30);
+  // Streaming adds per-message handling cost.
+  p.compute_factor = 1.15;
+  return p;
+}
+
+SystemProfile MakeGraphLab() {
+  SystemProfile p;
+  p.kind = SystemKind::kGraphLab;
+  p.name = "GraphLab";
+  p.compute_factor = 1.25;
+  p.bytes_per_message = 24.0;
+  p.message_memory_overhead = 1.4;
+  p.combines_messages = true;  // Sync engine merges same-target updates.
+  p.combined_work_fraction = 0.3;
+  p.partitioner = "greedy-edge-cut";
+  return p;
+}
+
+SystemProfile MakeGraphLabAsync() {
+  SystemProfile p = MakeGraphLab();
+  p.kind = SystemKind::kGraphLabAsync;
+  p.name = "GraphLab(async)";
+  p.synchronous = false;
+  p.barrier_factor = 0.0;
+  p.combines_messages = false;  // No combining window without rounds.
+  p.combined_work_fraction = 0.3;  // Local accumulator folds stay cheap.
+  // Distributed locks serialise neighbouring updates; the cost grows with
+  // the fiber count, i.e. with the number of machines (Section 4.8).
+  p.lock_overhead_coefficient = 0.008;
+  p.async_message_inflation = 1.35;
+  return p;
+}
+
+}  // namespace
+
+const SystemProfile& ProfileFor(SystemKind kind) {
+  // Leaked singletons: trivially-destructible statics only (Google style).
+  static const auto& profiles = *new std::vector<SystemProfile>{
+      MakeGiraph(),           MakeGiraphAsync(), MakePregelPlus(),
+      MakePregelPlusMirror(), MakeGraphD(),      MakeGraphLab(),
+      MakeGraphLabAsync(),
+  };
+  size_t index = static_cast<size_t>(kind);
+  VCMP_CHECK(index < profiles.size());
+  return profiles[index];
+}
+
+const std::vector<SystemKind>& AllSystemKinds() {
+  static const auto& all = *new std::vector<SystemKind>{
+      SystemKind::kGiraph,      SystemKind::kGiraphAsync,
+      SystemKind::kPregelPlus,  SystemKind::kPregelPlusMirror,
+      SystemKind::kGraphD,      SystemKind::kGraphLab,
+      SystemKind::kGraphLabAsync,
+  };
+  return all;
+}
+
+const std::string& SystemName(SystemKind kind) {
+  return ProfileFor(kind).name;
+}
+
+bool SystemKindFromName(const std::string& name, SystemKind* out) {
+  for (SystemKind kind : AllSystemKinds()) {
+    if (SystemName(kind) == name) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace vcmp

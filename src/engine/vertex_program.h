@@ -1,0 +1,100 @@
+#ifndef VCMP_ENGINE_VERTEX_PROGRAM_H_
+#define VCMP_ENGINE_VERTEX_PROGRAM_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/rng.h"
+#include "engine/message.h"
+#include "graph/graph.h"
+
+namespace vcmp {
+
+/// Messaging interface handed to VertexProgram::Compute. Implemented by the
+/// engines; routes messages, applies combining, and accounts statistics.
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+
+  /// Sends to a specific vertex. Illegal under the mirror/broadcast-only
+  /// interface (Pregel+(mirror) only exposes Broadcast, Section 3).
+  virtual void Send(VertexId target, uint32_t tag, double value,
+                    double multiplicity) = 0;
+
+  /// Delivers (tag, value, multiplicity-per-neighbour) to every neighbour
+  /// of `from`. Under mirroring, one wire message per mirror machine; in
+  /// basic engines this expands to per-neighbour sends.
+  virtual void Broadcast(VertexId from, uint32_t tag, double value,
+                         double multiplicity_per_neighbor) = 0;
+
+  /// Declares extra modelled compute (in edge-scan units) that does not
+  /// emit one message per unit, e.g. scanning an adjacency list.
+  virtual void AddComputeUnits(double units) = 0;
+
+  /// Contributes to the round's global sum aggregator (the Pregel
+  /// aggregator mechanism). The engine folds all contributions during the
+  /// round and hands the total to VertexProgram::TerminateOnAggregate
+  /// after the round's barrier.
+  virtual void Aggregate(double value) = 0;
+
+  /// Current communication round (0 = the seeding superstep).
+  virtual uint64_t round() const = 0;
+
+  /// Deterministic per-run random stream.
+  virtual Rng& rng() = 0;
+};
+
+/// A vertex-centric computation in the Pregel style (Section 2.1).
+///
+/// Round 0 calls Compute for every vertex with an empty inbox (the seeding
+/// superstep). In later rounds, Compute runs only for vertices that
+/// received messages — the vote-to-halt default. The engine terminates
+/// when a round sends no messages, when the program requests termination,
+/// or at the round cap.
+class VertexProgram {
+ public:
+  virtual ~VertexProgram() = default;
+
+  /// The per-vertex user function. `inbox` holds this round's messages for
+  /// v, grouped by the engine (empty in round 0).
+  virtual void Compute(VertexId v, std::span<const Message> inbox,
+                       MessageSink& sink) = 0;
+
+  /// Explicit termination check evaluated after each round, for programs
+  /// with round-count semantics (e.g. BKHS stops after k+1 rounds).
+  virtual bool ShouldTerminate(uint64_t rounds_completed) const {
+    (void)rounds_completed;
+    return false;
+  }
+
+  /// Convergence check on the round's global aggregator sum (e.g.
+  /// PageRank terminates when the summed rank delta drops below a
+  /// tolerance). Only called for rounds where at least one vertex
+  /// aggregated a value.
+  virtual bool TerminateOnAggregate(double aggregate_sum) const {
+    (void)aggregate_sum;
+    return false;
+  }
+
+  /// Bytes of vertex state held on `machine` (generated-graph scale; the
+  /// engine applies the dataset scale factor).
+  virtual double StateBytes(uint32_t machine) const {
+    (void)machine;
+    return 0.0;
+  }
+
+  /// Bytes of intermediate results on `machine` that must survive until
+  /// final aggregation — the paper's residual memory. Grows as the batch
+  /// progresses (e.g. terminated-walk records).
+  virtual double ResidualBytes(uint32_t machine) const {
+    (void)machine;
+    return 0.0;
+  }
+
+  /// Sender-side combiner, or nullptr when messages must not be merged.
+  virtual const Combiner* combiner() const { return nullptr; }
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_ENGINE_VERTEX_PROGRAM_H_

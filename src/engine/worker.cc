@@ -1,0 +1,46 @@
+#include "engine/worker.h"
+
+#include <algorithm>
+
+namespace vcmp {
+
+void Worker::Reset(uint32_t num_machines) {
+  outboxes_.assign(num_machines, {});
+  combine_index_.assign(num_machines, {});
+  inbox_.clear();
+  send_stats_.Clear();
+}
+
+bool Worker::Stage(uint32_t target_machine, const Message& message,
+                   const Combiner* combiner) {
+  auto& outbox = outboxes_[target_machine];
+  if (combiner != nullptr) {
+    uint64_t key =
+        (static_cast<uint64_t>(message.target) << 32) | message.tag;
+    auto& index = combine_index_[target_machine];
+    auto [it, inserted] = index.try_emplace(key, outbox.size());
+    if (!inserted) {
+      combiner->Merge(outbox[it->second], message);
+      return false;  // Merged: no new wire message.
+    }
+  }
+  outbox.push_back(message);
+  return true;
+}
+
+void Worker::Drain(uint32_t machine, std::vector<Message>* dest) {
+  auto& outbox = outboxes_[machine];
+  dest->insert(dest->end(), outbox.begin(), outbox.end());
+  outbox.clear();
+  combine_index_[machine].clear();
+}
+
+void Worker::GroupInbox() {
+  std::sort(inbox_.begin(), inbox_.end(),
+            [](const Message& a, const Message& b) {
+              if (a.target != b.target) return a.target < b.target;
+              return a.tag < b.tag;
+            });
+}
+
+}  // namespace vcmp

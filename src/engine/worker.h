@@ -1,0 +1,68 @@
+#ifndef VCMP_ENGINE_WORKER_H_
+#define VCMP_ENGINE_WORKER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "engine/message.h"
+#include "graph/partition.h"
+
+namespace vcmp {
+
+/// Send-side statistics a worker accumulates during one round, at
+/// generated-graph scale.
+struct WorkerSendStats {
+  /// Logical messages sent (sum of multiplicities).
+  double logical_sent = 0.0;
+  /// Wire messages sent (post-combining physical count; equals
+  /// logical_sent for non-combining systems).
+  double wire_sent = 0.0;
+  /// Wire messages destined to other machines.
+  double wire_cross = 0.0;
+  /// Logical messages destined to other machines.
+  double logical_cross = 0.0;
+
+  void Clear() { *this = WorkerSendStats{}; }
+};
+
+/// Per-machine message buffers of a simulated worker.
+///
+/// A Worker owns the machine's inbox for the current round and the staging
+/// outboxes of the round in progress. Combining systems merge same-
+/// (target, tag) messages in the outbox before "transmission".
+class Worker {
+ public:
+  Worker() = default;
+
+  /// Prepares outboxes for `num_machines` destinations.
+  void Reset(uint32_t num_machines);
+
+  /// Buffers a message for the worker of `target_machine`, merging it into
+  /// an existing outbox entry when `combiner` is non-null. Returns true if
+  /// a new wire message was created (false = merged into an existing one).
+  bool Stage(uint32_t target_machine, const Message& message,
+             const Combiner* combiner);
+
+  /// Moves this worker's outbox for `machine` into `dest`, clearing it.
+  void Drain(uint32_t machine, std::vector<Message>* dest);
+
+  std::vector<Message>& inbox() { return inbox_; }
+  const std::vector<Message>& inbox() const { return inbox_; }
+  WorkerSendStats& send_stats() { return send_stats_; }
+
+  /// Sorts the inbox by (target, tag) so Compute receives contiguous
+  /// per-vertex groups.
+  void GroupInbox();
+
+ private:
+  std::vector<Message> inbox_;
+  std::vector<std::vector<Message>> outboxes_;  // One per target machine.
+  /// Per-destination index of (target, tag) -> outbox position, used only
+  /// when combining.
+  std::vector<std::unordered_map<uint64_t, size_t>> combine_index_;
+  WorkerSendStats send_stats_;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_ENGINE_WORKER_H_

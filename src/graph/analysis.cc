@@ -1,0 +1,117 @@
+#include "graph/analysis.h"
+
+#include <algorithm>
+#include <bit>
+#include <queue>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace vcmp {
+
+std::string DegreeStats::ToString() const {
+  return StrFormat(
+      "DegreeStats(max=%llu, mean=%.1f, E[d2]/E[d]=%.1f, top1%%=%.0f%%, "
+      "isolated=%llu)",
+      static_cast<unsigned long long>(max_degree), mean_degree,
+      neighbor_degree_bias, 100.0 * top1pct_edge_share,
+      static_cast<unsigned long long>(isolated_vertices));
+}
+
+DegreeStats ComputeDegreeStats(const Graph& graph) {
+  DegreeStats stats;
+  const VertexId n = graph.NumVertices();
+  if (n == 0) return stats;
+
+  std::vector<uint64_t> degrees(n);
+  double sum = 0.0;
+  double sum_squares = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    uint64_t d = graph.OutDegree(v);
+    degrees[v] = d;
+    sum += static_cast<double>(d);
+    sum_squares += static_cast<double>(d) * static_cast<double>(d);
+    stats.max_degree = std::max(stats.max_degree, d);
+    if (d == 0) ++stats.isolated_vertices;
+  }
+  stats.mean_degree = sum / n;
+  stats.neighbor_degree_bias = sum > 0.0 ? sum_squares / sum : 0.0;
+
+  // Top-1% edge share.
+  std::sort(degrees.begin(), degrees.end(), std::greater<uint64_t>());
+  size_t top = std::max<size_t>(1, n / 100);
+  double top_edges = 0.0;
+  for (size_t i = 0; i < top; ++i) {
+    top_edges += static_cast<double>(degrees[i]);
+  }
+  stats.top1pct_edge_share = sum > 0.0 ? top_edges / sum : 0.0;
+  return stats;
+}
+
+std::vector<uint64_t> DegreeHistogram(const Graph& graph) {
+  std::vector<uint64_t> histogram;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    uint64_t d = graph.OutDegree(v);
+    size_t bucket =
+        d == 0 ? 0 : static_cast<size_t>(std::bit_width(d));  // log2+1.
+    if (bucket >= histogram.size()) histogram.resize(bucket + 1, 0);
+    ++histogram[bucket];
+  }
+  return histogram;
+}
+
+DiameterEstimate EstimateDiameter(const Graph& graph, uint32_t samples,
+                                  uint64_t seed) {
+  DiameterEstimate estimate;
+  const VertexId n = graph.NumVertices();
+  if (n == 0 || samples == 0) return estimate;
+  samples = std::min<uint32_t>(samples, n);
+
+  Rng rng(seed);
+  std::vector<uint64_t> distance_counts;  // distance_counts[d] = pairs.
+  uint64_t reachable_pairs = 0;
+  std::vector<uint32_t> dist(n);
+  constexpr uint32_t kUnreached = static_cast<uint32_t>(-1);
+
+  for (uint32_t s = 0; s < samples; ++s) {
+    auto source = static_cast<VertexId>(rng.NextBounded(n));
+    std::fill(dist.begin(), dist.end(), kUnreached);
+    std::queue<VertexId> queue;
+    dist[source] = 0;
+    queue.push(source);
+    while (!queue.empty()) {
+      VertexId v = queue.front();
+      queue.pop();
+      for (VertexId u : graph.Neighbors(v)) {
+        if (dist[u] != kUnreached) continue;
+        dist[u] = dist[v] + 1;
+        queue.push(u);
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (dist[v] == kUnreached || v == source) continue;
+      ++reachable_pairs;
+      if (dist[v] >= distance_counts.size()) {
+        distance_counts.resize(dist[v] + 1, 0);
+      }
+      ++distance_counts[dist[v]];
+      estimate.max_observed = std::max(estimate.max_observed, dist[v]);
+    }
+  }
+  estimate.reachable_fraction =
+      static_cast<double>(reachable_pairs) /
+      (static_cast<double>(samples) * (n - 1));
+  // 90th percentile of the finite-distance distribution.
+  uint64_t target = static_cast<uint64_t>(0.9 * reachable_pairs);
+  uint64_t seen = 0;
+  for (size_t d = 0; d < distance_counts.size(); ++d) {
+    seen += distance_counts[d];
+    if (seen >= target) {
+      estimate.effective_diameter = static_cast<uint32_t>(d);
+      break;
+    }
+  }
+  return estimate;
+}
+
+}  // namespace vcmp

@@ -1,0 +1,55 @@
+#ifndef VCMP_GRAPH_ANALYSIS_H_
+#define VCMP_GRAPH_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace vcmp {
+
+/// Degree-distribution statistics of a graph — the properties the
+/// synthetic stand-ins must match for the paper's congestion phenomena to
+/// transfer (datasets.h).
+struct DegreeStats {
+  uint64_t max_degree = 0;
+  double mean_degree = 0.0;
+  /// E[d^2] / E[d]: the size-biased mean neighbour degree. This is the
+  /// skew measure that drives frontier growth (BKHS), mirroring benefit
+  /// and hub congestion.
+  double neighbor_degree_bias = 0.0;
+  /// Share of directed edges incident to the top 1% highest-degree
+  /// vertices.
+  double top1pct_edge_share = 0.0;
+  uint64_t isolated_vertices = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes degree statistics in one CSR pass.
+DegreeStats ComputeDegreeStats(const Graph& graph);
+
+/// Degree histogram with power-of-two buckets: bucket b counts vertices
+/// with degree in [2^b, 2^(b+1)).
+std::vector<uint64_t> DegreeHistogram(const Graph& graph);
+
+/// Estimates the effective diameter (the 90th-percentile pairwise hop
+/// distance) by BFS from `samples` deterministic sources — the MSSP
+/// application the paper's introduction cites (Aingworth et al.'s
+/// matrix-free diameter estimation).
+struct DiameterEstimate {
+  /// 90th-percentile finite hop distance.
+  uint32_t effective_diameter = 0;
+  /// Largest finite distance seen from any sampled source.
+  uint32_t max_observed = 0;
+  /// Fraction of (sampled source, vertex) pairs that are connected.
+  double reachable_fraction = 0.0;
+};
+
+DiameterEstimate EstimateDiameter(const Graph& graph, uint32_t samples = 8,
+                                  uint64_t seed = 17);
+
+}  // namespace vcmp
+
+#endif  // VCMP_GRAPH_ANALYSIS_H_

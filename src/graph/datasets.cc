@@ -1,0 +1,94 @@
+#include "graph/datasets.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "graph/generators.h"
+
+namespace vcmp {
+namespace {
+
+// Table 1 of the paper (K=10^3, M=10^6, B=10^9). default_scale keeps every
+// generated stand-in under ~15M directed edges so a full bench sweep runs
+// in seconds; the simulator multiplies extensive statistics back by scale.
+const std::vector<DatasetInfo> kDatasets = {
+    {DatasetId::kWebSt, "Web-St", 281'900, 2'300'000, 8.2, 1.0, "rmat"},
+    {DatasetId::kDblp, "DBLP", 613'600, 4'000'000, 6.5, 1.0, "pa"},
+    {DatasetId::kLiveJournal, "LiveJournal", 4'000'000, 34'700'000, 8.7, 8.0,
+     "rmat"},
+    {DatasetId::kOrkut, "Orkut", 3'100'000, 117'200'000, 36.9, 16.0, "rmat"},
+    {DatasetId::kTwitter, "Twitter", 41'700'000, 1'500'000'000, 35.2, 256.0,
+     "rmat"},
+    {DatasetId::kFriendster, "Friendster", 65'600'000, 1'800'000'000, 46.1,
+     256.0, "rmat"},
+};
+
+uint64_t SeedFor(DatasetId id) {
+  // Stable per-dataset seed so every binary generates identical graphs.
+  return 0xdb5ULL + 97ULL * static_cast<uint64_t>(id);
+}
+
+}  // namespace
+
+const std::vector<DatasetInfo>& AllDatasets() { return kDatasets; }
+
+Result<DatasetInfo> FindDataset(const std::string& name) {
+  for (const DatasetInfo& info : kDatasets) {
+    if (name == info.name) return info;
+  }
+  return Status::NotFound("no dataset named '" + name + "'");
+}
+
+Dataset LoadDataset(DatasetId id, double scale_override) {
+  const DatasetInfo& info = kDatasets[static_cast<size_t>(id)];
+  double scale = scale_override > 0.0 ? scale_override : info.default_scale;
+  auto scaled_nodes = static_cast<VertexId>(
+      std::llround(static_cast<double>(info.paper_nodes) / scale));
+  auto scaled_edges = static_cast<uint64_t>(
+      std::llround(static_cast<double>(info.paper_edges) / scale));
+  VCMP_CHECK(scaled_nodes > 16) << "scale too aggressive for " << info.name;
+
+  Dataset dataset;
+  dataset.info = info;
+  dataset.scale = scale;
+  if (std::string(info.generator) == "pa") {
+    // Preferential attachment adds edges_per_vertex undirected edges per
+    // arriving vertex; after symmetrisation the directed edge count is
+    // ~2 * n * epv, so epv = d_avg / 2 reproduces the average degree.
+    PreferentialAttachmentParams params;
+    params.num_vertices = scaled_nodes;
+    params.edges_per_vertex =
+        static_cast<uint32_t>(std::max(1.0, info.paper_avg_degree / 2.0));
+    params.seed = SeedFor(id);
+    dataset.graph = GeneratePreferentialAttachment(params);
+  } else {
+    // R-MAT with Graph500 skew; symmetrisation roughly doubles directed
+    // edges but deduplication loses an input-dependent share, so sample
+    // adaptively: start at half the target and correct once from the
+    // measured yield (deterministic: the seed is fixed).
+    RmatParams params;
+    params.num_vertices = scaled_nodes;
+    params.seed = SeedFor(id);
+    params.symmetrize = true;
+    if (id == DatasetId::kTwitter || id == DatasetId::kFriendster) {
+      // The billion-edge stand-ins are generated at deep scale reduction;
+      // Graph500 skew at that reduction produces relative hub degrees far
+      // above the originals'. Soften the quadrant skew so the stand-in's
+      // degree tail matches the real graphs' after scaling.
+      params.a = 0.47;
+      params.b = params.c = 0.22;
+      params.d = 0.09;
+    }
+    double samples = static_cast<double>(scaled_edges) / 2.0;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      params.num_edges = static_cast<uint64_t>(samples);
+      dataset.graph = GenerateRmat(params);
+      double yield = static_cast<double>(dataset.graph.NumEdges());
+      if (yield >= 0.9 * static_cast<double>(scaled_edges)) break;
+      samples *= static_cast<double>(scaled_edges) / std::max(yield, 1.0);
+    }
+  }
+  return dataset;
+}
+
+}  // namespace vcmp

@@ -1,0 +1,68 @@
+#ifndef VCMP_GRAPH_DATASETS_H_
+#define VCMP_GRAPH_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace vcmp {
+
+/// The six benchmark datasets of the paper's Table 1.
+enum class DatasetId {
+  kWebSt = 0,
+  kDblp,
+  kLiveJournal,
+  kOrkut,
+  kTwitter,
+  kFriendster,
+};
+
+/// Static description of a paper dataset and its synthetic stand-in.
+///
+/// SNAP downloads are unavailable offline, so each dataset is reproduced by
+/// a deterministic generator matched on vertex count, average degree, and
+/// degree skew. Billion-edge graphs are generated at 1/default_scale size;
+/// the cost model multiplies extensive statistics (messages, bytes, memory)
+/// back by the scale factor so reported numbers correspond to paper scale.
+struct DatasetInfo {
+  DatasetId id;
+  const char* name;
+  /// Node/edge counts from the paper's Table 1.
+  uint64_t paper_nodes;
+  uint64_t paper_edges;
+  double paper_avg_degree;
+  /// Default down-scaling factor for generation (1 = full size).
+  double default_scale;
+  /// Generator family used for the stand-in ("rmat" or "pa").
+  const char* generator;
+};
+
+/// A loaded dataset: the generated stand-in graph plus the scale factor
+/// the simulator must apply to extensive statistics.
+struct Dataset {
+  DatasetInfo info;
+  Graph graph;
+  double scale = 1.0;
+
+  /// Paper-scale vertex count (generated vertices x scale).
+  double PaperScaleVertices() const {
+    return static_cast<double>(graph.NumVertices()) * scale;
+  }
+};
+
+/// All six paper datasets in Table 1 order.
+const std::vector<DatasetInfo>& AllDatasets();
+
+/// Looks a dataset up by its paper name (e.g. "DBLP", case-sensitive).
+Result<DatasetInfo> FindDataset(const std::string& name);
+
+/// Generates the stand-in graph for `id`. scale_override > 0 replaces the
+/// default scale (larger = smaller generated graph, faster benches).
+Dataset LoadDataset(DatasetId id, double scale_override = 0.0);
+
+}  // namespace vcmp
+
+#endif  // VCMP_GRAPH_DATASETS_H_

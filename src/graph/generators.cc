@@ -1,0 +1,109 @@
+#include "graph/generators.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+
+namespace vcmp {
+
+Graph GenerateRmat(const RmatParams& params) {
+  VCMP_CHECK(params.num_vertices > 1);
+  double total = params.a + params.b + params.c + params.d;
+  VCMP_CHECK(std::fabs(total - 1.0) < 1e-6)
+      << "R-MAT quadrant probabilities must sum to 1, got " << total;
+
+  const uint32_t levels =
+      std::bit_width(static_cast<uint32_t>(params.num_vertices - 1));
+  Rng rng(params.seed);
+  GraphBuilder builder(params.num_vertices);
+
+  for (uint64_t e = 0; e < params.num_edges; ++e) {
+    uint64_t row = 0;
+    uint64_t col = 0;
+    for (uint32_t level = 0; level < levels; ++level) {
+      // Perturb quadrant probabilities slightly per level (standard R-MAT
+      // noise) to avoid perfectly self-similar artefacts.
+      double noise = 0.9 + 0.2 * rng.NextDouble();
+      double pa = params.a * noise;
+      double pb = params.b;
+      double pc = params.c;
+      double pd = params.d;
+      double norm = pa + pb + pc + pd;
+      double draw = rng.NextDouble() * norm;
+      row <<= 1;
+      col <<= 1;
+      if (draw < pa) {
+        // top-left quadrant: no bits set
+      } else if (draw < pa + pb) {
+        col |= 1;
+      } else if (draw < pa + pb + pc) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    // Remap overshoot (power-of-two padding) back into range.
+    VertexId u = static_cast<VertexId>(row % params.num_vertices);
+    VertexId v = static_cast<VertexId>(col % params.num_vertices);
+    builder.AddEdge(u, v);
+  }
+  return builder.Build({.symmetrize = params.symmetrize});
+}
+
+Graph GeneratePreferentialAttachment(
+    const PreferentialAttachmentParams& params) {
+  VCMP_CHECK(params.num_vertices > params.edges_per_vertex);
+  Rng rng(params.seed);
+  GraphBuilder builder(params.num_vertices);
+
+  // Endpoint pool: sampling a uniform element of `pool` is proportional to
+  // current degree (each edge contributes both endpoints).
+  std::vector<VertexId> pool;
+  pool.reserve(2ULL * params.num_vertices * params.edges_per_vertex);
+
+  // Seed clique over the first edges_per_vertex + 1 vertices.
+  const VertexId seed_size = params.edges_per_vertex + 1;
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      builder.AddEdge(u, v);
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  }
+  for (VertexId u = seed_size; u < params.num_vertices; ++u) {
+    for (uint32_t j = 0; j < params.edges_per_vertex; ++j) {
+      VertexId v = pool[rng.NextBounded(pool.size())];
+      builder.AddEdge(u, v);
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  }
+  return builder.Build({.symmetrize = true});
+}
+
+Graph GenerateErdosRenyi(const ErdosRenyiParams& params) {
+  Rng rng(params.seed);
+  GraphBuilder builder(params.num_vertices);
+  for (uint64_t e = 0; e < params.num_edges; ++e) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(params.num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(params.num_vertices));
+    builder.AddEdge(u, v);
+  }
+  return builder.Build({.symmetrize = params.symmetrize});
+}
+
+Graph GenerateRing(VertexId num_vertices, uint32_t k) {
+  GraphBuilder builder(num_vertices);
+  for (VertexId u = 0; u < num_vertices; ++u) {
+    for (uint32_t j = 1; j <= k; ++j) {
+      builder.AddEdge(u, (u + j) % num_vertices);
+    }
+  }
+  return builder.Build({.symmetrize = true});
+}
+
+}  // namespace vcmp

@@ -1,0 +1,61 @@
+#ifndef VCMP_GRAPH_GENERATORS_H_
+#define VCMP_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace vcmp {
+
+/// Parameters for the recursive-matrix (R-MAT) generator of Chakrabarti,
+/// Zhan & Faloutsos. Produces the heavy-tailed degree distributions that
+/// characterise the paper's web/social datasets.
+struct RmatParams {
+  VertexId num_vertices = 1 << 16;
+  uint64_t num_edges = 1 << 20;
+  /// Quadrant probabilities; must sum to ~1. Defaults are the Graph500
+  /// "skewed social network" setting.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  uint64_t seed = 1;
+  bool symmetrize = true;
+};
+
+/// Generates an R-MAT graph. num_vertices is rounded up to a power of two
+/// internally for quadrant recursion; vertices beyond the requested count
+/// are remapped back into range, preserving skew.
+Graph GenerateRmat(const RmatParams& params);
+
+/// Parameters for preferential attachment (Barabási–Albert), used for the
+/// co-authorship stand-in (DBLP) whose degree tail is lighter than R-MAT's.
+struct PreferentialAttachmentParams {
+  VertexId num_vertices = 1 << 16;
+  /// Edges attached per arriving vertex (= half the average degree after
+  /// symmetrisation).
+  uint32_t edges_per_vertex = 4;
+  uint64_t seed = 1;
+};
+
+Graph GeneratePreferentialAttachment(
+    const PreferentialAttachmentParams& params);
+
+/// Erdős–Rényi G(n, m): m uniformly random edges. Used by tests as a
+/// skew-free control.
+struct ErdosRenyiParams {
+  VertexId num_vertices = 1 << 10;
+  uint64_t num_edges = 1 << 13;
+  uint64_t seed = 1;
+  bool symmetrize = true;
+};
+
+Graph GenerateErdosRenyi(const ErdosRenyiParams& params);
+
+/// Deterministic ring lattice (each vertex linked to `k` successors),
+/// useful for tests that need exact hand-computable answers.
+Graph GenerateRing(VertexId num_vertices, uint32_t k = 1);
+
+}  // namespace vcmp
+
+#endif  // VCMP_GRAPH_GENERATORS_H_

@@ -1,0 +1,33 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace vcmp {
+
+Graph::Graph(std::vector<EdgeIndex> offsets, std::vector<VertexId> targets)
+    : offsets_(std::move(offsets)), targets_(std::move(targets)) {
+  VCMP_CHECK(!offsets_.empty()) << "CSR offsets must have size n+1 >= 1";
+  VCMP_CHECK(offsets_.front() == 0);
+  VCMP_CHECK(offsets_.back() == targets_.size())
+      << "CSR offsets and targets disagree on edge count";
+}
+
+uint64_t Graph::MaxDegree() const {
+  uint64_t max_degree = 0;
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    max_degree = std::max(max_degree, OutDegree(v));
+  }
+  return max_degree;
+}
+
+std::string Graph::ToString() const {
+  return StrFormat("Graph(n=%s, m=%s, d_avg=%.1f)",
+                   FormatCount(NumVertices()).c_str(),
+                   FormatCount(static_cast<double>(NumEdges())).c_str(),
+                   AverageDegree());
+}
+
+}  // namespace vcmp

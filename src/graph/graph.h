@@ -1,0 +1,82 @@
+#ifndef VCMP_GRAPH_GRAPH_H_
+#define VCMP_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vcmp {
+
+/// Vertex identifier. 32 bits suffices for every stand-in dataset (the
+/// billion-edge graphs are generated at reduced scale; see datasets.h).
+using VertexId = uint32_t;
+using EdgeIndex = uint64_t;
+
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+/// Immutable directed graph in CSR (compressed sparse row) form.
+///
+/// The adjacency of vertex v is the half-open range
+/// targets()[offsets()[v] .. offsets()[v+1]). Construction goes through
+/// GraphBuilder, which sorts, deduplicates and (optionally) symmetrises
+/// the edge list.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Takes ownership of prebuilt CSR arrays. offsets.size() must equal
+  /// num_vertices + 1 and offsets.back() must equal targets.size();
+  /// GraphBuilder guarantees this.
+  Graph(std::vector<EdgeIndex> offsets, std::vector<VertexId> targets);
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  VertexId NumVertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  EdgeIndex NumEdges() const { return targets_.size(); }
+
+  uint64_t OutDegree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Neighbours of v as a contiguous view into the CSR target array.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return std::span<const VertexId>(targets_.data() + offsets_[v],
+                                     OutDegree(v));
+  }
+
+  /// Average out-degree; the paper's d_avg column.
+  double AverageDegree() const {
+    return NumVertices() == 0
+               ? 0.0
+               : static_cast<double>(NumEdges()) / NumVertices();
+  }
+
+  /// Maximum out-degree across all vertices (drives mirroring decisions).
+  uint64_t MaxDegree() const;
+
+  /// In-memory footprint of the CSR arrays in bytes.
+  uint64_t StorageBytes() const {
+    return offsets_.size() * sizeof(EdgeIndex) +
+           targets_.size() * sizeof(VertexId);
+  }
+
+  const std::vector<EdgeIndex>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& targets() const { return targets_; }
+
+  /// One-line summary, e.g. "Graph(n=613.6K, m=4.0M, d_avg=6.5)".
+  std::string ToString() const;
+
+ private:
+  std::vector<EdgeIndex> offsets_;  // size NumVertices() + 1
+  std::vector<VertexId> targets_;  // size NumEdges()
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_GRAPH_GRAPH_H_

@@ -1,0 +1,70 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace vcmp {
+
+void GraphBuilder::AddEdges(
+    const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  sources_.reserve(sources_.size() + edges.size());
+  targets_.reserve(targets_.size() + edges.size());
+  for (const auto& [u, v] : edges) AddEdge(u, v);
+}
+
+Graph GraphBuilder::Build(const GraphBuildOptions& options) {
+  const VertexId n = num_vertices_;
+  if (options.symmetrize) {
+    // Append the reverse of every buffered edge.
+    size_t original = sources_.size();
+    sources_.reserve(2 * original);
+    targets_.reserve(2 * original);
+    for (size_t i = 0; i < original; ++i) {
+      sources_.push_back(targets_[i]);
+      targets_.push_back(sources_[i]);
+    }
+  }
+
+  // Counting sort by source vertex into CSR layout (O(n + m)).
+  std::vector<EdgeIndex> offsets(static_cast<size_t>(n) + 1, 0);
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (options.remove_self_loops && sources_[i] == targets_[i]) continue;
+    ++offsets[sources_[i] + 1];
+  }
+  for (size_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  std::vector<VertexId> adj(offsets.back());
+  {
+    std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
+    for (size_t i = 0; i < sources_.size(); ++i) {
+      if (options.remove_self_loops && sources_[i] == targets_[i]) continue;
+      adj[cursor[sources_[i]]++] = targets_[i];
+    }
+  }
+  sources_.clear();
+  sources_.shrink_to_fit();
+  targets_.clear();
+  targets_.shrink_to_fit();
+
+  // Per-vertex sort (for deterministic iteration order) and optional dedup.
+  if (options.deduplicate) {
+    std::vector<VertexId> compacted;
+    compacted.reserve(adj.size());
+    std::vector<EdgeIndex> new_offsets(static_cast<size_t>(n) + 1, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      auto begin = adj.begin() + static_cast<int64_t>(offsets[v]);
+      auto end = adj.begin() + static_cast<int64_t>(offsets[v + 1]);
+      std::sort(begin, end);
+      auto unique_end = std::unique(begin, end);
+      compacted.insert(compacted.end(), begin, unique_end);
+      new_offsets[v + 1] = compacted.size();
+    }
+    return Graph(std::move(new_offsets), std::move(compacted));
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(adj.begin() + static_cast<int64_t>(offsets[v]),
+              adj.begin() + static_cast<int64_t>(offsets[v + 1]));
+  }
+  return Graph(std::move(offsets), std::move(adj));
+}
+
+}  // namespace vcmp

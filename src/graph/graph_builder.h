@@ -1,0 +1,59 @@
+#ifndef VCMP_GRAPH_GRAPH_BUILDER_H_
+#define VCMP_GRAPH_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace vcmp {
+
+/// Options controlling GraphBuilder::Build().
+struct GraphBuildOptions {
+  /// Add the reverse of every edge (social graphs in the paper are
+  /// undirected; web graphs are directed).
+  bool symmetrize = true;
+  /// Drop (u, u) edges.
+  bool remove_self_loops = true;
+  /// Collapse parallel edges.
+  bool deduplicate = true;
+};
+
+/// Accumulates an edge list and freezes it into an immutable CSR Graph.
+///
+/// Usage:
+///   GraphBuilder b(num_vertices);
+///   b.AddEdge(0, 1);
+///   Graph g = b.Build({.symmetrize = true});
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(VertexId num_vertices)
+      : num_vertices_(num_vertices) {}
+
+  /// Appends a directed edge u -> v. Ignores edges whose endpoint is out of
+  /// range (generators may overshoot at graph boundaries).
+  void AddEdge(VertexId u, VertexId v) {
+    if (u >= num_vertices_ || v >= num_vertices_) return;
+    sources_.push_back(u);
+    targets_.push_back(v);
+  }
+
+  /// Bulk append.
+  void AddEdges(const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+  size_t NumBufferedEdges() const { return sources_.size(); }
+  VertexId num_vertices() const { return num_vertices_; }
+
+  /// Sorts, optionally symmetrises/deduplicates, and produces the CSR
+  /// graph. The builder is left empty afterwards.
+  Graph Build(const GraphBuildOptions& options = {});
+
+ private:
+  VertexId num_vertices_;
+  std::vector<VertexId> sources_;
+  std::vector<VertexId> targets_;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_GRAPH_GRAPH_BUILDER_H_

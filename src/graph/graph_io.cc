@@ -1,0 +1,102 @@
+#include "graph/graph_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph_builder.h"
+
+namespace vcmp {
+namespace {
+
+constexpr uint64_t kBinaryMagic = 0x7663'6d70'6772'6601ULL;  // "vcmpgrf\1"
+
+}  // namespace
+
+Status SaveEdgeListText(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << "# vcmp edge list: " << graph.NumVertices() << " vertices, "
+      << graph.NumEdges() << " directed edges\n";
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    for (VertexId u : graph.Neighbors(v)) {
+      out << v << '\t' << u << '\n';
+    }
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Graph> LoadEdgeListText(const std::string& path, bool symmetrize) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  uint64_t max_vertex = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    uint64_t u = 0;
+    uint64_t v = 0;
+    if (!(fields >> u >> v)) {
+      return Status::IoError("malformed edge line: '" + line + "'");
+    }
+    max_vertex = std::max(max_vertex, std::max(u, v));
+    edges.emplace_back(u, v);
+  }
+  if (edges.empty()) return Status::IoError("no edges in " + path);
+  if (max_vertex >= static_cast<uint64_t>(kInvalidVertex)) {
+    return Status::OutOfRange("vertex id exceeds 32-bit range");
+  }
+  GraphBuilder builder(static_cast<VertexId>(max_vertex + 1));
+  for (const auto& [u, v] : edges) {
+    builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return builder.Build({.symmetrize = symmetrize});
+}
+
+Status SaveBinary(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  uint64_t n = graph.NumVertices();
+  uint64_t m = graph.NumEdges();
+  out.write(reinterpret_cast<const char*>(&kBinaryMagic), sizeof(uint64_t));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(uint64_t));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(uint64_t));
+  out.write(reinterpret_cast<const char*>(graph.offsets().data()),
+            static_cast<std::streamsize>((n + 1) * sizeof(EdgeIndex)));
+  out.write(reinterpret_cast<const char*>(graph.targets().data()),
+            static_cast<std::streamsize>(m * sizeof(VertexId)));
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Graph> LoadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  uint64_t magic = 0;
+  uint64_t n = 0;
+  uint64_t m = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(uint64_t));
+  in.read(reinterpret_cast<char*>(&n), sizeof(uint64_t));
+  in.read(reinterpret_cast<char*>(&m), sizeof(uint64_t));
+  if (!in || magic != kBinaryMagic) {
+    return Status::IoError("not a vcmp binary graph: " + path);
+  }
+  std::vector<EdgeIndex> offsets(n + 1);
+  std::vector<VertexId> targets(m);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>((n + 1) * sizeof(EdgeIndex)));
+  in.read(reinterpret_cast<char*>(targets.data()),
+          static_cast<std::streamsize>(m * sizeof(VertexId)));
+  if (!in) return Status::IoError("truncated binary graph: " + path);
+  if (offsets.front() != 0 || offsets.back() != m) {
+    return Status::IoError("corrupt CSR offsets in " + path);
+  }
+  return Graph(std::move(offsets), std::move(targets));
+}
+
+}  // namespace vcmp

@@ -1,0 +1,84 @@
+#ifndef VCMP_GRAPH_PARTITION_H_
+#define VCMP_GRAPH_PARTITION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace vcmp {
+
+/// A vertex partitioning: assignment[v] is the machine owning vertex v.
+struct Partitioning {
+  uint32_t num_machines = 1;
+  std::vector<uint32_t> assignment;
+
+  uint32_t MachineOf(VertexId v) const { return assignment[v]; }
+
+  /// Number of directed edges whose endpoints live on different machines
+  /// (each crossing edge costs one network message per traversal).
+  uint64_t CountCrossEdges(const Graph& graph) const;
+
+  /// Vertices per machine.
+  std::vector<uint64_t> MachineLoads() const;
+
+  /// max load / mean load; 1.0 is perfectly balanced.
+  double LoadImbalance() const;
+};
+
+/// Strategy interface. Each VC-system in the paper has a default strategy:
+/// Pregel+/Giraph/GraphD hash vertices, GraphLab cuts along edges.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  virtual Partitioning Partition(const Graph& graph,
+                                 uint32_t num_machines) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Random hash on vertex IDs (Pregel+'s default).
+class HashPartitioner : public Partitioner {
+ public:
+  explicit HashPartitioner(uint64_t seed = 0x9a7f) : seed_(seed) {}
+  Partitioning Partition(const Graph& graph,
+                         uint32_t num_machines) const override;
+  std::string name() const override { return "hash"; }
+
+ private:
+  uint64_t seed_;
+};
+
+/// Contiguous ID ranges; preserves generator locality, used as a baseline.
+class BlockPartitioner : public Partitioner {
+ public:
+  Partitioning Partition(const Graph& graph,
+                         uint32_t num_machines) const override;
+  std::string name() const override { return "block"; }
+};
+
+/// Linear Deterministic Greedy streaming partitioner: assigns each vertex
+/// to the machine holding most of its already-placed neighbours, weighted
+/// by a capacity penalty. Approximates GraphLab's communication-minimising
+/// placement while staying one-pass and deterministic.
+class GreedyEdgeCutPartitioner : public Partitioner {
+ public:
+  /// `slack` > 1 allows machines to exceed the average load by that factor.
+  explicit GreedyEdgeCutPartitioner(double slack = 1.05) : slack_(slack) {}
+  Partitioning Partition(const Graph& graph,
+                         uint32_t num_machines) const override;
+  std::string name() const override { return "greedy-edge-cut"; }
+
+ private:
+  double slack_;
+};
+
+/// Creates the default partitioner for a named strategy ("hash", "block",
+/// "greedy-edge-cut").
+std::unique_ptr<Partitioner> MakePartitioner(const std::string& name);
+
+}  // namespace vcmp
+
+#endif  // VCMP_GRAPH_PARTITION_H_

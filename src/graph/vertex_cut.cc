@@ -1,0 +1,178 @@
+#include "graph/vertex_cut.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace vcmp {
+namespace {
+
+/// Tracks which machines hold replicas of a vertex, as a bitset over
+/// machines (clusters here are <= 64 machines… the paper's largest is 32;
+/// fall back to bytes for bigger clusters).
+class ReplicaTable {
+ public:
+  ReplicaTable(VertexId num_vertices, uint32_t machines)
+      : machines_(machines), bits_(num_vertices, 0),
+        wide_(machines > 64 ? static_cast<size_t>(num_vertices) * machines
+                            : 0,
+              0) {}
+
+  bool Has(VertexId v, uint32_t machine) const {
+    if (machines_ <= 64) return (bits_[v] >> machine) & 1ULL;
+    return wide_[static_cast<size_t>(v) * machines_ + machine] != 0;
+  }
+
+  void Add(VertexId v, uint32_t machine) {
+    if (machines_ <= 64) {
+      bits_[v] |= (1ULL << machine);
+    } else {
+      wide_[static_cast<size_t>(v) * machines_ + machine] = 1;
+    }
+  }
+
+  uint32_t Count(VertexId v) const {
+    if (machines_ <= 64) {
+      return static_cast<uint32_t>(__builtin_popcountll(bits_[v]));
+    }
+    uint32_t count = 0;
+    for (uint32_t m = 0; m < machines_; ++m) {
+      count += wide_[static_cast<size_t>(v) * machines_ + m];
+    }
+    return count;
+  }
+
+  /// First machine holding v (the master), or num_machines if none.
+  uint32_t First(VertexId v) const {
+    if (machines_ <= 64) {
+      return bits_[v] == 0
+                 ? machines_
+                 : static_cast<uint32_t>(__builtin_ctzll(bits_[v]));
+    }
+    for (uint32_t m = 0; m < machines_; ++m) {
+      if (wide_[static_cast<size_t>(v) * machines_ + m]) return m;
+    }
+    return machines_;
+  }
+
+ private:
+  uint32_t machines_;
+  std::vector<uint64_t> bits_;
+  std::vector<uint8_t> wide_;
+};
+
+VertexCut Finalize(const Graph& graph, uint32_t machines,
+                   std::vector<uint32_t> edge_machine,
+                   const ReplicaTable& table) {
+  VertexCut cut;
+  cut.num_machines = machines;
+  cut.edge_machine = std::move(edge_machine);
+  cut.master.resize(graph.NumVertices());
+  cut.replicas.resize(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    uint32_t first = table.First(v);
+    cut.master[v] = first == machines ? v % machines : first;
+    cut.replicas[v] = std::max(1u, table.Count(v));
+  }
+  return cut;
+}
+
+}  // namespace
+
+double VertexCut::ReplicationFactor() const {
+  if (replicas.empty()) return 1.0;
+  double total = 0.0;
+  for (uint32_t r : replicas) total += r;
+  return total / static_cast<double>(replicas.size());
+}
+
+double VertexCut::EdgeImbalance(const Graph& graph) const {
+  if (edge_machine.empty()) return 1.0;
+  std::vector<uint64_t> loads(num_machines, 0);
+  for (uint32_t machine : edge_machine) ++loads[machine];
+  uint64_t max_load = *std::max_element(loads.begin(), loads.end());
+  double mean =
+      static_cast<double>(graph.NumEdges()) / std::max(num_machines, 1u);
+  return static_cast<double>(max_load) / std::max(mean, 1.0);
+}
+
+std::string VertexCut::ToString() const {
+  return StrFormat("VertexCut(machines=%u, replication=%.2f)", num_machines,
+                   ReplicationFactor());
+}
+
+VertexCut GreedyVertexCut(const Graph& graph, uint32_t num_machines) {
+  VCMP_CHECK(num_machines > 0);
+  ReplicaTable table(graph.NumVertices(), num_machines);
+  std::vector<uint32_t> edge_machine(graph.NumEdges());
+  std::vector<uint64_t> loads(num_machines, 0);
+  // Balance constraint: locality candidates are only eligible while under
+  // capacity; without it the first machine snowballs (every placed edge
+  // makes it a locality candidate for its endpoints' remaining edges).
+  const double capacity =
+      1.1 * static_cast<double>(graph.NumEdges()) / num_machines + 8.0;
+
+  auto least_loaded_of = [&](auto&& candidate_filter) {
+    uint32_t best = num_machines;
+    for (uint32_t m = 0; m < num_machines; ++m) {
+      if (!candidate_filter(m)) continue;
+      if (best == num_machines || loads[m] < loads[best]) best = m;
+    }
+    return best;
+  };
+  auto under_capacity = [&](uint32_t m) {
+    return static_cast<double>(loads[m]) < capacity;
+  };
+
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    auto neighbors = graph.Neighbors(u);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      VertexId v = neighbors[i];
+      EdgeIndex e = graph.offsets()[u] + i;
+      // PowerGraph greedy rules, ties broken toward the lighter machine:
+      // 1. an under-capacity machine holding both endpoints;
+      uint32_t choice = least_loaded_of([&](uint32_t m) {
+        return under_capacity(m) && table.Has(u, m) && table.Has(v, m);
+      });
+      // 2. else an under-capacity machine holding either endpoint;
+      if (choice == num_machines) {
+        choice = least_loaded_of([&](uint32_t m) {
+          return under_capacity(m) &&
+                 (table.Has(u, m) || table.Has(v, m));
+        });
+      }
+      // 3. else the globally least-loaded machine.
+      if (choice == num_machines) {
+        choice = least_loaded_of([&](uint32_t) { return true; });
+      }
+      edge_machine[e] = choice;
+      table.Add(u, choice);
+      table.Add(v, choice);
+      ++loads[choice];
+    }
+  }
+  return Finalize(graph, num_machines, std::move(edge_machine), table);
+}
+
+VertexCut RandomVertexCut(const Graph& graph, uint32_t num_machines,
+                          uint64_t seed) {
+  VCMP_CHECK(num_machines > 0);
+  ReplicaTable table(graph.NumVertices(), num_machines);
+  std::vector<uint32_t> edge_machine(graph.NumEdges());
+  Rng rng(seed);
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    auto neighbors = graph.Neighbors(u);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      EdgeIndex e = graph.offsets()[u] + i;
+      auto machine = static_cast<uint32_t>(rng.NextBounded(num_machines));
+      edge_machine[e] = machine;
+      table.Add(u, machine);
+      table.Add(neighbors[i], machine);
+    }
+  }
+  return Finalize(graph, num_machines, std::move(edge_machine), table);
+}
+
+}  // namespace vcmp

@@ -1,0 +1,52 @@
+#ifndef VCMP_GRAPH_VERTEX_CUT_H_
+#define VCMP_GRAPH_VERTEX_CUT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace vcmp {
+
+/// A PowerGraph-style vertex cut: EDGES are assigned to machines and a
+/// vertex is replicated on every machine holding one of its edges (one
+/// master + mirrors). On power-law graphs this is the GraphLab family's
+/// answer to hub skew — the paper's GraphLab/PowerLyra citations build on
+/// it: a hub's adjacency is spread across machines instead of
+/// concentrating its entire neighbourhood traffic on one.
+struct VertexCut {
+  uint32_t num_machines = 1;
+  /// Owning machine per directed CSR edge index.
+  std::vector<uint32_t> edge_machine;
+  /// Master machine per vertex (the replica holding the authoritative
+  /// state).
+  std::vector<uint32_t> master;
+  /// Replicas per vertex (>= 1 for every vertex with edges).
+  std::vector<uint32_t> replicas;
+
+  /// Average replicas per vertex — PowerGraph's replication factor; the
+  /// per-round replica-synchronisation traffic is proportional to
+  /// (factor - 1).
+  double ReplicationFactor() const;
+
+  /// max / mean edges per machine.
+  double EdgeImbalance(const Graph& graph) const;
+
+  std::string ToString() const;
+};
+
+/// PowerGraph's greedy edge placement: assign each edge to a machine
+/// already holding both endpoints if possible, else one endpoint
+/// (preferring the less loaded), else the least-loaded machine.
+/// Single-pass, deterministic.
+VertexCut GreedyVertexCut(const Graph& graph, uint32_t num_machines);
+
+/// Baseline: hash edges uniformly (replication approaches
+/// min(degree, machines) for hubs).
+VertexCut RandomVertexCut(const Graph& graph, uint32_t num_machines,
+                          uint64_t seed = 0x7c);
+
+}  // namespace vcmp
+
+#endif  // VCMP_GRAPH_VERTEX_CUT_H_

@@ -1,0 +1,44 @@
+#include "metrics/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace vcmp {
+
+std::string RenderBarChart(const std::vector<ChartBar>& bars, int bar_width,
+                           const std::string& unit) {
+  if (bars.empty()) return "";
+  double max_value = 0.0;
+  size_t label_width = 0;
+  for (const ChartBar& bar : bars) {
+    max_value = std::max(max_value, bar.value);
+    label_width = std::max(label_width, bar.label.size());
+  }
+  if (max_value <= 0.0) max_value = 1.0;
+
+  std::ostringstream out;
+  for (const ChartBar& bar : bars) {
+    out << bar.label
+        << std::string(label_width - bar.label.size(), ' ')
+        << (bar.highlight ? " *|" : "  |");
+    int filled = bar.saturated
+                     ? bar_width
+                     : static_cast<int>(
+                           std::lround(bar.value / max_value * bar_width));
+    filled = std::clamp(filled, bar.value > 0.0 ? 1 : 0, bar_width);
+    out << std::string(filled, '#');
+    if (bar.saturated) {
+      out << "> Overload";
+    } else {
+      out << std::string(bar_width - filled, ' ') << " "
+          << StrFormat("%.1f%s", bar.value, unit.c_str());
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace vcmp

@@ -1,0 +1,33 @@
+#ifndef VCMP_METRICS_ASCII_CHART_H_
+#define VCMP_METRICS_ASCII_CHART_H_
+
+#include <string>
+#include <vector>
+
+namespace vcmp {
+
+/// One bar of an ASCII chart.
+struct ChartBar {
+  std::string label;
+  double value = 0.0;
+  /// Overloaded runs render as a full-width bar capped with '>'.
+  bool saturated = false;
+  /// The optimum bar gets a '*' marker (the paper's yellow arrows).
+  bool highlight = false;
+};
+
+/// Renders a horizontal bar chart the way the paper's figures stack
+/// per-batch running times:
+///
+///   1-batch   |############################> Overload
+///   2-batch   |#############                1983.4s
+///   4-batch * |############                 1966.7s
+///
+/// `unit` is appended to each value (e.g. "s"). Width excludes labels.
+std::string RenderBarChart(const std::vector<ChartBar>& bars,
+                           int bar_width = 40,
+                           const std::string& unit = "s");
+
+}  // namespace vcmp
+
+#endif  // VCMP_METRICS_ASCII_CHART_H_

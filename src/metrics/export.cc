@@ -1,0 +1,159 @@
+#include "metrics/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace vcmp {
+
+Status WriteRoundStatsCsv(const std::vector<RoundStats>& rounds,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << "round,messages,message_bytes,cross_machine_bytes,"
+         "active_vertices,compute_seconds,network_seconds,"
+         "disk_stall_seconds,barrier_seconds,total_seconds,"
+         "max_memory_bytes,max_residual_bytes,thrash_multiplier,overflow,"
+         "network_overuse_seconds,disk_overuse_seconds,disk_utilization,"
+         "io_queue_length,disk_saturated\n";
+  for (const RoundStats& r : rounds) {
+    out << StrFormat(
+        "%llu,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,"
+        "%.17g,%.17g,%.17g,%d,%.17g,%.17g,%.17g,%.17g,%d\n",
+        static_cast<unsigned long long>(r.round), r.messages,
+        r.message_bytes, r.cross_machine_bytes, r.active_vertices,
+        r.compute_seconds, r.network_seconds, r.disk_stall_seconds,
+        r.barrier_seconds, r.total_seconds, r.max_memory_bytes,
+        r.max_residual_bytes, r.thrash_multiplier, r.overflow ? 1 : 0,
+        r.network_overuse_seconds, r.disk_overuse_seconds,
+        r.disk_utilization, r.io_queue_length, r.disk_saturated ? 1 : 0);
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+namespace internal_export {
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 8);
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace internal_export
+
+namespace {
+
+void AppendField(std::ostringstream& out, const char* key, double value,
+                 bool* first) {
+  if (!*first) out << ",";
+  *first = false;
+  out << "\"" << key << "\":" << StrFormat("%.17g", value);
+}
+
+void AppendField(std::ostringstream& out, const char* key, bool value,
+                 bool* first) {
+  if (!*first) out << ",";
+  *first = false;
+  out << "\"" << key << "\":" << (value ? "true" : "false");
+}
+
+void AppendField(std::ostringstream& out, const char* key,
+                 const std::string& value, bool* first) {
+  if (!*first) out << ",";
+  *first = false;
+  out << "\"" << key << "\":\"" << internal_export::JsonEscape(value)
+      << "\"";
+}
+
+}  // namespace
+
+std::string RunReportToJson(const RunReport& report) {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  AppendField(out, "system", report.system, &first);
+  AppendField(out, "dataset", report.dataset, &first);
+  AppendField(out, "task", report.task, &first);
+  AppendField(out, "cluster", report.cluster, &first);
+  AppendField(out, "workload", report.workload, &first);
+  AppendField(out, "total_seconds", report.total_seconds, &first);
+  AppendField(out, "overloaded", report.overloaded, &first);
+  AppendField(out, "total_rounds",
+              static_cast<double>(report.total_rounds), &first);
+  AppendField(out, "total_messages", report.total_messages, &first);
+  AppendField(out, "messages_per_round", report.MessagesPerRound(),
+              &first);
+  AppendField(out, "peak_memory_bytes", report.peak_memory_bytes, &first);
+  AppendField(out, "peak_residual_bytes", report.peak_residual_bytes,
+              &first);
+  AppendField(out, "network_overuse_seconds",
+              report.network_overuse_seconds, &first);
+  AppendField(out, "disk_overuse_seconds", report.disk_overuse_seconds,
+              &first);
+  AppendField(out, "disk_utilization", report.disk_utilization, &first);
+  AppendField(out, "disk_saturated", report.disk_saturated, &first);
+  AppendField(out, "max_io_queue_length", report.max_io_queue_length,
+              &first);
+  AppendField(out, "monetary_cost", report.monetary_cost, &first);
+  out << ",\"batches\":[";
+  for (size_t i = 0; i < report.batches.size(); ++i) {
+    const BatchReport& batch = report.batches[i];
+    if (i > 0) out << ",";
+    out << "{";
+    bool batch_first = true;
+    AppendField(out, "workload", batch.workload, &batch_first);
+    AppendField(out, "seconds", batch.seconds, &batch_first);
+    AppendField(out, "overloaded", batch.overloaded, &batch_first);
+    AppendField(out, "rounds", static_cast<double>(batch.rounds),
+                &batch_first);
+    AppendField(out, "messages", batch.messages, &batch_first);
+    AppendField(out, "peak_memory_bytes", batch.peak_memory_bytes,
+                &batch_first);
+    AppendField(out, "peak_residual_bytes", batch.peak_residual_bytes,
+                &batch_first);
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+Status WriteRunReportJson(const RunReport& report,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << RunReportToJson(report) << "\n";
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace vcmp

@@ -1,0 +1,34 @@
+#ifndef VCMP_METRICS_EXPORT_H_
+#define VCMP_METRICS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "metrics/round_stats.h"
+#include "metrics/run_report.h"
+
+namespace vcmp {
+
+/// Writes per-round statistics as CSV (header + one row per round), the
+/// raw material for re-plotting the paper's figures.
+Status WriteRoundStatsCsv(const std::vector<RoundStats>& rounds,
+                          const std::string& path);
+
+/// Serialises a RunReport as a JSON object (hand-rolled writer — no
+/// external dependency; keys are stable for downstream tooling).
+std::string RunReportToJson(const RunReport& report);
+
+/// Writes RunReportToJson(report) to `path`.
+Status WriteRunReportJson(const RunReport& report, const std::string& path);
+
+namespace internal_export {
+
+/// Escapes a string for JSON embedding (quotes, backslashes, control
+/// characters).
+std::string JsonEscape(const std::string& raw);
+
+}  // namespace internal_export
+}  // namespace vcmp
+
+#endif  // VCMP_METRICS_EXPORT_H_

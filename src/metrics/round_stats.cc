@@ -1,0 +1,17 @@
+#include "metrics/round_stats.h"
+
+#include "common/string_util.h"
+
+namespace vcmp {
+
+std::string RoundStats::ToString() const {
+  return StrFormat(
+      "round %llu: msgs=%s mem=%s time=%.3fs (cpu=%.3f net=%.3f disk=%.3f "
+      "barrier=%.3f thrash=x%.2f)%s",
+      static_cast<unsigned long long>(round), FormatCount(messages).c_str(),
+      FormatBytes(max_memory_bytes).c_str(), total_seconds, compute_seconds,
+      network_seconds, disk_stall_seconds, barrier_seconds, thrash_multiplier,
+      overflow ? " OVERFLOW" : "");
+}
+
+}  // namespace vcmp

@@ -1,0 +1,38 @@
+#ifndef VCMP_METRICS_TABLE_PRINTER_H_
+#define VCMP_METRICS_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vcmp {
+
+/// Aligned plain-text tables for bench output, mimicking the row/column
+/// structure of the paper's tables and figure series.
+///
+///   TablePrinter t({"#batches", "time", "memory"});
+///   t.AddRow({"1", "173.3s", "4.3GB"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header rule and 2-space column gaps.
+  void Print(std::ostream& out) const;
+  std::string ToString() const;
+
+  size_t NumRows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== Figure 4: ... ==") for bench output.
+void PrintBanner(std::ostream& out, const std::string& title);
+
+}  // namespace vcmp
+
+#endif  // VCMP_METRICS_TABLE_PRINTER_H_

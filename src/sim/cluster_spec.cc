@@ -1,0 +1,50 @@
+#include "sim/cluster_spec.h"
+
+#include "common/string_util.h"
+
+namespace vcmp {
+
+ClusterSpec ClusterSpec::Galaxy8() {
+  ClusterSpec spec;
+  spec.name = "Galaxy-8";
+  spec.num_machines = 8;
+  spec.machine = MachineSpec{};  // 16GB, 8 cores, HDD, 1GbE.
+  spec.cloud = false;
+  return spec;
+}
+
+ClusterSpec ClusterSpec::Galaxy27() {
+  ClusterSpec spec = Galaxy8();
+  spec.name = "Galaxy-27";
+  spec.num_machines = 27;
+  return spec;
+}
+
+ClusterSpec ClusterSpec::Docker32() {
+  ClusterSpec spec;
+  spec.name = "Docker-32";
+  spec.num_machines = 32;
+  spec.machine.memory_bytes = 16.0 * (1ULL << 30);
+  spec.machine.usable_memory_bytes = 14.0 * (1ULL << 30);
+  spec.machine.cores = 15;  // 15 virtual cores of Xeon E5-2637 v2.
+  spec.machine.core_speed = 0.9;  // Virtualised cores are a bit slower.
+  spec.machine.disk_bandwidth = 300.0 * (1ULL << 20);  // SSD.
+  spec.machine.network_bandwidth = 117.0 * (1ULL << 20);
+  spec.cloud = true;
+  return spec;
+}
+
+ClusterSpec ClusterSpec::WithMachines(uint32_t machines) const {
+  ClusterSpec spec = *this;
+  spec.num_machines = machines;
+  spec.name = StrFormat("%s[x%u]", name.c_str(), machines);
+  return spec;
+}
+
+std::string ClusterSpec::ToString() const {
+  return StrFormat("%s(%u machines, %.0fGB mem, %u cores)", name.c_str(),
+                   num_machines, machine.memory_bytes / (1ULL << 30),
+                   machine.cores);
+}
+
+}  // namespace vcmp

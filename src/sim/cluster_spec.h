@@ -1,0 +1,50 @@
+#ifndef VCMP_SIM_CLUSTER_SPEC_H_
+#define VCMP_SIM_CLUSTER_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vcmp {
+
+/// Hardware description of one machine in a simulated cluster.
+struct MachineSpec {
+  /// Physical memory. Exceeding it marks the run overloaded (the paper's
+  /// "Overflow"/"Overload" entries).
+  double memory_bytes = 16.0 * (1ULL << 30);
+  /// Memory available to the VC-system; the remainder is reserved for the
+  /// OS and resident services (the paper: "usable memory capacity ~14GB").
+  double usable_memory_bytes = 14.0 * (1ULL << 30);
+  uint32_t cores = 8;
+  /// Relative single-core speed (1.0 = Galaxy's i7-3770 @ 3.4GHz).
+  double core_speed = 1.0;
+  /// Effective disk bandwidth under the out-of-core access pattern
+  /// (interleaved message-stream writes + edge-stream reads): commodity
+  /// HDDs deliver ~40 MB/s in this regime, SSDs ~300 MB/s.
+  double disk_bandwidth = 40.0 * (1ULL << 20);
+  /// Full-duplex NIC bandwidth per machine (1 GbE).
+  double network_bandwidth = 117.0 * (1ULL << 20);
+};
+
+/// A named cluster: machine count, per-machine hardware, billing mode.
+struct ClusterSpec {
+  std::string name;
+  uint32_t num_machines = 8;
+  MachineSpec machine;
+  /// Cloud clusters are billed per machine-second (Section 4.6).
+  bool cloud = false;
+
+  /// The paper's three clusters (Table 1, bottom).
+  static ClusterSpec Galaxy8();
+  static ClusterSpec Galaxy27();
+  static ClusterSpec Docker32();
+
+  /// Same hardware, different machine count (used by the varying-#machines
+  /// panels, e.g. Fig. 3(c): 2/4/8 Galaxy machines).
+  ClusterSpec WithMachines(uint32_t machines) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_SIM_CLUSTER_SPEC_H_

@@ -1,0 +1,108 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vcmp {
+
+CostModel::CostModel(const ClusterSpec& cluster, const SystemProfile& profile,
+                     const CostParams& params)
+    : cluster_(cluster),
+      profile_(profile),
+      params_(params),
+      memory_model_(params.memory),
+      network_model_(params.network),
+      disk_model_(params.disk) {
+  VCMP_CHECK(cluster_.num_machines > 0);
+}
+
+RoundStats CostModel::EvaluateRound(
+    const ClusterRoundLoad& loads,
+    double edge_stream_bytes_per_machine) const {
+  VCMP_CHECK(loads.size() == cluster_.num_machines)
+      << "round load must cover every machine";
+  const MachineSpec& machine = cluster_.machine;
+
+  RoundStats stats;
+  double slowest_machine_seconds = 0.0;
+  const double effective_cores =
+      std::max(1.0, machine.cores * params_.core_utilization) *
+      machine.core_speed;
+
+  for (const MachineRoundLoad& load : loads) {
+    stats.messages += load.recv_messages;
+    stats.message_bytes += load.recv_messages * profile_.bytes_per_message;
+    stats.cross_machine_bytes += load.cross_bytes_out;
+    stats.active_vertices += load.active_vertices;
+
+    // --- Compute phase ---
+    double compute =
+        (params_.seconds_per_message * load.processed_messages +
+         params_.seconds_per_active_vertex * load.active_vertices +
+         params_.seconds_per_compute_unit * load.compute_units) *
+        profile_.compute_factor / effective_cores;
+
+    // --- Network ---
+    NetworkAssessment net = network_model_.Assess(load, machine, compute);
+
+    // --- Disk (out-of-core only) ---
+    DiskAssessment disk;
+    if (profile_.out_of_core) {
+      double buffered =
+          load.buffered_message_bytes * profile_.message_memory_overhead;
+      double spill = std::max(0.0, buffered - profile_.ooc_budget_bytes);
+      double resident = std::min(buffered, profile_.ooc_budget_bytes);
+      disk = disk_model_.Assess(spill, resident,
+                                edge_stream_bytes_per_machine, machine,
+                                compute);
+    }
+
+    // --- Memory ---
+    MemoryAssessment mem = memory_model_.Assess(
+        load, machine, profile_.message_memory_overhead,
+        profile_.out_of_core ? profile_.ooc_budget_bytes : 0.0);
+
+    double machine_seconds =
+        (compute + net.overuse_seconds + disk.stall_seconds) *
+        mem.thrash_multiplier;
+
+    slowest_machine_seconds =
+        std::max(slowest_machine_seconds, machine_seconds);
+    stats.compute_seconds = std::max(stats.compute_seconds, compute);
+    stats.network_seconds =
+        std::max(stats.network_seconds, net.overuse_seconds);
+    stats.disk_stall_seconds =
+        std::max(stats.disk_stall_seconds, disk.stall_seconds);
+    stats.network_overuse_seconds += net.overuse_seconds;
+    stats.disk_overuse_seconds += disk.overuse_seconds;
+    stats.disk_utilization =
+        std::max(stats.disk_utilization, disk.utilization);
+    stats.disk_io_seconds = std::max(stats.disk_io_seconds, disk.io_seconds);
+    stats.disk_saturated = stats.disk_saturated || disk.stall_seconds > 0.0;
+    stats.io_queue_length = std::max(stats.io_queue_length, disk.queue_length);
+    stats.max_memory_bytes = std::max(stats.max_memory_bytes, mem.demand_bytes);
+    stats.max_buffered_bytes =
+        std::max(stats.max_buffered_bytes,
+                 load.buffered_message_bytes *
+                     profile_.message_memory_overhead);
+    stats.max_residual_bytes =
+        std::max(stats.max_residual_bytes, load.residual_bytes);
+    stats.thrash_multiplier =
+        std::max(stats.thrash_multiplier, mem.thrash_multiplier);
+    stats.overflow = stats.overflow || mem.overflow;
+  }
+
+  stats.barrier_seconds =
+      (params_.barrier_base_seconds +
+       params_.barrier_per_machine_seconds * cluster_.num_machines) *
+      profile_.barrier_factor;
+  stats.total_seconds = slowest_machine_seconds + stats.barrier_seconds;
+  // Overuse is reported per-cluster in the paper's tables (the master's
+  // view); keep the average machine's value.
+  stats.network_overuse_seconds /= cluster_.num_machines;
+  stats.disk_overuse_seconds /= cluster_.num_machines;
+  return stats;
+}
+
+}  // namespace vcmp

@@ -1,0 +1,76 @@
+#ifndef VCMP_SIM_COST_MODEL_H_
+#define VCMP_SIM_COST_MODEL_H_
+
+#include "engine/system_profile.h"
+#include "metrics/round_stats.h"
+#include "sim/cluster_spec.h"
+#include "sim/disk_model.h"
+#include "sim/memory_model.h"
+#include "sim/network_model.h"
+#include "sim/round_load.h"
+
+namespace vcmp {
+
+/// Calibration constants of the simulated-time model. Values were fixed
+/// once against the paper's anchor measurements (Fig. 4/6 running times and
+/// per-round message counts, Table 2 memory figures, Table 3 utilisation)
+/// and are shared by every experiment; see DESIGN.md section 6.
+struct CostParams {
+  /// Seconds of one core processing one logical message (receive,
+  /// deserialize, apply, emit), before profile multipliers. Calibrated so
+  /// Pregel+ sustains ~1.8M fine-grained messages/s per 8-core machine,
+  /// reproducing the paper's Fig. 6 anchor (W=1024, 1 batch: 173 s).
+  double seconds_per_message = 2.1e-6;
+  /// Seconds per active vertex per round (scheduling, state touch).
+  double seconds_per_active_vertex = 9.0e-9;
+  /// Seconds per task-declared compute unit (edge scans etc.).
+  double seconds_per_compute_unit = 4.0e-9;
+  /// Fraction of a machine's cores the compute phase can actually use
+  /// (message handling parallelises imperfectly).
+  double core_utilization = 0.55;
+  /// Synchronisation barrier: fixed part + per-machine part, seconds.
+  double barrier_base_seconds = 0.012;
+  double barrier_per_machine_seconds = 0.0012;
+  /// Per-batch fixed overhead (task injection, result collection).
+  double batch_overhead_seconds = 1.2;
+  /// Runs longer than this are reported as Overload (paper: 6000 s).
+  double overload_cutoff_seconds = 6000.0;
+
+  MemoryModel::Params memory;
+  NetworkModel::Params network;
+  DiskModel::Params disk;
+};
+
+/// Maps one round's measured machine loads to simulated wall-clock time
+/// and the monitored runtime statistics of the paper's Section 4
+/// (memory demand, disk utilisation, network/disk overuse).
+///
+/// Round time = max over machines of
+///   thrash(mem_demand) * [compute + unhidden-network + disk-stall]
+/// plus the synchronisation barrier. All inputs are paper-scale.
+class CostModel {
+ public:
+  CostModel(const ClusterSpec& cluster, const SystemProfile& profile,
+            const CostParams& params = {});
+
+  /// Evaluates one round. `edge_stream_bytes_per_machine` is the per-round
+  /// out-of-core edge stream (0 for in-memory systems).
+  RoundStats EvaluateRound(const ClusterRoundLoad& loads,
+                           double edge_stream_bytes_per_machine) const;
+
+  const ClusterSpec& cluster() const { return cluster_; }
+  const SystemProfile& profile() const { return profile_; }
+  const CostParams& params() const { return params_; }
+
+ private:
+  ClusterSpec cluster_;
+  SystemProfile profile_;
+  CostParams params_;
+  MemoryModel memory_model_;
+  NetworkModel network_model_;
+  DiskModel disk_model_;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_SIM_COST_MODEL_H_

@@ -1,0 +1,39 @@
+#include "sim/memory_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vcmp {
+
+MemoryAssessment MemoryModel::Assess(const MachineRoundLoad& load,
+                                     const MachineSpec& machine,
+                                     double message_memory_overhead,
+                                     double ooc_budget_bytes) const {
+  MemoryAssessment out;
+  double message_bytes = load.buffered_message_bytes * message_memory_overhead;
+  if (ooc_budget_bytes > 0.0) {
+    // Out-of-core systems never hold more than the budget in memory; the
+    // excess is streamed to disk (accounted by DiskModel).
+    message_bytes = std::min(message_bytes, ooc_budget_bytes);
+  }
+  out.demand_bytes = load.state_bytes + load.residual_bytes + message_bytes;
+
+  const double onset =
+      params_.thrash_onset_fraction * machine.usable_memory_bytes;
+  if (out.demand_bytes > machine.memory_bytes) {
+    out.overflow = true;
+    out.thrash_multiplier = 1.0 + params_.thrash_coefficient;
+    return out;
+  }
+  if (out.demand_bytes > onset) {
+    // Quadratic ramp from 1.0 at the onset to 1 + coefficient at physical
+    // capacity: approaching usable memory starts paging out cold pages,
+    // and the penalty accelerates as hot data is evicted (Section 4.3).
+    double span = machine.memory_bytes - onset;
+    double excess = (out.demand_bytes - onset) / std::max(span, 1.0);
+    out.thrash_multiplier = 1.0 + params_.thrash_coefficient * excess * excess;
+  }
+  return out;
+}
+
+}  // namespace vcmp

@@ -1,0 +1,58 @@
+#ifndef VCMP_SIM_MEMORY_MODEL_H_
+#define VCMP_SIM_MEMORY_MODEL_H_
+
+#include "sim/cluster_spec.h"
+#include "sim/round_load.h"
+
+namespace vcmp {
+
+/// Memory pressure of one machine during one round.
+struct MemoryAssessment {
+  /// Total resident bytes demanded this round.
+  double demand_bytes = 0.0;
+  /// Multiplier (>= 1) applied to the round's time: 1 while comfortably
+  /// inside usable memory, rising once demand approaches / exceeds it
+  /// (virtual-memory thrashing), per Section 4.3.
+  double thrash_multiplier = 1.0;
+  /// Demand exceeded physical memory: the paper's Overflow -> Overload.
+  bool overflow = false;
+};
+
+/// Models per-machine memory consumption and the latency penalty of
+/// exceeding it (the memory-bound state of Fig. 11).
+///
+/// demand = state + in-memory message buffers (scaled by the system's
+/// object overhead) + residual memory of this and earlier batches.
+/// Out-of-core systems cap the buffered-message contribution at their
+/// budget — the excess goes to the disk model instead.
+class MemoryModel {
+ public:
+  struct Params {
+    /// Demand below thrash_onset_fraction * usable costs nothing.
+    double thrash_onset_fraction = 0.8;
+    /// Quadratic penalty coefficient: multiplier at demand == physical
+    /// memory is 1 + thrash_coefficient.
+    double thrash_coefficient = 5.0;
+  };
+
+  MemoryModel() = default;
+  explicit MemoryModel(const Params& params) : params_(params) {}
+
+  /// Assesses one machine's round. `message_memory_overhead` is the
+  /// system's in-memory bytes-per-serialized-byte factor (Java object
+  /// overhead etc.). `ooc_budget_bytes` > 0 caps buffered messages (the
+  /// GraphD mechanism); 0 means fully in-memory.
+  MemoryAssessment Assess(const MachineRoundLoad& load,
+                          const MachineSpec& machine,
+                          double message_memory_overhead,
+                          double ooc_budget_bytes) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_SIM_MEMORY_MODEL_H_

@@ -1,0 +1,30 @@
+#include "sim/monetary_model.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "common/units.h"
+
+namespace vcmp {
+
+double MonetaryModel::ClusterRatePerSecond(const ClusterSpec& cluster) const {
+  const MachineSpec& m = cluster.machine;
+  double per_machine_hour =
+      params_.credits_per_core_hour * m.cores +
+      params_.credits_per_gib_hour * BytesToGiB(m.memory_bytes) +
+      params_.credits_per_disk_hour;
+  return per_machine_hour * cluster.num_machines / 3600.0;
+}
+
+double MonetaryModel::Cost(const ClusterSpec& cluster, double seconds,
+                           bool overloaded,
+                           double overload_cutoff_seconds) const {
+  double billed = overloaded ? overload_cutoff_seconds : seconds;
+  return ClusterRatePerSecond(cluster) * billed;
+}
+
+std::string MonetaryModel::Format(double credits, bool lower_bound) {
+  return StrFormat("%s$%.0f", lower_bound ? ">" : "", std::ceil(credits));
+}
+
+}  // namespace vcmp

@@ -1,0 +1,21 @@
+#include "sim/network_model.h"
+
+#include <algorithm>
+
+namespace vcmp {
+
+NetworkAssessment NetworkModel::Assess(const MachineRoundLoad& load,
+                                       const MachineSpec& machine,
+                                       double compute_seconds) const {
+  NetworkAssessment out;
+  double direction_bytes =
+      std::max(load.cross_bytes_in, load.cross_bytes_out);
+  out.transfer_seconds = direction_bytes / machine.network_bandwidth;
+  // Traffic that fits inside the overlap window rides along with compute;
+  // the remainder is a post-compute flush at full line rate.
+  double window = params_.overlap_fraction * compute_seconds;
+  out.overuse_seconds = std::max(0.0, out.transfer_seconds - window);
+  return out;
+}
+
+}  // namespace vcmp

@@ -1,0 +1,48 @@
+#ifndef VCMP_SIM_NETWORK_MODEL_H_
+#define VCMP_SIM_NETWORK_MODEL_H_
+
+#include "sim/cluster_spec.h"
+#include "sim/round_load.h"
+
+namespace vcmp {
+
+/// Network behaviour of one machine during one round.
+struct NetworkAssessment {
+  /// Wire time for this machine's traffic (max of send/receive directions,
+  /// full duplex).
+  double transfer_seconds = 0.0;
+  /// Time spent with the NIC saturated — the paper's "network overuse
+  /// time". Traffic overlapping compute is absorbed by the burst window;
+  /// only the excess pins the link at max bandwidth.
+  double overuse_seconds = 0.0;
+};
+
+/// Models per-round network transfer time and bandwidth overuse
+/// (Section 4.3/4.4 "overuse time (network)").
+class NetworkModel {
+ public:
+  struct Params {
+    /// Fraction of a round's compute time during which outgoing traffic
+    /// can be overlapped (MPI/Netty progress threads flush while compute
+    /// runs); transfer demand beyond this window saturates the NIC.
+    double overlap_fraction = 0.7;
+  };
+
+  NetworkModel() = default;
+  explicit NetworkModel(const Params& params) : params_(params) {}
+
+  /// `compute_seconds` is the machine's compute time this round, used to
+  /// size the overlap window.
+  NetworkAssessment Assess(const MachineRoundLoad& load,
+                           const MachineSpec& machine,
+                           double compute_seconds) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_SIM_NETWORK_MODEL_H_

@@ -1,0 +1,62 @@
+#ifndef VCMP_SIM_ROUND_LOAD_H_
+#define VCMP_SIM_ROUND_LOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vcmp {
+
+/// What one simulated machine did during one communication round, in
+/// paper-scale units (the engine multiplies generated-graph statistics by
+/// the dataset scale factor before filling this in).
+///
+/// These are the *measured* quantities; the cost model turns them into
+/// simulated time. Message counts are logical: a physical message with
+/// multiplicity k counts as k.
+struct MachineRoundLoad {
+  /// Logical messages received this round (the congestion measure).
+  double recv_messages = 0.0;
+  /// Wire messages actually deserialized and handled this round; equals
+  /// recv_messages unless the system combines messages at the sender.
+  double processed_messages = 0.0;
+  /// Messages sent this round.
+  double sent_messages = 0.0;
+  /// Serialized bytes received / sent that crossed the network (messages
+  /// whose sender lives on another machine).
+  double cross_bytes_in = 0.0;
+  double cross_bytes_out = 0.0;
+  /// Peak bytes buffered in message queues (in + out) during the round.
+  double buffered_message_bytes = 0.0;
+  /// Vertices whose compute function ran.
+  double active_vertices = 0.0;
+  /// Task-specific extra work in edge-scan units (e.g. forward-push edge
+  /// traversals that do not emit one message per unit of work).
+  double compute_units = 0.0;
+  /// Graph share + vertex state resident on this machine.
+  double state_bytes = 0.0;
+  /// Accumulated intermediate results (this batch + all earlier batches)
+  /// that must be retained for final aggregation — the paper's residual
+  /// memory.
+  double residual_bytes = 0.0;
+
+  MachineRoundLoad& operator+=(const MachineRoundLoad& other) {
+    recv_messages += other.recv_messages;
+    processed_messages += other.processed_messages;
+    sent_messages += other.sent_messages;
+    cross_bytes_in += other.cross_bytes_in;
+    cross_bytes_out += other.cross_bytes_out;
+    buffered_message_bytes += other.buffered_message_bytes;
+    active_vertices += other.active_vertices;
+    compute_units += other.compute_units;
+    state_bytes += other.state_bytes;
+    residual_bytes += other.residual_bytes;
+    return *this;
+  }
+};
+
+/// Per-round loads for every machine in the cluster.
+using ClusterRoundLoad = std::vector<MachineRoundLoad>;
+
+}  // namespace vcmp
+
+#endif  // VCMP_SIM_ROUND_LOAD_H_

@@ -1,0 +1,393 @@
+#include "tasks/bppr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace vcmp {
+
+// ---------------------------------------------------------------------------
+// BpprCountingProgram
+// ---------------------------------------------------------------------------
+
+BpprCountingProgram::BpprCountingProgram(const TaskContext& context,
+                                         double walks_per_vertex,
+                                         const BpprTask::Params& params,
+                                         uint64_t seed)
+    : context_(context),
+      walks_per_vertex_(static_cast<uint64_t>(
+          std::llround(std::max(0.0, walks_per_vertex)))),
+      params_(params),
+      stopped_(context.graph->NumVertices(), 0),
+      residual_per_machine_(context.partition->num_machines, 0.0) {
+  // Randomness comes from the engine's per-machine streams (sink.rng());
+  // the seed parameter is kept so batch construction remains explicit
+  // about its stochastic identity.
+  (void)seed;
+}
+
+void BpprCountingProgram::Compute(VertexId v,
+                                  std::span<const Message> inbox,
+                                  MessageSink& sink) {
+  uint64_t resident = 0;
+  if (sink.round() == 0) {
+    resident = walks_per_vertex_;
+  } else {
+    double incoming = 0.0;
+    for (const Message& message : inbox) incoming += message.value;
+    resident = static_cast<uint64_t>(std::llround(incoming));
+  }
+  if (resident == 0) return;
+
+  // Each resident walk stops here with probability alpha. Randomness is
+  // drawn from the sink's per-machine stream so machines can compute
+  // concurrently and deterministically.
+  Rng& rng = sink.rng();
+  uint64_t stopping = rng.NextBinomial(resident, params_.alpha);
+  const auto neighbors = context_.graph->Neighbors(v);
+  if (neighbors.empty()) stopping = resident;  // Dangling: walks end here.
+  RecordStops(v, stopping);
+  uint64_t moving = resident - stopping;
+  if (moving == 0) return;
+
+  // Multinomial split of the survivors over the neighbours via conditional
+  // binomials (exact in distribution).
+  sink.AddComputeUnits(static_cast<double>(neighbors.size()));
+  uint64_t remaining = moving;
+  size_t left = neighbors.size();
+  for (VertexId u : neighbors) {
+    if (remaining == 0) break;
+    uint64_t portion =
+        (left == 1)
+            ? remaining
+            : rng.NextBinomial(remaining, 1.0 / static_cast<double>(left));
+    if (portion > 0) {
+      sink.Send(u, /*tag=*/0, static_cast<double>(portion),
+                static_cast<double>(portion));
+      remaining -= portion;
+    }
+    --left;
+  }
+}
+
+void BpprCountingProgram::RecordStops(VertexId v, uint64_t count) {
+  if (count == 0) return;
+  stopped_[v] += count;
+  residual_per_machine_[context_.partition->MachineOf(v)] +=
+      static_cast<double>(count) * params_.residual_record_bytes;
+}
+
+double BpprCountingProgram::ResidualBytes(uint32_t machine) const {
+  return residual_per_machine_[machine];
+}
+
+double BpprCountingProgram::StateBytes(uint32_t machine) const {
+  (void)machine;
+  // Walk counters: 8 bytes per local vertex (uniform share).
+  return 8.0 * context_.graph->NumVertices() /
+         context_.partition->num_machines;
+}
+
+uint64_t BpprCountingProgram::TotalStopped() const {
+  return std::accumulate(stopped_.begin(), stopped_.end(), uint64_t{0});
+}
+
+// ---------------------------------------------------------------------------
+// BpprPushProgram
+// ---------------------------------------------------------------------------
+
+BpprPushProgram::BpprPushProgram(const TaskContext& context,
+                                 double walks_per_vertex,
+                                 const BpprTask::Params& params)
+    : context_(context),
+      walks_per_vertex_(walks_per_vertex),
+      params_(params),
+      stopped_mass_(context.graph->NumVertices(), 0.0),
+      settled_sources_(context.graph->NumVertices()),
+      residual_per_machine_(context.partition->num_machines, 0.0) {}
+
+void BpprPushProgram::Compute(VertexId v, std::span<const Message> inbox,
+                              MessageSink& sink) {
+  if (sink.round() == 0) {
+    // Every vertex is the source of its own W-walk budget.
+    ProcessMass(v, /*source=*/v, walks_per_vertex_, sink);
+    return;
+  }
+  // Inbox grouped by (target, tag): fold per-source shares.
+  size_t i = 0;
+  while (i < inbox.size()) {
+    size_t j = i;
+    double mass = 0.0;
+    while (j < inbox.size() && inbox[j].tag == inbox[i].tag) {
+      mass += inbox[j].value;
+      ++j;
+    }
+    ProcessMass(v, inbox[i].tag, mass, sink);
+    i = j;
+  }
+}
+
+void BpprPushProgram::ProcessMass(VertexId v, uint32_t source, double mass,
+                                  MessageSink& sink) {
+  if (mass <= 0.0) return;
+  const auto neighbors = context_.graph->Neighbors(v);
+  double settling = neighbors.empty() ? mass : params_.alpha * mass;
+  double moving = mass - settling;
+  // Fractional mass below one walk settles locally instead of diffusing
+  // forever: conserves the estimator's total mass and bounds the
+  // per-source diffusion depth.
+  if (moving < params_.prune_threshold && !neighbors.empty()) {
+    settling = mass;
+    moving = 0.0;
+  }
+  RecordSettle(v, source, settling);
+  if (moving <= 0.0 || neighbors.empty()) return;
+  // One common broadcast message for this source: every neighbour
+  // receives the same per-neighbour share (the walk fractionalized over
+  // the out-degree).
+  double share = moving / static_cast<double>(neighbors.size());
+  sink.Broadcast(v, source, share, /*multiplicity_per_neighbor=*/1.0);
+}
+
+void BpprPushProgram::RecordSettle(VertexId v, uint32_t source,
+                                   double mass) {
+  if (mass <= 0.0) return;
+  stopped_mass_[v] += mass;
+  if (settled_sources_[v].insert(source).second) {
+    ++result_pairs_;
+    // One PPR(source, v) record in the batch's intermediate results.
+    residual_per_machine_[context_.partition->MachineOf(v)] +=
+        params_.residual_record_bytes;
+  }
+}
+
+double BpprPushProgram::ResidualBytes(uint32_t machine) const {
+  return residual_per_machine_[machine];
+}
+
+double BpprPushProgram::StateBytes(uint32_t machine) const {
+  (void)machine;
+  // Per-(vertex, source) mass entries dominate. A hash-map node with its
+  // bucket share plus the receiver-ID bookkeeping the broadcast interface
+  // forces (Section 3) costs ~100 bytes per pair in the real C++ systems.
+  return 100.0 * static_cast<double>(result_pairs_) /
+         context_.partition->num_machines;
+}
+
+double BpprPushProgram::TotalStoppedMass() const {
+  return std::accumulate(stopped_mass_.begin(), stopped_mass_.end(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// BpprTask
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<VertexProgram>> BpprTask::MakeProgram(
+    const TaskContext& context, ProgramFlavor flavor, double workload,
+    uint64_t seed) const {
+  if (context.graph == nullptr || context.partition == nullptr) {
+    return Status::InvalidArgument("BPPR task context missing graph");
+  }
+  if (workload <= 0.0) {
+    return Status::InvalidArgument("BPPR workload must be positive");
+  }
+  if (flavor == ProgramFlavor::kBroadcast) {
+    return std::unique_ptr<VertexProgram>(
+        std::make_unique<BpprPushProgram>(context, workload, params_));
+  }
+  if (context.combining_system && params_.per_source_traffic) {
+    return std::unique_ptr<VertexProgram>(
+        std::make_unique<BpprPerSourceProgram>(context, workload, params_,
+                                               seed));
+  }
+  return std::unique_ptr<VertexProgram>(std::make_unique<BpprCountingProgram>(
+      context, workload, params_, seed));
+}
+
+// ---------------------------------------------------------------------------
+// BpprPerSourceProgram
+// ---------------------------------------------------------------------------
+
+BpprPerSourceProgram::BpprPerSourceProgram(const TaskContext& context,
+                                           double walks_per_vertex,
+                                           const BpprTask::Params& params,
+                                           uint64_t seed)
+    : context_(context),
+      walks_per_vertex_(static_cast<uint64_t>(
+          std::llround(std::max(0.0, walks_per_vertex)))),
+      params_(params),
+      stopped_(context.graph->NumVertices(), 0),
+      pair_tracker_(context.partition->num_machines),
+      residual_per_machine_(context.partition->num_machines, 0.0) {
+  (void)seed;
+}
+
+void BpprPerSourceProgram::Compute(VertexId v,
+                                   std::span<const Message> inbox,
+                                   MessageSink& sink) {
+  // Per-machine round-pair tracking (v's owner is the executing machine,
+  // so each slot is only ever touched by one thread).
+  PairTracker& tracker =
+      pair_tracker_[context_.partition->MachineOf(v)];
+  if (sink.round() != tracker.round) {
+    tracker.peak = std::max(tracker.peak, tracker.current);
+    tracker.current = 0.0;
+    tracker.round = sink.round();
+  }
+  if (sink.round() == 0) {
+    Advance(v, v, walks_per_vertex_, sink);
+    tracker.current += 1.0;
+    return;
+  }
+  // Inbox grouped by (target, tag): one resident count per source.
+  size_t i = 0;
+  while (i < inbox.size()) {
+    size_t j = i;
+    double incoming = 0.0;
+    while (j < inbox.size() && inbox[j].tag == inbox[i].tag) {
+      incoming += inbox[j].value;
+      ++j;
+    }
+    Advance(v, inbox[i].tag,
+            static_cast<uint64_t>(std::llround(incoming)), sink);
+    tracker.current += 1.0;
+    i = j;
+  }
+}
+
+void BpprPerSourceProgram::Advance(VertexId v, uint32_t source,
+                                   uint64_t count, MessageSink& sink) {
+  if (count == 0) return;
+  Rng& rng = sink.rng();
+  uint64_t stopping = rng.NextBinomial(count, params_.alpha);
+  const auto neighbors = context_.graph->Neighbors(v);
+  if (neighbors.empty()) stopping = count;
+  if (stopping > 0) {
+    stopped_[v] += stopping;
+    residual_per_machine_[context_.partition->MachineOf(v)] +=
+        static_cast<double>(stopping) * params_.residual_record_bytes;
+  }
+  uint64_t moving = count - stopping;
+  if (moving == 0) return;
+  sink.AddComputeUnits(static_cast<double>(neighbors.size()));
+  uint64_t remaining = moving;
+  size_t left = neighbors.size();
+  for (VertexId u : neighbors) {
+    if (remaining == 0) break;
+    uint64_t portion =
+        (left == 1)
+            ? remaining
+            : rng.NextBinomial(remaining, 1.0 / static_cast<double>(left));
+    if (portion > 0) {
+      sink.Send(u, source, static_cast<double>(portion),
+                static_cast<double>(portion));
+      remaining -= portion;
+    }
+    --left;
+  }
+}
+
+double BpprPerSourceProgram::ResidualBytes(uint32_t machine) const {
+  return residual_per_machine_[machine];
+}
+
+double BpprPerSourceProgram::StateBytes(uint32_t machine) const {
+  const PairTracker& tracker = pair_tracker_[machine];
+  // Per-(source, target) hash-map entries of the in-flight walk table.
+  double pairs = std::max(tracker.peak, tracker.current);
+  return 48.0 * pairs;
+}
+
+uint64_t BpprPerSourceProgram::TotalStopped() const {
+  return std::accumulate(stopped_.begin(), stopped_.end(), uint64_t{0});
+}
+
+// ---------------------------------------------------------------------------
+// BpprExactProgram
+// ---------------------------------------------------------------------------
+
+BpprExactProgram::BpprExactProgram(const TaskContext& context,
+                                   double walks_per_vertex, double alpha,
+                                   uint64_t seed)
+    : context_(context),
+      walks_per_vertex_(
+          static_cast<uint64_t>(std::llround(walks_per_vertex))),
+      alpha_(alpha),
+      stops_(static_cast<size_t>(context.graph->NumVertices()) *
+                 context.graph->NumVertices(),
+             0),
+      residual_per_machine_(context.partition->num_machines, 0.0) {
+  (void)seed;
+  VCMP_CHECK(context.graph->NumVertices() <= 4096)
+      << "BpprExactProgram is for small validation graphs";
+}
+
+void BpprExactProgram::Compute(VertexId v, std::span<const Message> inbox,
+                               MessageSink& sink) {
+  if (sink.round() == 0) {
+    Advance(v, v, walks_per_vertex_, sink);
+    return;
+  }
+  // Messages are grouped by (target, tag): fold per-source counts.
+  size_t i = 0;
+  while (i < inbox.size()) {
+    size_t j = i;
+    uint64_t count = 0;
+    while (j < inbox.size() && inbox[j].tag == inbox[i].tag) {
+      count += static_cast<uint64_t>(std::llround(inbox[j].value));
+      ++j;
+    }
+    Advance(v, inbox[i].tag, count, sink);
+    i = j;
+  }
+}
+
+void BpprExactProgram::Advance(VertexId v, uint32_t source, uint64_t count,
+                               MessageSink& sink) {
+  if (count == 0) return;
+  Rng& rng = sink.rng();
+  const auto neighbors = context_.graph->Neighbors(v);
+  uint64_t stopping = rng.NextBinomial(count, alpha_);
+  if (neighbors.empty()) stopping = count;
+  if (stopping > 0) {
+    stops_[static_cast<size_t>(source) * context_.graph->NumVertices() + v] +=
+        stopping;
+    residual_per_machine_[context_.partition->MachineOf(v)] +=
+        8.0 * static_cast<double>(stopping);
+  }
+  uint64_t moving = count - stopping;
+  if (moving == 0) return;
+  uint64_t remaining = moving;
+  size_t left = neighbors.size();
+  for (VertexId u : neighbors) {
+    if (remaining == 0) break;
+    uint64_t portion =
+        (left == 1)
+            ? remaining
+            : rng.NextBinomial(remaining, 1.0 / static_cast<double>(left));
+    if (portion > 0) {
+      sink.Send(u, source, static_cast<double>(portion),
+                static_cast<double>(portion));
+      remaining -= portion;
+    }
+    --left;
+  }
+}
+
+double BpprExactProgram::ResidualBytes(uint32_t machine) const {
+  return residual_per_machine_[machine];
+}
+
+double BpprExactProgram::Ppr(VertexId source, VertexId u) const {
+  double total = static_cast<double>(walks_per_vertex_);
+  if (total == 0.0) return 0.0;
+  return static_cast<double>(
+             stops_[static_cast<size_t>(source) *
+                        context_.graph->NumVertices() +
+                    u]) /
+         total;
+}
+
+}  // namespace vcmp

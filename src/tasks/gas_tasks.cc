@@ -1,0 +1,122 @@
+#include "tasks/gas_tasks.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace vcmp {
+
+// ---------------------------------------------------------------------------
+// GasPageRank
+// ---------------------------------------------------------------------------
+
+GasPageRank::GasPageRank(const Graph& graph, const Partitioning& partition,
+                         const Params& params)
+    : graph_(graph),
+      partition_(partition),
+      params_(params),
+      tolerance_(params.tolerance_fraction / graph.NumVertices()),
+      rank_(graph.NumVertices(), 0.0) {}
+
+void GasPageRank::Seed(GasContext& context) {
+  const double initial = (1.0 - params_.damping) / graph_.NumVertices();
+  for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+    context.Signal(v, initial, 1.0);
+  }
+}
+
+void GasPageRank::Process(VertexId v, double signal, GasContext& context) {
+  if (signal <= 0.0) return;
+  rank_[v] += signal;
+  if (signal < tolerance_) return;  // Absorb tiny mass; do not re-push.
+  const auto neighbors = graph_.Neighbors(v);
+  if (neighbors.empty()) return;  // Dangling mass settles here.
+  context.AddComputeUnits(static_cast<double>(neighbors.size()));
+  double share =
+      params_.damping * signal / static_cast<double>(neighbors.size());
+  for (VertexId u : neighbors) {
+    context.Signal(u, share, 1.0);
+  }
+}
+
+double GasPageRank::StateBytes(uint32_t machine) const {
+  (void)machine;
+  // rank + pending accumulator, 8 bytes each per local vertex.
+  return 16.0 * graph_.NumVertices() / partition_.num_machines;
+}
+
+double GasPageRank::TotalRank() const {
+  return std::accumulate(rank_.begin(), rank_.end(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// GasBpprWalks
+// ---------------------------------------------------------------------------
+
+GasBpprWalks::GasBpprWalks(const Graph& graph, const Partitioning& partition,
+                           double walks_per_vertex, const Params& params,
+                           uint64_t seed)
+    : graph_(graph),
+      partition_(partition),
+      walks_per_vertex_(static_cast<uint64_t>(walks_per_vertex)),
+      params_(params),
+      rng_(seed),
+      stopped_(graph.NumVertices(), 0),
+      residual_per_machine_(partition.num_machines, 0.0) {}
+
+void GasBpprWalks::Seed(GasContext& context) {
+  for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+    context.Signal(v, static_cast<double>(walks_per_vertex_),
+                   static_cast<double>(walks_per_vertex_));
+  }
+}
+
+void GasBpprWalks::Process(VertexId v, double signal, GasContext& context) {
+  auto resident = static_cast<uint64_t>(signal + 0.5);
+  Move(v, resident, context);
+}
+
+void GasBpprWalks::Move(VertexId v, uint64_t count, GasContext& context) {
+  if (count == 0) return;
+  uint64_t stopping = rng_.NextBinomial(count, params_.alpha);
+  const auto neighbors = graph_.Neighbors(v);
+  if (neighbors.empty()) stopping = count;
+  if (stopping > 0) {
+    stopped_[v] += stopping;
+    residual_per_machine_[partition_.MachineOf(v)] +=
+        static_cast<double>(stopping) * params_.residual_record_bytes;
+  }
+  uint64_t moving = count - stopping;
+  if (moving == 0) return;
+  context.AddComputeUnits(static_cast<double>(neighbors.size()));
+  uint64_t remaining = moving;
+  size_t left = neighbors.size();
+  for (VertexId u : neighbors) {
+    if (remaining == 0) break;
+    uint64_t portion =
+        (left == 1)
+            ? remaining
+            : rng_.NextBinomial(remaining, 1.0 / static_cast<double>(left));
+    if (portion > 0) {
+      context.Signal(u, static_cast<double>(portion),
+                     static_cast<double>(portion));
+      remaining -= portion;
+    }
+    --left;
+  }
+}
+
+double GasBpprWalks::StateBytes(uint32_t machine) const {
+  (void)machine;
+  return 16.0 * graph_.NumVertices() / partition_.num_machines;
+}
+
+double GasBpprWalks::ResidualBytes(uint32_t machine) const {
+  return residual_per_machine_[machine];
+}
+
+uint64_t GasBpprWalks::TotalStopped() const {
+  return std::accumulate(stopped_.begin(), stopped_.end(), uint64_t{0});
+}
+
+}  // namespace vcmp

@@ -1,0 +1,37 @@
+#include "tasks/task_registry.h"
+
+#include "tasks/bkhs.h"
+#include "tasks/connected_components.h"
+#include "tasks/bppr.h"
+#include "tasks/mssp.h"
+#include "tasks/pagerank.h"
+
+namespace vcmp {
+
+Result<std::unique_ptr<MultiTask>> MakeTask(const std::string& name) {
+  if (name == "BPPR") {
+    return std::unique_ptr<MultiTask>(std::make_unique<BpprTask>());
+  }
+  if (name == "MSSP") {
+    return std::unique_ptr<MultiTask>(std::make_unique<MsspTask>());
+  }
+  if (name == "BKHS") {
+    return std::unique_ptr<MultiTask>(std::make_unique<BkhsTask>());
+  }
+  if (name == "PageRank") {
+    return std::unique_ptr<MultiTask>(std::make_unique<PageRankTask>());
+  }
+  if (name == "ConnectedComponents") {
+    return std::unique_ptr<MultiTask>(
+        std::make_unique<ConnectedComponentsTask>());
+  }
+  return Status::NotFound("no task named '" + name + "'");
+}
+
+const std::vector<std::string>& BenchmarkTaskNames() {
+  static const auto& names =
+      *new std::vector<std::string>{"BPPR", "MSSP", "BKHS"};
+  return names;
+}
+
+}  // namespace vcmp

@@ -1,0 +1,22 @@
+#ifndef VCMP_TASKS_TASK_REGISTRY_H_
+#define VCMP_TASKS_TASK_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tasks/task.h"
+
+namespace vcmp {
+
+/// Creates a benchmark task by paper name: "BPPR", "MSSP", "BKHS",
+/// "PageRank". Returns NotFound for anything else.
+Result<std::unique_ptr<MultiTask>> MakeTask(const std::string& name);
+
+/// The three multi-processing benchmark names of Section 2.3.
+const std::vector<std::string>& BenchmarkTaskNames();
+
+}  // namespace vcmp
+
+#endif  // VCMP_TASKS_TASK_REGISTRY_H_

@@ -1,0 +1,98 @@
+#include "graph/analysis.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace vcmp {
+namespace {
+
+TEST(DegreeStatsTest, RingIsUniform) {
+  Graph ring = GenerateRing(100, 2);  // Degree 4 everywhere.
+  DegreeStats stats = ComputeDegreeStats(ring);
+  EXPECT_EQ(stats.max_degree, 4u);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 4.0);
+  EXPECT_DOUBLE_EQ(stats.neighbor_degree_bias, 4.0);  // No skew.
+  EXPECT_EQ(stats.isolated_vertices, 0u);
+  // Top 1% (1 vertex) holds 4 of 400 directed edges.
+  EXPECT_NEAR(stats.top1pct_edge_share, 0.01, 1e-12);
+}
+
+TEST(DegreeStatsTest, StarIsMaximallySkewed) {
+  GraphBuilder builder(101);
+  for (VertexId leaf = 1; leaf <= 100; ++leaf) builder.AddEdge(0, leaf);
+  Graph star = builder.Build({.symmetrize = true});
+  DegreeStats stats = ComputeDegreeStats(star);
+  EXPECT_EQ(stats.max_degree, 100u);
+  // E[d^2]/E[d] = (100^2 + 100*1) / 200 = 50.5.
+  EXPECT_NEAR(stats.neighbor_degree_bias, 50.5, 1e-9);
+  EXPECT_NEAR(stats.top1pct_edge_share, 0.5, 1e-9);  // Hub owns half.
+  EXPECT_NE(stats.ToString().find("max=100"), std::string::npos);
+}
+
+TEST(DegreeStatsTest, CountsIsolatedVertices) {
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 1);
+  Graph graph = builder.Build({.symmetrize = true});
+  EXPECT_EQ(ComputeDegreeStats(graph).isolated_vertices, 3u);
+}
+
+TEST(DegreeHistogramTest, BucketsByPowerOfTwo) {
+  GraphBuilder builder(8);
+  // One vertex of degree 4, its 4 neighbours of degree 1, 3 isolated.
+  for (VertexId leaf = 1; leaf <= 4; ++leaf) builder.AddEdge(0, leaf);
+  Graph graph = builder.Build({.symmetrize = true});
+  std::vector<uint64_t> histogram = DegreeHistogram(graph);
+  // Bucket 0: degree 0 (3 vertices); bucket 1: degree 1 (4 vertices);
+  // bucket 3: degree 4 (1 vertex).
+  ASSERT_GE(histogram.size(), 4u);
+  EXPECT_EQ(histogram[0], 3u);
+  EXPECT_EQ(histogram[1], 4u);
+  EXPECT_EQ(histogram[3], 1u);
+  EXPECT_EQ(std::accumulate(histogram.begin(), histogram.end(),
+                            uint64_t{0}),
+            graph.NumVertices());
+}
+
+TEST(DiameterTest, RingDiameterIsHalfLength) {
+  Graph ring = GenerateRing(64, 1);
+  DiameterEstimate estimate = EstimateDiameter(ring, 8);
+  EXPECT_EQ(estimate.max_observed, 32u);
+  EXPECT_GE(estimate.effective_diameter, 28u);  // 90th pct of 1..32.
+  EXPECT_NEAR(estimate.reachable_fraction, 1.0, 1e-12);
+}
+
+TEST(DiameterTest, SmallWorldGraphHasSmallDiameter) {
+  ErdosRenyiParams params;
+  params.num_vertices = 2000;
+  params.num_edges = 12000;
+  params.seed = 5;
+  Graph graph = GenerateErdosRenyi(params);
+  DiameterEstimate estimate = EstimateDiameter(graph, 8);
+  EXPECT_LE(estimate.effective_diameter, 8u);
+  EXPECT_GT(estimate.reachable_fraction, 0.95);
+}
+
+TEST(DiameterTest, DisconnectedGraphReportsPartialReachability) {
+  GraphBuilder builder(10);
+  builder.AddEdges({{0, 1}, {1, 2}, {5, 6}});
+  Graph graph = builder.Build({.symmetrize = true});
+  DiameterEstimate estimate = EstimateDiameter(graph, 10);
+  EXPECT_LT(estimate.reachable_fraction, 0.5);
+}
+
+TEST(StandInValidationTest, DblpStandInMatchesPaperShape) {
+  // The stand-in must land near Table 1's average degree and carry a
+  // heavy-enough tail to reproduce hub congestion.
+  Dataset dblp = LoadDataset(DatasetId::kDblp, 64.0);
+  DegreeStats stats = ComputeDegreeStats(dblp.graph);
+  EXPECT_NEAR(stats.mean_degree, dblp.info.paper_avg_degree, 2.0);
+  EXPECT_GT(stats.neighbor_degree_bias, 3.0 * stats.mean_degree);
+}
+
+}  // namespace
+}  // namespace vcmp

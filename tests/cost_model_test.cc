@@ -1,0 +1,138 @@
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace vcmp {
+namespace {
+
+ClusterRoundLoad UniformLoad(uint32_t machines, double messages) {
+  ClusterRoundLoad loads(machines);
+  for (MachineRoundLoad& load : loads) {
+    load.recv_messages = messages;
+    load.processed_messages = messages;
+    load.buffered_message_bytes = messages * 20.0;
+    load.active_vertices = 1000.0;
+    load.state_bytes = 1.0 * kMiB;
+  }
+  return loads;
+}
+
+TEST(CostModelTest, TimeScalesWithMessages) {
+  CostModel model(ClusterSpec::Galaxy8(),
+                  ProfileFor(SystemKind::kPregelPlus));
+  RoundStats light = model.EvaluateRound(UniformLoad(8, 1e6), 0.0);
+  RoundStats heavy = model.EvaluateRound(UniformLoad(8, 1e7), 0.0);
+  EXPECT_GT(heavy.compute_seconds, 9.0 * light.compute_seconds);
+  EXPECT_DOUBLE_EQ(light.messages, 8e6);
+}
+
+TEST(CostModelTest, BarrierGrowsWithMachines) {
+  RoundStats small =
+      CostModel(ClusterSpec::Galaxy8().WithMachines(2),
+                ProfileFor(SystemKind::kPregelPlus))
+          .EvaluateRound(UniformLoad(2, 1e5), 0.0);
+  RoundStats large =
+      CostModel(ClusterSpec::Galaxy27(),
+                ProfileFor(SystemKind::kPregelPlus))
+          .EvaluateRound(UniformLoad(27, 1e5), 0.0);
+  EXPECT_GT(large.barrier_seconds, small.barrier_seconds);
+}
+
+TEST(CostModelTest, GiraphProfileCostsMore) {
+  ClusterRoundLoad loads = UniformLoad(8, 1e7);
+  RoundStats pregel = CostModel(ClusterSpec::Galaxy8(),
+                                ProfileFor(SystemKind::kPregelPlus))
+                          .EvaluateRound(loads, 0.0);
+  RoundStats giraph = CostModel(ClusterSpec::Galaxy8(),
+                                ProfileFor(SystemKind::kGiraph))
+                          .EvaluateRound(loads, 0.0);
+  EXPECT_GT(giraph.compute_seconds, 2.0 * pregel.compute_seconds);
+  // Same buffered bytes demand far more memory on the JVM.
+  EXPECT_GT(giraph.max_memory_bytes, 2.0 * pregel.max_memory_bytes);
+}
+
+TEST(CostModelTest, MemoryOverflowFlagsRound) {
+  CostModel model(ClusterSpec::Galaxy8(),
+                  ProfileFor(SystemKind::kPregelPlus));
+  ClusterRoundLoad loads = UniformLoad(8, 1e6);
+  loads[3].residual_bytes = 20.0 * kGiB;  // One machine past physical.
+  RoundStats stats = model.EvaluateRound(loads, 0.0);
+  EXPECT_TRUE(stats.overflow);
+  EXPECT_GT(stats.thrash_multiplier, 1.0);
+}
+
+TEST(CostModelTest, ThrashInflatesRoundTime) {
+  CostModel model(ClusterSpec::Galaxy8(),
+                  ProfileFor(SystemKind::kPregelPlus));
+  ClusterRoundLoad comfortable = UniformLoad(8, 1e7);
+  ClusterRoundLoad pressured = UniformLoad(8, 1e7);
+  for (MachineRoundLoad& load : pressured) {
+    load.residual_bytes = 13.0 * kGiB;
+  }
+  RoundStats fast = model.EvaluateRound(comfortable, 0.0);
+  RoundStats slow = model.EvaluateRound(pressured, 0.0);
+  EXPECT_GT(slow.total_seconds, 1.5 * fast.total_seconds);
+  EXPECT_GT(slow.thrash_multiplier, 1.5);
+}
+
+TEST(CostModelTest, OutOfCoreCapsMemoryButPaysDisk) {
+  SystemProfile graphd = ProfileFor(SystemKind::kGraphD);
+  CostModel model(ClusterSpec::Galaxy27(), graphd);
+  ClusterRoundLoad loads = UniformLoad(27, 1e6);
+  for (MachineRoundLoad& load : loads) {
+    load.buffered_message_bytes = 30.0 * kGiB;  // Far beyond the budget.
+  }
+  RoundStats stats = model.EvaluateRound(loads, 64.0 * kMiB);
+  EXPECT_FALSE(stats.overflow);  // Spill prevents the overflow...
+  EXPECT_GT(stats.disk_stall_seconds, 0.0);  // ...but the disk pays.
+  EXPECT_TRUE(stats.disk_saturated);
+  EXPECT_LE(stats.max_memory_bytes,
+            graphd.ooc_budget_bytes + 2.0 * kMiB + 1.0);
+}
+
+TEST(CostModelTest, InMemoryProfileIgnoresDisk) {
+  CostModel model(ClusterSpec::Galaxy8(),
+                  ProfileFor(SystemKind::kPregelPlus));
+  RoundStats stats = model.EvaluateRound(UniformLoad(8, 1e7), 512.0 * kMiB);
+  EXPECT_DOUBLE_EQ(stats.disk_stall_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(stats.disk_utilization, 0.0);
+}
+
+TEST(CostModelTest, SlowestMachineGovernsRoundTime) {
+  CostModel model(ClusterSpec::Galaxy8(),
+                  ProfileFor(SystemKind::kPregelPlus));
+  ClusterRoundLoad balanced = UniformLoad(8, 1e6);
+  ClusterRoundLoad skewed = UniformLoad(8, 1e6);
+  // Same total work, one straggler.
+  for (MachineRoundLoad& load : skewed) load.processed_messages = 0.5e6;
+  skewed[0].processed_messages = 4.5e6;
+  RoundStats even = model.EvaluateRound(balanced, 0.0);
+  RoundStats straggler = model.EvaluateRound(skewed, 0.0);
+  EXPECT_GT(straggler.total_seconds, 2.0 * even.total_seconds);
+}
+
+TEST(CostModelTest, RejectsWrongMachineCount) {
+  CostModel model(ClusterSpec::Galaxy8(),
+                  ProfileFor(SystemKind::kPregelPlus));
+  EXPECT_DEATH((void)model.EvaluateRound(UniformLoad(4, 1.0), 0.0),
+               "every machine");
+}
+
+TEST(CostModelTest, NetworkOveruseOnlyOnBursts) {
+  CostModel model(ClusterSpec::Galaxy8(),
+                  ProfileFor(SystemKind::kPregelPlus));
+  ClusterRoundLoad loads = UniformLoad(8, 1e7);
+  RoundStats quiet = model.EvaluateRound(loads, 0.0);
+  EXPECT_DOUBLE_EQ(quiet.network_overuse_seconds, 0.0);
+  for (MachineRoundLoad& load : loads) {
+    load.cross_bytes_out = 64.0 * kGiB;
+    load.cross_bytes_in = 64.0 * kGiB;
+  }
+  RoundStats bursty = model.EvaluateRound(loads, 0.0);
+  EXPECT_GT(bursty.network_overuse_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace vcmp

@@ -1,0 +1,51 @@
+#include "graph/datasets.h"
+
+#include <gtest/gtest.h>
+
+namespace vcmp {
+namespace {
+
+TEST(DatasetsTest, RegistryMatchesPaperTable1) {
+  const auto& all = AllDatasets();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_STREQ(all[0].name, "Web-St");
+  EXPECT_STREQ(all[1].name, "DBLP");
+  EXPECT_STREQ(all[5].name, "Friendster");
+  EXPECT_EQ(all[1].paper_nodes, 613'600u);
+  EXPECT_EQ(all[4].paper_edges, 1'500'000'000u);
+}
+
+TEST(DatasetsTest, FindByName) {
+  auto found = FindDataset("Orkut");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value().id, DatasetId::kOrkut);
+  EXPECT_FALSE(FindDataset("orkut").ok());
+  EXPECT_FALSE(FindDataset("NoSuch").ok());
+}
+
+TEST(DatasetsTest, LoadedStandInMatchesScaledSize) {
+  Dataset dblp = LoadDataset(DatasetId::kDblp, /*scale_override=*/16.0);
+  EXPECT_EQ(dblp.scale, 16.0);
+  double expected_nodes = 613'600.0 / 16.0;
+  EXPECT_NEAR(dblp.graph.NumVertices(), expected_nodes,
+              expected_nodes * 0.01);
+  // Average degree approximates the paper's value.
+  EXPECT_NEAR(dblp.graph.AverageDegree(), dblp.info.paper_avg_degree, 2.5);
+  // Paper-scale accounting restores the original vertex count.
+  EXPECT_NEAR(dblp.PaperScaleVertices(), 613'600.0, 613'600.0 * 0.01);
+}
+
+TEST(DatasetsTest, DeterministicAcrossLoads) {
+  Dataset a = LoadDataset(DatasetId::kWebSt, 8.0);
+  Dataset b = LoadDataset(DatasetId::kWebSt, 8.0);
+  EXPECT_EQ(a.graph.targets(), b.graph.targets());
+}
+
+TEST(DatasetsTest, TwitterStandInIsSkewed) {
+  Dataset twitter = LoadDataset(DatasetId::kTwitter, 2048.0);
+  EXPECT_GT(static_cast<double>(twitter.graph.MaxDegree()),
+            10.0 * twitter.graph.AverageDegree());
+}
+
+}  // namespace
+}  // namespace vcmp

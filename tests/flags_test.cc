@@ -1,0 +1,76 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace vcmp {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser flags("test", "test tool");
+  flags.Define("workload", "1024", "total workload");
+  flags.Define("name", "DBLP", "dataset name");
+  flags.Define("tune", "false", "enable tuning");
+  return flags;
+}
+
+Status ParseArgs(FlagParser& flags, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return flags.Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagParserTest, DefaultsApply) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {}).ok());
+  EXPECT_EQ(flags.GetInt("workload"), 1024);
+  EXPECT_EQ(flags.GetString("name"), "DBLP");
+  EXPECT_FALSE(flags.GetBool("tune"));
+  EXPECT_FALSE(flags.IsSet("workload"));
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {"--workload=512", "--name=Orkut"}).ok());
+  EXPECT_EQ(flags.GetInt("workload"), 512);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("workload"), 512.0);
+  EXPECT_EQ(flags.GetString("name"), "Orkut");
+  EXPECT_TRUE(flags.IsSet("workload"));
+}
+
+TEST(FlagParserTest, SpaceSyntaxAndBareBool) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {"--workload", "99", "--tune"}).ok());
+  EXPECT_EQ(flags.GetInt("workload"), 99);
+  EXPECT_TRUE(flags.GetBool("tune"));
+}
+
+TEST(FlagParserTest, UnknownFlagRejected) {
+  FlagParser flags = MakeParser();
+  Status status = ParseArgs(flags, {"--bogus=1"});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, PositionalRejected) {
+  FlagParser flags = MakeParser();
+  EXPECT_FALSE(ParseArgs(flags, {"positional"}).ok());
+}
+
+TEST(FlagParserTest, HelpRequested) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {"--help"}).ok());
+  EXPECT_TRUE(flags.help_requested());
+  std::string help = flags.HelpText();
+  EXPECT_NE(help.find("--workload"), std::string::npos);
+  EXPECT_NE(help.find("default: 1024"), std::string::npos);
+}
+
+TEST(FlagParserTest, BoolSpellings) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {"--tune=yes"}).ok());
+  EXPECT_TRUE(flags.GetBool("tune"));
+  FlagParser flags2 = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags2, {"--tune=0"}).ok());
+  EXPECT_FALSE(flags2.GetBool("tune"));
+}
+
+}  // namespace
+}  // namespace vcmp

@@ -1,0 +1,92 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vcmp {
+namespace {
+
+TEST(RmatTest, ProducesRequestedScale) {
+  RmatParams params;
+  params.num_vertices = 5000;
+  params.num_edges = 40000;
+  params.seed = 3;
+  Graph graph = GenerateRmat(params);
+  EXPECT_EQ(graph.NumVertices(), 5000u);
+  // Symmetrized and deduplicated: between 1x and 2x the sampled count.
+  EXPECT_GT(graph.NumEdges(), params.num_edges * 1.0);
+  EXPECT_LE(graph.NumEdges(), params.num_edges * 2.0);
+}
+
+TEST(RmatTest, DeterministicForSeed) {
+  RmatParams params;
+  params.num_vertices = 1000;
+  params.num_edges = 8000;
+  params.seed = 11;
+  Graph a = GenerateRmat(params);
+  Graph b = GenerateRmat(params);
+  EXPECT_EQ(a.targets(), b.targets());
+  params.seed = 12;
+  Graph c = GenerateRmat(params);
+  EXPECT_NE(a.targets(), c.targets());
+}
+
+TEST(RmatTest, SkewedDegreeDistribution) {
+  RmatParams params;
+  params.num_vertices = 1 << 14;
+  params.num_edges = 1 << 17;
+  params.seed = 5;
+  Graph graph = GenerateRmat(params);
+  // Heavy tail: the max degree should dwarf the average (social-graph
+  // skew is what makes mirroring worthwhile).
+  EXPECT_GT(static_cast<double>(graph.MaxDegree()),
+            20.0 * graph.AverageDegree());
+}
+
+TEST(PreferentialAttachmentTest, MatchesTargetDegree) {
+  PreferentialAttachmentParams params;
+  params.num_vertices = 20000;
+  params.edges_per_vertex = 3;
+  params.seed = 2;
+  Graph graph = GeneratePreferentialAttachment(params);
+  EXPECT_EQ(graph.NumVertices(), 20000u);
+  // Directed degree after symmetrisation ~ 2 * epv (minus dedup losses).
+  EXPECT_NEAR(graph.AverageDegree(), 6.0, 1.0);
+  EXPECT_GT(static_cast<double>(graph.MaxDegree()),
+            5.0 * graph.AverageDegree());
+}
+
+TEST(ErdosRenyiTest, NoSkew) {
+  ErdosRenyiParams params;
+  params.num_vertices = 10000;
+  params.num_edges = 80000;
+  params.seed = 4;
+  Graph graph = GenerateErdosRenyi(params);
+  // Uniform model: max degree stays within a small factor of the mean.
+  EXPECT_LT(static_cast<double>(graph.MaxDegree()),
+            4.0 * graph.AverageDegree());
+}
+
+TEST(RingTest, ExactStructure) {
+  Graph ring = GenerateRing(6, 1);
+  EXPECT_EQ(ring.NumVertices(), 6u);
+  EXPECT_EQ(ring.NumEdges(), 12u);  // Each vertex: successor + predecessor.
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_EQ(ring.OutDegree(v), 2u);
+  }
+  auto n0 = ring.Neighbors(0);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 5u);
+}
+
+TEST(RingTest, WiderChords) {
+  Graph ring = GenerateRing(8, 2);
+  for (VertexId v = 0; v < 8; ++v) {
+    EXPECT_EQ(ring.OutDegree(v), 4u);
+  }
+}
+
+}  // namespace
+}  // namespace vcmp

@@ -1,0 +1,101 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace vcmp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(GraphIoTest, TextRoundTrip) {
+  Graph original = GenerateRing(50, 2);
+  std::string path = TempPath("ring.txt");
+  ASSERT_TRUE(SaveEdgeListText(original, path).ok());
+  auto loaded = LoadEdgeListText(path, /*symmetrize=*/false);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().NumVertices(), original.NumVertices());
+  EXPECT_EQ(loaded.value().targets(), original.targets());
+}
+
+TEST(GraphIoTest, TextParsesCommentsAndSymmetrizes) {
+  std::string path = TempPath("snap.txt");
+  {
+    std::ofstream out(path);
+    out << "# SNAP-style header\n# more comments\n0\t1\n1 2\n";
+  }
+  auto loaded = LoadEdgeListText(path, /*symmetrize=*/true);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().NumVertices(), 3u);
+  EXPECT_EQ(loaded.value().NumEdges(), 4u);
+}
+
+TEST(GraphIoTest, TextRejectsGarbage) {
+  std::string path = TempPath("garbage.txt");
+  {
+    std::ofstream out(path);
+    out << "0\tnot_a_number\n";
+  }
+  EXPECT_FALSE(LoadEdgeListText(path).ok());
+}
+
+TEST(GraphIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadEdgeListText(TempPath("does_not_exist.txt")).ok());
+  EXPECT_FALSE(LoadBinary(TempPath("does_not_exist.bin")).ok());
+}
+
+TEST(GraphIoTest, EmptyFileFails) {
+  std::string path = TempPath("empty.txt");
+  { std::ofstream out(path); }
+  EXPECT_FALSE(LoadEdgeListText(path).ok());
+}
+
+TEST(GraphIoTest, BinaryRoundTrip) {
+  ErdosRenyiParams params;
+  params.num_vertices = 500;
+  params.num_edges = 3000;
+  params.seed = 8;
+  Graph original = GenerateErdosRenyi(params);
+  std::string path = TempPath("graph.bin");
+  ASSERT_TRUE(SaveBinary(original, path).ok());
+  auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().offsets(), original.offsets());
+  EXPECT_EQ(loaded.value().targets(), original.targets());
+}
+
+TEST(GraphIoTest, BinaryRejectsWrongMagic) {
+  std::string path = TempPath("not_graph.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a vcmp graph file at all, no magic here";
+  }
+  EXPECT_FALSE(LoadBinary(path).ok());
+}
+
+TEST(GraphIoTest, BinaryRejectsTruncated) {
+  Graph original = GenerateRing(100, 1);
+  std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(SaveBinary(original, path).ok());
+  // Truncate the file to half its size.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() / 2));
+  }
+  EXPECT_FALSE(LoadBinary(path).ok());
+}
+
+}  // namespace
+}  // namespace vcmp

@@ -1,0 +1,112 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace vcmp {
+namespace {
+
+TEST(GraphBuilderTest, BuildsSortedCsr) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 3);
+  Graph graph = builder.Build({.symmetrize = false});
+  EXPECT_EQ(graph.NumVertices(), 4u);
+  EXPECT_EQ(graph.NumEdges(), 3u);
+  ASSERT_EQ(graph.OutDegree(0), 2u);
+  EXPECT_EQ(graph.Neighbors(0)[0], 1u);  // Sorted adjacency.
+  EXPECT_EQ(graph.Neighbors(0)[1], 2u);
+  EXPECT_EQ(graph.OutDegree(1), 0u);
+  EXPECT_EQ(graph.OutDegree(3), 0u);
+}
+
+TEST(GraphBuilderTest, SymmetrizeMirrorsEdges) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  Graph graph = builder.Build({.symmetrize = true});
+  EXPECT_EQ(graph.NumEdges(), 4u);
+  EXPECT_EQ(graph.OutDegree(1), 2u);
+  EXPECT_EQ(graph.Neighbors(2)[0], 1u);
+}
+
+TEST(GraphBuilderTest, RemovesSelfLoopsAndDuplicates) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 0);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  Graph graph = builder.Build(
+      {.symmetrize = true, .remove_self_loops = true, .deduplicate = true});
+  EXPECT_EQ(graph.NumEdges(), 2u);  // 0->1 and 1->0 once each.
+  EXPECT_EQ(graph.OutDegree(0), 1u);
+  EXPECT_EQ(graph.OutDegree(1), 1u);
+}
+
+TEST(GraphBuilderTest, KeepsParallelEdgesWhenAsked) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);
+  Graph graph = builder.Build({.symmetrize = false,
+                               .remove_self_loops = true,
+                               .deduplicate = false});
+  EXPECT_EQ(graph.OutDegree(0), 2u);
+}
+
+TEST(GraphBuilderTest, IgnoresOutOfRangeEndpoints) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 5);
+  builder.AddEdge(7, 1);
+  builder.AddEdge(0, 1);
+  Graph graph = builder.Build({.symmetrize = false});
+  EXPECT_EQ(graph.NumEdges(), 1u);
+}
+
+TEST(GraphBuilderTest, BulkAdd) {
+  GraphBuilder builder(4);
+  builder.AddEdges({{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(builder.NumBufferedEdges(), 3u);
+  Graph graph = builder.Build({.symmetrize = false});
+  EXPECT_EQ(graph.NumEdges(), 3u);
+}
+
+TEST(GraphTest, OffsetsInvariants) {
+  GraphBuilder builder(5);
+  builder.AddEdges({{0, 1}, {0, 2}, {3, 4}, {4, 0}});
+  Graph graph = builder.Build({.symmetrize = true});
+  const auto& offsets = graph.offsets();
+  ASSERT_EQ(offsets.size(), graph.NumVertices() + 1u);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), graph.NumEdges());
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    EXPECT_LE(offsets[i - 1], offsets[i]);
+  }
+}
+
+TEST(GraphTest, DegreeStatistics) {
+  GraphBuilder builder(4);
+  builder.AddEdges({{0, 1}, {0, 2}, {0, 3}});
+  Graph graph = builder.Build({.symmetrize = true});
+  EXPECT_EQ(graph.MaxDegree(), 3u);  // The hub.
+  EXPECT_DOUBLE_EQ(graph.AverageDegree(), 6.0 / 4.0);
+  EXPECT_GT(graph.StorageBytes(), 0u);
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph graph;
+  EXPECT_EQ(graph.NumVertices(), 0u);
+  EXPECT_EQ(graph.NumEdges(), 0u);
+  EXPECT_EQ(graph.AverageDegree(), 0.0);
+}
+
+TEST(GraphTest, ToStringMentionsSize) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  Graph graph = builder.Build({.symmetrize = false});
+  EXPECT_NE(graph.ToString().find("n="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vcmp

@@ -1,0 +1,139 @@
+#include "common/ini.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment_spec.h"
+
+namespace vcmp {
+namespace {
+
+TEST(IniTest, ParsesSectionsAndValues) {
+  auto document = IniDocument::Parse(
+      "# comment\n"
+      "[alpha]\n"
+      "key = value with spaces\n"
+      "number=42\n"
+      "; another comment\n"
+      "[beta]\n"
+      "x = 1.5\n");
+  ASSERT_TRUE(document.ok()) << document.status().ToString();
+  ASSERT_EQ(document.value().sections().size(), 2u);
+  const auto* alpha = document.value().FindSection("alpha");
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_EQ(IniDocument::GetString(*alpha, "key", ""),
+            "value with spaces");
+  EXPECT_EQ(IniDocument::GetInt(*alpha, "number", 0).value(), 42);
+  const auto* beta = document.value().FindSection("beta");
+  ASSERT_NE(beta, nullptr);
+  EXPECT_DOUBLE_EQ(IniDocument::GetDouble(*beta, "x", 0.0).value(), 1.5);
+  EXPECT_EQ(document.value().FindSection("gamma"), nullptr);
+}
+
+TEST(IniTest, DefaultsForMissingKeys) {
+  auto document = IniDocument::Parse("[s]\na = 1\n");
+  ASSERT_TRUE(document.ok());
+  const auto& section = document.value().sections()[0];
+  EXPECT_EQ(IniDocument::GetString(section, "missing", "fallback"),
+            "fallback");
+  EXPECT_DOUBLE_EQ(IniDocument::GetDouble(section, "missing", 7.0).value(),
+                   7.0);
+}
+
+TEST(IniTest, RejectsMalformedInput) {
+  EXPECT_FALSE(IniDocument::Parse("[unclosed\nk=v\n").ok());
+  EXPECT_FALSE(IniDocument::Parse("[s]\njust a line\n").ok());
+  EXPECT_FALSE(IniDocument::Parse("[s]\n= empty key\n").ok());
+  EXPECT_FALSE(IniDocument::Parse("[s]\nk=1\nk=2\n").ok());  // Dup key.
+  EXPECT_FALSE(IniDocument::Parse("[s]\nk=1\n[s]\n").ok());  // Dup section.
+}
+
+TEST(IniTest, RejectsNonNumericTypedAccess) {
+  auto document = IniDocument::Parse("[s]\nx = not-a-number\n");
+  ASSERT_TRUE(document.ok());
+  EXPECT_FALSE(
+      IniDocument::GetDouble(document.value().sections()[0], "x", 0.0)
+          .ok());
+}
+
+TEST(IniTest, LoadRejectsMissingFile) {
+  EXPECT_FALSE(IniDocument::Load("/no/such/file.ini").ok());
+}
+
+TEST(ExperimentSpecTest, ParsesFullSpec) {
+  auto document = IniDocument::Parse(
+      "[exp1]\n"
+      "dataset = Orkut\n"
+      "task = MSSP\n"
+      "system = GraphD\n"
+      "cluster = galaxy27\n"
+      "machines = 16\n"
+      "workload = 2048\n"
+      "schedule = geometric:3,0.5\n"
+      "scale = 512\n"
+      "seed = 9\n"
+      "threads = 2\n");
+  ASSERT_TRUE(document.ok());
+  auto specs = ParseExperimentSpecs(document.value());
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  ASSERT_EQ(specs.value().size(), 1u);
+  const ExperimentSpec& spec = specs.value()[0];
+  EXPECT_EQ(spec.name, "exp1");
+  EXPECT_EQ(spec.dataset, "Orkut");
+  EXPECT_EQ(spec.task, "MSSP");
+  EXPECT_EQ(spec.system, "GraphD");
+  EXPECT_EQ(spec.machines, 16u);
+  EXPECT_DOUBLE_EQ(spec.workload, 2048.0);
+  EXPECT_EQ(spec.schedule, "geometric:3,0.5");
+  EXPECT_EQ(spec.seed, 9u);
+}
+
+TEST(ExperimentSpecTest, RejectsUnknownKeys) {
+  auto document = IniDocument::Parse("[exp]\nworklod = 5\n");  // Typo.
+  ASSERT_TRUE(document.ok());
+  EXPECT_FALSE(ParseExperimentSpecs(document.value()).ok());
+}
+
+TEST(ExperimentSpecTest, RunsEndToEnd) {
+  ExperimentSpec spec;
+  spec.name = "smoke";
+  spec.workload = 32;
+  spec.schedule = "equal:2";
+  spec.scale = 512;
+  auto result = RunExperiment(spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().schedule.NumBatches(), 2u);
+  EXPECT_GT(result.value().report.total_messages, 0.0);
+}
+
+TEST(ExperimentSpecTest, GeometricScheduleResolves) {
+  ExperimentSpec spec;
+  spec.name = "geo";
+  spec.workload = 100;
+  spec.schedule = "geometric:2,0.5";
+  spec.scale = 512;
+  auto result = RunExperiment(spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& w = result.value().schedule.workloads();
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_GT(w[0], w[1]);
+}
+
+TEST(ExperimentSpecTest, RejectsBadReferences) {
+  ExperimentSpec spec;
+  spec.name = "bad";
+  spec.dataset = "NoSuchDataset";
+  EXPECT_FALSE(RunExperiment(spec).ok());
+  spec.dataset = "DBLP";
+  spec.system = "NoSuchSystem";
+  spec.scale = 512;
+  EXPECT_FALSE(RunExperiment(spec).ok());
+  spec.system = "Pregel+";
+  spec.schedule = "bogus:1";
+  EXPECT_FALSE(RunExperiment(spec).ok());
+  spec.schedule = "equal:1";
+  spec.cluster = "mars";
+  EXPECT_FALSE(RunExperiment(spec).ok());
+}
+
+}  // namespace
+}  // namespace vcmp

@@ -1,0 +1,180 @@
+// Integration tests: the paper's headline phenomena must emerge from the
+// simulator end-to-end. Each test mirrors a section of the evaluation.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "core/tuning/tuner.h"
+#include "graph/datasets.h"
+#include "tasks/bppr.h"
+#include "tasks/task_registry.h"
+
+namespace vcmp {
+namespace {
+
+// DBLP stand-in small enough for tests but big enough that paper-scale
+// workloads reproduce the congestion regimes of Galaxy-8.
+Dataset IntegrationDataset() {
+  return LoadDataset(DatasetId::kDblp, /*scale_override=*/64.0);
+}
+
+double RunSeconds(const Dataset& dataset, SystemKind system,
+                  double workload, uint32_t batches,
+                  uint32_t machines = 8) {
+  RunnerOptions options;
+  options.cluster = ClusterSpec::Galaxy8().WithMachines(machines);
+  options.system = system;
+  MultiProcessingRunner runner(dataset, options);
+  BpprTask task;
+  auto report = runner.Run(task, BatchSchedule::Equal(workload, batches));
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.value_or(RunReport{}).total_seconds;
+}
+
+TEST(PaperPhenomena, Section41FullParallelismSuboptimalAtHeavyLoad) {
+  Dataset dataset = IntegrationDataset();
+  double one = RunSeconds(dataset, SystemKind::kPregelPlus, 10240, 1);
+  double two = RunSeconds(dataset, SystemKind::kPregelPlus, 10240, 2);
+  EXPECT_GT(one, 1.5 * two)
+      << "Full-Parallelism must pay a heavy congestion penalty";
+}
+
+TEST(PaperPhenomena, Section41FullParallelismOptimalAtLightLoad) {
+  Dataset dataset = IntegrationDataset();
+  double one = RunSeconds(dataset, SystemKind::kPregelPlus, 1024, 1);
+  double four = RunSeconds(dataset, SystemKind::kPregelPlus, 1024, 4);
+  EXPECT_LT(one, four)
+      << "light workloads should prefer fewer rounds (Fig. 4)";
+}
+
+TEST(PaperPhenomena, Section42OptimalBatchCountGrowsWithWorkload) {
+  Dataset dataset = IntegrationDataset();
+  auto best_batches = [&](double workload) {
+    uint32_t best = 0;
+    double best_seconds = 1e300;
+    for (uint32_t batches : {1u, 2u, 4u, 8u}) {
+      double seconds =
+          RunSeconds(dataset, SystemKind::kPregelPlus, workload, batches);
+      if (seconds < best_seconds) {
+        best_seconds = seconds;
+        best = batches;
+      }
+    }
+    return best;
+  };
+  EXPECT_EQ(best_batches(1024), 1u);
+  EXPECT_GE(best_batches(12288), 2u);
+}
+
+TEST(PaperPhenomena, Section43MemoryDropsWithBatchesAndMachines) {
+  Dataset dataset = IntegrationDataset();
+  auto peak_memory = [&](double workload, uint32_t batches,
+                         uint32_t machines) {
+    RunnerOptions options;
+    options.cluster = ClusterSpec::Galaxy8().WithMachines(machines);
+    MultiProcessingRunner runner(dataset, options);
+    BpprTask task;
+    auto report =
+        runner.Run(task, BatchSchedule::Equal(workload, batches));
+    EXPECT_TRUE(report.ok());
+    return report.value_or(RunReport{}).peak_memory_bytes;
+  };
+  // Table 2 shape: more batches -> less memory; more machines -> less.
+  double one = peak_memory(4096, 1, 8);
+  double two = peak_memory(4096, 2, 8);
+  double four = peak_memory(4096, 4, 8);
+  EXPECT_GT(one, two);
+  EXPECT_GT(two, four);
+  EXPECT_GT(peak_memory(1024, 1, 4), peak_memory(1024, 1, 8));
+}
+
+TEST(PaperPhenomena, Section44DiskUtilizationGovernsGraphD) {
+  // The Orkut stand-in at W=4096 puts GraphD in the paper's Table 3
+  // regime: per-round spill at 1-2 batches, none at 4+.
+  Dataset dataset = LoadDataset(DatasetId::kOrkut, /*scale_override=*/512.0);
+  auto run = [&](uint32_t batches) {
+    RunnerOptions options;
+    options.cluster = ClusterSpec::Galaxy27();
+    options.system = SystemKind::kGraphD;
+    MultiProcessingRunner runner(dataset, options);
+    BpprTask task;
+    auto report = runner.Run(task, BatchSchedule::Equal(4096, batches));
+    EXPECT_TRUE(report.ok());
+    return report.value_or(RunReport{});
+  };
+  RunReport one = run(1);
+  RunReport four = run(4);
+  RunReport sixty_four = run(64);
+  // Table 3: saturated at 1 batch, relaxed at 4, sync-dominated at 64+.
+  EXPECT_TRUE(one.disk_saturated);
+  EXPECT_FALSE(four.disk_saturated);
+  EXPECT_GT(one.disk_utilization, 1.5 * four.disk_utilization);
+  EXPECT_LT(four.disk_utilization, 0.4);
+  EXPECT_GT(four.disk_utilization, 0.005);
+  EXPECT_LT(four.total_seconds, one.total_seconds);
+  EXPECT_GT(sixty_four.total_seconds, four.total_seconds);
+  EXPECT_GT(one.max_io_queue_length, 20.0 * four.max_io_queue_length);
+  EXPECT_GT(one.disk_overuse_seconds, four.disk_overuse_seconds);
+}
+
+TEST(PaperPhenomena, Section47UnequalBatchesFavorHeavierFirstBatch) {
+  Dataset dataset = IntegrationDataset();
+  BpprTask task;
+  const double total = 12800.0;
+  auto run_delta = [&](double delta) {
+    RunnerOptions options;
+    options.cluster = ClusterSpec::Galaxy8();
+    MultiProcessingRunner runner(dataset, options);
+    auto report = runner.Run(task, BatchSchedule::TwoBatch(total, delta));
+    EXPECT_TRUE(report.ok());
+    return report.value_or(RunReport{}).total_seconds;
+  };
+  // Fig. 9: the optimum sits at W1 > W2 because batch 2 pays batch 1's
+  // residual memory. A positive delta must beat its mirror image.
+  double positive = run_delta(total / 5.0);
+  double negative = run_delta(-total / 5.0);
+  EXPECT_LT(positive, negative);
+}
+
+TEST(PaperPhenomena, Section2GiraphPaysJvmOverheads) {
+  Dataset dataset = IntegrationDataset();
+  double giraph = RunSeconds(dataset, SystemKind::kGiraph, 2048, 4);
+  double pregel = RunSeconds(dataset, SystemKind::kPregelPlus, 2048, 4);
+  EXPECT_GT(giraph, 1.5 * pregel);
+}
+
+TEST(PaperPhenomena, Section5TunedScheduleAvoidsOverload) {
+  // The tuner must turn an overloading Full-Parallelism workload into a
+  // schedule that finishes (Fig. 12's Optimized vs Full-Parallelism).
+  Dataset dataset = IntegrationDataset();
+  RunnerOptions options;
+  options.cluster = ClusterSpec::Galaxy8().WithMachines(4);
+  BpprTask task;
+
+  const double workload = 8192.0;
+  MultiProcessingRunner full_runner(dataset, options);
+  auto full =
+      full_runner.Run(task, BatchSchedule::FullParallelism(workload));
+  ASSERT_TRUE(full.ok());
+
+  Tuner tuner(dataset, options);
+  auto plan = tuner.Tune(task, workload);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  MultiProcessingRunner tuned_runner(dataset, options);
+  auto tuned = tuned_runner.Run(task, plan.value().schedule);
+  ASSERT_TRUE(tuned.ok());
+
+  EXPECT_FALSE(tuned.value().overloaded);
+  EXPECT_LT(tuned.value().total_seconds,
+            0.7 * full.value().total_seconds);
+  // Training stays minor relative to the evaluation run (paper's
+  // affordability requirement).
+  EXPECT_LT(plan.value().training_seconds,
+            0.5 * tuned.value().total_seconds);
+}
+
+}  // namespace
+}  // namespace vcmp

@@ -1,0 +1,122 @@
+#include "common/math/lma.h"
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace vcmp {
+namespace {
+
+std::vector<double> DoublingWorkloads(int count) {
+  std::vector<double> xs;
+  double x = 2.0;
+  for (int i = 0; i < count; ++i) {
+    xs.push_back(x);
+    x *= 2.0;
+  }
+  return xs;
+}
+
+TEST(LmaTest, RecoversLinearModel) {
+  // f(x) = 3x + 10 is a power law with b = 1.
+  std::vector<double> xs = DoublingWorkloads(8);
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 * x + 10.0);
+  auto fit = FitPowerLaw(xs, ys);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_NEAR(fit.value().b, 1.0, 0.02);
+  EXPECT_LT(fit.value().residual, 1e-3 * ys.back() * ys.back());
+}
+
+TEST(LmaTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(FitPowerLaw({1.0, 2.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(FitPowerLaw({1.0, 2.0, 3.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(FitPowerLaw({0.0, 2.0, 3.0}, {1.0, 2.0, 3.0}).ok());
+  EXPECT_FALSE(FitPowerLaw({-1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}).ok());
+}
+
+TEST(LmaTest, InvertRoundTrips) {
+  PowerLawFit fit;
+  fit.a = 2.5;
+  fit.b = 1.3;
+  fit.c = 100.0;
+  for (double x : {1.0, 8.0, 500.0}) {
+    EXPECT_NEAR(fit.Invert(fit.Eval(x)), x, 1e-6 * x);
+  }
+}
+
+TEST(LmaTest, InvertHandlesDegenerateCases) {
+  PowerLawFit fit;
+  fit.a = 2.0;
+  fit.b = 1.0;
+  fit.c = 10.0;
+  EXPECT_EQ(fit.Invert(5.0), 0.0);   // Below the intercept.
+  EXPECT_EQ(fit.Invert(10.0), 0.0);  // At the intercept.
+  fit.a = 0.0;
+  EXPECT_EQ(fit.Invert(100.0), 0.0);  // Degenerate slope.
+}
+
+TEST(LmaTest, GeneralSolverFitsExponentialDecay) {
+  // Show the solver is not power-law specific: fit y = a * exp(b x).
+  LmaModel model = [](const std::vector<double>& theta, double x,
+                      double* jac) {
+    double value = theta[0] * std::exp(theta[1] * x);
+    if (jac != nullptr) {
+      jac[0] = std::exp(theta[1] * x);
+      jac[1] = value * x;
+    }
+    return value;
+  };
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 12; ++i) {
+    double x = 0.25 * i;
+    xs.push_back(x);
+    ys.push_back(4.0 * std::exp(-0.8 * x));
+  }
+  LmaFit fit = LevenbergMarquardt(model, xs, ys, {1.0, -0.1});
+  EXPECT_NEAR(fit.params[0], 4.0, 1e-4);
+  EXPECT_NEAR(fit.params[1], -0.8, 1e-4);
+  EXPECT_TRUE(fit.converged);
+}
+
+/// Property sweep: random (a, b, c) power laws with mild noise must be
+/// recovered to a few percent — this is exactly the paper's training fit.
+class PowerLawRecoveryTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(PowerLawRecoveryTest, RecoversParameters) {
+  auto [a, b, c] = GetParam();
+  std::vector<double> xs = DoublingWorkloads(9);
+  std::vector<double> ys;
+  Rng rng(99);
+  for (double x : xs) {
+    double noise = 1.0 + 0.002 * (rng.NextDouble() - 0.5);
+    ys.push_back((a * std::pow(x, b) + c) * noise);
+  }
+  auto fit = FitPowerLaw(xs, ys);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  const PowerLawFit& f = fit.value();
+  // Evaluate agreement on held-out points rather than raw parameters
+  // (power laws are mildly degenerate in (a, c) at small b).
+  for (double x : {3.0, 48.0, 700.0}) {
+    double truth = a * std::pow(x, b) + c;
+    EXPECT_NEAR(f.Eval(x), truth, 0.05 * truth + 1.0)
+        << "a=" << a << " b=" << b << " c=" << c << " at x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PowerLawRecoveryTest,
+    ::testing::Values(std::make_tuple(2.0, 1.0, 50.0),
+                      std::make_tuple(0.5, 1.5, 0.0),
+                      std::make_tuple(10.0, 0.8, 500.0),
+                      std::make_tuple(100.0, 1.2, 10.0),
+                      std::make_tuple(0.01, 2.0, 1.0)));
+
+}  // namespace
+}  // namespace vcmp

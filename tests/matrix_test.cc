@@ -1,0 +1,102 @@
+// Property matrix: every superstep system mode x every benchmark task must
+// execute, terminate, produce traffic, and be bit-deterministic. These are
+// the invariants the figure benches rely on across their whole sweep
+// space.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "graph/datasets.h"
+#include "tasks/task_registry.h"
+#include "test_util.h"
+
+namespace vcmp {
+namespace {
+
+using testing_util::RelaxedCluster;
+
+using MatrixParam = std::tuple<SystemKind, const char*>;
+
+class SystemTaskMatrixTest
+    : public ::testing::TestWithParam<MatrixParam> {
+ protected:
+  static const Dataset& SharedDataset() {
+    static const auto& dataset =
+        *new Dataset(LoadDataset(DatasetId::kDblp, 512.0));
+    return dataset;
+  }
+
+  RunReport Run(uint64_t seed) {
+    auto [system, task_name] = GetParam();
+    RunnerOptions options;
+    options.cluster = RelaxedCluster(4);
+    options.system = system;
+    options.seed = seed;
+    MultiProcessingRunner runner(SharedDataset(), options);
+    auto task = MakeTask(task_name);
+    EXPECT_TRUE(task.ok());
+    auto report = runner.Run(*task.value(), BatchSchedule::Equal(8, 2));
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return report.value_or(RunReport{});
+  }
+};
+
+TEST_P(SystemTaskMatrixTest, ExecutesAndTerminates) {
+  RunReport report = Run(7);
+  EXPECT_FALSE(report.overloaded);
+  EXPECT_GT(report.total_rounds, 0u);
+  EXPECT_GT(report.total_messages, 0.0);
+  EXPECT_GT(report.total_seconds, 0.0);
+  EXPECT_GT(report.peak_memory_bytes, 0.0);
+  EXPECT_EQ(report.batches.size(), 2u);
+}
+
+TEST_P(SystemTaskMatrixTest, DeterministicAcrossRuns) {
+  RunReport a = Run(7);
+  RunReport b = Run(7);
+  EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_DOUBLE_EQ(a.total_messages, b.total_messages);
+  EXPECT_DOUBLE_EQ(a.peak_memory_bytes, b.peak_memory_bytes);
+  EXPECT_EQ(a.total_rounds, b.total_rounds);
+}
+
+TEST_P(SystemTaskMatrixTest, SeedChangesStochasticTasksOnly) {
+  auto [system, task_name] = GetParam();
+  RunReport a = Run(7);
+  RunReport b = Run(8);
+  if (std::string(task_name) == "BPPR") {
+    // Monte-Carlo walks: different seed, different trajectory (but same
+    // magnitude).
+    EXPECT_NEAR(a.total_messages, b.total_messages,
+                0.2 * a.total_messages);
+  } else {
+    // MSSP/BKHS sample different sources per seed; totals stay the same
+    // order of magnitude.
+    EXPECT_GT(b.total_messages, 0.0);
+  }
+}
+
+std::string MatrixName(
+    const ::testing::TestParamInfo<MatrixParam>& info) {
+  std::string name = SystemName(std::get<0>(info.param)) + "_" +
+                     std::get<1>(info.param);
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSuperstepSystems, SystemTaskMatrixTest,
+    ::testing::Combine(
+        ::testing::Values(SystemKind::kGiraph, SystemKind::kGiraphAsync,
+                          SystemKind::kPregelPlus,
+                          SystemKind::kPregelPlusMirror,
+                          SystemKind::kGraphD, SystemKind::kGraphLab),
+        ::testing::Values("BPPR", "MSSP", "BKHS")),
+    MatrixName);
+
+}  // namespace
+}  // namespace vcmp

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "metrics/round_stats.h"
+#include "metrics/run_report.h"
+#include "metrics/table_printer.h"
+
+namespace vcmp {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"a", "longheader", "c"});
+  table.AddRow({"1", "2", "3"});
+  table.AddRow({"wide-cell", "x", "y"});
+  std::string out = table.ToString();
+  // Header line, rule line, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Every row starts at the same column offsets.
+  size_t header_pos = out.find("longheader");
+  size_t second_row = out.find("wide-cell");
+  ASSERT_NE(header_pos, std::string::npos);
+  ASSERT_NE(second_row, std::string::npos);
+  EXPECT_NE(out.find("\n---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RejectsMismatchedRow) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "cells");
+}
+
+TEST(TablePrinterTest, CountsRows) {
+  TablePrinter table({"x"});
+  EXPECT_EQ(table.NumRows(), 0u);
+  table.AddRow({"1"});
+  table.AddRow({"2"});
+  EXPECT_EQ(table.NumRows(), 2u);
+}
+
+TEST(RunReportTest, AbsorbAggregates) {
+  RunReport report;
+  BatchReport a;
+  a.workload = 10;
+  a.seconds = 5.0;
+  a.rounds = 3;
+  a.messages = 100.0;
+  a.peak_memory_bytes = 7.0;
+  a.disk_utilization = 0.5;
+  BatchReport b;
+  b.workload = 10;
+  b.seconds = 15.0;
+  b.rounds = 7;
+  b.messages = 300.0;
+  b.peak_memory_bytes = 3.0;
+  b.disk_utilization = 0.1;
+  b.disk_saturated = true;
+  report.Absorb(a);
+  report.Absorb(b);
+  EXPECT_DOUBLE_EQ(report.total_seconds, 20.0);
+  EXPECT_EQ(report.total_rounds, 10u);
+  EXPECT_DOUBLE_EQ(report.total_messages, 400.0);
+  EXPECT_DOUBLE_EQ(report.peak_memory_bytes, 7.0);
+  EXPECT_DOUBLE_EQ(report.MessagesPerRound(), 40.0);
+  // Time-weighted utilisation: (0.5*5 + 0.1*15) / 20.
+  EXPECT_NEAR(report.disk_utilization, 0.2, 1e-12);
+  EXPECT_TRUE(report.disk_saturated);
+  EXPECT_FALSE(report.overloaded);
+}
+
+TEST(RunReportTest, OverloadPropagates) {
+  RunReport report;
+  BatchReport bad;
+  bad.seconds = 6000.0;
+  bad.overloaded = true;
+  report.Absorb(bad);
+  EXPECT_TRUE(report.overloaded);
+  EXPECT_NE(report.ToString().find("OVERLOADED"), std::string::npos);
+}
+
+TEST(RoundStatsTest, ToStringIncludesEssentials) {
+  RoundStats stats;
+  stats.round = 7;
+  stats.messages = 63.7e6;
+  stats.total_seconds = 2.5;
+  stats.overflow = true;
+  std::string out = stats.ToString();
+  EXPECT_NE(out.find("round 7"), std::string::npos);
+  EXPECT_NE(out.find("63.7M"), std::string::npos);
+  EXPECT_NE(out.find("OVERFLOW"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vcmp

@@ -1,0 +1,85 @@
+#include "graph/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace vcmp {
+namespace {
+
+Graph TestGraph() {
+  ErdosRenyiParams params;
+  params.num_vertices = 4000;
+  params.num_edges = 24000;
+  params.seed = 17;
+  return GenerateErdosRenyi(params);
+}
+
+class PartitionerCoverageTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PartitionerCoverageTest, CoversEveryVertexWithinRange) {
+  Graph graph = TestGraph();
+  auto partitioner = MakePartitioner(GetParam());
+  for (uint32_t machines : {1u, 3u, 8u, 27u}) {
+    Partitioning part = partitioner->Partition(graph, machines);
+    ASSERT_EQ(part.assignment.size(), graph.NumVertices());
+    ASSERT_EQ(part.num_machines, machines);
+    for (uint32_t machine : part.assignment) {
+      ASSERT_LT(machine, machines);
+    }
+    // Every machine gets some vertices (n >> machines here).
+    auto loads = part.MachineLoads();
+    for (uint64_t load : loads) EXPECT_GT(load, 0u);
+  }
+}
+
+TEST_P(PartitionerCoverageTest, ReasonableBalance) {
+  Graph graph = TestGraph();
+  auto partitioner = MakePartitioner(GetParam());
+  Partitioning part = partitioner->Partition(graph, 8);
+  EXPECT_LT(part.LoadImbalance(), 1.15);
+}
+
+TEST_P(PartitionerCoverageTest, Deterministic) {
+  Graph graph = TestGraph();
+  auto partitioner = MakePartitioner(GetParam());
+  Partitioning a = partitioner->Partition(graph, 8);
+  Partitioning b = partitioner->Partition(graph, 8);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, PartitionerCoverageTest,
+                         ::testing::Values("hash", "block",
+                                           "greedy-edge-cut"));
+
+TEST(GreedyEdgeCutTest, CutsFewerEdgesThanHash) {
+  // On a locality-rich graph the LDG partitioner must beat random hash.
+  Graph ring = GenerateRing(8000, 4);
+  Partitioning hash = HashPartitioner().Partition(ring, 8);
+  Partitioning greedy = GreedyEdgeCutPartitioner().Partition(ring, 8);
+  EXPECT_LT(greedy.CountCrossEdges(ring), hash.CountCrossEdges(ring) / 2);
+}
+
+TEST(CrossEdgesTest, SingleMachineHasNone) {
+  Graph graph = TestGraph();
+  Partitioning part = HashPartitioner().Partition(graph, 1);
+  EXPECT_EQ(part.CountCrossEdges(graph), 0u);
+}
+
+TEST(BlockPartitionerTest, ContiguousRanges) {
+  Graph ring = GenerateRing(100, 1);
+  Partitioning part = BlockPartitioner().Partition(ring, 4);
+  for (VertexId v = 1; v < 100; ++v) {
+    EXPECT_GE(part.assignment[v], part.assignment[v - 1]);
+  }
+}
+
+TEST(MakePartitionerTest, KnownNames) {
+  EXPECT_EQ(MakePartitioner("hash")->name(), "hash");
+  EXPECT_EQ(MakePartitioner("block")->name(), "block");
+  EXPECT_EQ(MakePartitioner("greedy-edge-cut")->name(), "greedy-edge-cut");
+}
+
+}  // namespace
+}  // namespace vcmp

@@ -1,0 +1,128 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <cstdint>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace vcmp {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000000007ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.Fork();
+  // The child stream must not replay the parent's outputs.
+  Rng parent_copy(42);
+  (void)parent_copy.NextUint64();  // Fork consumed one draw.
+  EXPECT_NE(child.NextUint64(), parent_copy.NextUint64());
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  constexpr int kDraws = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(RngTest, BinomialEdgeCases) {
+  Rng rng(5);
+  EXPECT_EQ(rng.NextBinomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.NextBinomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.NextBinomial(100, 1.0), 100u);
+  EXPECT_EQ(rng.NextBinomial(100, -0.1), 0u);
+  EXPECT_EQ(rng.NextBinomial(100, 1.5), 100u);
+}
+
+/// Property sweep: binomial samples across regimes (exact loop, Poisson
+/// branch, normal approximation) must match the analytic mean and
+/// variance.
+class BinomialMomentsTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(BinomialMomentsTest, MeanAndVarianceMatch) {
+  auto [n, p] = GetParam();
+  Rng rng(1000 + n);
+  constexpr int kDraws = 4000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    auto x = static_cast<double>(rng.NextBinomial(n, p));
+    ASSERT_LE(x, static_cast<double>(n));
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / kDraws;
+  double expected_mean = static_cast<double>(n) * p;
+  double expected_var = expected_mean * (1.0 - p);
+  double var = sum_sq / kDraws - mean * mean;
+  // 5-sigma-ish tolerances on the empirical moments.
+  double mean_tolerance =
+      5.0 * std::sqrt(std::max(expected_var, 0.25) / kDraws);
+  EXPECT_NEAR(mean, expected_mean, mean_tolerance)
+      << "n=" << n << " p=" << p;
+  EXPECT_NEAR(var, expected_var,
+              0.25 * std::max(expected_var, 1.0) + 0.1)
+      << "n=" << n << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, BinomialMomentsTest,
+    ::testing::Values(
+        std::make_tuple(uint64_t{10}, 0.2),       // Exact Bernoulli loop.
+        std::make_tuple(uint64_t{100}, 0.5),      // Exact loop, high var.
+        std::make_tuple(uint64_t{100000}, 1e-4),  // Poisson branch.
+        std::make_tuple(uint64_t{1000000}, 0.0001),
+        std::make_tuple(uint64_t{100000}, 0.2),   // Normal approximation.
+        std::make_tuple(uint64_t{1000000}, 0.8),  // Symmetry + normal.
+        std::make_tuple(uint64_t{1000000000}, 0.3)));
+
+}  // namespace
+}  // namespace vcmp

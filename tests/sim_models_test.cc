@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "sim/cluster_spec.h"
+#include "sim/disk_model.h"
+#include "sim/memory_model.h"
+#include "sim/monetary_model.h"
+#include "sim/network_model.h"
+
+namespace vcmp {
+namespace {
+
+MachineSpec DefaultMachine() { return ClusterSpec::Galaxy8().machine; }
+
+TEST(ClusterSpecTest, PaperClusters) {
+  EXPECT_EQ(ClusterSpec::Galaxy8().num_machines, 8u);
+  EXPECT_EQ(ClusterSpec::Galaxy27().num_machines, 27u);
+  EXPECT_EQ(ClusterSpec::Docker32().num_machines, 32u);
+  EXPECT_TRUE(ClusterSpec::Docker32().cloud);
+  EXPECT_FALSE(ClusterSpec::Galaxy8().cloud);
+  // SSDs in the cloud, HDDs in the local clusters.
+  EXPECT_GT(ClusterSpec::Docker32().machine.disk_bandwidth,
+            ClusterSpec::Galaxy8().machine.disk_bandwidth);
+}
+
+TEST(ClusterSpecTest, WithMachinesKeepsHardware) {
+  ClusterSpec base = ClusterSpec::Galaxy8();
+  ClusterSpec smaller = base.WithMachines(2);
+  EXPECT_EQ(smaller.num_machines, 2u);
+  EXPECT_EQ(smaller.machine.memory_bytes, base.machine.memory_bytes);
+}
+
+TEST(MemoryModelTest, NoPenaltyWellBelowUsable) {
+  MemoryModel model;
+  MachineRoundLoad load;
+  load.state_bytes = 1.0 * kGiB;
+  load.buffered_message_bytes = 2.0 * kGiB;
+  auto assessment = model.Assess(load, DefaultMachine(), 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(assessment.thrash_multiplier, 1.0);
+  EXPECT_FALSE(assessment.overflow);
+  EXPECT_NEAR(assessment.demand_bytes, 3.0 * kGiB, 1.0);
+}
+
+TEST(MemoryModelTest, ThrashRampsNearUsableMemory) {
+  MemoryModel model;
+  MachineRoundLoad load;
+  load.buffered_message_bytes = 13.0 * kGiB;
+  auto near = model.Assess(load, DefaultMachine(), 1.0, 0.0);
+  EXPECT_GT(near.thrash_multiplier, 1.0);
+  EXPECT_FALSE(near.overflow);
+
+  MachineRoundLoad heavier = load;
+  heavier.buffered_message_bytes = 15.0 * kGiB;
+  auto worse = model.Assess(heavier, DefaultMachine(), 1.0, 0.0);
+  EXPECT_GT(worse.thrash_multiplier, near.thrash_multiplier);
+}
+
+TEST(MemoryModelTest, OverflowPastPhysicalMemory) {
+  MemoryModel model;
+  MachineRoundLoad load;
+  load.buffered_message_bytes = 17.0 * kGiB;
+  auto assessment = model.Assess(load, DefaultMachine(), 1.0, 0.0);
+  EXPECT_TRUE(assessment.overflow);
+}
+
+TEST(MemoryModelTest, MessageOverheadInflatesDemand) {
+  MemoryModel model;
+  MachineRoundLoad load;
+  load.buffered_message_bytes = 4.0 * kGiB;
+  auto cpp = model.Assess(load, DefaultMachine(), 1.2, 0.0);
+  auto java = model.Assess(load, DefaultMachine(), 2.4, 0.0);
+  EXPECT_GT(java.demand_bytes, 1.9 * cpp.demand_bytes * 1.2 / 2.4);
+  EXPECT_NEAR(java.demand_bytes, 2.0 * cpp.demand_bytes, kGiB * 0.1);
+}
+
+TEST(MemoryModelTest, OocBudgetCapsMessageMemory) {
+  MemoryModel model;
+  MachineRoundLoad load;
+  load.buffered_message_bytes = 40.0 * kGiB;  // Would overflow in-memory.
+  double budget = 1.5 * kGiB;
+  auto assessment = model.Assess(load, DefaultMachine(), 1.0, budget);
+  EXPECT_FALSE(assessment.overflow);
+  EXPECT_NEAR(assessment.demand_bytes, budget, 1.0);
+}
+
+TEST(MemoryModelTest, ResidualCountsTowardDemand) {
+  MemoryModel model;
+  MachineRoundLoad load;
+  load.residual_bytes = 12.0 * kGiB;
+  load.buffered_message_bytes = 5.0 * kGiB;
+  auto assessment = model.Assess(load, DefaultMachine(), 1.0, 0.0);
+  EXPECT_TRUE(assessment.overflow);  // 12 + 5 > 16GB physical.
+}
+
+TEST(NetworkModelTest, TrafficHiddenBehindCompute) {
+  NetworkModel model;
+  MachineRoundLoad load;
+  load.cross_bytes_out = 10.0 * kMiB;
+  load.cross_bytes_in = 8.0 * kMiB;
+  auto assessment = model.Assess(load, DefaultMachine(), /*compute=*/10.0);
+  EXPECT_GT(assessment.transfer_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(assessment.overuse_seconds, 0.0);
+}
+
+TEST(NetworkModelTest, BurstBeyondWindowOveruses) {
+  NetworkModel model;
+  MachineRoundLoad load;
+  load.cross_bytes_out = 4.0 * kGiB;
+  auto assessment = model.Assess(load, DefaultMachine(), /*compute=*/1.0);
+  EXPECT_GT(assessment.overuse_seconds, 0.0);
+  EXPECT_LT(assessment.overuse_seconds, assessment.transfer_seconds);
+}
+
+TEST(NetworkModelTest, UsesMaxDirection) {
+  NetworkModel model;
+  MachineRoundLoad in_heavy;
+  in_heavy.cross_bytes_in = 2.0 * kGiB;
+  MachineRoundLoad out_heavy;
+  out_heavy.cross_bytes_out = 2.0 * kGiB;
+  auto a = model.Assess(in_heavy, DefaultMachine(), 1.0);
+  auto b = model.Assess(out_heavy, DefaultMachine(), 1.0);
+  EXPECT_DOUBLE_EQ(a.transfer_seconds, b.transfer_seconds);
+}
+
+TEST(DiskModelTest, NoIoNoCost) {
+  DiskModel model;
+  auto assessment = model.Assess(0.0, 0.0, 0.0, DefaultMachine(), 5.0);
+  EXPECT_DOUBLE_EQ(assessment.io_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(assessment.utilization, 0.0);
+  EXPECT_DOUBLE_EQ(assessment.stall_seconds, 0.0);
+}
+
+TEST(DiskModelTest, HiddenIoReportsPartialUtilization) {
+  DiskModel model;
+  // 40MB/s effective disk, 100MB edge stream, 10s compute: fully hidden.
+  auto assessment =
+      model.Assess(0.0, 0.0, 100.0 * kMiB, DefaultMachine(), 10.0);
+  EXPECT_DOUBLE_EQ(assessment.stall_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(assessment.overuse_seconds, 0.0);
+  EXPECT_GT(assessment.utilization, 0.15);
+  EXPECT_LT(assessment.utilization, 0.35);
+}
+
+TEST(DiskModelTest, SpillBeyondWindowSaturates) {
+  DiskModel model;
+  // 10GB spill against 1s of compute: the disk becomes the bottleneck.
+  auto assessment =
+      model.Assess(10.0 * kGiB, 0.0, 100.0 * kMiB, DefaultMachine(), 1.0);
+  EXPECT_DOUBLE_EQ(assessment.utilization, 1.0);
+  EXPECT_GT(assessment.stall_seconds, 0.0);
+  EXPECT_GT(assessment.overuse_seconds, 0.0);
+  EXPECT_GT(assessment.queue_length, 1000.0);
+}
+
+TEST(DiskModelTest, SpillChargedBothDirections) {
+  DiskModel model;
+  auto write_read =
+      model.Assess(1.0 * kGiB, 0.0, 0.0, DefaultMachine(), 1000.0);
+  EXPECT_NEAR(write_read.io_bytes, 2.0 * kGiB, 1.0);
+}
+
+TEST(MonetaryModelTest, CostScalesWithTimeAndMachines) {
+  MonetaryModel model;
+  ClusterSpec docker = ClusterSpec::Docker32();
+  double one_hour = model.Cost(docker, 3600.0, false, 6000.0);
+  double two_hours = model.Cost(docker, 7200.0, false, 6000.0);
+  EXPECT_NEAR(two_hours, 2.0 * one_hour, 1e-9);
+  ClusterSpec half = docker.WithMachines(16);
+  EXPECT_NEAR(model.Cost(half, 3600.0, false, 6000.0), one_hour / 2.0,
+              1e-9);
+}
+
+TEST(MonetaryModelTest, OverloadBillsCutoff) {
+  MonetaryModel model;
+  ClusterSpec docker = ClusterSpec::Docker32();
+  EXPECT_DOUBLE_EQ(model.Cost(docker, 123.0, true, 6000.0),
+                   model.Cost(docker, 6000.0, false, 6000.0));
+}
+
+TEST(MonetaryModelTest, FormatMatchesPaper) {
+  EXPECT_EQ(MonetaryModel::Format(59.0, false), "$59");
+  EXPECT_EQ(MonetaryModel::Format(116.2, true), ">$117");
+}
+
+TEST(MonetaryModelTest, Docker32RateInPaperRange) {
+  // Fig. 7's optimal totals (~$44-94 for multi-hour sweeps) imply a
+  // cluster rate of roughly $50-60 per hour.
+  MonetaryModel model;
+  double per_hour =
+      model.ClusterRatePerSecond(ClusterSpec::Docker32()) * 3600.0;
+  EXPECT_GT(per_hour, 30.0);
+  EXPECT_LT(per_hour, 90.0);
+}
+
+}  // namespace
+}  // namespace vcmp

@@ -1,0 +1,51 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace vcmp {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("x=%d y=%.1f s=%s", 3, 2.5, "hi"), "x=3 y=2.5 s=hi");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(SplitStringTest, SplitsAndDropsEmpties) {
+  EXPECT_EQ(SplitString("a,b,,c", ","),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString("  x y ", " "),
+            (std::vector<std::string>{"x", "y"}));
+  EXPECT_TRUE(SplitString("", ",").empty());
+  EXPECT_EQ(SplitString("one", ","), (std::vector<std::string>{"one"}));
+}
+
+TEST(FormatSecondsTest, PaperStyleRendering) {
+  EXPECT_EQ(FormatSeconds(173.34), "173s");
+  EXPECT_EQ(FormatSeconds(12.3), "12.3s");
+  EXPECT_EQ(FormatSeconds(1860.0), "31min");
+  EXPECT_EQ(FormatSeconds(-1.0), "Overload");
+}
+
+TEST(FormatBytesTest, PicksUnits) {
+  EXPECT_EQ(FormatBytes(12.0), "12B");
+  EXPECT_EQ(FormatBytes(4.0 * 1024), "4KB");
+  EXPECT_EQ(FormatBytes(63.7 * 1024 * 1024), "64MB");
+  EXPECT_EQ(FormatBytes(4.3 * 1024 * 1024 * 1024), "4.3GB");
+}
+
+TEST(FormatCountTest, PaperStyleCounts) {
+  EXPECT_EQ(FormatCount(2048), "2048");
+  EXPECT_EQ(FormatCount(63.7e6), "63.7M");
+  EXPECT_EQ(FormatCount(1.5e9), "1.5B");
+  EXPECT_EQ(FormatCount(281900), "281.9K");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("Pregel+(mirror)", "Pregel+"));
+  EXPECT_FALSE(StartsWith("Pregel", "Pregel+"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+}  // namespace
+}  // namespace vcmp

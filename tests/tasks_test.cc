@@ -1,0 +1,400 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "engine/sync_engine.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "tasks/bkhs.h"
+#include "tasks/bppr.h"
+#include "tasks/mssp.h"
+#include "tasks/pagerank.h"
+#include "tasks/task_registry.h"
+#include "test_util.h"
+
+namespace vcmp {
+namespace {
+
+using testing_util::BfsDistances;
+using testing_util::kUnreachedHops;
+using testing_util::L1Distance;
+using testing_util::RelaxedCluster;
+using testing_util::ReferencePageRank;
+using testing_util::ReferencePpr;
+
+struct Fixture {
+  Graph graph;
+  Partitioning partition;
+  TaskContext context;
+
+  explicit Fixture(Graph g, uint32_t machines = 4) : graph(std::move(g)) {
+    partition = HashPartitioner().Partition(graph, machines);
+    context = TaskContext{&graph, &partition, 1.0};
+  }
+
+  EngineOptions Options() const {
+    EngineOptions options;
+    options.cluster = RelaxedCluster(partition.num_machines);
+    options.profile = ProfileFor(SystemKind::kPregelPlus);
+    return options;
+  }
+
+  EngineResult RunProgram(VertexProgram& program,
+                          EngineOptions options) const {
+    SyncEngine engine(graph, partition, options);
+    auto result = engine.Run(program);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.value_or(EngineResult{});
+  }
+};
+
+Graph SmallSocialGraph() {
+  ErdosRenyiParams params;
+  params.num_vertices = 300;
+  params.num_edges = 1500;
+  params.seed = 33;
+  return GenerateErdosRenyi(params);
+}
+
+// ---------------------------------------------------------------------------
+// BPPR
+// ---------------------------------------------------------------------------
+
+TEST(BpprTest, CountingModeConservesWalks) {
+  Fixture fx(SmallSocialGraph());
+  BpprTask task;
+  auto program = task.MakeProgram(fx.context, ProgramFlavor::kPointToPoint,
+                                  /*workload=*/50, /*seed=*/7);
+  ASSERT_TRUE(program.ok());
+  auto* bppr = static_cast<BpprCountingProgram*>(program.value().get());
+  fx.RunProgram(*bppr, fx.Options());
+  // Every started walk must terminate somewhere, exactly once.
+  EXPECT_EQ(bppr->TotalStopped(), 50u * fx.graph.NumVertices());
+}
+
+TEST(BpprTest, PushModeConservesMass) {
+  Fixture fx(SmallSocialGraph());
+  BpprTask task;
+  auto program = task.MakeProgram(fx.context, ProgramFlavor::kBroadcast,
+                                  /*workload=*/50, /*seed=*/7);
+  ASSERT_TRUE(program.ok());
+  auto* push = static_cast<BpprPushProgram*>(program.value().get());
+  EngineOptions options = fx.Options();
+  options.profile = ProfileFor(SystemKind::kPregelPlusMirror);
+  fx.RunProgram(*push, options);
+  double expected = 50.0 * fx.graph.NumVertices();
+  EXPECT_NEAR(push->TotalStoppedMass(), expected, expected * 1e-9);
+}
+
+TEST(BpprTest, ExactModeMatchesPowerIterationReference) {
+  // Small graph, many walks: the Monte-Carlo PPR estimate for a fixed
+  // source must converge to the analytic alpha-decay distribution.
+  ErdosRenyiParams params;
+  params.num_vertices = 40;
+  params.num_edges = 160;
+  params.seed = 9;
+  Fixture fx(GenerateErdosRenyi(params), 2);
+
+  const double alpha = 0.2;
+  BpprExactProgram program(fx.context, /*walks_per_vertex=*/20000, alpha,
+                           /*seed=*/123);
+  fx.RunProgram(program, fx.Options());
+
+  VertexId source = 3;
+  std::vector<double> reference = ReferencePpr(fx.graph, source, alpha);
+  std::vector<double> estimate(fx.graph.NumVertices());
+  for (VertexId u = 0; u < fx.graph.NumVertices(); ++u) {
+    estimate[u] = program.Ppr(source, u);
+  }
+  EXPECT_LT(L1Distance(estimate, reference), 0.05);
+}
+
+TEST(BpprTest, CountingAndExactAgreeInAggregate) {
+  // The counting program pools sources; its terminal distribution must
+  // match the sum of per-source references.
+  ErdosRenyiParams params;
+  params.num_vertices = 30;
+  params.num_edges = 150;
+  params.seed = 14;
+  Fixture fx(GenerateErdosRenyi(params), 2);
+  const double alpha = 0.2;
+  const uint64_t walks = 20000;
+
+  BpprTask task;
+  auto program = task.MakeProgram(fx.context, ProgramFlavor::kPointToPoint,
+                                  walks, /*seed=*/5);
+  ASSERT_TRUE(program.ok());
+  auto* counting = static_cast<BpprCountingProgram*>(program.value().get());
+  fx.RunProgram(*counting, fx.Options());
+
+  std::vector<double> reference(fx.graph.NumVertices(), 0.0);
+  for (VertexId s = 0; s < fx.graph.NumVertices(); ++s) {
+    std::vector<double> ppr = ReferencePpr(fx.graph, s, alpha);
+    for (VertexId u = 0; u < fx.graph.NumVertices(); ++u) {
+      reference[u] += ppr[u];
+    }
+  }
+  // Normalize both to probability distributions over terminal vertices.
+  double total = static_cast<double>(walks) * fx.graph.NumVertices();
+  std::vector<double> estimate(fx.graph.NumVertices());
+  for (VertexId u = 0; u < fx.graph.NumVertices(); ++u) {
+    estimate[u] = static_cast<double>(counting->StoppedAt(u)) / total;
+  }
+  for (double& r : reference) r /= fx.graph.NumVertices();
+  EXPECT_LT(L1Distance(estimate, reference), 0.02);
+}
+
+TEST(BpprTest, PushAndCountingAgreeOnExpectation) {
+  ErdosRenyiParams params;
+  params.num_vertices = 30;
+  params.num_edges = 150;
+  params.seed = 14;
+  Fixture fx(GenerateErdosRenyi(params), 2);
+  const uint64_t walks = 40000;
+  BpprTask task;
+
+  auto counting_program = task.MakeProgram(
+      fx.context, ProgramFlavor::kPointToPoint, walks, 5);
+  ASSERT_TRUE(counting_program.ok());
+  auto* counting =
+      static_cast<BpprCountingProgram*>(counting_program.value().get());
+  fx.RunProgram(*counting, fx.Options());
+
+  auto push_program =
+      task.MakeProgram(fx.context, ProgramFlavor::kBroadcast, walks, 5);
+  ASSERT_TRUE(push_program.ok());
+  auto* push = static_cast<BpprPushProgram*>(push_program.value().get());
+  EngineOptions mirror_options = fx.Options();
+  mirror_options.profile = ProfileFor(SystemKind::kPregelPlusMirror);
+  fx.RunProgram(*push, mirror_options);
+
+  // The fractional push computes the expectation of the Monte-Carlo
+  // process: per-vertex terminal masses must agree within sampling noise.
+  double total = static_cast<double>(walks) * fx.graph.NumVertices();
+  double l1 = 0.0;
+  for (VertexId u = 0; u < fx.graph.NumVertices(); ++u) {
+    l1 += std::fabs(static_cast<double>(counting->StoppedAt(u)) -
+                    push->StoppedMassAt(u)) /
+          total;
+  }
+  EXPECT_LT(l1, 0.05);
+}
+
+TEST(BpprTest, ResidualGrowsWithWorkload) {
+  Fixture fx(SmallSocialGraph());
+  BpprTask task;
+  auto small = task.MakeProgram(fx.context, ProgramFlavor::kPointToPoint,
+                                10, 3);
+  auto large = task.MakeProgram(fx.context, ProgramFlavor::kPointToPoint,
+                                100, 3);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  fx.RunProgram(*small.value(), fx.Options());
+  fx.RunProgram(*large.value(), fx.Options());
+  double small_residual = 0.0;
+  double large_residual = 0.0;
+  for (uint32_t m = 0; m < fx.partition.num_machines; ++m) {
+    small_residual += small.value()->ResidualBytes(m);
+    large_residual += large.value()->ResidualBytes(m);
+  }
+  EXPECT_NEAR(large_residual, 10.0 * small_residual,
+              0.01 * large_residual);
+}
+
+TEST(BpprTest, RejectsBadArguments) {
+  Fixture fx(GenerateRing(10, 1), 2);
+  BpprTask task;
+  EXPECT_FALSE(
+      task.MakeProgram(fx.context, ProgramFlavor::kPointToPoint, 0, 1).ok());
+  TaskContext empty;
+  EXPECT_FALSE(
+      task.MakeProgram(empty, ProgramFlavor::kPointToPoint, 10, 1).ok());
+}
+
+// ---------------------------------------------------------------------------
+// MSSP
+// ---------------------------------------------------------------------------
+
+TEST(MsspTest, DistancesMatchBfsReference) {
+  Fixture fx(SmallSocialGraph());
+  MsspTask task;
+  auto program = task.MakeProgram(fx.context, ProgramFlavor::kPointToPoint,
+                                  /*workload=*/8, /*seed=*/21);
+  ASSERT_TRUE(program.ok());
+  auto* mssp = static_cast<MsspProgram*>(program.value().get());
+  ASSERT_EQ(mssp->num_samples(), 8u);  // workload <= max samples: exact.
+  EXPECT_DOUBLE_EQ(mssp->extrapolation(), 1.0);
+  fx.RunProgram(*mssp, fx.Options());
+
+  for (uint32_t sample = 0; sample < mssp->num_samples(); ++sample) {
+    std::vector<uint32_t> reference =
+        BfsDistances(fx.graph, mssp->SourceOf(sample));
+    for (VertexId v = 0; v < fx.graph.NumVertices(); ++v) {
+      uint32_t expected = reference[v] == kUnreachedHops
+                              ? MsspProgram::kUnreached
+                              : reference[v];
+      ASSERT_EQ(mssp->Distance(sample, v), expected)
+          << "sample " << sample << " vertex " << v;
+    }
+  }
+}
+
+TEST(MsspTest, BroadcastFlavorMatchesPointToPoint) {
+  Fixture fx(SmallSocialGraph());
+  MsspTask task;
+  auto p2p = task.MakeProgram(fx.context, ProgramFlavor::kPointToPoint, 4,
+                              77);
+  auto bcast =
+      task.MakeProgram(fx.context, ProgramFlavor::kBroadcast, 4, 77);
+  ASSERT_TRUE(p2p.ok());
+  ASSERT_TRUE(bcast.ok());
+  auto* a = static_cast<MsspProgram*>(p2p.value().get());
+  auto* b = static_cast<MsspProgram*>(bcast.value().get());
+  fx.RunProgram(*a, fx.Options());
+  EngineOptions mirror_options = fx.Options();
+  mirror_options.profile = ProfileFor(SystemKind::kPregelPlusMirror);
+  fx.RunProgram(*b, mirror_options);
+  for (uint32_t sample = 0; sample < a->num_samples(); ++sample) {
+    for (VertexId v = 0; v < fx.graph.NumVertices(); ++v) {
+      ASSERT_EQ(a->Distance(sample, v), b->Distance(sample, v));
+    }
+  }
+}
+
+TEST(MsspTest, ExtrapolationScalesStatistics) {
+  Fixture fx(SmallSocialGraph());
+  MsspTask::Params params;
+  params.max_sampled_sources = 4;
+  MsspTask task(params);
+  auto program = task.MakeProgram(fx.context, ProgramFlavor::kPointToPoint,
+                                  /*workload=*/400, /*seed=*/3);
+  ASSERT_TRUE(program.ok());
+  auto* mssp = static_cast<MsspProgram*>(program.value().get());
+  EXPECT_DOUBLE_EQ(mssp->extrapolation(), 100.0);
+  EngineResult result = fx.RunProgram(*mssp, fx.Options());
+  // Logical messages are 100x the physically routed sample messages.
+  auto exact = task.MakeProgram(fx.context, ProgramFlavor::kPointToPoint,
+                                /*workload=*/4, /*seed=*/3);
+  ASSERT_TRUE(exact.ok());
+  EngineResult exact_result = fx.RunProgram(*exact.value(), fx.Options());
+  EXPECT_NEAR(result.total_messages,
+              100.0 * exact_result.total_messages,
+              1e-6 * result.total_messages);
+}
+
+TEST(MsspTest, DistinctSources) {
+  Fixture fx(SmallSocialGraph());
+  MsspTask task;
+  auto program = task.MakeProgram(fx.context, ProgramFlavor::kPointToPoint,
+                                  16, 5);
+  ASSERT_TRUE(program.ok());
+  auto* mssp = static_cast<MsspProgram*>(program.value().get());
+  std::vector<VertexId> sources;
+  for (uint32_t i = 0; i < mssp->num_samples(); ++i) {
+    sources.push_back(mssp->SourceOf(i));
+  }
+  std::sort(sources.begin(), sources.end());
+  EXPECT_EQ(std::unique(sources.begin(), sources.end()), sources.end());
+}
+
+// ---------------------------------------------------------------------------
+// BKHS
+// ---------------------------------------------------------------------------
+
+TEST(BkhsTest, CountsMatchBfsReference) {
+  Fixture fx(SmallSocialGraph());
+  BkhsTask::Params params;
+  params.k = 2;
+  BkhsTask task(params);
+  auto program = task.MakeProgram(fx.context, ProgramFlavor::kPointToPoint,
+                                  /*workload=*/6, /*seed=*/31);
+  ASSERT_TRUE(program.ok());
+  auto* bkhs = static_cast<BkhsProgram*>(program.value().get());
+  EngineResult result = fx.RunProgram(*bkhs, fx.Options());
+
+  for (uint32_t sample = 0; sample < bkhs->num_samples(); ++sample) {
+    std::vector<uint32_t> dist =
+        BfsDistances(fx.graph, bkhs->SourceOf(sample));
+    uint64_t expected = 0;
+    for (VertexId v = 0; v < fx.graph.NumVertices(); ++v) {
+      if (v != bkhs->SourceOf(sample) && dist[v] != kUnreachedHops &&
+          dist[v] <= params.k) {
+        ++expected;
+      }
+    }
+    EXPECT_EQ(bkhs->KHopCount(sample), expected) << "sample " << sample;
+  }
+  // k+1 = 3 rounds plus the seeding superstep at most.
+  EXPECT_LE(result.num_rounds, 4u);
+}
+
+TEST(BkhsTest, LargerRadiusFindsMore) {
+  Fixture fx(SmallSocialGraph());
+  uint64_t counts[2];
+  for (uint32_t k : {1u, 2u}) {
+    BkhsTask::Params params;
+    params.k = k;
+    BkhsTask task(params);
+    auto program = task.MakeProgram(fx.context,
+                                    ProgramFlavor::kPointToPoint, 4, 13);
+    ASSERT_TRUE(program.ok());
+    auto* bkhs = static_cast<BkhsProgram*>(program.value().get());
+    fx.RunProgram(*bkhs, fx.Options());
+    uint64_t total = 0;
+    for (uint32_t s = 0; s < bkhs->num_samples(); ++s) {
+      total += bkhs->KHopCount(s);
+    }
+    counts[k - 1] = total;
+  }
+  EXPECT_GT(counts[1], counts[0]);
+}
+
+// ---------------------------------------------------------------------------
+// PageRank
+// ---------------------------------------------------------------------------
+
+TEST(PageRankTest, MatchesPowerIterationReference) {
+  Fixture fx(SmallSocialGraph(), 2);
+  PageRankProgram::Params params;
+  params.iterations = 40;
+  PageRankProgram program(fx.context, params);
+  fx.RunProgram(program, fx.Options());
+
+  std::vector<double> reference =
+      ReferencePageRank(fx.graph, params.damping, params.iterations);
+  double l1 = 0.0;
+  for (VertexId v = 0; v < fx.graph.NumVertices(); ++v) {
+    // Isolated vertices never receive messages in the vertex-centric
+    // engine and keep their seed rank; skip them (degree-0 only).
+    if (fx.graph.OutDegree(v) == 0) continue;
+    l1 += std::fabs(program.Rank(v) - reference[v]);
+  }
+  EXPECT_LT(l1, 1e-6);
+}
+
+TEST(PageRankTest, RunsExactlyConfiguredRounds) {
+  Fixture fx(GenerateRing(20, 1), 2);
+  PageRankProgram::Params params;
+  params.iterations = 10;
+  PageRankProgram program(fx.context, params);
+  EngineResult result = fx.RunProgram(program, fx.Options());
+  EXPECT_EQ(result.num_rounds, 11u);  // Seed + 10 update rounds.
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(TaskRegistryTest, CreatesAllPaperTasks) {
+  for (const std::string name : {"BPPR", "MSSP", "BKHS", "PageRank"}) {
+    auto task = MakeTask(name);
+    ASSERT_TRUE(task.ok()) << name;
+    EXPECT_EQ(task.value()->name(), name);
+  }
+  EXPECT_FALSE(MakeTask("SSSP").ok());
+  EXPECT_EQ(BenchmarkTaskNames().size(), 3u);
+}
+
+}  // namespace
+}  // namespace vcmp

@@ -1,0 +1,113 @@
+#ifndef VCMP_TESTS_TEST_UTIL_H_
+#define VCMP_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "sim/cluster_spec.h"
+
+namespace vcmp {
+namespace testing_util {
+
+/// A cluster whose machines are so large that no test workload can become
+/// memory-bound; used when a test targets algorithmic correctness rather
+/// than the cost model.
+inline ClusterSpec RelaxedCluster(uint32_t machines) {
+  ClusterSpec spec = ClusterSpec::Galaxy8().WithMachines(machines);
+  spec.name = "test-relaxed";
+  spec.machine.memory_bytes = 1024.0 * (1ULL << 30);
+  spec.machine.usable_memory_bytes = 1000.0 * (1ULL << 30);
+  return spec;
+}
+
+/// Reference single-source BFS hop distances (kUnreachedHops if not
+/// reachable).
+inline constexpr uint32_t kUnreachedHops = static_cast<uint32_t>(-1);
+
+inline std::vector<uint32_t> BfsDistances(const Graph& graph,
+                                          VertexId source) {
+  std::vector<uint32_t> dist(graph.NumVertices(), kUnreachedHops);
+  std::queue<VertexId> queue;
+  dist[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop();
+    for (VertexId u : graph.Neighbors(v)) {
+      if (dist[u] == kUnreachedHops) {
+        dist[u] = dist[v] + 1;
+        queue.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+/// Reference personalized PageRank by power iteration of the alpha-decay
+/// walk: pi = alpha * sum_t (1-alpha)^t P^t e_s.
+inline std::vector<double> ReferencePpr(const Graph& graph, VertexId source,
+                                        double alpha, int iterations = 200) {
+  const VertexId n = graph.NumVertices();
+  std::vector<double> mass(n, 0.0);
+  std::vector<double> result(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  mass[source] = 1.0;
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (VertexId v = 0; v < n; ++v) {
+      if (mass[v] <= 0.0) continue;
+      auto neighbors = graph.Neighbors(v);
+      if (neighbors.empty()) {
+        result[v] += mass[v];  // Walks end at dangling vertices.
+        continue;
+      }
+      result[v] += alpha * mass[v];
+      double share =
+          (1.0 - alpha) * mass[v] / static_cast<double>(neighbors.size());
+      for (VertexId u : neighbors) next[u] += share;
+    }
+    mass.swap(next);
+  }
+  // Settle whatever mass remains (geometric tail).
+  for (VertexId v = 0; v < n; ++v) result[v] += mass[v];
+  return result;
+}
+
+/// Reference global PageRank by dense power iteration (dangling mass
+/// dropped, matching the vertex-centric implementation's semantics).
+inline std::vector<double> ReferencePageRank(const Graph& graph,
+                                             double damping,
+                                             int iterations) {
+  const VertexId n = graph.NumVertices();
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), (1.0 - damping) / n);
+    for (VertexId v = 0; v < n; ++v) {
+      auto neighbors = graph.Neighbors(v);
+      if (neighbors.empty()) continue;
+      double share =
+          damping * rank[v] / static_cast<double>(neighbors.size());
+      for (VertexId u : neighbors) next[u] += share;
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+/// L1 distance between two distributions.
+inline double L1Distance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) total += std::fabs(a[i] - b[i]);
+  return total;
+}
+
+}  // namespace testing_util
+}  // namespace vcmp
+
+#endif  // VCMP_TESTS_TEST_UTIL_H_

@@ -1,0 +1,171 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/tuning/memory_fit.h"
+#include "core/tuning/planner.h"
+#include "core/tuning/trainer.h"
+#include "core/tuning/tuner.h"
+#include "tasks/bppr.h"
+#include "test_util.h"
+
+namespace vcmp {
+namespace {
+
+using testing_util::RelaxedCluster;
+
+constexpr double kGiBd = 1024.0 * 1024.0 * 1024.0;
+
+MemoryModels LinearModels(double peak_per_unit, double residual_per_unit,
+                          double peak_intercept) {
+  MemoryModels models;
+  models.peak.a = peak_per_unit;
+  models.peak.b = 1.0;
+  models.peak.c = peak_intercept;
+  models.residual.a = residual_per_unit;
+  models.residual.b = 1.0;
+  models.residual.c = 0.0;
+  return models;
+}
+
+TEST(MemoryFitTest, FitsSyntheticSamples) {
+  std::vector<TrainingSample> samples;
+  for (double w : {2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+    TrainingSample sample;
+    sample.workload = w;
+    sample.peak_memory_bytes = 0.02 * kGiBd * w + 0.5 * kGiBd;
+    sample.residual_memory_bytes = 0.004 * kGiBd * w;
+    samples.push_back(sample);
+  }
+  auto models = FitMemoryModels(samples);
+  ASSERT_TRUE(models.ok()) << models.status().ToString();
+  EXPECT_NEAR(models.value().peak.Eval(128.0),
+              0.02 * kGiBd * 128.0 + 0.5 * kGiBd, 0.05 * kGiBd);
+  EXPECT_NEAR(models.value().residual.Eval(128.0), 0.004 * kGiBd * 128.0,
+              0.05 * kGiBd);
+  EXPECT_FALSE(models.value().ToString().empty());
+}
+
+TEST(MemoryFitTest, RejectsTooFewSamples) {
+  std::vector<TrainingSample> samples(2);
+  samples[0].workload = 2.0;
+  samples[1].workload = 4.0;
+  EXPECT_FALSE(FitMemoryModels(samples).ok());
+}
+
+TEST(PlannerTest, FullParallelismWhenEverythingFits) {
+  // Peak memory of the entire workload stays under the budget.
+  MemoryModels models = LinearModels(0.001 * kGiBd, 0.0001 * kGiBd, 0.0);
+  PlannerOptions options;
+  options.machine_memory_bytes = 16.0 * kGiBd;
+  options.overload_fraction = 0.85;
+  auto schedule = PlanSchedule(models, 1000.0, options);
+  ASSERT_TRUE(schedule.ok()) << schedule.status().ToString();
+  EXPECT_TRUE(schedule.value().IsFullParallelism());
+  EXPECT_DOUBLE_EQ(schedule.value().TotalWorkload(), 1000.0);
+}
+
+TEST(PlannerTest, ProducesDecreasingBatchesUnderResidualPressure) {
+  // Heavy residual: every processed unit eats into later batches' budget,
+  // so the planned workloads must decrease monotonically (the paper's
+  // [2747, 1388, 644, 266, 75] pattern).
+  MemoryModels models = LinearModels(0.004 * kGiBd, 0.002 * kGiBd, 0.0);
+  PlannerOptions options;
+  options.machine_memory_bytes = 16.0 * kGiBd;
+  auto schedule = PlanSchedule(models, 5120.0, options);
+  ASSERT_TRUE(schedule.ok()) << schedule.status().ToString();
+  const auto& workloads = schedule.value().workloads();
+  ASSERT_GE(workloads.size(), 3u);
+  for (size_t i = 1; i < workloads.size(); ++i) {
+    EXPECT_LE(workloads[i], workloads[i - 1] + 1.0);
+  }
+  EXPECT_NEAR(schedule.value().TotalWorkload(), 5120.0, 0.5);
+  // First batch fills the budget exactly: W1 = pM / a1.
+  EXPECT_NEAR(workloads[0],
+              std::floor(0.85 * 16.0 / 0.004), 1.0);
+}
+
+TEST(PlannerTest, FailsWhenResidualAloneOverflows) {
+  // Residual grows faster than the budget: at some point no batch fits.
+  MemoryModels models = LinearModels(0.004 * kGiBd, 0.02 * kGiBd, 0.0);
+  PlannerOptions options;
+  options.machine_memory_bytes = 16.0 * kGiBd;
+  auto schedule = PlanSchedule(models, 100000.0, options);
+  EXPECT_FALSE(schedule.ok());
+  EXPECT_EQ(schedule.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PlannerTest, RejectsBadWorkload) {
+  MemoryModels models = LinearModels(1.0, 0.0, 0.0);
+  EXPECT_FALSE(PlanSchedule(models, 0.0).ok());
+}
+
+TEST(TrainerTest, CollectsDoublingWorkloads) {
+  Dataset dataset = LoadDataset(DatasetId::kDblp, 512.0);
+  RunnerOptions runner_options;
+  runner_options.cluster = RelaxedCluster(4);
+  Trainer trainer(dataset, runner_options);
+  BpprTask task;
+  auto samples = trainer.CollectSamples(task, /*target_workload=*/512.0);
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  ASSERT_GE(samples.value().size(), 4u);
+  for (size_t i = 0; i < samples.value().size(); ++i) {
+    EXPECT_DOUBLE_EQ(samples.value()[i].workload, std::pow(2.0, i + 1));
+    EXPECT_GT(samples.value()[i].peak_memory_bytes, 0.0);
+    EXPECT_GT(samples.value()[i].residual_memory_bytes, 0.0);
+    EXPECT_LT(samples.value()[i].workload, 512.0);
+  }
+  // Peak memory is monotone in workload.
+  for (size_t i = 1; i < samples.value().size(); ++i) {
+    EXPECT_GE(samples.value()[i].peak_memory_bytes,
+              samples.value()[i - 1].peak_memory_bytes);
+  }
+}
+
+TEST(TrainerTest, RejectsTinyTargets) {
+  Dataset dataset = LoadDataset(DatasetId::kDblp, 512.0);
+  RunnerOptions runner_options;
+  runner_options.cluster = RelaxedCluster(2);
+  Trainer trainer(dataset, runner_options);
+  BpprTask task;
+  EXPECT_FALSE(trainer.CollectSamples(task, 2.0).ok());
+}
+
+TEST(TunerTest, EndToEndProducesValidSchedule) {
+  Dataset dataset = LoadDataset(DatasetId::kDblp, 512.0);
+  RunnerOptions runner_options;
+  runner_options.cluster = RelaxedCluster(4);
+  Tuner tuner(dataset, runner_options);
+  BpprTask task;
+  auto plan = tuner.Tune(task, /*total_workload=*/1024.0);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_GE(plan.value().samples.size(), 4u);
+  EXPECT_NEAR(plan.value().schedule.TotalWorkload(), 1024.0, 0.5);
+  EXPECT_GT(plan.value().training_seconds, 0.0);
+  // Relaxed machines are huge: the whole workload fits in one batch.
+  EXPECT_TRUE(plan.value().schedule.IsFullParallelism());
+}
+
+TEST(TunerTest, TightMemoryForcesMultipleBatches) {
+  Dataset dataset = LoadDataset(DatasetId::kDblp, 512.0);
+  RunnerOptions runner_options;
+  runner_options.cluster = RelaxedCluster(4);
+  // Shrink the machines so the target workload cannot run in one batch
+  // (but the accumulated residual of the full workload still fits).
+  runner_options.cluster.machine.memory_bytes = 4.0 * kGiBd;
+  runner_options.cluster.machine.usable_memory_bytes = 3.5 * kGiBd;
+  Tuner tuner(dataset, runner_options);
+  BpprTask task;
+  auto plan = tuner.Tune(task, /*total_workload=*/2048.0);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_GT(plan.value().schedule.NumBatches(), 1u);
+  EXPECT_NEAR(plan.value().schedule.TotalWorkload(), 2048.0, 0.5);
+  // Later batches should not exceed earlier ones (residual pressure).
+  const auto& workloads = plan.value().schedule.workloads();
+  for (size_t i = 1; i < workloads.size(); ++i) {
+    EXPECT_LE(workloads[i], workloads[i - 1] + 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace vcmp

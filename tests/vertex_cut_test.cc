@@ -1,0 +1,93 @@
+#include "graph/vertex_cut.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace vcmp {
+namespace {
+
+TEST(VertexCutTest, CoversEveryEdgeWithinRange) {
+  Graph graph = GenerateRmat({.num_vertices = 2000,
+                              .num_edges = 12000,
+                              .seed = 31});
+  for (uint32_t machines : {1u, 4u, 8u}) {
+    VertexCut cut = GreedyVertexCut(graph, machines);
+    ASSERT_EQ(cut.edge_machine.size(), graph.NumEdges());
+    for (uint32_t machine : cut.edge_machine) {
+      ASSERT_LT(machine, machines);
+    }
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      ASSERT_LT(cut.master[v], machines);
+      ASSERT_GE(cut.replicas[v], 1u);
+      ASSERT_LE(cut.replicas[v], machines);
+    }
+  }
+}
+
+TEST(VertexCutTest, SingleMachineHasNoReplication) {
+  Graph ring = GenerateRing(50, 1);
+  VertexCut cut = GreedyVertexCut(ring, 1);
+  EXPECT_DOUBLE_EQ(cut.ReplicationFactor(), 1.0);
+  EXPECT_DOUBLE_EQ(cut.EdgeImbalance(ring), 1.0);
+}
+
+TEST(VertexCutTest, GreedyBeatsRandomReplication) {
+  // The whole point of the greedy heuristic: far fewer replicas than
+  // random edge placement, especially on skewed graphs.
+  Graph graph = GenerateRmat({.num_vertices = 4000,
+                              .num_edges = 32000,
+                              .seed = 9});
+  VertexCut greedy = GreedyVertexCut(graph, 8);
+  VertexCut random = RandomVertexCut(graph, 8);
+  EXPECT_LT(greedy.ReplicationFactor(),
+            0.75 * random.ReplicationFactor());
+  // Both keep edges reasonably balanced.
+  EXPECT_LT(greedy.EdgeImbalance(graph), 1.5);
+  EXPECT_LT(random.EdgeImbalance(graph), 1.2);
+}
+
+TEST(VertexCutTest, HubAdjacencyIsSpread) {
+  // A star graph's hub must be replicated across machines (its edges
+  // cannot all fit one machine without destroying balance), while leaves
+  // stay single-replica.
+  GraphBuilder builder(101);
+  for (VertexId leaf = 1; leaf <= 100; ++leaf) builder.AddEdge(0, leaf);
+  Graph star = builder.Build({.symmetrize = true});
+  VertexCut cut = GreedyVertexCut(star, 4);
+  EXPECT_GE(cut.replicas[0], 2u);  // The hub is cut.
+  // Leaves stay lightly replicated (a leaf can pick up a second replica
+  // when its hub-side machine fills to capacity, but no more than that).
+  double leaf_replicas = 0.0;
+  for (VertexId leaf = 1; leaf <= 100; ++leaf) {
+    leaf_replicas += cut.replicas[leaf];
+  }
+  EXPECT_LE(leaf_replicas / 100.0, 2.2);
+  EXPECT_LT(cut.EdgeImbalance(star), 1.6);
+}
+
+TEST(VertexCutTest, Deterministic) {
+  Graph graph = GenerateRmat({.num_vertices = 1000,
+                              .num_edges = 6000,
+                              .seed = 3});
+  VertexCut a = GreedyVertexCut(graph, 6);
+  VertexCut b = GreedyVertexCut(graph, 6);
+  EXPECT_EQ(a.edge_machine, b.edge_machine);
+  EXPECT_EQ(a.replicas, b.replicas);
+}
+
+TEST(VertexCutTest, WideClusterFallbackWorks) {
+  // > 64 machines exercises the byte-table path.
+  Graph graph = GenerateRmat({.num_vertices = 500,
+                              .num_edges = 4000,
+                              .seed = 5});
+  VertexCut cut = GreedyVertexCut(graph, 100);
+  EXPECT_GE(cut.ReplicationFactor(), 1.0);
+  for (uint32_t machine : cut.edge_machine) {
+    ASSERT_LT(machine, 100u);
+  }
+}
+
+}  // namespace
+}  // namespace vcmp

@@ -1,0 +1,90 @@
+#include "core/whole_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "tasks/bppr.h"
+#include "test_util.h"
+
+namespace vcmp {
+namespace {
+
+using testing_util::RelaxedCluster;
+
+Dataset TinyDataset() {
+  return LoadDataset(DatasetId::kDblp, /*scale_override=*/512.0);
+}
+
+TEST(WholeGraphTest, RunsAndSplitsCosts) {
+  Dataset dataset = TinyDataset();
+  WholeGraphOptions options;
+  options.cluster = RelaxedCluster(8);
+  WholeGraphRunner runner(dataset, options);
+  BpprTask task;
+  auto report = runner.Run(task, BatchSchedule::Equal(64, 4));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report.value().overloaded);
+  EXPECT_GT(report.value().algorithm_seconds, 0.0);
+  EXPECT_GT(report.value().aggregation_seconds, 0.0);
+  EXPECT_GT(report.value().TotalSeconds(),
+            report.value().algorithm_seconds);
+}
+
+TEST(WholeGraphTest, NoCommunicationDuringAlgorithm) {
+  // Whole-graph mode runs each machine independently: the per-machine
+  // memory must include the *entire* graph, unlike default partitioning.
+  Dataset dataset = TinyDataset();
+  WholeGraphOptions wg_options;
+  wg_options.cluster = RelaxedCluster(8);
+  WholeGraphRunner wg_runner(dataset, wg_options);
+  BpprTask task;
+  // A light workload, so the graph replica dominates the footprint and
+  // the comparison is structural rather than workload-noise.
+  auto whole = wg_runner.Run(task, BatchSchedule::Equal(8, 2));
+  ASSERT_TRUE(whole.ok());
+
+  RunnerOptions options;
+  options.cluster = RelaxedCluster(8);
+  MultiProcessingRunner partitioned_runner(dataset, options);
+  auto partitioned =
+      partitioned_runner.Run(task, BatchSchedule::Equal(8, 2));
+  ASSERT_TRUE(partitioned.ok());
+
+  EXPECT_GT(whole.value().peak_memory_bytes,
+            partitioned.value().peak_memory_bytes);
+}
+
+TEST(WholeGraphTest, MemoryBoundEarlierThanPartitioned) {
+  // With machines sized to hold 1/8th of the working set comfortably,
+  // replicating the whole graph overloads while partitioning does not.
+  Dataset dataset = TinyDataset();
+  double graph_paper_bytes = dataset.graph.StorageBytes() * dataset.scale;
+
+  WholeGraphOptions wg_options;
+  wg_options.cluster = RelaxedCluster(8);
+  wg_options.cluster.machine.memory_bytes = 0.8 * graph_paper_bytes;
+  wg_options.cluster.machine.usable_memory_bytes = 0.7 * graph_paper_bytes;
+  WholeGraphRunner wg_runner(dataset, wg_options);
+  BpprTask task;
+  auto whole = wg_runner.Run(task, BatchSchedule::Equal(4, 2));
+  ASSERT_TRUE(whole.ok());
+  EXPECT_TRUE(whole.value().overloaded);
+
+  RunnerOptions options;
+  options.cluster = wg_options.cluster;
+  MultiProcessingRunner partitioned_runner(dataset, options);
+  auto partitioned =
+      partitioned_runner.Run(task, BatchSchedule::Equal(4, 2));
+  ASSERT_TRUE(partitioned.ok());
+  EXPECT_FALSE(partitioned.value().overloaded);
+}
+
+TEST(WholeGraphTest, RejectsEmptySchedule) {
+  Dataset dataset = TinyDataset();
+  WholeGraphRunner runner(dataset, {});
+  BpprTask task;
+  EXPECT_FALSE(runner.Run(task, BatchSchedule()).ok());
+}
+
+}  // namespace
+}  // namespace vcmp

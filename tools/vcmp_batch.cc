@@ -1,0 +1,86 @@
+// vcmp_batch: replay a saved experiment suite from an INI config and
+// print a result table (optionally exporting each run's report as JSON).
+//
+//   vcmp_batch --config=configs/fig04_workload_sweep.ini
+//   vcmp_batch --config=suite.ini --json-dir=/tmp/results
+
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/units.h"
+#include "core/experiment_spec.h"
+#include "metrics/export.h"
+#include "metrics/table_printer.h"
+
+namespace vcmp {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagParser flags("vcmp_batch", "run an INI-defined experiment suite");
+  flags.Define("config", "", "path to the experiment INI file (required)");
+  flags.Define("json-dir", "",
+               "write one <experiment>.json report per run to this "
+               "directory");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.ToString() << "\n";
+    return 2;
+  }
+  if (flags.help_requested() || flags.GetString("config").empty()) {
+    std::cout << flags.HelpText();
+    return flags.help_requested() ? 0 : 2;
+  }
+
+  auto document = IniDocument::Load(flags.GetString("config"));
+  if (!document.ok()) {
+    std::cerr << document.status().ToString() << "\n";
+    return 1;
+  }
+  auto specs = ParseExperimentSpecs(document.value());
+  if (!specs.ok()) {
+    std::cerr << specs.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Running " << specs.value().size() << " experiments from "
+            << flags.GetString("config") << "\n";
+
+  TablePrinter table({"Experiment", "Setting", "Schedule", "Time",
+                      "Peak mem", "Msgs/round"});
+  for (const ExperimentSpec& spec : specs.value()) {
+    auto result = RunExperiment(spec);
+    if (!result.ok()) {
+      std::cerr << "experiment '" << spec.name
+                << "' failed: " << result.status().ToString() << "\n";
+      return 1;
+    }
+    const RunReport& report = result.value().report;
+    table.AddRow({
+        spec.name,
+        StrFormat("%s/%s/%s W=%.0f", spec.task.c_str(),
+                  spec.system.c_str(), spec.dataset.c_str(),
+                  spec.workload),
+        result.value().schedule.ToString(),
+        report.overloaded ? "Overload"
+                          : StrFormat("%.1fs", report.total_seconds),
+        StrFormat("%.1fGB", BytesToGiB(report.peak_memory_bytes)),
+        FormatCount(report.MessagesPerRound()),
+    });
+    if (!flags.GetString("json-dir").empty()) {
+      std::string path =
+          flags.GetString("json-dir") + "/" + spec.name + ".json";
+      Status written = WriteRunReportJson(report, path);
+      if (!written.ok()) {
+        std::cerr << written.ToString() << "\n";
+        return 1;
+      }
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace vcmp
+
+int main(int argc, char** argv) { return vcmp::Main(argc, argv); }
