@@ -42,6 +42,58 @@ void BM_WorkerStage(benchmark::State& state) {
 }
 BENCHMARK(BM_WorkerStage)->Arg(0)->Arg(1);
 
+void BM_WorkerStageSkewed(benchmark::State& state) {
+  // Combining-heavy: 10k messages over only `range(0)` distinct targets,
+  // so most Stage calls hit an existing combiner-index entry. Exercises
+  // the flat-hash probe/combine path rather than the append path.
+  const uint32_t distinct = static_cast<uint32_t>(state.range(0));
+  SumCombiner combiner;
+  Worker worker;
+  Rng rng(4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    worker.Reset(8);
+    state.ResumeTiming();
+    for (int i = 0; i < 10000; ++i) {
+      Message message{static_cast<VertexId>(rng.NextBounded(distinct)), 0,
+                      1.0, 1.0};
+      worker.Stage(static_cast<uint32_t>(rng.NextBounded(8)), message,
+                   &combiner);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_WorkerStageSkewed)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_WorkerDrain(benchmark::State& state) {
+  // Measures delivery: append each staged outbox into a destination inbox
+  // and reset combiner state. Worker buffers are reused across
+  // iterations, so steady-state cost (no per-round allocation) is what
+  // gets measured.
+  SumCombiner combiner;
+  Worker worker;
+  worker.Reset(8);
+  Rng rng(5);
+  std::vector<Message> inbox;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 10000; ++i) {
+      Message message{static_cast<VertexId>(rng.NextBounded(1 << 14)), 0,
+                      1.0, 1.0};
+      worker.Stage(static_cast<uint32_t>(rng.NextBounded(8)), message,
+                   &combiner);
+    }
+    state.ResumeTiming();
+    for (uint32_t machine = 0; machine < 8; ++machine) {
+      inbox.clear();
+      worker.Drain(machine, &inbox);
+      benchmark::DoNotOptimize(inbox.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_WorkerDrain);
+
 void BM_InboxGrouping(benchmark::State& state) {
   Rng rng(2);
   std::vector<Message> messages(static_cast<size_t>(state.range(0)));

@@ -1,0 +1,140 @@
+// perf_engine: the standing engine-performance benchmark. Runs the
+// multi-batch B-PPR + MSSP workload on the LiveJournal stand-in and
+// reports real wall-clock per engine phase (compute, group, stage,
+// deliver), writing the numbers to a JSON file so successive engine
+// changes can be compared run-over-run:
+//
+//   perf_engine                      # 3 reps, 8 threads, BENCH_engine.json
+//   perf_engine --threads=1 --json=/tmp/t1.json
+//
+// The simulated seconds printed at the end are thread-count invariant
+// (the engine's determinism contract); only the wall-clock changes with
+// --threads. Total workload: 3 reps x (B-PPR W=4096 in 4 batches +
+// MSSP W=2048 in 4 batches) on Galaxy8 under Pregel+, seed 11.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "common/flags.h"
+#include "core/runner.h"
+#include "graph/datasets.h"
+#include "tasks/task_registry.h"
+
+namespace vcmp {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagParser flags("perf_engine",
+                   "engine hot-path benchmark (multi-batch BPPR + MSSP)");
+  flags.Define("threads", "8", "engine execution threads");
+  flags.Define("reps", "3", "workload repetitions");
+  flags.Define("json", "BENCH_engine.json",
+               "write phase timings to this path (empty = skip)");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.ToString() << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.HelpText();
+    return 0;
+  }
+
+  Dataset dataset = LoadDataset(DatasetId::kLiveJournal, 256.0);
+  std::printf("dataset: %s stand-in %s (scale %.0f)\n", dataset.info.name,
+              dataset.graph.ToString().c_str(), dataset.scale);
+
+  const int reps = static_cast<int>(flags.GetInt("reps"));
+  EnginePhaseTimes phase;
+  double sim_seconds = 0.0;
+  // Runs the whole workload once. With `timed` the engine collects its
+  // per-phase breakdown, which itself costs wall-clock (two clock reads
+  // per staged message), so the headline wall time comes from a separate
+  // untimed pass.
+  auto run_workload = [&](bool timed) -> double {
+    RunnerOptions options;
+    options.cluster = ClusterSpec::Galaxy8();
+    options.system = SystemKind::kPregelPlus;
+    options.seed = 11;
+    options.execution_threads =
+        static_cast<uint32_t>(flags.GetInt("threads"));
+    options.collect_phase_times = timed;
+    if (timed) {
+      options.engine_observer = [&phase](const EngineResult& result) {
+        phase.compute_seconds += result.phase.compute_seconds;
+        phase.group_seconds += result.phase.group_seconds;
+        phase.stage_seconds += result.phase.stage_seconds;
+        phase.deliver_seconds += result.phase.deliver_seconds;
+      };
+    }
+    MultiProcessingRunner runner(dataset, options);
+    sim_seconds = 0.0;
+    auto start = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < reps; ++rep) {
+      auto bppr = MakeTask("BPPR");
+      auto r1 = runner.Run(*bppr.value(), BatchSchedule::Equal(4096, 4));
+      if (!r1.ok()) {
+        std::cerr << r1.status().ToString() << "\n";
+        std::exit(1);
+      }
+      sim_seconds += r1.value().total_seconds;
+      auto mssp = MakeTask("MSSP");
+      auto r2 = runner.Run(*mssp.value(), BatchSchedule::Equal(2048, 4));
+      if (!r2.ok()) {
+        std::cerr << r2.status().ToString() << "\n";
+        std::exit(1);
+      }
+      sim_seconds += r2.value().total_seconds;
+    }
+    auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(stop - start).count();
+  };
+
+  const double wall_ms = run_workload(/*timed=*/false);
+  run_workload(/*timed=*/true);  // Phase breakdown (instrumented).
+
+  const uint32_t threads = static_cast<uint32_t>(flags.GetInt("threads"));
+  std::printf(
+      "threads %u  wall %.1fms  (compute %.1fms, group %.1fms, "
+      "stage %.1fms, deliver %.1fms)\n",
+      threads, wall_ms, 1e3 * phase.compute_seconds,
+      1e3 * phase.group_seconds, 1e3 * phase.stage_seconds,
+      1e3 * phase.deliver_seconds);
+  std::printf("simulated seconds %.3f (thread-count invariant)\n",
+              sim_seconds);
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"workload\": \"3x (BPPR W=4096 4-batch + MSSP W=2048"
+                 " 4-batch), LiveJournal scale 256, Galaxy8, Pregel+\",\n"
+                 "  \"seed\": 11,\n"
+                 "  \"threads\": %u,\n"
+                 "  \"wall_ms\": %.1f,\n"
+                 "  \"compute_ms\": %.1f,\n"
+                 "  \"group_ms\": %.1f,\n"
+                 "  \"stage_ms\": %.1f,\n"
+                 "  \"deliver_ms\": %.1f,\n"
+                 "  \"simulated_seconds\": %.3f\n"
+                 "}\n",
+                 threads, wall_ms,
+                 1e3 * phase.compute_seconds, 1e3 * phase.group_seconds,
+                 1e3 * phase.stage_seconds, 1e3 * phase.deliver_seconds,
+                 sim_seconds);
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vcmp
+
+int main(int argc, char** argv) { return vcmp::Main(argc, argv); }

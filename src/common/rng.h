@@ -17,12 +17,7 @@ class Rng {
   explicit Rng(uint64_t seed) : state_(seed + kGamma) {}
 
   /// Next 64 uniformly distributed bits.
-  uint64_t NextUint64() {
-    uint64_t z = (state_ += kGamma);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-  }
+  uint64_t NextUint64() { return Mix(state_ += kGamma); }
 
   /// Uniform integer in [0, bound). bound must be > 0.
   uint64_t NextBounded(uint64_t bound) {
@@ -54,6 +49,14 @@ class Rng {
 
  private:
   static constexpr uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+
+  /// SplitMix64 output function: bijective mix of one state word.
+  static uint64_t Mix(uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
   uint64_t state_;
 };
 
@@ -83,10 +86,20 @@ inline uint64_t Rng::NextBinomial(uint64_t n, double p) {
     return static_cast<uint64_t>(x);
   }
   if (n <= 128) {
-    // Exact by repeated Bernoulli for small n.
+    // Exact by n Bernoulli draws. Draw i's uniform is Mix(state + i*gamma),
+    // so the draws can be generated from the loop index instead of chaining
+    // through state_: identical outputs and final state, but without the
+    // loop-carried dependency the mix pipelines/vectorizes instead of
+    // serialising on its ~15-cycle latency. The double compare
+    // `(z >> 11) * 2^-53 < p` is equivalently `(z >> 11) < ceil(p * 2^53)`
+    // (both sides exact: p * 2^53 only scales the exponent).
+    const uint64_t threshold =
+        static_cast<uint64_t>(std::ceil(p * 0x1.0p53));
+    const uint64_t base = state_;
+    state_ = base + n * kGamma;
     uint64_t count = 0;
-    for (uint64_t i = 0; i < n; ++i) {
-      count += NextBernoulli(p) ? 1 : 0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      count += (Mix(base + i * kGamma) >> 11) < threshold ? 1 : 0;
     }
     return count;
   }

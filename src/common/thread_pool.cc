@@ -1,0 +1,74 @@
+#include "common/thread_pool.h"
+
+namespace vcmp {
+
+ThreadPool::ThreadPool(uint32_t num_workers) {
+  workers_.reserve(num_workers);
+  for (uint32_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();  // Inline execution: serial and parallel share one code path.
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++inflight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(uint32_t count,
+                             const std::function<void(uint32_t)>& fn) {
+  const uint32_t shards = std::min(num_workers() + 1, count);
+  if (shards <= 1) {
+    for (uint32_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  for (uint32_t s = 1; s < shards; ++s) {
+    Submit([&fn, s, shards, count] {
+      for (uint32_t i = s; i < count; i += shards) fn(i);
+    });
+  }
+  for (uint32_t i = 0; i < count; i += shards) fn(i);  // Caller is shard 0.
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--inflight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace vcmp

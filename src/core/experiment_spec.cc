@@ -120,7 +120,7 @@ Result<std::vector<ExperimentSpec>> ParseExperimentSpecs(
                           IniDocument::GetInt(section, "seed", 1));
     spec.seed = static_cast<uint64_t>(seed);
     VCMP_ASSIGN_OR_RETURN(int64_t threads,
-                          IniDocument::GetInt(section, "threads", 1));
+                          IniDocument::GetInt(section, "threads", 0));
     spec.threads = static_cast<uint32_t>(threads);
     specs.push_back(std::move(spec));
   }

@@ -38,7 +38,7 @@ struct ExperimentSpec {
   std::string schedule = "equal:1";
   double scale = 0.0;  // 0 = dataset default.
   uint64_t seed = 1;
-  uint32_t threads = 1;
+  uint32_t threads = 0;  // 0 = auto (hardware cores).
 };
 
 /// Parses every section of an INI document into a spec (section name =

@@ -57,12 +57,14 @@ Result<RunReport> MultiProcessingRunner::Run(const MultiTask& task,
     engine_options.carryover_residual_bytes = carryover;
     engine_options.max_rounds = options_.max_rounds;
     engine_options.execution_threads = options_.execution_threads;
+    engine_options.collect_phase_times = options_.collect_phase_times;
     engine_options.checkpoint_interval_rounds =
         options_.checkpoint_interval_rounds;
     engine_options.seed = options_.seed + batch_index;
 
     SyncEngine engine(dataset_.graph, partition_, engine_options);
     VCMP_ASSIGN_OR_RETURN(EngineResult result, engine.Run(*program));
+    if (options_.engine_observer) options_.engine_observer(result);
 
     BatchReport batch;
     batch.workload = workload;

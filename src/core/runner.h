@@ -25,15 +25,21 @@ struct RunnerOptions {
   CostParams cost;
   uint64_t seed = 1;
   uint64_t max_rounds = 4096;
-  /// Compute-phase threads per engine run (results are thread-count
-  /// invariant; see EngineOptions::execution_threads).
-  uint32_t execution_threads = 1;
+  /// Compute/delivery threads per engine run (results are thread-count
+  /// invariant; see EngineOptions::execution_threads). 0 = auto: one
+  /// thread per hardware core, capped by the machine count.
+  uint32_t execution_threads = 0;
   /// Pregel checkpointing every N rounds (0 = off); applied per batch.
   uint64_t checkpoint_interval_rounds = 0;
+  /// Collect real per-phase engine times (see EngineOptions).
+  bool collect_phase_times = false;
   /// Replaces the canonical profile for `system` (ablation studies).
   std::optional<SystemProfile> profile_override;
   /// Called with each batch's finished program (result aggregation).
   std::function<void(const VertexProgram&)> batch_observer;
+  /// Called with each batch's raw EngineResult (phase times, round trace)
+  /// before it is folded into the RunReport.
+  std::function<void(const EngineResult&)> engine_observer;
 };
 
 /// Executes a multi-processing task under a batch schedule: batches run

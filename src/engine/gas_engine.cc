@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "sim/round_load.h"
 
 namespace vcmp {
@@ -152,6 +153,17 @@ Result<GasResult> GasEngine::Run(GasVertexProgram& program) {
   Rng rng(options_.seed);
   Context context(this, &rng);
 
+  // Persistent pool for the engine's order-independent sections. The
+  // Process loop stays serial by necessity: signals sent to frontier
+  // vertices that have not been consumed yet fold into the *current* pass
+  // (and must not reschedule), and programs may draw from a shared RNG —
+  // both fix a sequential frontier order.
+  uint32_t thread_count = options_.execution_threads == 0
+                              ? ThreadPool::HardwareThreads()
+                              : std::max(options_.execution_threads, 1u);
+  thread_count = std::min(thread_count, ThreadPool::HardwareThreads());
+  ThreadPool pool(thread_count - 1);
+
   GasResult result;
   const double replication_factor =
       options_.vertex_cut != nullptr
@@ -170,15 +182,16 @@ Result<GasResult> GasEngine::Run(GasVertexProgram& program) {
   for (uint64_t pass = 1; pass <= options_.max_passes && !frontier.empty();
        ++pass) {
     if (!profile.synchronous && options_.priority_scheduling) {
-      // Priority scheduling: largest pending signal first (ties broken by
-      // vertex id for determinism).
-      std::sort(frontier.begin(), frontier.end(),
-                [&](VertexId a, VertexId b) {
-                  double sa = context.PendingSignal(a);
-                  double sb = context.PendingSignal(b);
-                  if (sa != sb) return sa > sb;
-                  return a < b;
-                });
+      // Priority scheduling: largest pending signal first. The tie-break
+      // by vertex id makes the comparator a strict total order, so the
+      // pool-sharded merge sort is bit-identical to a serial sort.
+      ParallelSort(pool, frontier.begin(), frontier.end(),
+                   [&](VertexId a, VertexId b) {
+                     double sa = context.PendingSignal(a);
+                     double sb = context.PendingSignal(b);
+                     if (sa != sb) return sa > sb;
+                     return a < b;
+                   });
     }
     // Snapshot the pass's send-side stats while processing.
     context.BeginPass(pass);
@@ -195,7 +208,10 @@ Result<GasResult> GasEngine::Run(GasVertexProgram& program) {
     // Received == sent within the pass (accumulators are consumed next
     // pass; attribute the traffic to this pass).
     double pass_messages = 0.0;
-    for (uint32_t m = 0; m < machines; ++m) {
+    // Machines are independent here (shard m touches only loads[m] and
+    // cross_bytes_per_machine[m]); the scalar reductions stay serial below
+    // so their floating-point order never depends on the thread count.
+    pool.ParallelFor(machines, [&](uint32_t m) {
       MachineRoundLoad& load = loads[m];
       load.recv_messages = context.logical_signals()[m] * scale;
       // Combining shrinks wire traffic, not gather work: every logical
@@ -215,10 +231,12 @@ Result<GasResult> GasEngine::Run(GasVertexProgram& program) {
       load.state_bytes =
           (graph_share_bytes_[m] + program.StateBytes(m)) * scale;
       load.residual_bytes = program.ResidualBytes(m) * scale;
-      pass_messages += load.recv_messages;
+      cross_bytes_per_machine[m] += load.cross_bytes_out;
+    });
+    for (uint32_t m = 0; m < machines; ++m) {
+      pass_messages += loads[m].recv_messages;
       pass_logical += context.logical_signals()[m];
       total_compute_units += context.compute_units()[m];
-      cross_bytes_per_machine[m] += load.cross_bytes_out;
     }
     // Activations per machine for the cost model's per-vertex term.
     for (VertexId v : frontier) {

@@ -93,6 +93,13 @@ struct GasOptions {
   double stat_scale = 1.0;
   uint64_t seed = 7;
   uint64_t max_passes = 8192;
+  /// Threads for the engine's parallelisable sections (the priority-sort
+  /// of the frontier and per-machine load assembly), served by the same
+  /// persistent ThreadPool as SyncEngine. Results are bit-identical for
+  /// any value. The Process loop itself is inherently sequential: signals
+  /// to not-yet-consumed frontier vertices fold into the current pass, and
+  /// programs may draw from one shared RNG in frontier order. 0 = auto.
+  uint32_t execution_threads = 1;
   /// GraphLab's priority scheduler (async mode): process vertices with the
   /// largest pending signal first. Convergent programs settle heavy mass
   /// early and need fewer activations than FIFO order.

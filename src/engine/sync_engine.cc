@@ -1,10 +1,11 @@
 #include "engine/sync_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
-#include <thread>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace vcmp {
 
@@ -186,8 +187,19 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
     return Status::InvalidArgument("partition does not cover the graph");
   }
 
-  std::vector<Worker> workers(machines);
-  for (Worker& worker : workers) worker.Reset(machines);
+  // Workers persist across Run calls; Reset retains their capacity so
+  // repeated runs (trainer probes, batch loops) allocate nothing new.
+  workers_.resize(machines);
+  std::vector<Worker>& workers = workers_;
+  const bool collect_times = options_.collect_phase_times;
+  for (Worker& worker : workers) {
+    worker.Reset(machines);
+    worker.set_collect_timing(collect_times);
+  }
+  using Clock = std::chrono::steady_clock;
+  auto seconds_since = [](Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
 
   // One sink per machine: independent deterministic random streams and
   // sender-side accumulators, so machines can compute concurrently with
@@ -202,6 +214,21 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
                                    ? program.combiner()
                                    : nullptr);
   }
+
+  // The pool outlives the round loop: its threads are created once per
+  // Run and parked between parallel sections, instead of spawning and
+  // joining a thread set every round. Oversubscribing the hardware only
+  // adds context switches (results are thread-count invariant), so the
+  // requested count is clamped to the core count by default; tests that
+  // must run an exact shard count disable the clamp.
+  uint32_t thread_count =
+      options_.execution_threads == 0 ? ThreadPool::HardwareThreads()
+                                      : options_.execution_threads;
+  thread_count = std::min(std::max(thread_count, 1u), machines);
+  if (options_.clamp_threads_to_hardware) {
+    thread_count = std::min(thread_count, ThreadPool::HardwareThreads());
+  }
+  ThreadPool pool(thread_count - 1);
 
   EngineResult result;
   const double scale = options_.stat_scale;
@@ -250,27 +277,12 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
       }
     };
 
-    const uint32_t thread_count =
-        std::min<uint32_t>(std::max<uint32_t>(options_.execution_threads,
-                                              1u),
-                           machines);
-    if (thread_count <= 1) {
-      for (uint32_t machine = 0; machine < machines; ++machine) {
-        process_machine(machine);
-      }
-    } else {
-      // Static round-robin chunking: machine m goes to thread m % T.
-      std::vector<std::thread> pool;
-      pool.reserve(thread_count);
-      for (uint32_t t = 0; t < thread_count; ++t) {
-        pool.emplace_back([&, t] {
-          for (uint32_t machine = t; machine < machines;
-               machine += thread_count) {
-            process_machine(machine);
-          }
-        });
-      }
-      for (std::thread& worker_thread : pool) worker_thread.join();
+    // Static round-robin sharding on the persistent pool: machine m goes
+    // to shard m % T, exactly as the former per-round thread spawn did.
+    const auto compute_start = Clock::now();
+    pool.ParallelFor(machines, process_machine);
+    if (collect_times) {
+      result.phase.compute_seconds += seconds_since(compute_start);
     }
     double active_vertices_total = 0.0;
     for (const MachineRoundLoad& load : loads) {
@@ -428,13 +440,19 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
     }
 
     // --- Deliver: drain all outboxes into next-round inboxes ---
-    for (uint32_t machine = 0; machine < machines; ++machine) {
-      workers[machine].inbox().clear();
-    }
-    for (uint32_t sender = 0; sender < machines; ++sender) {
-      for (uint32_t dest = 0; dest < machines; ++dest) {
-        workers[sender].Drain(dest, &workers[dest].inbox());
+    // Parallel by destination: shard d touches only the senders' outboxes
+    // for machine d and machine d's inbox, and appends them in fixed
+    // sender order — byte-identical to the serial sender-major drain.
+    const auto deliver_start = Clock::now();
+    pool.ParallelFor(machines, [&workers, machines](uint32_t dest) {
+      std::vector<Message>& inbox = workers[dest].inbox();
+      inbox.clear();
+      for (uint32_t sender = 0; sender < machines; ++sender) {
+        workers[sender].Drain(dest, &inbox);
       }
+    });
+    if (collect_times) {
+      result.phase.deliver_seconds += seconds_since(deliver_start);
     }
     for (uint32_t machine = 0; machine < machines; ++machine) {
       if (!workers[machine].inbox().empty()) {
@@ -460,6 +478,12 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
   }
   if (result.overloaded) {
     result.seconds = std::max(result.seconds, cutoff);
+  }
+  if (collect_times) {
+    for (const Worker& worker : workers) {
+      result.phase.group_seconds += worker.group_ns() * 1e-9;
+      result.phase.stage_seconds += worker.stage_ns() * 1e-9;
+    }
   }
   return result;
 }

@@ -36,11 +36,23 @@ struct EngineOptions {
   /// Stop executing once overload is certain (memory overflow or the
   /// simulated clock passing the cut-off); the result is flagged.
   bool stop_early_on_overload = true;
-  /// Worker threads for the compute phase (machines are processed
-  /// concurrently). Results are bit-identical for any thread count: each
-  /// machine owns a sink with its own deterministic random stream, and
-  /// programs touch only owned-vertex state during Compute.
+  /// Worker threads for the compute and delivery phases (machines are
+  /// processed concurrently on a persistent per-Run ThreadPool). Results
+  /// are bit-identical for any thread count: each machine owns a sink with
+  /// its own deterministic random stream, programs touch only owned-vertex
+  /// state during Compute, and delivery appends sender outboxes in fixed
+  /// sender order. 0 = auto (one thread per hardware core, capped by the
+  /// machine count).
   uint32_t execution_threads = 1;
+  /// Because results are thread-count invariant, the engine by default
+  /// clamps the thread count to the hardware concurrency —
+  /// oversubscribing cores only adds context switches without changing
+  /// any output. Tests that must run an exact shard count disable this.
+  bool clamp_threads_to_hardware = true;
+  /// Collect wall/busy time per engine phase into EngineResult::phase
+  /// (perf-trajectory benches). Off by default: the hot paths then pay
+  /// only a predictable branch per round.
+  bool collect_phase_times = false;
 
   /// --- Pregel fault tolerance (checkpointing) ---
   /// Checkpoint every N rounds (0 = off): each machine flushes its vertex
@@ -53,6 +65,18 @@ struct EngineOptions {
   uint64_t inject_failure_at_round = kNoFailure;
 
   static constexpr uint64_t kNoFailure = ~0ULL;
+};
+
+/// Measured (real, not simulated) time the engine spent per phase of the
+/// superstep loop; filled only when EngineOptions::collect_phase_times is
+/// set. compute/deliver are wall seconds of the (possibly parallel)
+/// sections; group/stage are per-worker busy seconds summed over machines,
+/// so they can exceed the compute wall time under multithreading.
+struct EnginePhaseTimes {
+  double compute_seconds = 0.0;  // Superstep compute (includes group/stage).
+  double group_seconds = 0.0;    // Worker::GroupInbox busy time.
+  double stage_seconds = 0.0;    // Worker::Stage busy time.
+  double deliver_seconds = 0.0;  // Outbox -> inbox delivery.
 };
 
 /// Outcome of one engine execution (one batch).
@@ -82,6 +106,9 @@ struct EngineResult {
   /// True when any round formed a disk write queue (Table 3's ">100%").
   bool disk_saturated = false;
   double max_io_queue_length = 0.0;
+
+  /// Real per-phase engine time (zeros unless collect_phase_times).
+  EnginePhaseTimes phase;
 
   double MessagesPerRound() const {
     return num_rounds == 0 ? 0.0 : total_messages / num_rounds;
@@ -125,6 +152,9 @@ class SyncEngine {
   std::vector<double> graph_share_bytes_;    // Per machine.
   std::vector<double> edge_stream_bytes_;    // Per machine (OOC).
   std::vector<std::vector<VertexId>> vertices_by_machine_;
+  /// Per-machine message buffers, reused across Run calls so repeated runs
+  /// (trainer probes, batch loops) hit steady-state capacity immediately.
+  std::vector<Worker> workers_;
   // Fault-tolerance bookkeeping (reset per Run): simulated time elapsed
   // since the last checkpoint, i.e. the replay cost of a failure now.
   double seconds_since_checkpoint_ = 0.0;

@@ -1,46 +1,156 @@
 #include "engine/worker.h"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 
 namespace vcmp {
+namespace {
+
+/// Packed sort/combine key: target in the high half, tag in the low half.
+inline uint64_t KeyOf(const Message& message) {
+  return (static_cast<uint64_t>(message.target) << 32) | message.tag;
+}
+
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Below this size a comparison sort beats the radix passes' fixed costs
+/// (histogram zeroing, scratch traffic).
+constexpr size_t kRadixThreshold = 64;
+
+}  // namespace
+
+size_t CombineIndex::FindOrInsert(uint64_t key, size_t fresh_value,
+                                  bool* inserted) {
+  if (size_ * 4 >= slots_.size() * 3) Grow();  // Load factor cap: 3/4.
+  uint64_t hash = key * 0x9e3779b97f4a7c15ULL;
+  size_t index = (hash ^ (hash >> 29)) & mask_;
+  while (true) {
+    Slot& slot = slots_[index];
+    if (slot.epoch != epoch_) {  // Empty or stale from a cleared round.
+      slot.key = key;
+      slot.value = fresh_value;
+      slot.epoch = epoch_;
+      ++size_;
+      *inserted = true;
+      return fresh_value;
+    }
+    if (slot.key == key) {
+      *inserted = false;
+      return slot.value;
+    }
+    index = (index + 1) & mask_;
+  }
+}
+
+void CombineIndex::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  const size_t capacity = old.empty() ? 64 : old.size() * 2;
+  slots_.assign(capacity, Slot{});
+  mask_ = capacity - 1;
+  for (const Slot& slot : old) {
+    if (slot.epoch != epoch_) continue;
+    uint64_t hash = slot.key * 0x9e3779b97f4a7c15ULL;
+    size_t index = (hash ^ (hash >> 29)) & mask_;
+    while (slots_[index].epoch == epoch_) index = (index + 1) & mask_;
+    slots_[index] = slot;
+  }
+}
 
 void Worker::Reset(uint32_t num_machines) {
-  outboxes_.assign(num_machines, {});
-  combine_index_.assign(num_machines, {});
+  // Resize (not assign) so that inner buffers keep their capacity across
+  // rounds and repeated engine runs — the steady state allocates nothing.
+  outboxes_.resize(num_machines);
+  combine_index_.resize(num_machines);
+  for (std::vector<Message>& outbox : outboxes_) outbox.clear();
+  for (CombineIndex& index : combine_index_) index.Clear();
   inbox_.clear();
   send_stats_.Clear();
+  group_ns_ = 0;
+  stage_ns_ = 0;
 }
 
 bool Worker::Stage(uint32_t target_machine, const Message& message,
                    const Combiner* combiner) {
+  const uint64_t t0 = collect_timing_ ? NowNs() : 0;
   auto& outbox = outboxes_[target_machine];
+  bool new_wire = true;
   if (combiner != nullptr) {
-    uint64_t key =
-        (static_cast<uint64_t>(message.target) << 32) | message.tag;
-    auto& index = combine_index_[target_machine];
-    auto [it, inserted] = index.try_emplace(key, outbox.size());
+    bool inserted = false;
+    size_t position = combine_index_[target_machine].FindOrInsert(
+        KeyOf(message), outbox.size(), &inserted);
     if (!inserted) {
-      combiner->Merge(outbox[it->second], message);
-      return false;  // Merged: no new wire message.
+      combiner->Merge(outbox[position], message);
+      new_wire = false;  // Merged: no new wire message.
     }
   }
-  outbox.push_back(message);
-  return true;
+  if (new_wire) outbox.push_back(message);
+  if (collect_timing_) stage_ns_ += NowNs() - t0;
+  return new_wire;
 }
 
 void Worker::Drain(uint32_t machine, std::vector<Message>* dest) {
   auto& outbox = outboxes_[machine];
   dest->insert(dest->end(), outbox.begin(), outbox.end());
   outbox.clear();
-  combine_index_[machine].clear();
+  combine_index_[machine].Clear();
 }
 
 void Worker::GroupInbox() {
-  std::sort(inbox_.begin(), inbox_.end(),
-            [](const Message& a, const Message& b) {
-              if (a.target != b.target) return a.target < b.target;
-              return a.tag < b.tag;
-            });
+  const uint64_t t0 = collect_timing_ ? NowNs() : 0;
+  if (inbox_.size() < kRadixThreshold) {
+    std::stable_sort(inbox_.begin(), inbox_.end(),
+                     [](const Message& a, const Message& b) {
+                       return KeyOf(a) < KeyOf(b);
+                     });
+  } else {
+    RadixSortInbox();
+  }
+  if (collect_timing_) group_ns_ += NowNs() - t0;
+}
+
+void Worker::RadixSortInbox() {
+  const size_t n = inbox_.size();
+  scratch_.resize(n);
+  // One scan finds the bytes that actually vary: targets/tags rarely use
+  // all 64 bits, so most of the 8 possible passes are skipped.
+  uint64_t all_or = 0;
+  uint64_t all_and = ~uint64_t{0};
+  for (const Message& message : inbox_) {
+    uint64_t key = KeyOf(message);
+    all_or |= key;
+    all_and &= key;
+  }
+  const uint64_t varying = all_or ^ all_and;
+
+  Message* src = inbox_.data();
+  Message* dst = scratch_.data();
+  bool in_scratch = false;
+  for (int byte = 0; byte < 8; ++byte) {
+    const int shift = byte * 8;
+    if (((varying >> shift) & 0xff) == 0) continue;  // Constant digit.
+    std::array<uint32_t, 256> counts{};
+    for (size_t i = 0; i < n; ++i) {
+      counts[(KeyOf(src[i]) >> shift) & 0xff]++;
+    }
+    uint32_t offset = 0;
+    std::array<uint32_t, 256> starts;
+    for (int digit = 0; digit < 256; ++digit) {
+      starts[digit] = offset;
+      offset += counts[digit];
+    }
+    for (size_t i = 0; i < n; ++i) {  // Stable scatter (LSD).
+      dst[starts[(KeyOf(src[i]) >> shift) & 0xff]++] = src[i];
+    }
+    std::swap(src, dst);
+    in_scratch = !in_scratch;
+  }
+  if (in_scratch) inbox_.swap(scratch_);
 }
 
 }  // namespace vcmp

@@ -1,7 +1,7 @@
 #ifndef VCMP_ENGINE_WORKER_H_
 #define VCMP_ENGINE_WORKER_H_
 
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "engine/message.h"
@@ -25,16 +25,57 @@ struct WorkerSendStats {
   void Clear() { *this = WorkerSendStats{}; }
 };
 
+/// Open-addressing (target, tag) -> outbox-position index used for
+/// sender-side combining.
+///
+/// Power-of-two capacity with linear probing; a per-slot epoch stamp makes
+/// Clear() O(1) (bump the epoch) instead of rehashing or deallocating, so
+/// the table's memory survives rounds and its hot slots stay cached. This
+/// replaces the std::unordered_map per destination, whose node allocations
+/// and pointer chasing dominated the staging path.
+class CombineIndex {
+ public:
+  /// Looks up `key`; inserts it mapping to `fresh_value` when absent.
+  /// Returns the stored value and sets *inserted accordingly.
+  size_t FindOrInsert(uint64_t key, size_t fresh_value, bool* inserted);
+
+  /// Logically empties the index, keeping capacity (epoch bump).
+  void Clear() {
+    ++epoch_;
+    size_ = 0;
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    uint64_t epoch = 0;  // Slot is live iff epoch == CombineIndex::epoch_.
+    size_t value = 0;
+  };
+
+  void Grow();
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  uint64_t epoch_ = 1;  // Starts above the default slot epoch (0).
+};
+
 /// Per-machine message buffers of a simulated worker.
 ///
 /// A Worker owns the machine's inbox for the current round and the staging
 /// outboxes of the round in progress. Combining systems merge same-
-/// (target, tag) messages in the outbox before "transmission".
+/// (target, tag) messages in the outbox before "transmission". All buffers
+/// retain their capacity across rounds and Reset calls: the steady state
+/// of a multi-round run performs no per-round allocations.
 class Worker {
  public:
   Worker() = default;
 
-  /// Prepares outboxes for `num_machines` destinations.
+  /// Prepares outboxes for `num_machines` destinations. Buffer capacity
+  /// from earlier rounds/runs is retained.
   void Reset(uint32_t num_machines);
 
   /// Buffers a message for the worker of `target_machine`, merging it into
@@ -43,7 +84,8 @@ class Worker {
   bool Stage(uint32_t target_machine, const Message& message,
              const Combiner* combiner);
 
-  /// Moves this worker's outbox for `machine` into `dest`, clearing it.
+  /// Appends this worker's outbox for `machine` to `dest`, then clears the
+  /// outbox (capacity retained).
   void Drain(uint32_t machine, std::vector<Message>* dest);
 
   std::vector<Message>& inbox() { return inbox_; }
@@ -51,16 +93,33 @@ class Worker {
   WorkerSendStats& send_stats() { return send_stats_; }
 
   /// Sorts the inbox by (target, tag) so Compute receives contiguous
-  /// per-vertex groups.
+  /// per-vertex groups. Large inboxes use a stable LSD radix sort over the
+  /// packed (target, tag) key with a reusable scratch buffer; tiny ones
+  /// fall back to std::stable_sort. Either way messages with equal
+  /// (target, tag) keep their arrival order (stable), which fixes the
+  /// grouping order independently of inbox size.
   void GroupInbox();
 
+  /// Enables phase-time collection (see group_ns/stage_ns). Off by
+  /// default; the hot paths then pay a single predictable branch.
+  void set_collect_timing(bool on) { collect_timing_ = on; }
+  /// Nanoseconds spent in GroupInbox / Stage since the last Reset, when
+  /// timing collection is enabled.
+  uint64_t group_ns() const { return group_ns_; }
+  uint64_t stage_ns() const { return stage_ns_; }
+
  private:
+  void RadixSortInbox();
+
   std::vector<Message> inbox_;
+  std::vector<Message> scratch_;                // Radix sort double-buffer.
   std::vector<std::vector<Message>> outboxes_;  // One per target machine.
-  /// Per-destination index of (target, tag) -> outbox position, used only
-  /// when combining.
-  std::vector<std::unordered_map<uint64_t, size_t>> combine_index_;
+  /// Per-destination combining index, used only when combining.
+  std::vector<CombineIndex> combine_index_;
   WorkerSendStats send_stats_;
+  bool collect_timing_ = false;
+  uint64_t group_ns_ = 0;
+  uint64_t stage_ns_ = 0;
 };
 
 }  // namespace vcmp

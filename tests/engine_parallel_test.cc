@@ -1,0 +1,341 @@
+// Tests of the engine's parallel-execution machinery: the thread pool,
+// the radix inbox grouping, the flat combiner index, and the regression
+// that engine results are bit-identical for every thread count (the
+// determinism contract every perf change must preserve).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "engine/sync_engine.h"
+#include "engine/worker.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "tasks/task_registry.h"
+#include "test_util.h"
+
+namespace vcmp {
+namespace {
+
+using testing_util::RelaxedCluster;
+
+TEST(ThreadPoolTest, SubmitAndWaitRunsEveryTask) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersExecutesInline) {
+  ThreadPool pool(0);
+  int count = 0;  // Not atomic: inline execution is single-threaded.
+  pool.Submit([&count] { ++count; });
+  EXPECT_EQ(count, 1);  // Already ran, before Wait.
+  pool.Wait();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&hits](uint32_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyBarriers) {
+  // The engine reuses one pool for every superstep; the pool must survive
+  // many Submit/Wait and ParallelFor cycles without deadlock or loss.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(7, [&total](uint32_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 200 * 7);
+}
+
+TEST(ThreadPoolTest, ParallelSortMatchesSerialSort) {
+  Rng rng(17);
+  std::vector<uint64_t> values(100000);
+  for (uint64_t& v : values) v = rng.NextUint64();
+  std::vector<uint64_t> expected = values;
+  std::sort(expected.begin(), expected.end());
+  ThreadPool pool(3);
+  ParallelSort(pool, values.begin(), values.end(), std::less<uint64_t>());
+  EXPECT_EQ(values, expected);
+}
+
+TEST(ThreadPoolTest, ParallelSortSmallInputFallsBackToSerial) {
+  ThreadPool pool(3);
+  std::vector<int> values = {5, 3, 1, 4, 2};
+  ParallelSort(pool, values.begin(), values.end(), std::less<int>());
+  EXPECT_EQ(values, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+// --- Radix inbox grouping --------------------------------------------
+
+std::vector<Message> RandomInbox(size_t size, uint32_t num_targets,
+                                 uint32_t num_tags, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Message> inbox;
+  inbox.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    inbox.push_back(
+        Message{static_cast<VertexId>(rng.NextBounded(num_targets)),
+                static_cast<uint32_t>(rng.NextBounded(num_tags)),
+                // Original position, so stability is observable.
+                static_cast<double>(i), 1.0});
+  }
+  return inbox;
+}
+
+void ExpectGroupInboxMatchesStableSort(std::vector<Message> inbox) {
+  std::vector<Message> expected = inbox;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Message& a, const Message& b) {
+                     if (a.target != b.target) return a.target < b.target;
+                     return a.tag < b.tag;
+                   });
+  Worker worker;
+  worker.Reset(1);
+  worker.inbox() = std::move(inbox);
+  worker.GroupInbox();
+  ASSERT_EQ(worker.inbox().size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(worker.inbox()[i].target, expected[i].target) << "at " << i;
+    EXPECT_EQ(worker.inbox()[i].tag, expected[i].tag) << "at " << i;
+    // Equal (target, tag) messages must keep arrival order (stability):
+    // the payload encodes the original position.
+    EXPECT_EQ(worker.inbox()[i].value, expected[i].value) << "at " << i;
+  }
+}
+
+TEST(RadixGroupingTest, MatchesStableSortAcrossSizes) {
+  // Straddles the std::stable_sort fallback threshold (64) from both
+  // sides, including the radix path on sizes well past it.
+  for (size_t size : {0u, 1u, 2u, 63u, 64u, 65u, 127u, 1000u, 20000u}) {
+    ExpectGroupInboxMatchesStableSort(
+        RandomInbox(size, /*num_targets=*/977, /*num_tags=*/5,
+                    /*seed=*/size + 1));
+  }
+}
+
+TEST(RadixGroupingTest, StableOnHeavilyDuplicatedKeys) {
+  // Few distinct (target, tag) keys: nearly every message ties, so any
+  // instability in the sort would reorder payloads.
+  ExpectGroupInboxMatchesStableSort(
+      RandomInbox(5000, /*num_targets=*/3, /*num_tags=*/2, /*seed=*/7));
+}
+
+TEST(RadixGroupingTest, HandlesWideTargetRange) {
+  // Targets spanning the full 32-bit range exercise the high key bytes
+  // (the byte-skipping optimisation must not skip a varying digit).
+  Rng rng(23);
+  std::vector<Message> inbox;
+  for (size_t i = 0; i < 4096; ++i) {
+    inbox.push_back(Message{static_cast<VertexId>(rng.NextUint64()),
+                            static_cast<uint32_t>(rng.NextBounded(3)),
+                            static_cast<double>(i), 1.0});
+  }
+  ExpectGroupInboxMatchesStableSort(std::move(inbox));
+}
+
+TEST(RadixGroupingTest, SingleTargetIsIdentity) {
+  std::vector<Message> inbox =
+      RandomInbox(300, /*num_targets=*/1, /*num_tags=*/1, /*seed=*/9);
+  ExpectGroupInboxMatchesStableSort(inbox);
+}
+
+// --- Flat combiner index ---------------------------------------------
+
+TEST(CombineIndexTest, MatchesUnorderedMapOracle) {
+  CombineIndex index;
+  std::unordered_map<uint64_t, size_t> oracle;
+  Rng rng(31);
+  for (size_t i = 0; i < 20000; ++i) {
+    // Small key space forces plenty of repeats (combine hits).
+    uint64_t key = rng.NextBounded(4096);
+    bool inserted = false;
+    size_t value = index.FindOrInsert(key, i, &inserted);
+    auto [it, fresh] = oracle.try_emplace(key, i);
+    EXPECT_EQ(inserted, fresh);
+    EXPECT_EQ(value, it->second);
+  }
+  EXPECT_EQ(index.size(), oracle.size());
+}
+
+TEST(CombineIndexTest, CollidingKeysStayDistinct) {
+  // Keys equal modulo any power-of-two table size differ only in high
+  // bits; the multiplicative hash must still separate them, and linear
+  // probing must keep each key's own value.
+  CombineIndex index;
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 200; ++i) keys.push_back(i << 32);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    bool inserted = false;
+    EXPECT_EQ(index.FindOrInsert(keys[i], i, &inserted), i);
+    EXPECT_TRUE(inserted);
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    bool inserted = true;
+    EXPECT_EQ(index.FindOrInsert(keys[i], 9999, &inserted), i);
+    EXPECT_FALSE(inserted);
+  }
+}
+
+TEST(CombineIndexTest, ClearForgetsEntriesButKeepsCapacity) {
+  CombineIndex index;
+  for (uint64_t key = 0; key < 1000; ++key) {
+    bool inserted = false;
+    index.FindOrInsert(key, key, &inserted);
+  }
+  size_t capacity = index.capacity();
+  EXPECT_GE(capacity, 1000u);
+  index.Clear();
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.capacity(), capacity);  // Epoch clear, no deallocation.
+  // Stale slots must not resurrect: the same keys re-insert fresh.
+  for (uint64_t key = 0; key < 1000; ++key) {
+    bool inserted = false;
+    EXPECT_EQ(index.FindOrInsert(key, key + 7, &inserted), key + 7);
+    EXPECT_TRUE(inserted);
+  }
+}
+
+TEST(CombineIndexTest, ManyClearCyclesBehaveLikeFreshTables) {
+  CombineIndex index;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    for (uint64_t key = 0; key < 64; ++key) {
+      bool inserted = false;
+      size_t value =
+          index.FindOrInsert(key, 100 * cycle + key, &inserted);
+      EXPECT_TRUE(inserted);
+      EXPECT_EQ(value, 100u * cycle + key);
+    }
+    EXPECT_EQ(index.size(), 64u);
+    index.Clear();
+  }
+}
+
+// --- Buffer reuse -----------------------------------------------------
+
+TEST(WorkerTest, ResetRetainsInboxCapacity) {
+  Worker worker;
+  worker.Reset(2);
+  worker.inbox().resize(10000);
+  size_t capacity = worker.inbox().capacity();
+  worker.Reset(2);
+  EXPECT_TRUE(worker.inbox().empty());
+  EXPECT_GE(worker.inbox().capacity(), capacity);
+}
+
+TEST(WorkerTest, DrainRetainsOutboxCapacity) {
+  Worker worker;
+  worker.Reset(1);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 1000; ++i) {
+      worker.Stage(0, Message{static_cast<VertexId>(i), 0, 1.0, 1.0},
+                   nullptr);
+    }
+    std::vector<Message> dest;
+    worker.Drain(0, &dest);
+    EXPECT_EQ(dest.size(), 1000u);
+  }
+}
+
+// --- Engine determinism across thread counts -------------------------
+
+/// Runs one BPPR batch on `system` with the requested thread count and
+/// returns the full EngineResult. clamp_threads_to_hardware is disabled
+/// so the requested shard count is exercised exactly, even on machines
+/// with fewer cores.
+EngineResult RunBpprBatch(SystemKind system, uint32_t threads) {
+  RmatParams params;
+  params.num_vertices = 4000;
+  params.num_edges = 30000;
+  params.seed = 41;
+  static const Graph& graph = *new Graph(GenerateRmat(params));
+  static const Partitioning& part =
+      *new Partitioning(HashPartitioner().Partition(graph, 8));
+
+  EngineOptions options;
+  options.cluster = RelaxedCluster(8);
+  options.profile = ProfileFor(system);
+  options.execution_threads = threads;
+  options.clamp_threads_to_hardware = false;
+  SyncEngine engine(graph, part, options);
+
+  TaskContext context{&graph, &part, 1.0,
+                      options.profile.combines_messages};
+  auto task = MakeTask("BPPR");
+  EXPECT_TRUE(task.ok());
+  // Broadcast-flavoured walks fan out to every neighbour, so the mirror
+  // profile gets a much smaller workload to keep the test fast.
+  const double workload = options.profile.mirroring ? 16.0 : 512.0;
+  auto program = task.value()->MakeProgram(
+      context,
+      options.profile.mirroring ? ProgramFlavor::kBroadcast
+                                : ProgramFlavor::kPointToPoint,
+      workload, /*seed=*/29);
+  EXPECT_TRUE(program.ok());
+  auto result = engine.Run(*program.value());
+  EXPECT_TRUE(result.ok());
+  return result.value_or(EngineResult{});
+}
+
+void ExpectBitIdentical(const EngineResult& a, const EngineResult& b) {
+  // Exact equality on every monitored statistic — not near-equality:
+  // the determinism contract is that thread count changes nothing.
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.num_rounds, b.num_rounds);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.peak_memory_bytes, b.peak_memory_bytes);
+  EXPECT_EQ(a.peak_residual_bytes, b.peak_residual_bytes);
+  EXPECT_EQ(a.peak_buffered_bytes, b.peak_buffered_bytes);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].messages, b.rounds[i].messages) << "round " << i;
+    EXPECT_EQ(a.rounds[i].cross_machine_bytes,
+              b.rounds[i].cross_machine_bytes)
+        << "round " << i;
+  }
+}
+
+class EngineDeterminismTest
+    : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(EngineDeterminismTest, ResultsIdenticalForAnyThreadCount) {
+  EngineResult serial = RunBpprBatch(GetParam(), 1);
+  EXPECT_GT(serial.num_rounds, 1u);
+  ExpectBitIdentical(serial, RunBpprBatch(GetParam(), 2));
+  ExpectBitIdentical(serial, RunBpprBatch(GetParam(), 8));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, EngineDeterminismTest,
+    ::testing::Values(SystemKind::kPregelPlus,        // Combining.
+                      SystemKind::kPregelPlusMirror,  // Broadcast+mirrors.
+                      SystemKind::kGraphD),           // Out-of-core.
+    [](const ::testing::TestParamInfo<SystemKind>& info) {
+      switch (info.param) {
+        case SystemKind::kPregelPlus:
+          return std::string("PregelPlus");
+        case SystemKind::kPregelPlusMirror:
+          return std::string("PregelPlusMirror");
+        case SystemKind::kGraphD:
+          return std::string("GraphD");
+        default:
+          return std::string("Other");
+      }
+    });
+
+}  // namespace
+}  // namespace vcmp

@@ -87,6 +87,9 @@ int Main(int argc, char** argv) {
   flags.Define("scale", "0",
                "dataset generation scale override (0 = default)");
   flags.Define("seed", "1", "simulation seed");
+  flags.Define("threads", "0",
+               "engine threads (0 = one per hardware core; results are "
+               "identical for any value)");
   flags.Define("chart", "false", "render an ASCII chart of the sweep");
   flags.Define("json", "", "write the run report as JSON to this path");
   flags.Define("csv", "",
@@ -135,6 +138,8 @@ int Main(int argc, char** argv) {
   options.cluster = cluster.value();
   options.system = system;
   options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  options.execution_threads =
+      static_cast<uint32_t>(flags.GetInt("threads"));
   const double workload = flags.GetDouble("workload");
   std::cout << "Cluster: " << options.cluster.ToString() << ", system "
             << SystemName(system) << ", task "
