@@ -19,6 +19,7 @@
 #include "common/flags.h"
 #include "core/runner.h"
 #include "graph/datasets.h"
+#include "metrics/export.h"
 #include "tasks/task_registry.h"
 
 namespace vcmp {
@@ -106,29 +107,23 @@ int Main(int argc, char** argv) {
 
   const std::string json_path = flags.GetString("json");
   if (!json_path.empty()) {
-    FILE* out = std::fopen(json_path.c_str(), "w");
-    if (out == nullptr) {
-      std::cerr << "cannot write " << json_path << "\n";
+    JsonWriter json;
+    json.Field("workload",
+               "3x (BPPR W=4096 4-batch + MSSP W=2048 4-batch), "
+               "LiveJournal scale 256, Galaxy8, Pregel+");
+    json.Field("seed", static_cast<uint64_t>(11));
+    json.Field("threads", static_cast<uint64_t>(threads));
+    json.Field("wall_ms", wall_ms);
+    json.Field("compute_ms", 1e3 * phase.compute_seconds);
+    json.Field("group_ms", 1e3 * phase.group_seconds);
+    json.Field("stage_ms", 1e3 * phase.stage_seconds);
+    json.Field("deliver_ms", 1e3 * phase.deliver_seconds);
+    json.Field("simulated_seconds", sim_seconds);
+    Status written = WriteTextFile(json.Close(), json_path);
+    if (!written.ok()) {
+      std::cerr << written.ToString() << "\n";
       return 1;
     }
-    std::fprintf(out,
-                 "{\n"
-                 "  \"workload\": \"3x (BPPR W=4096 4-batch + MSSP W=2048"
-                 " 4-batch), LiveJournal scale 256, Galaxy8, Pregel+\",\n"
-                 "  \"seed\": 11,\n"
-                 "  \"threads\": %u,\n"
-                 "  \"wall_ms\": %.1f,\n"
-                 "  \"compute_ms\": %.1f,\n"
-                 "  \"group_ms\": %.1f,\n"
-                 "  \"stage_ms\": %.1f,\n"
-                 "  \"deliver_ms\": %.1f,\n"
-                 "  \"simulated_seconds\": %.3f\n"
-                 "}\n",
-                 threads, wall_ms,
-                 1e3 * phase.compute_seconds, 1e3 * phase.group_seconds,
-                 1e3 * phase.stage_seconds, 1e3 * phase.deliver_seconds,
-                 sim_seconds);
-    std::fclose(out);
     std::printf("wrote %s\n", json_path.c_str());
   }
   return 0;

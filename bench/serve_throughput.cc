@@ -1,0 +1,198 @@
+// serve_throughput: the standing serving-layer benchmark. Replays the
+// steady and bursty arrival scenarios of configs/serve_steady_vs_burst.ini
+// against a fixed-k sweep and the model-driven dynamic batcher, prints
+// the latency/throughput comparison, and writes BENCH_serve.json.
+//
+//   serve_throughput                     # BENCH_serve.json
+//   serve_throughput --json=/tmp/s.json
+//
+// Every number in the output is simulated (no wall-clock), so the JSON
+// is bit-identical across runs — diff it run-over-run to catch serving
+// regressions. The binary exits non-zero when the serving layer's
+// headline claim fails: under the burst trace the dynamic policy must
+// beat every fixed k on p99 latency without ever entering the memory
+// overload state, and every batch it forms must satisfy the Eq.-6-style
+// feasibility bound peak + residual <= p * M at formation time.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/units.h"
+#include "metrics/export.h"
+#include "service/serve_spec.h"
+#include "sim/cluster_spec.h"
+
+namespace vcmp {
+namespace {
+
+struct BenchRow {
+  std::string scenario;
+  ServiceReport report;
+};
+
+ServeSpec BaseSpec() {
+  ServeSpec spec;
+  spec.dataset = "DBLP";
+  spec.scale = 256.0;
+  spec.task = "BPPR";
+  spec.cluster = "galaxy";
+  spec.seed = 7;
+  spec.threads = 1;
+  spec.clients = 4;
+  spec.units_per_query = 64.0;
+  spec.horizon_seconds = 600.0;
+  spec.job_overhead_seconds = 30.0;
+  spec.drain_delay_seconds = 3600.0;
+  spec.max_wait_seconds = 8.0;
+  spec.safety_fraction = 0.2;
+  spec.train_target = 6144.0;
+  return spec;
+}
+
+std::string RowJson(const BenchRow& row) {
+  const ServiceReport& r = row.report;
+  JsonWriter json(/*with_schema_version=*/false);
+  json.Field("scenario", row.scenario);
+  json.Field("policy", r.policy);
+  json.Field("completed", r.completed);
+  json.Field("shed", r.shed);
+  json.Field("num_batches", static_cast<uint64_t>(r.batches.size()));
+  json.Field("mean_batch_units", r.mean_batch_units);
+  json.Field("p50_latency_seconds", r.p50_latency_seconds);
+  json.Field("p95_latency_seconds", r.p95_latency_seconds);
+  json.Field("p99_latency_seconds", r.p99_latency_seconds);
+  json.Field("max_latency_seconds", r.max_latency_seconds);
+  json.Field("mean_queue_seconds", r.mean_queue_seconds);
+  json.Field("throughput_qps", r.throughput_qps);
+  json.Field("makespan_seconds", r.makespan_seconds);
+  json.Field("utilization", r.utilization);
+  json.Field("peak_memory_bytes", r.peak_memory_bytes);
+  json.Field("peak_residual_bytes", r.peak_residual_bytes);
+  json.Field("memory_overload", r.memory_overload);
+  return json.Close();
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags("serve_throughput",
+                   "serving-layer benchmark (fixed-k sweep vs dynamic)");
+  flags.Define("json", "BENCH_serve.json",
+               "write the comparison to this path (empty = skip)");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.ToString() << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.HelpText();
+    return 0;
+  }
+
+  const char* kBurstTrace = "240x0.01,120x0.5,240x0.01";
+  // fixed:64 is the no-batching baseline (one 64-unit query per job).
+  const std::vector<std::string> policies = {
+      "dynamic",   "fixed:64",   "fixed:128",
+      "fixed:512", "fixed:2048", "fixed:8192"};
+
+  std::vector<BenchRow> rows;
+  for (const char* scenario : {"steady", "burst"}) {
+    for (const std::string& policy : policies) {
+      ServeSpec spec = BaseSpec();
+      spec.name = std::string(scenario) + "/" + policy;
+      spec.policy = policy;
+      if (std::string(scenario) == "steady") {
+        spec.rate_per_second = 0.012;
+      } else {
+        spec.trace = kBurstTrace;
+      }
+      auto report = RunServeScenario(spec);
+      if (!report.ok()) {
+        std::cerr << spec.name << ": " << report.status().ToString()
+                  << "\n";
+        return 1;
+      }
+      report.value().policy = policy;  // Stable key (vs display name).
+      rows.push_back({scenario, std::move(report.value())});
+      const ServiceReport& r = rows.back().report;
+      std::printf("%-8s %-11s p50 %8.1fs  p99 %8.1fs  batches %3zu "
+                  "(mean %6.0f units)  peak %5.2fGB%s\n",
+                  scenario, policy.c_str(), r.p50_latency_seconds,
+                  r.p99_latency_seconds, r.batches.size(),
+                  r.mean_batch_units, BytesToGiB(r.peak_memory_bytes),
+                  r.memory_overload ? "  OVERLOAD" : "");
+    }
+  }
+
+  // The headline comparison: on the burst trace, dynamic must beat the
+  // best fixed k on p99 without overloading, and every batch it formed
+  // must have been feasible (peak incl. residual <= p * M).
+  const double budget_bytes =
+      0.85 * ClusterSpec::Galaxy8().machine.memory_bytes;
+  const ServiceReport* burst_dynamic = nullptr;
+  const ServiceReport* best_fixed = nullptr;
+  for (const BenchRow& row : rows) {
+    if (row.scenario != "burst") continue;
+    if (row.report.policy == "dynamic") {
+      burst_dynamic = &row.report;
+    } else if (best_fixed == nullptr ||
+               row.report.p99_latency_seconds <
+                   best_fixed->p99_latency_seconds) {
+      best_fixed = &row.report;
+    }
+  }
+  bool feasible = true;
+  for (const ServiceBatchTrace& batch : burst_dynamic->batches) {
+    if (batch.peak_memory_bytes > budget_bytes) feasible = false;
+  }
+  const bool beats = burst_dynamic->p99_latency_seconds <
+                     best_fixed->p99_latency_seconds;
+  const bool clean = !burst_dynamic->memory_overload;
+  std::printf(
+      "\nburst: dynamic p99 %.1fs vs best fixed (%s) p99 %.1fs -> %s\n"
+      "dynamic overload-free: %s   batch feasibility (peak <= p*M): %s\n",
+      burst_dynamic->p99_latency_seconds, best_fixed->policy.c_str(),
+      best_fixed->p99_latency_seconds, beats ? "BEATS" : "LOSES",
+      clean ? "yes" : "NO", feasible ? "holds" : "VIOLATED");
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    JsonWriter json;
+    json.Field("bench", "serve_throughput");
+    json.Field("workload",
+               "BPPR 64-unit queries, 4 clients, DBLP scale 256, "
+               "Galaxy8, job overhead 30s, drain delay 3600s");
+    json.Field("burst_trace", kBurstTrace);
+    json.Field("seed", static_cast<uint64_t>(7));
+    std::string rows_json = "[";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0) rows_json += ",";
+      rows_json += RowJson(rows[i]);
+    }
+    rows_json += "]";
+    json.RawField("runs", rows_json);
+    JsonWriter verdict(/*with_schema_version=*/false);
+    verdict.Field("best_fixed_policy", best_fixed->policy);
+    verdict.Field("best_fixed_p99_seconds",
+                  best_fixed->p99_latency_seconds);
+    verdict.Field("dynamic_p99_seconds",
+                  burst_dynamic->p99_latency_seconds);
+    verdict.Field("dynamic_beats_best_fixed", beats);
+    verdict.Field("dynamic_overload_free", clean);
+    verdict.Field("dynamic_batches_feasible", feasible);
+    json.RawField("burst_verdict", verdict.Close());
+    Status written = WriteTextFile(json.Close(), json_path);
+    if (!written.ok()) {
+      std::cerr << written.ToString() << "\n";
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return (beats && clean && feasible) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace vcmp
+
+int main(int argc, char** argv) { return vcmp::Main(argc, argv); }

@@ -38,7 +38,20 @@ Result<RunReport> MultiProcessingRunner::Run(const MultiTask& task,
   ProgramFlavor flavor = profile_.mirroring ? ProgramFlavor::kBroadcast
                                             : ProgramFlavor::kPointToPoint;
 
+  // The engine keeps carryover in generated-graph-scale bytes; the hook
+  // API (initial_residual_bytes / residual_observer) speaks paper-scale
+  // like every report, so conversion happens here at the boundary.
   std::vector<double> carryover(options_.cluster.num_machines, 0.0);
+  if (!options_.initial_residual_bytes.empty()) {
+    if (options_.initial_residual_bytes.size() != carryover.size()) {
+      return Status::InvalidArgument(
+          "initial_residual_bytes must have one entry per machine");
+    }
+    for (uint32_t machine = 0; machine < carryover.size(); ++machine) {
+      carryover[machine] =
+          options_.initial_residual_bytes[machine] / dataset_.scale;
+    }
+  }
   uint64_t batch_index = 0;
   for (double workload : schedule.workloads()) {
     ++batch_index;
@@ -93,6 +106,13 @@ Result<RunReport> MultiProcessingRunner::Run(const MultiTask& task,
     // Residual memory of this batch persists into the next ones.
     for (uint32_t machine = 0; machine < carryover.size(); ++machine) {
       carryover[machine] += program->ResidualBytes(machine);
+    }
+    if (options_.residual_observer) {
+      std::vector<double> paper_scale(carryover.size());
+      for (uint32_t machine = 0; machine < carryover.size(); ++machine) {
+        paper_scale[machine] = carryover[machine] * dataset_.scale;
+      }
+      options_.residual_observer(batch_index, paper_scale);
     }
   }
 

@@ -40,6 +40,18 @@ struct RunnerOptions {
   /// Called with each batch's raw EngineResult (phase times, round trace)
   /// before it is folded into the RunReport.
   std::function<void(const EngineResult&)> engine_observer;
+  /// Residual memory already resident on each machine before batch 1
+  /// (paper-scale bytes). The serving layer seeds this with the unflushed
+  /// residuals of other in-flight jobs so their footprint counts toward
+  /// overload exactly like the run's own carryover. Empty = zero.
+  std::vector<double> initial_residual_bytes;
+  /// Called after every batch with the accumulated per-machine residual
+  /// (paper-scale bytes, including initial_residual_bytes) — the
+  /// mid-workload observation point the online batcher inverts the
+  /// memory models against.
+  std::function<void(uint64_t batch_index,
+                     const std::vector<double>& residual_bytes)>
+      residual_observer;
 };
 
 /// Executes a multi-processing task under a batch schedule: batches run

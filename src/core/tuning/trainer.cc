@@ -34,14 +34,12 @@ Result<std::vector<TrainingSample>> Trainer::CollectSamples(
     // Fresh runner per sample: training runs are independent 1-batch jobs.
     RunnerOptions run_options = runner_options_;
     double final_residual = 0.0;
-    run_options.batch_observer = [&](const VertexProgram& program) {
-      for (uint32_t machine = 0;
-           machine < run_options.cluster.num_machines; ++machine) {
-        final_residual = std::max(
-            final_residual,
-            program.ResidualBytes(machine) * dataset_.scale);
-      }
-    };
+    run_options.residual_observer =
+        [&](uint64_t, const std::vector<double>& residual_bytes) {
+          for (double bytes : residual_bytes) {
+            final_residual = std::max(final_residual, bytes);
+          }
+        };
     MultiProcessingRunner runner(dataset_, run_options);
     VCMP_ASSIGN_OR_RETURN(
         RunReport report,

@@ -36,7 +36,13 @@ Result<DatasetInfo> FindDataset(const std::string& name) {
   for (const DatasetInfo& info : kDatasets) {
     if (name == info.name) return info;
   }
-  return Status::NotFound("no dataset named '" + name + "'");
+  std::string known;
+  for (const DatasetInfo& info : kDatasets) {
+    if (!known.empty()) known += ", ";
+    known += info.name;
+  }
+  return Status::NotFound("no dataset named '" + name +
+                          "' (known datasets: " + known + ")");
 }
 
 Dataset LoadDataset(DatasetId id, double scale_override) {

@@ -1,8 +1,6 @@
 #include "metrics/export.h"
 
-#include <cstdio>
 #include <fstream>
-#include <sstream>
 
 #include "common/string_util.h"
 
@@ -70,90 +68,108 @@ std::string JsonEscape(const std::string& raw) {
 
 }  // namespace internal_export
 
-namespace {
-
-void AppendField(std::ostringstream& out, const char* key, double value,
-                 bool* first) {
-  if (!*first) out << ",";
-  *first = false;
-  out << "\"" << key << "\":" << StrFormat("%.17g", value);
+JsonWriter::JsonWriter(bool with_schema_version) : out_("{") {
+  if (with_schema_version) {
+    Field("schema_version", static_cast<uint64_t>(kJsonSchemaVersion));
+  }
 }
 
-void AppendField(std::ostringstream& out, const char* key, bool value,
-                 bool* first) {
-  if (!*first) out << ",";
-  *first = false;
-  out << "\"" << key << "\":" << (value ? "true" : "false");
+void JsonWriter::Key(const std::string& key) {
+  if (!first_) out_ += ",";
+  first_ = false;
+  out_ += '"';
+  out_ += internal_export::JsonEscape(key);
+  out_ += "\":";
 }
 
-void AppendField(std::ostringstream& out, const char* key,
-                 const std::string& value, bool* first) {
-  if (!*first) out << ",";
-  *first = false;
-  out << "\"" << key << "\":\"" << internal_export::JsonEscape(value)
-      << "\"";
+void JsonWriter::Field(const std::string& key, double value) {
+  Key(key);
+  out_ += StrFormat("%.17g", value);
 }
 
-}  // namespace
+void JsonWriter::Field(const std::string& key, bool value) {
+  Key(key);
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Field(const std::string& key, const std::string& value) {
+  Key(key);
+  out_ += '"';
+  out_ += internal_export::JsonEscape(value);
+  out_ += '"';
+}
+
+void JsonWriter::Field(const std::string& key, const char* value) {
+  Field(key, std::string(value));
+}
+
+void JsonWriter::Field(const std::string& key, uint64_t value) {
+  Key(key);
+  out_ += StrFormat("%llu", static_cast<unsigned long long>(value));
+}
+
+void JsonWriter::RawField(const std::string& key,
+                          const std::string& raw_json) {
+  Key(key);
+  out_ += raw_json;
+}
+
+std::string JsonWriter::Close() {
+  out_ += "}";
+  return std::move(out_);
+}
+
+Status WriteTextFile(const std::string& text, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << text << "\n";
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
 
 std::string RunReportToJson(const RunReport& report) {
-  std::ostringstream out;
-  out << "{";
-  bool first = true;
-  AppendField(out, "system", report.system, &first);
-  AppendField(out, "dataset", report.dataset, &first);
-  AppendField(out, "task", report.task, &first);
-  AppendField(out, "cluster", report.cluster, &first);
-  AppendField(out, "workload", report.workload, &first);
-  AppendField(out, "total_seconds", report.total_seconds, &first);
-  AppendField(out, "overloaded", report.overloaded, &first);
-  AppendField(out, "total_rounds",
-              static_cast<double>(report.total_rounds), &first);
-  AppendField(out, "total_messages", report.total_messages, &first);
-  AppendField(out, "messages_per_round", report.MessagesPerRound(),
-              &first);
-  AppendField(out, "peak_memory_bytes", report.peak_memory_bytes, &first);
-  AppendField(out, "peak_residual_bytes", report.peak_residual_bytes,
-              &first);
-  AppendField(out, "network_overuse_seconds",
-              report.network_overuse_seconds, &first);
-  AppendField(out, "disk_overuse_seconds", report.disk_overuse_seconds,
-              &first);
-  AppendField(out, "disk_utilization", report.disk_utilization, &first);
-  AppendField(out, "disk_saturated", report.disk_saturated, &first);
-  AppendField(out, "max_io_queue_length", report.max_io_queue_length,
-              &first);
-  AppendField(out, "monetary_cost", report.monetary_cost, &first);
-  out << ",\"batches\":[";
+  JsonWriter json;
+  json.Field("system", report.system);
+  json.Field("dataset", report.dataset);
+  json.Field("task", report.task);
+  json.Field("cluster", report.cluster);
+  json.Field("workload", report.workload);
+  json.Field("total_seconds", report.total_seconds);
+  json.Field("overloaded", report.overloaded);
+  json.Field("total_rounds", report.total_rounds);
+  json.Field("total_messages", report.total_messages);
+  json.Field("messages_per_round", report.MessagesPerRound());
+  json.Field("peak_memory_bytes", report.peak_memory_bytes);
+  json.Field("peak_residual_bytes", report.peak_residual_bytes);
+  json.Field("network_overuse_seconds", report.network_overuse_seconds);
+  json.Field("disk_overuse_seconds", report.disk_overuse_seconds);
+  json.Field("disk_utilization", report.disk_utilization);
+  json.Field("disk_saturated", report.disk_saturated);
+  json.Field("max_io_queue_length", report.max_io_queue_length);
+  json.Field("monetary_cost", report.monetary_cost);
+  std::string batches = "[";
   for (size_t i = 0; i < report.batches.size(); ++i) {
     const BatchReport& batch = report.batches[i];
-    if (i > 0) out << ",";
-    out << "{";
-    bool batch_first = true;
-    AppendField(out, "workload", batch.workload, &batch_first);
-    AppendField(out, "seconds", batch.seconds, &batch_first);
-    AppendField(out, "overloaded", batch.overloaded, &batch_first);
-    AppendField(out, "rounds", static_cast<double>(batch.rounds),
-                &batch_first);
-    AppendField(out, "messages", batch.messages, &batch_first);
-    AppendField(out, "peak_memory_bytes", batch.peak_memory_bytes,
-                &batch_first);
-    AppendField(out, "peak_residual_bytes", batch.peak_residual_bytes,
-                &batch_first);
-    out << "}";
+    if (i > 0) batches += ",";
+    JsonWriter item(/*with_schema_version=*/false);
+    item.Field("workload", batch.workload);
+    item.Field("seconds", batch.seconds);
+    item.Field("overloaded", batch.overloaded);
+    item.Field("rounds", batch.rounds);
+    item.Field("messages", batch.messages);
+    item.Field("peak_memory_bytes", batch.peak_memory_bytes);
+    item.Field("peak_residual_bytes", batch.peak_residual_bytes);
+    batches += item.Close();
   }
-  out << "]}";
-  return out.str();
+  batches += "]";
+  json.RawField("batches", batches);
+  return json.Close();
 }
 
 Status WriteRunReportJson(const RunReport& report,
                           const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  out << RunReportToJson(report) << "\n";
-  out.flush();
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return WriteTextFile(RunReportToJson(report), path);
 }
 
 }  // namespace vcmp

@@ -10,6 +10,48 @@
 
 namespace vcmp {
 
+/// Version stamped as "schema_version" into every JSON export (run
+/// reports, service reports, BENCH_*.json). Bump when a key changes
+/// meaning or disappears so downstream tooling can dispatch on it.
+inline constexpr int kJsonSchemaVersion = 2;
+
+/// The one JSON object builder every exporter and bench binary shares
+/// (no external dependency). Keys print in insertion order; doubles use
+/// round-trip %.17g formatting; strings are escaped. Usage:
+///
+///   JsonWriter json;                       // stamps schema_version
+///   json.Field("threads", 8.0);
+///   json.Field("workload", "BPPR W=4096");
+///   json.RawField("batches", "[...]");     // pre-serialised nested value
+///   WriteTextFile(json.Close(), path);
+class JsonWriter {
+ public:
+  /// Starts "{"; stamps the shared "schema_version" field unless told
+  /// not to (nested objects skip it).
+  explicit JsonWriter(bool with_schema_version = true);
+
+  void Field(const std::string& key, double value);
+  void Field(const std::string& key, bool value);
+  void Field(const std::string& key, const std::string& value);
+  void Field(const std::string& key, const char* value);
+  void Field(const std::string& key, uint64_t value);
+  /// Inserts `raw_json` verbatim (arrays, nested objects).
+  void RawField(const std::string& key, const std::string& raw_json);
+
+  /// Closes the object and returns the serialised text. The writer is
+  /// spent afterwards.
+  std::string Close();
+
+ private:
+  void Key(const std::string& key);
+
+  std::string out_;
+  bool first_ = true;
+};
+
+/// Writes `text` (plus a trailing newline) to `path`.
+Status WriteTextFile(const std::string& text, const std::string& path);
+
 /// Writes per-round statistics as CSV (header + one row per round), the
 /// raw material for re-plotting the paper's figures.
 Status WriteRoundStatsCsv(const std::vector<RoundStats>& rounds,

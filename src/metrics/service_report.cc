@@ -1,0 +1,177 @@
+#include "metrics/service_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/string_util.h"
+#include "metrics/export.h"
+
+namespace vcmp {
+
+double ServiceReport::LatencyPercentile(double q) const {
+  std::vector<double> latencies;
+  latencies.reserve(queries.size());
+  for (const QueryOutcome& query : queries) {
+    if (!query.shed) latencies.push_back(query.LatencySeconds());
+  }
+  if (latencies.empty()) return 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  // Nearest-rank: the smallest latency covering a q fraction of queries.
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(latencies.size())));
+  rank = std::min(std::max<size_t>(rank, 1), latencies.size());
+  return latencies[rank - 1];
+}
+
+void ServiceReport::Finalize(uint32_t num_clients, double busy_seconds) {
+  completed = 0;
+  shed = 0;
+  per_client_completed.assign(num_clients, 0);
+  per_client_shed.assign(num_clients, 0);
+  total_units = 0.0;
+  makespan_seconds = 0.0;
+  max_latency_seconds = 0.0;
+  mean_queue_seconds = 0.0;
+  for (const QueryOutcome& query : queries) {
+    if (query.shed) {
+      ++shed;
+      if (query.client < num_clients) ++per_client_shed[query.client];
+      continue;
+    }
+    ++completed;
+    if (query.client < num_clients) ++per_client_completed[query.client];
+    total_units += query.units;
+    makespan_seconds = std::max(makespan_seconds, query.finish_seconds);
+    max_latency_seconds =
+        std::max(max_latency_seconds, query.LatencySeconds());
+    mean_queue_seconds += query.QueueSeconds();
+  }
+  if (completed > 0) {
+    mean_queue_seconds /= static_cast<double>(completed);
+  }
+  p50_latency_seconds = LatencyPercentile(0.50);
+  p95_latency_seconds = LatencyPercentile(0.95);
+  p99_latency_seconds = LatencyPercentile(0.99);
+  throughput_qps = makespan_seconds > 0.0
+                       ? static_cast<double>(completed) / makespan_seconds
+                       : 0.0;
+  utilization =
+      makespan_seconds > 0.0 ? busy_seconds / makespan_seconds : 0.0;
+
+  mean_batch_units = 0.0;
+  peak_memory_bytes = 0.0;
+  peak_residual_bytes = 0.0;
+  memory_overload = false;
+  for (const ServiceBatchTrace& batch : batches) {
+    mean_batch_units += batch.units;
+    peak_memory_bytes = std::max(peak_memory_bytes, batch.peak_memory_bytes);
+    peak_residual_bytes =
+        std::max(peak_residual_bytes, batch.residual_at_formation_bytes);
+    memory_overload = memory_overload || batch.overloaded;
+  }
+  if (!batches.empty()) {
+    mean_batch_units /= static_cast<double>(batches.size());
+  }
+}
+
+std::string ServiceReport::ToString() const {
+  return StrFormat(
+      "[%s] %llu done / %llu shed, p50 %.2fs p95 %.2fs p99 %.2fs, "
+      "%.2f q/s, util %.0f%%, %zu batches (mean %.0f units)%s",
+      policy.c_str(), static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(shed), p50_latency_seconds,
+      p95_latency_seconds, p99_latency_seconds, throughput_qps,
+      100.0 * utilization, batches.size(), mean_batch_units,
+      memory_overload ? " OVERLOAD" : "");
+}
+
+std::string ServiceReportToJson(const ServiceReport& report,
+                                bool include_queries) {
+  JsonWriter json;
+  json.Field("policy", report.policy);
+  json.Field("dataset", report.dataset);
+  json.Field("system", report.system);
+  json.Field("horizon_seconds", report.horizon_seconds);
+  json.Field("completed", report.completed);
+  json.Field("shed", report.shed);
+  json.Field("total_units", report.total_units);
+  json.Field("num_batches", static_cast<uint64_t>(report.batches.size()));
+  json.Field("mean_batch_units", report.mean_batch_units);
+  json.Field("p50_latency_seconds", report.p50_latency_seconds);
+  json.Field("p95_latency_seconds", report.p95_latency_seconds);
+  json.Field("p99_latency_seconds", report.p99_latency_seconds);
+  json.Field("max_latency_seconds", report.max_latency_seconds);
+  json.Field("mean_queue_seconds", report.mean_queue_seconds);
+  json.Field("throughput_qps", report.throughput_qps);
+  json.Field("makespan_seconds", report.makespan_seconds);
+  json.Field("utilization", report.utilization);
+  json.Field("peak_memory_bytes", report.peak_memory_bytes);
+  json.Field("peak_residual_bytes", report.peak_residual_bytes);
+  json.Field("memory_overload", report.memory_overload);
+  std::string batches = "[";
+  for (size_t i = 0; i < report.batches.size(); ++i) {
+    const ServiceBatchTrace& batch = report.batches[i];
+    if (i > 0) batches += ",";
+    JsonWriter item(/*with_schema_version=*/false);
+    item.Field("start_seconds", batch.start_seconds);
+    item.Field("seconds", batch.seconds);
+    item.Field("queries", static_cast<uint64_t>(batch.queries));
+    item.Field("units", batch.units);
+    item.Field("residual_at_formation_bytes",
+               batch.residual_at_formation_bytes);
+    item.Field("peak_memory_bytes", batch.peak_memory_bytes);
+    item.Field("overloaded", batch.overloaded);
+    batches += item.Close();
+  }
+  batches += "]";
+  json.RawField("batches", batches);
+  if (include_queries) {
+    std::string queries = "[";
+    for (size_t i = 0; i < report.queries.size(); ++i) {
+      const QueryOutcome& query = report.queries[i];
+      if (i > 0) queries += ",";
+      JsonWriter item(/*with_schema_version=*/false);
+      item.Field("id", query.id);
+      item.Field("client", static_cast<uint64_t>(query.client));
+      item.Field("task", query.task);
+      item.Field("units", query.units);
+      item.Field("arrival_seconds", query.arrival_seconds);
+      item.Field("start_seconds", query.start_seconds);
+      item.Field("finish_seconds", query.finish_seconds);
+      item.Field("shed", query.shed);
+      queries += item.Close();
+    }
+    queries += "]";
+    json.RawField("queries", queries);
+  }
+  return json.Close();
+}
+
+Status WriteServiceReportJson(const ServiceReport& report,
+                              const std::string& path,
+                              bool include_queries) {
+  return WriteTextFile(ServiceReportToJson(report, include_queries), path);
+}
+
+Status WriteQueryOutcomesCsv(const std::vector<QueryOutcome>& queries,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << "id,client,task,units,arrival_seconds,start_seconds,"
+         "finish_seconds,queue_seconds,latency_seconds,shed\n";
+  for (const QueryOutcome& query : queries) {
+    out << StrFormat(
+        "%llu,%u,%s,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%d\n",
+        static_cast<unsigned long long>(query.id), query.client,
+        query.task.c_str(), query.units, query.arrival_seconds,
+        query.start_seconds, query.finish_seconds,
+        query.shed ? 0.0 : query.QueueSeconds(),
+        query.shed ? 0.0 : query.LatencySeconds(), query.shed ? 1 : 0);
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace vcmp

@@ -1,0 +1,104 @@
+#ifndef VCMP_METRICS_SERVICE_REPORT_H_
+#define VCMP_METRICS_SERVICE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vcmp {
+
+/// Lifecycle of one query through the serving layer. Times are simulated
+/// seconds on the service clock.
+struct QueryOutcome {
+  uint64_t id = 0;
+  uint32_t client = 0;
+  std::string task;
+  double units = 0.0;
+  double arrival_seconds = 0.0;
+  /// Batch execution start/finish; zero when shed.
+  double start_seconds = 0.0;
+  double finish_seconds = 0.0;
+  bool shed = false;
+
+  double QueueSeconds() const { return start_seconds - arrival_seconds; }
+  double LatencySeconds() const {
+    return finish_seconds - arrival_seconds;
+  }
+};
+
+/// One formed batch: what the policy decided and what executing it cost.
+/// The feasibility invariant of the dynamic policy — predicted peak plus
+/// `residual_at_formation_bytes` under p*M — is checked against this
+/// trace in tests and in the standing bench.
+struct ServiceBatchTrace {
+  double start_seconds = 0.0;
+  double seconds = 0.0;
+  size_t queries = 0;
+  double units = 0.0;
+  double residual_at_formation_bytes = 0.0;
+  double peak_memory_bytes = 0.0;
+  bool overloaded = false;
+};
+
+/// Summary of one serving run (one policy, one arrival trace).
+struct ServiceReport {
+  std::string policy;
+  std::string dataset;
+  std::string system;
+  double horizon_seconds = 0.0;
+
+  std::vector<QueryOutcome> queries;
+  std::vector<ServiceBatchTrace> batches;
+
+  /// Aggregates (filled by Finalize()).
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  std::vector<uint64_t> per_client_completed;
+  std::vector<uint64_t> per_client_shed;
+  double total_units = 0.0;
+  double mean_batch_units = 0.0;
+  double p50_latency_seconds = 0.0;
+  double p95_latency_seconds = 0.0;
+  double p99_latency_seconds = 0.0;
+  double max_latency_seconds = 0.0;
+  double mean_queue_seconds = 0.0;
+  /// Completed queries per simulated second of makespan.
+  double throughput_qps = 0.0;
+  /// Last completion time (the simulated makespan).
+  double makespan_seconds = 0.0;
+  /// Engine-busy fraction of the makespan.
+  double utilization = 0.0;
+  double peak_memory_bytes = 0.0;
+  double peak_residual_bytes = 0.0;
+  /// True when any batch entered the paper's memory-overload state.
+  bool memory_overload = false;
+
+  /// Computes every aggregate from `queries` and `batches`.
+  /// `num_clients` sizes the per-client vectors; `busy_seconds` is the
+  /// summed batch execution time.
+  void Finalize(uint32_t num_clients, double busy_seconds);
+
+  /// Nearest-rank percentile of completed-query latency (q in (0, 1]).
+  double LatencyPercentile(double q) const;
+
+  /// One-line summary for logs and tables.
+  std::string ToString() const;
+};
+
+/// JSON export (schema_version-stamped, shared JsonWriter).
+std::string ServiceReportToJson(const ServiceReport& report,
+                                bool include_queries = false);
+Status WriteServiceReportJson(const ServiceReport& report,
+                              const std::string& path,
+                              bool include_queries = false);
+
+/// Per-query CSV (one row per query, shed rows included) for latency
+/// distribution plots.
+Status WriteQueryOutcomesCsv(const std::vector<QueryOutcome>& queries,
+                             const std::string& path);
+
+}  // namespace vcmp
+
+#endif  // VCMP_METRICS_SERVICE_REPORT_H_

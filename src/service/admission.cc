@@ -1,0 +1,78 @@
+#include "service/admission.h"
+
+#include "sim/sim_clock.h"
+
+namespace vcmp {
+
+AdmissionQueue::AdmissionQueue(uint32_t num_clients,
+                               AdmissionOptions options)
+    : options_(options),
+      queues_(num_clients),
+      per_client_shed_(num_clients, 0),
+      per_client_admitted_(num_clients, 0) {}
+
+bool AdmissionQueue::Offer(const QueryArrival& query) {
+  if (query.client >= queues_.size()) return false;
+  if (size_ >= options_.total_capacity ||
+      queues_[query.client].size() >= options_.per_client_capacity) {
+    ++shed_count_;
+    ++per_client_shed_[query.client];
+    return false;
+  }
+  queues_[query.client].push_back(query);
+  ++per_client_admitted_[query.client];
+  ++size_;
+  units_ += query.units;
+  return true;
+}
+
+std::vector<QueryArrival> AdmissionQueue::PopFair(size_t max_queries) {
+  std::vector<QueryArrival> batch;
+  batch.reserve(std::min(max_queries, size_));
+  while (batch.size() < max_queries && size_ > 0) {
+    std::deque<QueryArrival>& queue = queues_[cursor_];
+    if (!queue.empty()) {
+      units_ -= queue.front().units;
+      batch.push_back(queue.front());
+      queue.pop_front();
+      --size_;
+    }
+    cursor_ = (cursor_ + 1) % queues_.size();
+  }
+  return batch;
+}
+
+std::vector<QueryArrival> AdmissionQueue::PopFairUnits(double max_units) {
+  std::vector<QueryArrival> batch;
+  double taken = 0.0;
+  // One full idle lap over the clients means no queued head fits in the
+  // remaining budget — stop there.
+  uint32_t idle_lap = 0;
+  while (size_ > 0 && idle_lap < queues_.size()) {
+    std::deque<QueryArrival>& queue = queues_[cursor_];
+    if (!queue.empty() && taken + queue.front().units <= max_units) {
+      taken += queue.front().units;
+      units_ -= queue.front().units;
+      batch.push_back(queue.front());
+      queue.pop_front();
+      --size_;
+      idle_lap = 0;
+    } else {
+      ++idle_lap;
+    }
+    cursor_ = (cursor_ + 1) % queues_.size();
+  }
+  return batch;
+}
+
+double AdmissionQueue::OldestArrivalSeconds() const {
+  double oldest = SimClock::Horizon();
+  for (const std::deque<QueryArrival>& queue : queues_) {
+    if (!queue.empty() && queue.front().arrival_seconds < oldest) {
+      oldest = queue.front().arrival_seconds;
+    }
+  }
+  return oldest;
+}
+
+}  // namespace vcmp

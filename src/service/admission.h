@@ -1,0 +1,77 @@
+#ifndef VCMP_SERVICE_ADMISSION_H_
+#define VCMP_SERVICE_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "service/arrival.h"
+
+namespace vcmp {
+
+/// Admission-control configuration.
+struct AdmissionOptions {
+  /// A client whose private queue is full has its new arrivals shed
+  /// (per-tenant backpressure: one client's burst cannot evict another's
+  /// queued work).
+  size_t per_client_capacity = 1024;
+  /// Hard cap on the total queued queries; arrivals beyond it are shed
+  /// regardless of the per-client headroom.
+  size_t total_capacity = 4096;
+};
+
+/// The multi-tenant admission queue: one FIFO per client, drained
+/// round-robin so every backlogged client gets an equal share of each
+/// formed batch (the inter-query fairness Hauck et al. show matters under
+/// concurrent load). Overload protection is load shedding at admission
+/// time — a shed query is rejected immediately, never queued.
+class AdmissionQueue {
+ public:
+  AdmissionQueue(uint32_t num_clients, AdmissionOptions options);
+
+  /// Admits or sheds `query`. Returns true when admitted.
+  bool Offer(const QueryArrival& query);
+
+  /// Removes up to `max_queries` queries, cycling over the clients'
+  /// FIFOs starting after the last client served (so fairness persists
+  /// across batches, not just within one).
+  std::vector<QueryArrival> PopFair(size_t max_queries);
+
+  /// Same round-robin drain, but bounded by a workload-unit budget: stops
+  /// before the first query that would push the batch past `max_units`
+  /// (the batcher's feasibility bound is in units, and it must hold
+  /// exactly for the popped set).
+  std::vector<QueryArrival> PopFairUnits(double max_units);
+
+  size_t size() const { return size_; }
+  /// Total workload units queued.
+  double units() const { return units_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Earliest arrival time among queued queries (SimClock::Horizon()
+  /// when empty) — the age-trigger anchor.
+  double OldestArrivalSeconds() const;
+
+  uint64_t shed_count() const { return shed_count_; }
+  const std::vector<uint64_t>& per_client_shed() const {
+    return per_client_shed_;
+  }
+  const std::vector<uint64_t>& per_client_admitted() const {
+    return per_client_admitted_;
+  }
+
+ private:
+  AdmissionOptions options_;
+  std::vector<std::deque<QueryArrival>> queues_;
+  std::vector<uint64_t> per_client_shed_;
+  std::vector<uint64_t> per_client_admitted_;
+  size_t size_ = 0;
+  double units_ = 0.0;
+  uint64_t shed_count_ = 0;
+  /// Next client the round-robin cursor visits.
+  uint32_t cursor_ = 0;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_SERVICE_ADMISSION_H_

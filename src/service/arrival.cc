@@ -1,0 +1,111 @@
+#include "service/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace vcmp {
+namespace {
+
+/// Exponential inter-arrival draw for rate lambda (inverse-CDF on the
+/// open unit interval so log() never sees 0).
+double NextInterArrival(Rng& rng, double rate) {
+  double u = rng.NextDouble();
+  return -std::log1p(-u) / rate;
+}
+
+/// Appends one client's homogeneous-Poisson arrivals at `rate` over
+/// [t0, t1) to `out`.
+void GenerateSegment(Rng& rng, double rate, double t0, double t1,
+                     uint32_t client, const ClientSpec& spec,
+                     std::vector<QueryArrival>* out) {
+  if (rate <= 0.0) return;
+  double t = t0;
+  while (true) {
+    t += NextInterArrival(rng, rate);
+    if (t >= t1) break;
+    QueryArrival query;
+    query.client = client;
+    query.task = spec.task;
+    query.units = spec.units_per_query;
+    query.arrival_seconds = t;
+    out->push_back(query);
+  }
+}
+
+}  // namespace
+
+ArrivalProcess::ArrivalProcess(std::vector<ClientSpec> clients,
+                               ArrivalOptions options)
+    : clients_(std::move(clients)), options_(options) {}
+
+Result<std::vector<QueryArrival>> ArrivalProcess::Generate() const {
+  if (options_.horizon_seconds <= 0.0) {
+    return Status::InvalidArgument("arrival horizon must be positive");
+  }
+  if (clients_.empty()) {
+    return Status::InvalidArgument("arrival process needs >= 1 client");
+  }
+  Rng root(options_.seed);
+  std::vector<QueryArrival> merged;
+  for (uint32_t client = 0; client < clients_.size(); ++client) {
+    // Fork unconditionally so a client's stream depends only on its index
+    // and the seed, not on the other clients' configurations.
+    Rng rng = root.Fork();
+    const ClientSpec& spec = clients_[client];
+    if (spec.units_per_query < 1.0) {
+      return Status::InvalidArgument("client '" + spec.name +
+                                     "': units_per_query must be >= 1");
+    }
+    if (spec.trace.empty()) {
+      if (spec.rate_per_second <= 0.0) {
+        return Status::InvalidArgument("client '" + spec.name +
+                                       "': rate must be positive");
+      }
+      GenerateSegment(rng, spec.rate_per_second, 0.0,
+                      options_.horizon_seconds, client, spec, &merged);
+    } else {
+      double trace_rate = 0.0;
+      for (const TraceSegment& segment : spec.trace) {
+        if (segment.duration_seconds <= 0.0) {
+          return Status::InvalidArgument(
+              "client '" + spec.name +
+              "': trace segment durations must be positive");
+        }
+        trace_rate += segment.rate_per_second;
+      }
+      if (trace_rate <= 0.0) {
+        return Status::InvalidArgument(
+            "client '" + spec.name +
+            "': trace must contain a positive rate");
+      }
+      // The trace repeats until the horizon.
+      double t0 = 0.0;
+      size_t segment_index = 0;
+      while (t0 < options_.horizon_seconds) {
+        const TraceSegment& segment =
+            spec.trace[segment_index % spec.trace.size()];
+        double t1 = std::min(t0 + segment.duration_seconds,
+                             options_.horizon_seconds);
+        GenerateSegment(rng, segment.rate_per_second, t0, t1, client, spec,
+                        &merged);
+        t0 += segment.duration_seconds;
+        ++segment_index;
+      }
+    }
+  }
+  // Stable per-client generation order + (time, client) comparison makes
+  // the merged sequence fully deterministic, exact-tie or not.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const QueryArrival& a, const QueryArrival& b) {
+                     if (a.arrival_seconds != b.arrival_seconds) {
+                       return a.arrival_seconds < b.arrival_seconds;
+                     }
+                     return a.client < b.client;
+                   });
+  for (uint64_t id = 0; id < merged.size(); ++id) merged[id].id = id;
+  return merged;
+}
+
+}  // namespace vcmp

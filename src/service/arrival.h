@@ -1,0 +1,78 @@
+#ifndef VCMP_SERVICE_ARRIVAL_H_
+#define VCMP_SERVICE_ARRIVAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vcmp {
+
+/// One query arriving at the serving layer: a unit-task request (e.g. one
+/// PPR source, one SSSP source) carrying `units` workload units of `task`.
+struct QueryArrival {
+  /// Global arrival rank (assigned after the per-client streams merge);
+  /// stable across runs with the same seed.
+  uint64_t id = 0;
+  uint32_t client = 0;
+  std::string task = "BPPR";
+  double units = 1.0;
+  double arrival_seconds = 0.0;
+};
+
+/// One segment of a piecewise-constant rate trace: `rate_per_second`
+/// arrivals/s for `duration_seconds`. A burst is a high-rate segment
+/// between low-rate ones.
+struct TraceSegment {
+  double duration_seconds = 0.0;
+  double rate_per_second = 0.0;
+};
+
+/// One tenant's arrival stream.
+struct ClientSpec {
+  std::string name;
+  std::string task = "BPPR";
+  /// Workload units per query (each query is `units` unit tasks batched
+  /// atomically — a client asking for a 4-walk PPR source ships 4 units).
+  double units_per_query = 1.0;
+  /// Steady Poisson rate (queries/second); used when `trace` is empty.
+  double rate_per_second = 1.0;
+  /// Piecewise-constant rate trace. When non-empty it replaces
+  /// rate_per_second; the trace repeats until the horizon.
+  std::vector<TraceSegment> trace;
+};
+
+struct ArrivalOptions {
+  uint64_t seed = 1;
+  /// Arrivals are generated on [0, horizon_seconds).
+  double horizon_seconds = 60.0;
+};
+
+/// The simulated arrival process: per-client Poisson (or trace-modulated
+/// Poisson) streams, merged into one time-ordered sequence.
+///
+/// Determinism contract: each client draws from its own forked RNG stream
+/// (Rng(seed).Fork() per client index), so adding or reordering *other*
+/// clients never perturbs a client's arrival times, and the merged
+/// sequence is identical across runs and machines for a given seed.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(std::vector<ClientSpec> clients, ArrivalOptions options);
+
+  /// Generates the full merged arrival sequence, sorted by arrival time
+  /// with (client, per-client order) tie-breaks; ids are the ranks in the
+  /// merged order. Returns InvalidArgument on a non-positive horizon,
+  /// empty client list, or a client with no positive rate.
+  Result<std::vector<QueryArrival>> Generate() const;
+
+  const std::vector<ClientSpec>& clients() const { return clients_; }
+
+ private:
+  std::vector<ClientSpec> clients_;
+  ArrivalOptions options_;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_SERVICE_ARRIVAL_H_

@@ -1,0 +1,86 @@
+#include "service/batcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace vcmp {
+
+FixedBatcher::FixedBatcher(double batch_units, double max_wait_seconds)
+    : batch_units_(std::max(1.0, batch_units)),
+      max_wait_seconds_(max_wait_seconds) {}
+
+std::string FixedBatcher::name() const {
+  return StrFormat("fixed-%.0f", batch_units_);
+}
+
+double FixedBatcher::NextBatchUnits(const BatcherObservation& obs) {
+  if (obs.queued_units >= batch_units_) return batch_units_;
+  if (obs.oldest_wait_seconds >= max_wait_seconds_) {
+    return std::min(obs.queued_units, batch_units_);
+  }
+  return 0.0;
+}
+
+DynamicBatcher::DynamicBatcher(std::vector<MemoryModels> models,
+                               DynamicBatcherOptions options)
+    : models_(std::move(models)), options_(options) {}
+
+DynamicBatcher::DynamicBatcher(const MemoryModels& models,
+                               DynamicBatcherOptions options)
+    : DynamicBatcher(std::vector<MemoryModels>{models}, options) {}
+
+std::string DynamicBatcher::name() const { return "dynamic"; }
+
+double DynamicBatcher::PredictedPeakBytes(double units) const {
+  double peak = 0.0;
+  for (const MemoryModels& models : models_) {
+    peak = std::max(peak, models.peak.Eval(units));
+  }
+  return peak;
+}
+
+double DynamicBatcher::MaxFeasibleUnits(double residual_bytes) const {
+  const double budget = (1.0 - options_.safety_fraction) *
+                        options_.overload_fraction *
+                        options_.machine_memory_bytes;
+  const double available = budget - residual_bytes;
+  if (PredictedPeakBytes(options_.min_batch_units) > available) {
+    return 0.0;
+  }
+  // The fitted power laws (a > 0, b > 0) are increasing in W, so the
+  // feasible set is a prefix: binary-search its upper edge on integral
+  // unit counts. ~40 Eval calls; runs once per batch formation.
+  double lo = options_.min_batch_units;       // Known feasible.
+  double hi = options_.max_batch_units;       // Upper bound.
+  if (PredictedPeakBytes(hi) <= available) return hi;
+  while (hi - lo > 1.0) {
+    double mid = std::floor((lo + hi) / 2.0);
+    if (PredictedPeakBytes(mid) <= available) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double DynamicBatcher::NextBatchUnits(const BatcherObservation& obs) {
+  const double feasible = MaxFeasibleUnits(obs.residual_bytes);
+  if (feasible < options_.min_batch_units) {
+    return 0.0;  // Memory-blocked: wait for the residual ledger to drain.
+  }
+  if (obs.queued_units >= feasible) {
+    // Memory-limited regime: take the largest batch that fits (Eq. 6's
+    // greedy maximality, applied to the live queue).
+    return feasible;
+  }
+  if (obs.oldest_wait_seconds >= options_.max_wait_seconds) {
+    // Age trigger: low load, run what we have so nobody starves.
+    return std::min(obs.queued_units, feasible);
+  }
+  return 0.0;  // Coalesce: let the batch grow toward the memory limit.
+}
+
+}  // namespace vcmp

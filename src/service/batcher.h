@@ -1,0 +1,115 @@
+#ifndef VCMP_SERVICE_BATCHER_H_
+#define VCMP_SERVICE_BATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/tuning/memory_fit.h"
+
+namespace vcmp {
+
+/// What a batching policy sees at a decision point (the engine is idle
+/// and at least one query is queued).
+struct BatcherObservation {
+  double now_seconds = 0.0;
+  size_t queued_queries = 0;
+  /// Total workload units queued.
+  double queued_units = 0.0;
+  /// Age of the oldest queued query.
+  double oldest_wait_seconds = 0.0;
+  /// Max-per-machine residual memory of in-flight jobs (completed but not
+  /// yet flushed), paper-scale bytes.
+  double residual_bytes = 0.0;
+};
+
+/// An online batch-formation policy. Decides how many workload units the
+/// next batch may take; the serving loop pops queries fairly up to that
+/// budget. Returning 0 means "keep waiting" (for more arrivals, or for
+/// residual memory to drain).
+class BatchPolicy {
+ public:
+  virtual ~BatchPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual double NextBatchUnits(const BatcherObservation& obs) = 0;
+
+  /// Longest time the policy lets the oldest query wait before it forms
+  /// a batch anyway (the anti-starvation deadline). The serving loop uses
+  /// it to schedule the age-trigger wake-up.
+  virtual double MaxWaitSeconds() const = 0;
+};
+
+/// The static baseline: always batch exactly `batch_units` (the offline
+/// k-batch mechanism applied online). Oblivious to memory — under bursts
+/// it either queues deeply (small k) or overloads (large k).
+class FixedBatcher : public BatchPolicy {
+ public:
+  FixedBatcher(double batch_units, double max_wait_seconds);
+
+  std::string name() const override;
+  double NextBatchUnits(const BatcherObservation& obs) override;
+  double MaxWaitSeconds() const override { return max_wait_seconds_; }
+
+ private:
+  double batch_units_;
+  double max_wait_seconds_;
+};
+
+struct DynamicBatcherOptions {
+  /// The paper's overloading parameter p and per-machine memory M: the
+  /// scheduled batch must satisfy M*(W) + residual <= p * M.
+  double overload_fraction = 0.85;
+  double machine_memory_bytes = 16.0 * (1ULL << 30);
+  /// Extra headroom subtracted from the budget (model error margin).
+  double safety_fraction = 0.05;
+  /// Bounds on one batch's units.
+  double min_batch_units = 1.0;
+  double max_batch_units = 1 << 20;
+  /// Age trigger: a batch forms once the oldest query waited this long,
+  /// even if more arrivals could still be coalesced.
+  double max_wait_seconds = 2.0;
+};
+
+/// The model-driven policy: the online analogue of the paper's Eq. 6
+/// planner. At each decision point it inverts the fitted peak-memory
+/// models against the *current* free memory — budget p*M minus the
+/// residual of in-flight batches — and schedules the largest workload
+/// that fits:
+///
+///   W_next = max { W : M*(W) + Mres_inflight <= (1 - safety) * p * M }.
+///
+/// As residual accumulates the batches shrink; as it drains they grow
+/// back. With several task types in the mix, the conservative envelope
+/// (max peak over all fitted models) bounds every mix.
+class DynamicBatcher : public BatchPolicy {
+ public:
+  DynamicBatcher(std::vector<MemoryModels> models,
+                 DynamicBatcherOptions options);
+  DynamicBatcher(const MemoryModels& models,
+                 DynamicBatcherOptions options);
+
+  std::string name() const override;
+  double NextBatchUnits(const BatcherObservation& obs) override;
+  double MaxWaitSeconds() const override {
+    return options_.max_wait_seconds;
+  }
+
+  /// Largest integral unit count whose predicted peak fits beside
+  /// `residual_bytes` (0 when not even min_batch_units fits — the loop
+  /// then waits for residual to drain).
+  double MaxFeasibleUnits(double residual_bytes) const;
+
+  /// Conservative predicted peak: max over the fitted models.
+  double PredictedPeakBytes(double units) const;
+
+  const DynamicBatcherOptions& options() const { return options_; }
+
+ private:
+  std::vector<MemoryModels> models_;
+  DynamicBatcherOptions options_;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_SERVICE_BATCHER_H_

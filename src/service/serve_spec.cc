@@ -1,0 +1,248 @@
+#include "service/serve_spec.h"
+
+#include <cstdlib>
+#include <memory>
+#include <set>
+
+#include "common/string_util.h"
+#include "core/tuning/memory_fit.h"
+#include "core/tuning/trainer.h"
+#include "graph/datasets.h"
+#include "service/service.h"
+#include "tasks/task_registry.h"
+
+namespace vcmp {
+namespace {
+
+const std::set<std::string>& KnownKeys() {
+  static const auto& keys = *new std::set<std::string>{
+      "dataset",  "task",     "system",      "cluster",
+      "machines", "scale",    "seed",        "threads",
+      "horizon",  "clients",  "rate",        "trace",
+      "units",    "queue_capacity", "per_client_capacity",
+      "policy",   "max_wait", "drain_delay", "overload_fraction",
+      "safety",   "train_target", "job_overhead"};
+  return keys;
+}
+
+Result<ClusterSpec> ResolveCluster(const ServeSpec& spec) {
+  ClusterSpec cluster;
+  if (spec.cluster == "galaxy") {
+    cluster = ClusterSpec::Galaxy8();
+  } else if (spec.cluster == "galaxy27") {
+    cluster = ClusterSpec::Galaxy27();
+  } else if (spec.cluster == "docker") {
+    cluster = ClusterSpec::Docker32();
+  } else {
+    return Status::InvalidArgument("scenario '" + spec.name +
+                                   "': unknown cluster '" + spec.cluster +
+                                   "'");
+  }
+  if (spec.machines > 0) cluster = cluster.WithMachines(spec.machines);
+  return cluster;
+}
+
+}  // namespace
+
+Result<std::vector<TraceSegment>> ParseTrace(const std::string& trace) {
+  std::vector<TraceSegment> segments;
+  for (const std::string& part : SplitString(trace, ",")) {
+    std::vector<std::string> pair = SplitString(part, "x");
+    if (pair.size() != 2) {
+      return Status::InvalidArgument(
+          "malformed trace segment '" + part +
+          "' (expected DURATIONxRATE, e.g. '30x12')");
+    }
+    TraceSegment segment;
+    segment.duration_seconds = std::atof(pair[0].c_str());
+    segment.rate_per_second = std::atof(pair[1].c_str());
+    if (segment.duration_seconds <= 0.0) {
+      return Status::InvalidArgument("trace segment '" + part +
+                                     "' has a non-positive duration");
+    }
+    segments.push_back(segment);
+  }
+  if (segments.empty()) {
+    return Status::InvalidArgument("trace is empty");
+  }
+  return segments;
+}
+
+Result<std::vector<ServeSpec>> ParseServeSpecs(
+    const IniDocument& document) {
+  std::vector<ServeSpec> specs;
+  for (const IniDocument::Section& section : document.sections()) {
+    if (section.name.empty()) {
+      return Status::InvalidArgument(
+          "serving keys must live inside a [named] section");
+    }
+    for (const auto& [key, value] : section.values) {
+      (void)value;
+      if (KnownKeys().find(key) == KnownKeys().end()) {
+        return Status::InvalidArgument("scenario '" + section.name +
+                                       "': unknown key '" + key + "'");
+      }
+    }
+    ServeSpec spec;
+    spec.name = section.name;
+    spec.dataset = IniDocument::GetString(section, "dataset", spec.dataset);
+    spec.task = IniDocument::GetString(section, "task", spec.task);
+    spec.system = IniDocument::GetString(section, "system", spec.system);
+    spec.cluster = IniDocument::GetString(section, "cluster", spec.cluster);
+    VCMP_ASSIGN_OR_RETURN(int64_t machines,
+                          IniDocument::GetInt(section, "machines", 0));
+    spec.machines = static_cast<uint32_t>(machines);
+    VCMP_ASSIGN_OR_RETURN(spec.scale,
+                          IniDocument::GetDouble(section, "scale", 0.0));
+    VCMP_ASSIGN_OR_RETURN(
+        int64_t seed,
+        IniDocument::GetInt(section, "seed",
+                            static_cast<int64_t>(spec.seed)));
+    spec.seed = static_cast<uint64_t>(seed);
+    VCMP_ASSIGN_OR_RETURN(int64_t threads,
+                          IniDocument::GetInt(section, "threads", 0));
+    spec.threads = static_cast<uint32_t>(threads);
+    VCMP_ASSIGN_OR_RETURN(spec.horizon_seconds,
+                          IniDocument::GetDouble(section, "horizon",
+                                                 spec.horizon_seconds));
+    VCMP_ASSIGN_OR_RETURN(
+        int64_t clients,
+        IniDocument::GetInt(section, "clients",
+                            static_cast<int64_t>(spec.clients)));
+    if (clients < 1) {
+      return Status::InvalidArgument("scenario '" + spec.name +
+                                     "': clients must be >= 1");
+    }
+    spec.clients = static_cast<uint32_t>(clients);
+    VCMP_ASSIGN_OR_RETURN(spec.rate_per_second,
+                          IniDocument::GetDouble(section, "rate",
+                                                 spec.rate_per_second));
+    spec.trace = IniDocument::GetString(section, "trace", spec.trace);
+    VCMP_ASSIGN_OR_RETURN(spec.units_per_query,
+                          IniDocument::GetDouble(section, "units",
+                                                 spec.units_per_query));
+    VCMP_ASSIGN_OR_RETURN(
+        int64_t total_capacity,
+        IniDocument::GetInt(section, "queue_capacity",
+                            static_cast<int64_t>(spec.total_capacity)));
+    spec.total_capacity = static_cast<size_t>(total_capacity);
+    VCMP_ASSIGN_OR_RETURN(
+        int64_t per_client,
+        IniDocument::GetInt(
+            section, "per_client_capacity",
+            static_cast<int64_t>(spec.per_client_capacity)));
+    spec.per_client_capacity = static_cast<size_t>(per_client);
+    VCMP_ASSIGN_OR_RETURN(
+        spec.job_overhead_seconds,
+        IniDocument::GetDouble(section, "job_overhead",
+                               spec.job_overhead_seconds));
+    spec.policy = IniDocument::GetString(section, "policy", spec.policy);
+    VCMP_ASSIGN_OR_RETURN(spec.max_wait_seconds,
+                          IniDocument::GetDouble(section, "max_wait",
+                                                 spec.max_wait_seconds));
+    VCMP_ASSIGN_OR_RETURN(
+        spec.drain_delay_seconds,
+        IniDocument::GetDouble(section, "drain_delay",
+                               spec.drain_delay_seconds));
+    VCMP_ASSIGN_OR_RETURN(
+        spec.overload_fraction,
+        IniDocument::GetDouble(section, "overload_fraction",
+                               spec.overload_fraction));
+    VCMP_ASSIGN_OR_RETURN(spec.safety_fraction,
+                          IniDocument::GetDouble(section, "safety",
+                                                 spec.safety_fraction));
+    VCMP_ASSIGN_OR_RETURN(spec.train_target,
+                          IniDocument::GetDouble(section, "train_target",
+                                                 spec.train_target));
+    specs.push_back(std::move(spec));
+  }
+  if (specs.empty()) {
+    return Status::InvalidArgument("the serving INI defines no scenario");
+  }
+  return specs;
+}
+
+Result<ServiceReport> RunServeScenario(const ServeSpec& spec) {
+  VCMP_ASSIGN_OR_RETURN(DatasetInfo info, FindDataset(spec.dataset));
+  Dataset dataset = LoadDataset(info.id, spec.scale);
+  VCMP_ASSIGN_OR_RETURN(ClusterSpec cluster, ResolveCluster(spec));
+  SystemKind system = SystemKind::kPregelPlus;
+  if (!SystemKindFromName(spec.system, &system)) {
+    return Status::InvalidArgument("scenario '" + spec.name +
+                                   "': unknown system '" + spec.system +
+                                   "'");
+  }
+  // Validate the task name up front (the executor would also catch it,
+  // but only at the first batch formation).
+  VCMP_ASSIGN_OR_RETURN(std::unique_ptr<MultiTask> task,
+                        MakeTask(spec.task));
+  (void)task;
+
+  RunnerOptions runner_options;
+  runner_options.cluster = cluster;
+  runner_options.system = system;
+  runner_options.seed = spec.seed;
+  runner_options.execution_threads = spec.threads;
+  if (spec.job_overhead_seconds > 0.0) {
+    runner_options.cost.batch_overhead_seconds = spec.job_overhead_seconds;
+  }
+
+  std::vector<ClientSpec> clients(spec.clients);
+  for (uint32_t i = 0; i < spec.clients; ++i) {
+    clients[i].name = StrFormat("client-%u", i);
+    clients[i].task = spec.task;
+    clients[i].units_per_query = spec.units_per_query;
+    clients[i].rate_per_second = spec.rate_per_second;
+    if (!spec.trace.empty()) {
+      VCMP_ASSIGN_OR_RETURN(clients[i].trace, ParseTrace(spec.trace));
+    }
+  }
+  ArrivalOptions arrival_options;
+  arrival_options.seed = spec.seed;
+  arrival_options.horizon_seconds = spec.horizon_seconds;
+  ArrivalProcess arrivals(std::move(clients), arrival_options);
+
+  AdmissionOptions admission;
+  admission.per_client_capacity = spec.per_client_capacity;
+  admission.total_capacity = spec.total_capacity;
+
+  std::unique_ptr<BatchPolicy> policy;
+  if (spec.policy == "dynamic") {
+    // Section 5's training phase, run against the serving deployment.
+    Trainer trainer(dataset, runner_options);
+    VCMP_ASSIGN_OR_RETURN(
+        std::vector<TrainingSample> samples,
+        trainer.CollectSamples(*task, spec.train_target));
+    VCMP_ASSIGN_OR_RETURN(MemoryModels models, FitMemoryModels(samples));
+    DynamicBatcherOptions options;
+    options.overload_fraction = spec.overload_fraction;
+    options.machine_memory_bytes = cluster.machine.memory_bytes;
+    options.safety_fraction = spec.safety_fraction;
+    options.max_wait_seconds = spec.max_wait_seconds;
+    policy = std::make_unique<DynamicBatcher>(models, options);
+  } else {
+    std::vector<std::string> parts = SplitString(spec.policy, ":");
+    if (parts.size() == 2 && parts[0] == "fixed") {
+      policy = std::make_unique<FixedBatcher>(std::atof(parts[1].c_str()),
+                                              spec.max_wait_seconds);
+    } else {
+      return Status::InvalidArgument(
+          "scenario '" + spec.name + "': unknown policy '" + spec.policy +
+          "' (dynamic | fixed:UNITS)");
+    }
+  }
+
+  ServiceOptions service_options;
+  service_options.horizon_seconds = spec.horizon_seconds;
+  service_options.drain_delay_seconds = spec.drain_delay_seconds;
+
+  BatchExecutor executor = MakeRunnerExecutor(dataset, runner_options);
+  ServingLoop loop(arrivals, admission, *policy, executor,
+                   service_options);
+  VCMP_ASSIGN_OR_RETURN(ServiceReport report, loop.Run());
+  report.dataset = dataset.info.name;
+  report.system = SystemName(system);
+  return report;
+}
+
+}  // namespace vcmp

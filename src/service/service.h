@@ -1,0 +1,85 @@
+#ifndef VCMP_SERVICE_SERVICE_H_
+#define VCMP_SERVICE_SERVICE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/runner.h"
+#include "metrics/service_report.h"
+#include "service/admission.h"
+#include "service/arrival.h"
+#include "service/batcher.h"
+
+namespace vcmp {
+
+/// What executing one formed batch cost, in simulated terms.
+struct BatchExecution {
+  /// Simulated execution seconds (the engine holds the cluster for this
+  /// long; the next batch forms afterwards).
+  double seconds = 0.0;
+  /// Max per-machine memory demand during the batch (includes the
+  /// residual seeded at start), paper-scale bytes.
+  double peak_memory_bytes = 0.0;
+  /// The batch's own residual contribution (held until flushed).
+  double residual_bytes = 0.0;
+  bool overloaded = false;
+};
+
+/// Runs one formed batch given the residual memory currently resident
+/// (max per machine, paper-scale bytes). The serving loop is executor-
+/// agnostic: production uses MakeRunnerExecutor below; unit tests plug in
+/// closed-form synthetic executors.
+using BatchExecutor = std::function<Result<BatchExecution>(
+    const std::vector<QueryArrival>& batch, double residual_bytes)>;
+
+struct ServiceOptions {
+  /// Arrival window; after it closes the loop drains the queue.
+  double horizon_seconds = 60.0;
+  /// How long a finished batch's residual stays resident before the
+  /// results are aggregated, delivered, and freed. This is the drain the
+  /// dynamic batcher rides: residual accumulates while batches finish
+  /// faster than results flush, and frees up as the flush queue empties.
+  double drain_delay_seconds = 4.0;
+};
+
+/// The deterministic multi-tenant serving loop: a discrete-event
+/// simulation driving arrivals -> admission -> batch formation ->
+/// execution -> residual drain on one SimClock. The engine is serial
+/// (batches execute one at a time, as in the paper's runner); "in-flight"
+/// memory is the residual of finished-but-unflushed batches.
+class ServingLoop {
+ public:
+  /// `policy` and `executor` must outlive Run().
+  ServingLoop(const ArrivalProcess& arrivals, AdmissionOptions admission,
+              BatchPolicy& policy, BatchExecutor executor,
+              ServiceOptions options);
+
+  /// Runs the simulation to completion (all arrivals delivered, queue
+  /// drained, residuals flushed). Fails with FailedPrecondition when a
+  /// queued query can never be scheduled (its units exceed the memory
+  /// model's feasible batch even with zero residual) and with the
+  /// executor's Status when a batch run fails.
+  Result<ServiceReport> Run();
+
+ private:
+  const ArrivalProcess& arrivals_;
+  AdmissionOptions admission_;
+  BatchPolicy& policy_;
+  BatchExecutor executor_;
+  ServiceOptions options_;
+};
+
+/// Production executor: runs each batch through MultiProcessingRunner on
+/// `dataset`, seeding the runner's initial residual with the in-flight
+/// bytes so the engine's overload detection sees the true footprint.
+/// Batches mixing several task types run as consecutive single-task
+/// sub-jobs (one engine run each); seconds add up, peaks take the max.
+/// `dataset` must outlive the executor.
+BatchExecutor MakeRunnerExecutor(const Dataset& dataset,
+                                 const RunnerOptions& runner_options);
+
+}  // namespace vcmp
+
+#endif  // VCMP_SERVICE_SERVICE_H_

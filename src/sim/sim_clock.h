@@ -1,0 +1,40 @@
+#ifndef VCMP_SIM_SIM_CLOCK_H_
+#define VCMP_SIM_SIM_CLOCK_H_
+
+#include <limits>
+
+namespace vcmp {
+
+/// The discrete-event simulated clock of the serving layer.
+///
+/// All service-level timing (arrivals, queueing, batch execution, residual
+/// drain) is expressed in simulated seconds on this clock — never in wall
+/// time — which is what makes serving runs bit-reproducible: the same
+/// seeds produce the same event sequence on any machine. The clock only
+/// moves forward; Horizon() is the +inf sentinel used for "no pending
+/// event".
+class SimClock {
+ public:
+  static constexpr double Horizon() {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  double now() const { return now_; }
+
+  /// Advances to `t`. Earlier times are clamped (re-delivering an event
+  /// at the current instant is legal; travelling backwards is not).
+  void AdvanceTo(double t) {
+    if (t > now_) now_ = t;
+  }
+
+  void AdvanceBy(double dt) {
+    if (dt > 0.0) now_ += dt;
+  }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_SIM_SIM_CLOCK_H_

@@ -25,12 +25,24 @@ Result<std::unique_ptr<MultiTask>> MakeTask(const std::string& name) {
     return std::unique_ptr<MultiTask>(
         std::make_unique<ConnectedComponentsTask>());
   }
-  return Status::NotFound("no task named '" + name + "'");
+  std::string known;
+  for (const std::string& task : RegisteredTaskNames()) {
+    if (!known.empty()) known += ", ";
+    known += task;
+  }
+  return Status::NotFound("no task named '" + name + "' (known tasks: " +
+                          known + ")");
 }
 
 const std::vector<std::string>& BenchmarkTaskNames() {
   static const auto& names =
       *new std::vector<std::string>{"BPPR", "MSSP", "BKHS"};
+  return names;
+}
+
+const std::vector<std::string>& RegisteredTaskNames() {
+  static const auto& names = *new std::vector<std::string>{
+      "BPPR", "MSSP", "BKHS", "PageRank", "ConnectedComponents"};
   return names;
 }
 

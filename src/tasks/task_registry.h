@@ -17,6 +17,10 @@ Result<std::unique_ptr<MultiTask>> MakeTask(const std::string& name);
 /// The three multi-processing benchmark names of Section 2.3.
 const std::vector<std::string>& BenchmarkTaskNames();
 
+/// Every name MakeTask accepts (benchmark tasks + extensions), in
+/// registry order — the source for the CLIs' --list-tasks.
+const std::vector<std::string>& RegisteredTaskNames();
+
 }  // namespace vcmp
 
 #endif  // VCMP_TASKS_TASK_REGISTRY_H_

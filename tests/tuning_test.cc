@@ -100,6 +100,67 @@ TEST(PlannerTest, RejectsBadWorkload) {
   EXPECT_FALSE(PlanSchedule(models, 0.0).ok());
 }
 
+TEST(PlannerTest, WorkloadBelowLightestTrainingPointExtrapolates) {
+  // The models were fitted on W in [2, 64]; planning W = 1 extrapolates
+  // below every training point and must still yield a valid one-batch
+  // schedule (the tiny workload trivially fits).
+  std::vector<TrainingSample> samples;
+  for (double w : {2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+    TrainingSample sample;
+    sample.workload = w;
+    sample.peak_memory_bytes = 0.02 * kGiBd * w + 0.5 * kGiBd;
+    sample.residual_memory_bytes = 0.004 * kGiBd * w;
+    samples.push_back(sample);
+  }
+  auto models = FitMemoryModels(samples);
+  ASSERT_TRUE(models.ok()) << models.status().ToString();
+  PlannerOptions options;
+  options.machine_memory_bytes = 16.0 * kGiBd;
+  auto schedule = PlanSchedule(models.value(), 1.0, options);
+  ASSERT_TRUE(schedule.ok()) << schedule.status().ToString();
+  EXPECT_TRUE(schedule.value().IsFullParallelism());
+  EXPECT_DOUBLE_EQ(schedule.value().TotalWorkload(), 1.0);
+}
+
+TEST(PlannerTest, FailsWithStatusWhenFirstBatchCannotFit) {
+  // The fitted peak intercept alone exceeds the memory budget: even a
+  // one-unit first batch is infeasible. The planner must fail with a
+  // Status (never crash or emit an empty schedule).
+  MemoryModels models =
+      LinearModels(0.001 * kGiBd, 0.0001 * kGiBd, 15.0 * kGiBd);
+  PlannerOptions options;
+  options.machine_memory_bytes = 16.0 * kGiBd;
+  options.overload_fraction = 0.85;  // Budget 13.6GiB < 15GiB intercept.
+  auto schedule = PlanSchedule(models, 128.0, options);
+  ASSERT_FALSE(schedule.ok());
+  EXPECT_EQ(schedule.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PlannerTest, FailsWithStatusWhenResidualExceedsBudgetOnBatchOne) {
+  // Mres(W1) alone swallows the whole budget after the first batch: the
+  // remaining workload can never be scheduled.
+  MemoryModels models = LinearModels(0.004 * kGiBd, 0.2 * kGiBd, 0.0);
+  PlannerOptions options;
+  options.machine_memory_bytes = 16.0 * kGiBd;
+  auto schedule = PlanSchedule(models, 50000.0, options);
+  ASSERT_FALSE(schedule.ok());
+  EXPECT_EQ(schedule.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(schedule.status().message().empty());
+}
+
+TEST(TrainerTest, TargetBelowLightestTrainingPointFailsCleanly) {
+  // The doubling ladder needs at least three points below the target;
+  // a target of 6 leaves only {2, 4} and must fail with a Status.
+  Dataset dataset = LoadDataset(DatasetId::kDblp, 512.0);
+  RunnerOptions runner_options;
+  runner_options.cluster = RelaxedCluster(2);
+  Trainer trainer(dataset, runner_options);
+  BpprTask task;
+  auto samples = trainer.CollectSamples(task, 6.0);
+  ASSERT_FALSE(samples.ok());
+  EXPECT_FALSE(samples.status().message().empty());
+}
+
 TEST(TrainerTest, CollectsDoublingWorkloads) {
   Dataset dataset = LoadDataset(DatasetId::kDblp, 512.0);
   RunnerOptions runner_options;

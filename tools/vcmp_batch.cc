@@ -10,8 +10,10 @@
 #include "common/string_util.h"
 #include "common/units.h"
 #include "core/experiment_spec.h"
+#include "graph/datasets.h"
 #include "metrics/export.h"
 #include "metrics/table_printer.h"
+#include "tasks/task_registry.h"
 
 namespace vcmp {
 namespace {
@@ -22,14 +24,34 @@ int Main(int argc, char** argv) {
   flags.Define("json-dir", "",
                "write one <experiment>.json report per run to this "
                "directory");
+  flags.Define("list-tasks", "false",
+               "print the registered task names and exit");
+  flags.Define("list-datasets", "false",
+               "print the registered dataset names and exit");
   Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::cerr << parsed.ToString() << "\n";
     return 2;
   }
-  if (flags.help_requested() || flags.GetString("config").empty()) {
+  if (flags.help_requested()) {
     std::cout << flags.HelpText();
-    return flags.help_requested() ? 0 : 2;
+    return 0;
+  }
+  if (flags.GetBool("list-tasks")) {
+    for (const std::string& name : RegisteredTaskNames()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+  if (flags.GetBool("list-datasets")) {
+    for (const DatasetInfo& info : AllDatasets()) {
+      std::cout << info.name << "\n";
+    }
+    return 0;
+  }
+  if (flags.GetString("config").empty()) {
+    std::cout << flags.HelpText();
+    return 2;
   }
 
   auto document = IniDocument::Load(flags.GetString("config"));

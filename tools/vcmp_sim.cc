@@ -95,6 +95,10 @@ int Main(int argc, char** argv) {
   flags.Define("csv", "",
                "write per-round statistics as CSV to this path "
                "(single-schedule runs only)");
+  flags.Define("list-tasks", "false",
+               "print the registered task names and exit");
+  flags.Define("list-datasets", "false",
+               "print the registered dataset names and exit");
 
   Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
@@ -105,18 +109,31 @@ int Main(int argc, char** argv) {
     std::cout << flags.HelpText();
     return 0;
   }
+  if (flags.GetBool("list-tasks")) {
+    for (const std::string& name : RegisteredTaskNames()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+  if (flags.GetBool("list-datasets")) {
+    for (const DatasetInfo& info : AllDatasets()) {
+      std::cout << info.name << "\n";
+    }
+    return 0;
+  }
 
+  // Validate every name before the (comparatively expensive) stand-in
+  // generation so typos fail fast with the registry's Status message.
   auto info = FindDataset(flags.GetString("dataset"));
   if (!info.ok()) {
     std::cerr << info.status().ToString() << "\n";
     return 2;
   }
-  Dataset dataset =
-      LoadDataset(info.value().id, flags.GetDouble("scale"));
-  std::cout << "Dataset: " << dataset.info.name << " stand-in "
-            << dataset.graph.ToString() << " (scale " << dataset.scale
-            << ")\n";
-
+  auto task = MakeTask(flags.GetString("task"));
+  if (!task.ok()) {
+    std::cerr << task.status().ToString() << "\n";
+    return 2;
+  }
   auto cluster =
       MakeCluster(flags.GetString("cluster"), flags.GetInt("machines"));
   if (!cluster.ok()) {
@@ -128,11 +145,11 @@ int Main(int argc, char** argv) {
     std::cerr << "unknown system '" << flags.GetString("system") << "'\n";
     return 2;
   }
-  auto task = MakeTask(flags.GetString("task"));
-  if (!task.ok()) {
-    std::cerr << task.status().ToString() << "\n";
-    return 2;
-  }
+  Dataset dataset =
+      LoadDataset(info.value().id, flags.GetDouble("scale"));
+  std::cout << "Dataset: " << dataset.info.name << " stand-in "
+            << dataset.graph.ToString() << " (scale " << dataset.scale
+            << ")\n";
 
   RunnerOptions options;
   options.cluster = cluster.value();
