@@ -130,7 +130,8 @@ Result<std::vector<ExperimentSpec>> ParseExperimentSpecs(
   return specs;
 }
 
-Result<ExperimentResult> RunExperiment(const ExperimentSpec& spec) {
+Result<ExperimentResult> RunExperiment(const ExperimentSpec& spec,
+                                       Tracer* tracer) {
   VCMP_ASSIGN_OR_RETURN(DatasetInfo info, FindDataset(spec.dataset));
   Dataset dataset = LoadDataset(info.id, spec.scale);
 
@@ -153,6 +154,10 @@ Result<ExperimentResult> RunExperiment(const ExperimentSpec& spec) {
   VCMP_ASSIGN_OR_RETURN(
       result.schedule,
       ResolveSchedule(spec, dataset, options, *task));
+  // Wired only after schedule resolution so tuner/search probes do not
+  // flood the trace with exploration runs.
+  options.tracer = tracer;
+  options.trace_label = spec.name;
   MultiProcessingRunner runner(dataset, options);
   VCMP_ASSIGN_OR_RETURN(result.report, runner.Run(*task, result.schedule));
   return result;

@@ -12,6 +12,8 @@
 
 namespace vcmp {
 
+class Tracer;
+
 /// A declarative experiment: everything needed to run one simulated
 /// multi-processing job, loadable from an INI file (configs/*.ini). This
 /// is how saved experiment suites are replayed without recompiling:
@@ -56,8 +58,11 @@ struct ExperimentResult {
 
 /// Resolves the spec (dataset stand-in, cluster, system, task, schedule —
 /// including `tuned` via the Section-5 tuner and `search` via the
-/// batch-count search) and runs it.
-Result<ExperimentResult> RunExperiment(const ExperimentSpec& spec);
+/// batch-count search) and runs it. When `tracer` is set, the main run
+/// records onto it under the spec's name (tuner/search probe runs stay
+/// untraced — they are exploration, not the experiment).
+Result<ExperimentResult> RunExperiment(const ExperimentSpec& spec,
+                                       Tracer* tracer = nullptr);
 
 }  // namespace vcmp
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/tracer.h"
 #include "sim/monetary_model.h"
 
 namespace vcmp {
@@ -52,6 +53,14 @@ Result<RunReport> MultiProcessingRunner::Run(const MultiTask& task,
           options_.initial_residual_bytes[machine] / dataset_.scale;
     }
   }
+  Tracer* const tracer = options_.tracer;
+  uint32_t batch_track = 0;
+  uint32_t engine_track = 0;
+  if (tracer != nullptr) {
+    batch_track = tracer->AddTrack(options_.trace_label, "batches");
+    engine_track = tracer->AddTrack(options_.trace_label, "engine");
+  }
+
   uint64_t batch_index = 0;
   for (double workload : schedule.workloads()) {
     ++batch_index;
@@ -74,6 +83,14 @@ Result<RunReport> MultiProcessingRunner::Run(const MultiTask& task,
     engine_options.checkpoint_interval_rounds =
         options_.checkpoint_interval_rounds;
     engine_options.seed = options_.seed + batch_index;
+    if (tracer != nullptr) {
+      // Batches line up end to end on the report's own running sum, so
+      // engine round spans land inside their batch span (batch.seconds
+      // >= engine seconds; the overhead is the uninstrumented tail).
+      engine_options.tracer = tracer;
+      engine_options.trace_track = engine_track;
+      engine_options.trace_time_offset_seconds = report.total_seconds;
+    }
 
     SyncEngine engine(dataset_.graph, partition_, engine_options);
     VCMP_ASSIGN_OR_RETURN(EngineResult result, engine.Run(*program));
@@ -93,7 +110,21 @@ Result<RunReport> MultiProcessingRunner::Run(const MultiTask& task,
     batch.disk_utilization = result.disk_utilization;
     batch.disk_saturated = result.disk_saturated;
     batch.max_io_queue_length = result.max_io_queue_length;
+    const double batch_start_seconds = report.total_seconds;
     report.Absorb(batch);
+    if (tracer != nullptr) {
+      tracer->Begin(batch_track, "batch", batch_start_seconds,
+                    {{"batch", static_cast<double>(batch_index)},
+                     {"workload", workload},
+                     {"rounds", static_cast<double>(batch.rounds)},
+                     {"messages", batch.messages},
+                     {"peak_memory_bytes", batch.peak_memory_bytes}});
+      tracer->End(batch_track, report.total_seconds);
+      tracer->Add("runner.batches", 1.0);
+      tracer->Add("runner.seconds", batch.seconds);
+      tracer->Add("runner.messages", batch.messages);
+      tracer->Add("runner.rounds", static_cast<double>(batch.rounds));
+    }
 
     if (options_.batch_observer) options_.batch_observer(*program);
 
@@ -107,12 +138,22 @@ Result<RunReport> MultiProcessingRunner::Run(const MultiTask& task,
     for (uint32_t machine = 0; machine < carryover.size(); ++machine) {
       carryover[machine] += program->ResidualBytes(machine);
     }
-    if (options_.residual_observer) {
+    if (options_.residual_observer || tracer != nullptr) {
       std::vector<double> paper_scale(carryover.size());
+      double max_carryover = 0.0;
       for (uint32_t machine = 0; machine < carryover.size(); ++machine) {
         paper_scale[machine] = carryover[machine] * dataset_.scale;
+        max_carryover = std::max(max_carryover, paper_scale[machine]);
       }
-      options_.residual_observer(batch_index, paper_scale);
+      if (tracer != nullptr) {
+        // The mid-workload observation point the online batcher inverts
+        // the memory models against, now visible per batch boundary.
+        tracer->Gauge(batch_track, "carryover_residual_bytes",
+                      report.total_seconds, max_carryover);
+      }
+      if (options_.residual_observer) {
+        options_.residual_observer(batch_index, paper_scale);
+      }
     }
   }
 

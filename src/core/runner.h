@@ -18,6 +18,8 @@
 
 namespace vcmp {
 
+class Tracer;
+
 /// Configuration of a multi-processing run.
 struct RunnerOptions {
   ClusterSpec cluster = ClusterSpec::Galaxy8();
@@ -52,6 +54,17 @@ struct RunnerOptions {
   std::function<void(uint64_t batch_index,
                      const std::vector<double>& residual_bytes)>
       residual_observer;
+  /// --- Observability (src/obs) ---
+  /// When set, the runner registers two tracks under the `trace_label`
+  /// process — "batches" (one span per executed batch, plus a
+  /// carryover-residual gauge after each) and "engine" (the per-round
+  /// spans, batches lined up end to end on one simulated timeline) —
+  /// and accumulates flat counters (runner.batches, runner.seconds,
+  /// engine.*) that reconcile exactly with the RunReport. Null = off.
+  Tracer* tracer = nullptr;
+  /// Trace "process" name grouping this run's tracks (suite drivers set
+  /// it to the experiment name so runs stay distinguishable).
+  std::string trace_label = "run";
 };
 
 /// Executes a multi-processing task under a batch schedule: batches run

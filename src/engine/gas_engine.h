@@ -17,6 +17,7 @@
 namespace vcmp {
 
 class GasEngine;
+class Tracer;
 
 /// Context handed to GasVertexProgram::Process.
 class GasContext {
@@ -104,6 +105,18 @@ struct GasOptions {
   /// largest pending signal first. Convergent programs settle heavy mass
   /// early and need fewer activations than FIFO order.
   bool priority_scheduling = false;
+  /// --- Observability (src/obs) ---
+  /// When set, synchronous passes emit nested pass > {compute, barrier}
+  /// spans plus memory gauges; asynchronous runs (no per-pass simulated
+  /// timeline — time is priced once at the end) emit a single execution
+  /// span. Timestamps are simulated seconds offset by
+  /// trace_time_offset_seconds. Null = off (one branch per pass).
+  Tracer* tracer = nullptr;
+  /// kAutoTrack registers a fresh "gas/passes" track at Run().
+  uint32_t trace_track = kAutoTrack;
+  double trace_time_offset_seconds = 0.0;
+  static constexpr uint32_t kAutoTrack = ~0u;
+
   /// PowerGraph-style vertex-cut deployment (optional; must outlive the
   /// engine). When set, cross-machine traffic is replica synchronisation —
   /// each active vertex exchanges 2*(replicas-1) messages per pass (gather

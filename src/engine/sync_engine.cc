@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/tracer.h"
 
 namespace vcmp {
 
@@ -234,6 +235,17 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
   const double scale = options_.stat_scale;
   const double cutoff = options_.cost.overload_cutoff_seconds;
 
+  // Tracing rides the simulated clock: this run sits on the caller's
+  // timeline at trace_time_offset_seconds (the runner lines batches up
+  // by passing a cumulative offset). All trace content derives from
+  // round statistics that are bit-identical across thread counts, so
+  // the trace is too.
+  Tracer* const tracer = options_.tracer;
+  uint32_t trace_track = options_.trace_track;
+  if (tracer != nullptr && trace_track == EngineOptions::kAutoTrack) {
+    trace_track = tracer->AddTrack("engine", "rounds");
+  }
+
   for (uint64_t round = 0; round <= options_.max_rounds; ++round) {
     for (Worker& worker : workers) worker.send_stats().Clear();
 
@@ -387,6 +399,8 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
     }
 
     // --- Fault tolerance: checkpoints and injected failures ---
+    double round_checkpoint_seconds = 0.0;
+    double round_recovery_seconds = 0.0;
     if (options_.checkpoint_interval_rounds > 0 && round > 0 &&
         round % options_.checkpoint_interval_rounds == 0) {
       // Synchronous checkpoint: every machine flushes its resident data.
@@ -394,6 +408,7 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
                                options_.cluster.machine.disk_bandwidth;
       stats.total_seconds += checkpoint_time;
       result.checkpoint_seconds += checkpoint_time;
+      round_checkpoint_seconds = checkpoint_time;
       ++result.checkpoints_taken;
       seconds_since_checkpoint_ = 0.0;
     }
@@ -413,9 +428,57 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
                                : result.seconds;
       result.recovery_seconds = reload_time + replay_time;
       stats.total_seconds += result.recovery_seconds;
+      round_recovery_seconds = result.recovery_seconds;
       result.failure_recovered = true;
     }
     seconds_since_checkpoint_ += stats.total_seconds;
+
+    if (tracer != nullptr) {
+      // The round partitions: the machines work (compute with
+      // network/disk stalls overlapped), then the barrier, then any
+      // checkpoint flush and failure recovery. Round boundaries are
+      // anchored to the same running sum result.seconds uses, so round
+      // starts are monotone by FP-addition monotonicity; the child
+      // chain is clamped into [t0, t_end] so nesting survives the last
+      // ulp of rounding. Per-phase maxima that do not form a timeline
+      // (they come from different machines) travel as span args.
+      const double t0 = options_.trace_time_offset_seconds + result.seconds;
+      const double t_end = options_.trace_time_offset_seconds +
+                           (result.seconds + stats.total_seconds);
+      const double work = stats.total_seconds - stats.barrier_seconds -
+                          round_checkpoint_seconds -
+                          round_recovery_seconds;
+      tracer->Begin(trace_track, "round", t0,
+                    {{"round", static_cast<double>(round)},
+                     {"messages", stats.messages},
+                     {"message_bytes", stats.message_bytes},
+                     {"cross_machine_bytes", stats.cross_machine_bytes},
+                     {"active_vertices", stats.active_vertices}});
+      double t = t0;
+      auto child = [&](const char* name, double duration,
+                       std::vector<TraceArg> args = {}) {
+        tracer->Begin(trace_track, name, t, std::move(args));
+        t = std::min(t + duration, t_end);
+        tracer->End(trace_track, t);
+      };
+      child("compute", work,
+            {{"max_compute_seconds", stats.compute_seconds},
+             {"network_stall_seconds", stats.network_seconds},
+             {"disk_stall_seconds", stats.disk_stall_seconds},
+             {"thrash_multiplier", stats.thrash_multiplier}});
+      child("barrier", stats.barrier_seconds);
+      if (round_checkpoint_seconds > 0.0) {
+        child("checkpoint", round_checkpoint_seconds);
+      }
+      if (round_recovery_seconds > 0.0) {
+        child("recovery", round_recovery_seconds);
+      }
+      tracer->End(trace_track, t_end);
+      tracer->Gauge(trace_track, "memory_bytes", t_end,
+                    stats.max_memory_bytes);
+      tracer->Gauge(trace_track, "residual_bytes", t_end,
+                    stats.max_residual_bytes);
+    }
 
     result.seconds += stats.total_seconds;
     result.total_messages += stats.messages;
@@ -483,6 +546,26 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
     for (const Worker& worker : workers) {
       result.phase.group_seconds += worker.group_ns() * 1e-9;
       result.phase.stage_seconds += worker.stage_ns() * 1e-9;
+    }
+  }
+  if (tracer != nullptr) {
+    // One Add per run, mirroring RunReport::Absorb's per-batch
+    // accumulation so the flat counters reconcile bitwise with the
+    // report totals (per-round adds would associate differently).
+    tracer->Add("engine.messages", result.total_messages);
+    tracer->Add("engine.rounds", static_cast<double>(result.num_rounds));
+    tracer->Add("engine.seconds", result.seconds);
+    tracer->Add("engine.checkpoint_seconds", result.checkpoint_seconds);
+    tracer->Add("engine.checkpoints",
+                static_cast<double>(result.checkpoints_taken));
+    tracer->Peak("engine.peak_memory_bytes", result.peak_memory_bytes);
+    tracer->Peak("engine.peak_residual_bytes",
+                 result.peak_residual_bytes);
+    tracer->Peak("engine.peak_buffered_bytes",
+                 result.peak_buffered_bytes);
+    if (mirror_plan_ != nullptr) {
+      tracer->Peak("engine.mirrors",
+                   static_cast<double>(mirror_plan_->TotalMirrors()));
     }
   }
   return result;

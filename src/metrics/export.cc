@@ -1,5 +1,6 @@
 #include "metrics/export.h"
 
+#include <cmath>
 #include <fstream>
 
 #include "common/string_util.h"
@@ -84,6 +85,12 @@ void JsonWriter::Key(const std::string& key) {
 
 void JsonWriter::Field(const std::string& key, double value) {
   Key(key);
+  // JSON has no NaN/Infinity literals; "%.17g" would emit "nan"/"inf"
+  // and corrupt the document. null is the conventional stand-in.
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
   out_ += StrFormat("%.17g", value);
 }
 

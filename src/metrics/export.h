@@ -17,7 +17,8 @@ inline constexpr int kJsonSchemaVersion = 2;
 
 /// The one JSON object builder every exporter and bench binary shares
 /// (no external dependency). Keys print in insertion order; doubles use
-/// round-trip %.17g formatting; strings are escaped. Usage:
+/// round-trip %.17g formatting (NaN and ±Inf become null — JSON has no
+/// literal for them); strings are escaped. Usage:
 ///
 ///   JsonWriter json;                       // stamps schema_version
 ///   json.Field("threads", 8.0);

@@ -1,0 +1,127 @@
+#include "obs/trace_sink.h"
+
+#include <map>
+
+#include "metrics/export.h"
+
+namespace vcmp {
+namespace {
+
+constexpr double kMicrosPerSecond = 1e6;
+
+std::string ArgsToJson(const std::vector<TraceArg>& args) {
+  if (args.empty()) return {};  // Omit the "args" key entirely.
+  JsonWriter json(/*with_schema_version=*/false);
+  for (const TraceArg& arg : args) json.Field(arg.first, arg.second);
+  return json.Close();
+}
+
+/// Emits one trace event object. `name` may be null (E events), `scope`
+/// may be null (everything but instants), `args_json` empty when absent.
+std::string EventToJson(const char* name, const char* phase, double ts_us,
+                        uint64_t pid, uint64_t tid, const char* scope,
+                        const std::string& args_json) {
+  JsonWriter json(/*with_schema_version=*/false);
+  if (name != nullptr) json.Field("name", name);
+  json.Field("ph", phase);
+  json.Field("ts", ts_us);
+  json.Field("pid", pid);
+  json.Field("tid", tid);
+  if (scope != nullptr) json.Field("s", scope);
+  if (!args_json.empty()) json.RawField("args", args_json);
+  return json.Close();
+}
+
+}  // namespace
+
+std::string TraceToJson(const Tracer& tracer) {
+  const std::vector<TraceTrack>& tracks = tracer.tracks();
+
+  // pid per distinct process name, first-registration order; tid per
+  // track. Both 1-based (Perfetto reserves 0 for the default process).
+  std::vector<uint64_t> pid_of_track(tracks.size(), 0);
+  std::map<std::string, uint64_t> pid_by_process;
+  std::vector<std::string> processes_in_order;
+  for (size_t i = 0; i < tracks.size(); ++i) {
+    auto [it, inserted] = pid_by_process.emplace(
+        tracks[i].process, pid_by_process.size() + 1);
+    if (inserted) processes_in_order.push_back(tracks[i].process);
+    pid_of_track[i] = it->second;
+  }
+
+  std::string events = "[";
+  bool first = true;
+  auto append = [&events, &first](const std::string& event_json) {
+    if (!first) events += ",";
+    first = false;
+    events += event_json;
+  };
+
+  // Metadata: label every process and track.
+  for (const std::string& process : processes_in_order) {
+    JsonWriter name_arg(/*with_schema_version=*/false);
+    name_arg.Field("name", process);
+    JsonWriter json(/*with_schema_version=*/false);
+    json.Field("name", "process_name");
+    json.Field("ph", "M");
+    json.Field("pid", pid_by_process.at(process));
+    json.RawField("args", name_arg.Close());
+    append(json.Close());
+  }
+  for (size_t i = 0; i < tracks.size(); ++i) {
+    JsonWriter name_arg(/*with_schema_version=*/false);
+    name_arg.Field("name", tracks[i].thread);
+    JsonWriter json(/*with_schema_version=*/false);
+    json.Field("name", "thread_name");
+    json.Field("ph", "M");
+    json.Field("pid", pid_of_track[i]);
+    json.Field("tid", static_cast<uint64_t>(i + 1));
+    json.RawField("args", name_arg.Close());
+    append(json.Close());
+  }
+
+  for (const TraceEvent& event : tracer.events()) {
+    const double ts_us = event.ts_seconds * kMicrosPerSecond;
+    const uint64_t pid = pid_of_track[event.track];
+    const uint64_t tid = event.track + 1;
+    switch (event.kind) {
+      case TraceEvent::Kind::kBegin:
+        append(EventToJson(event.name.c_str(), "B", ts_us, pid, tid,
+                           nullptr, ArgsToJson(event.args)));
+        break;
+      case TraceEvent::Kind::kEnd:
+        append(EventToJson(nullptr, "E", ts_us, pid, tid, nullptr,
+                           ArgsToJson(event.args)));
+        break;
+      case TraceEvent::Kind::kInstant:
+        append(EventToJson(event.name.c_str(), "i", ts_us, pid, tid, "t",
+                           ArgsToJson(event.args)));
+        break;
+      case TraceEvent::Kind::kGauge: {
+        JsonWriter value(/*with_schema_version=*/false);
+        value.Field("value", event.value);
+        append(EventToJson(event.name.c_str(), "C", ts_us, pid, tid,
+                           nullptr, value.Close()));
+        break;
+      }
+    }
+  }
+  events += "]";
+
+  JsonWriter counters(/*with_schema_version=*/false);
+  for (const auto& [name, value] : tracer.counters()) {
+    counters.Field(name, value);
+  }
+
+  JsonWriter json;  // Stamps the shared schema_version.
+  json.Field("displayTimeUnit", "ms");
+  json.RawField("traceEvents", events);
+  json.RawField("counters", counters.Close());
+  return json.Close();
+}
+
+Status WriteTraceJson(const Tracer& tracer, const std::string& path) {
+  return WriteTextFile(TraceToJson(tracer), path);
+}
+
+}  // namespace vcmp

@@ -1,0 +1,35 @@
+#ifndef VCMP_OBS_TRACE_SINK_H_
+#define VCMP_OBS_TRACE_SINK_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "obs/tracer.h"
+
+namespace vcmp {
+
+/// Serialises a recorded trace as Chrome trace-event JSON (the "JSON
+/// Object Format"), loadable by Perfetto (ui.perfetto.dev) and
+/// chrome://tracing:
+///
+///   {
+///     "schema_version": ...,          // shared vcmp export version
+///     "displayTimeUnit": "ms",
+///     "traceEvents": [ ... ],         // M/B/E/i/C events, ts in µs
+///     "counters": { ... }             // flat Add()/Peak() snapshot,
+///   }                                 //   keys sorted
+///
+/// Tracks map to (pid, tid) pairs: every distinct process name becomes a
+/// pid (first-registration order), every track a tid, both labelled with
+/// "M" metadata events. Timestamps are simulated seconds scaled to
+/// microseconds, printed with round-trip %.17g — the whole byte stream is
+/// a pure function of the recorded events, which is what the golden-trace
+/// tests (same spec, any thread count => identical bytes) rely on.
+std::string TraceToJson(const Tracer& tracer);
+
+/// Writes TraceToJson(tracer) to `path`.
+Status WriteTraceJson(const Tracer& tracer, const std::string& path);
+
+}  // namespace vcmp
+
+#endif  // VCMP_OBS_TRACE_SINK_H_

@@ -162,7 +162,8 @@ Result<std::vector<ServeSpec>> ParseServeSpecs(
   return specs;
 }
 
-Result<ServiceReport> RunServeScenario(const ServeSpec& spec) {
+Result<ServiceReport> RunServeScenario(const ServeSpec& spec,
+                                       Tracer* tracer) {
   VCMP_ASSIGN_OR_RETURN(DatasetInfo info, FindDataset(spec.dataset));
   Dataset dataset = LoadDataset(info.id, spec.scale);
   VCMP_ASSIGN_OR_RETURN(ClusterSpec cluster, ResolveCluster(spec));
@@ -235,6 +236,8 @@ Result<ServiceReport> RunServeScenario(const ServeSpec& spec) {
   ServiceOptions service_options;
   service_options.horizon_seconds = spec.horizon_seconds;
   service_options.drain_delay_seconds = spec.drain_delay_seconds;
+  service_options.tracer = tracer;
+  service_options.trace_label = spec.name;
 
   BatchExecutor executor = MakeRunnerExecutor(dataset, runner_options);
   ServingLoop loop(arrivals, admission, *policy, executor,

@@ -10,6 +10,8 @@
 
 namespace vcmp {
 
+class Tracer;
+
 /// A declarative serving scenario, loadable from an INI section (see
 /// tools/vcmp_serve.cc for the key reference). One section = one serving
 /// run: an arrival trace, an admission policy, a batching policy, and
@@ -65,7 +67,11 @@ Result<std::vector<struct TraceSegment>> ParseTrace(
 /// stand-in, fits the memory models when the policy needs them (training
 /// runs on the same deployment, as in Section 5), builds the arrival
 /// process + admission queue + policy, and drives the serving loop.
-Result<ServiceReport> RunServeScenario(const ServeSpec& spec);
+/// When `tracer` is set, the serving loop records the query lifecycle
+/// under the scenario's name (the dynamic policy's training probe runs
+/// stay untraced — they are calibration, not the scenario).
+Result<ServiceReport> RunServeScenario(const ServeSpec& spec,
+                                       Tracer* tracer = nullptr);
 
 }  // namespace vcmp
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/tracer.h"
 #include "sim/sim_clock.h"
 #include "tasks/task_registry.h"
 
@@ -41,13 +42,45 @@ Result<ServiceReport> ServingLoop::Run() {
   double busy_seconds = 0.0;
   size_t next_arrival = 0;
 
+  // Observability: the lifecycle ledger. `executing` counts queries in
+  // the batch currently holding the engine; the gauge-bundle identity
+  // (generated == admitted + shed, admitted == queued + executing +
+  // completed) is what the reconciliation tests pin down.
+  Tracer* const tracer = options_.tracer;
+  uint32_t track = 0;
+  if (tracer != nullptr) {
+    track = tracer->AddTrack(options_.trace_label, "lifecycle");
+  }
+  double generated = 0.0;
+  double admitted = 0.0;
+  double shed_total = 0.0;
+  double completed = 0.0;
+  double executing = 0.0;
+  auto emit_ledger = [&](double ts) {
+    tracer->Gauge(track, "service.generated", ts, generated);
+    tracer->Gauge(track, "service.admitted", ts, admitted);
+    tracer->Gauge(track, "service.shed", ts, shed_total);
+    tracer->Gauge(track, "service.queued", ts,
+                  static_cast<double>(queue.size()));
+    tracer->Gauge(track, "service.executing", ts, executing);
+    tracer->Gauge(track, "service.completed", ts, completed);
+    tracer->Gauge(track, "service.residual_bytes", ts, residual_now);
+  };
+
   auto flush_ledger = [&]() {
+    bool flushed = false;
     while (!ledger.empty() &&
            ledger.front().flush_seconds <= clock.now()) {
       residual_now -= ledger.front().bytes;
       ledger.pop_front();
+      flushed = true;
     }
     if (ledger.empty()) residual_now = 0.0;  // Absorb float dust.
+    if (flushed && tracer != nullptr) {
+      tracer->Instant(track, "flush", clock.now(),
+                      {{"residual_bytes", residual_now}});
+      emit_ledger(clock.now());
+    }
   };
   auto deliver_arrivals = [&]() {
     while (next_arrival < arrivals.size() &&
@@ -61,6 +94,29 @@ Result<ServiceReport> ServingLoop::Run() {
       outcome.arrival_seconds = query.arrival_seconds;
       outcome.shed = !queue.Offer(query);
       ++next_arrival;
+      if (tracer != nullptr) {
+        // Stamped with the delivery instant (the clock), not the
+        // arrival draw: arrivals landing mid-batch surface when the
+        // loop next looks, which keeps every track monotone.
+        tracer->Instant(track, "arrive", clock.now(),
+                        {{"id", static_cast<double>(query.id)},
+                         {"client", static_cast<double>(query.client)},
+                         {"units", query.units},
+                         {"arrival_seconds", query.arrival_seconds}});
+        tracer->Instant(track, outcome.shed ? "shed" : "admit",
+                        clock.now(),
+                        {{"id", static_cast<double>(query.id)}});
+        generated += 1.0;
+        tracer->Add("service.generated", 1.0);
+        if (outcome.shed) {
+          shed_total += 1.0;
+          tracer->Add("service.shed", 1.0);
+        } else {
+          admitted += 1.0;
+          tracer->Add("service.admitted", 1.0);
+        }
+        emit_ledger(clock.now());
+      }
     }
   };
 
@@ -100,6 +156,18 @@ Result<ServiceReport> ServingLoop::Run() {
           trace.overloaded = exec.overloaded;
           report.batches.push_back(trace);
           busy_seconds += exec.seconds;
+          if (tracer != nullptr) {
+            tracer->Begin(
+                track, "batch", start,
+                {{"queries", static_cast<double>(batch.size())},
+                 {"units", units},
+                 {"residual_at_formation_bytes", residual_now},
+                 {"peak_memory_bytes", exec.peak_memory_bytes}});
+            executing = static_cast<double>(batch.size());
+            tracer->Add("service.batches", 1.0);
+            tracer->Add("service.busy_seconds", exec.seconds);
+            emit_ledger(start);
+          }
           // The batch's residual materialises at completion and stays
           // until results flush. No formation decision happens before
           // `finish` (the engine is serial), so it may join the ledger
@@ -107,6 +175,15 @@ Result<ServiceReport> ServingLoop::Run() {
           ledger.push_back(
               {finish + options_.drain_delay_seconds, exec.residual_bytes});
           residual_now += exec.residual_bytes;
+          if (tracer != nullptr) {
+            tracer->End(track, finish,
+                        {{"overloaded", exec.overloaded ? 1.0 : 0.0}});
+            completed += static_cast<double>(batch.size());
+            executing = 0.0;
+            tracer->Add("service.completed",
+                        static_cast<double>(batch.size()));
+            emit_ledger(finish);
+          }
           clock.AdvanceTo(finish);
           deliver_arrivals();
           continue;

@@ -14,6 +14,8 @@
 
 namespace vcmp {
 
+class Tracer;
+
 /// What executing one formed batch cost, in simulated terms.
 struct BatchExecution {
   /// Simulated execution seconds (the engine holds the cluster for this
@@ -42,6 +44,18 @@ struct ServiceOptions {
   /// dynamic batcher rides: residual accumulates while batches finish
   /// faster than results flush, and frees up as the flush queue empties.
   double drain_delay_seconds = 4.0;
+  /// --- Observability (src/obs) ---
+  /// When set, the loop emits the full query lifecycle on a
+  /// "<trace_label>/lifecycle" track — arrive / admit / shed instants,
+  /// one span per executed batch, flush instants — and after every
+  /// event a gauge bundle (service.generated/admitted/shed/queued/
+  /// executing/completed/residual_bytes) whose ledger identity
+  ///   generated == admitted + shed,
+  ///   admitted  == queued + executing + completed
+  /// the invariant tests check at every bundle. Timestamps come from
+  /// the loop's SimClock. Null = off.
+  Tracer* tracer = nullptr;
+  std::string trace_label = "service";
 };
 
 /// The deterministic multi-tenant serving loop: a discrete-event

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
+#include "metrics/export.h"
 #include "metrics/round_stats.h"
 #include "metrics/run_report.h"
 #include "metrics/table_printer.h"
@@ -73,6 +77,41 @@ TEST(RunReportTest, OverloadPropagates) {
   report.Absorb(bad);
   EXPECT_TRUE(report.overloaded);
   EXPECT_NE(report.ToString().find("OVERLOADED"), std::string::npos);
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  // JSON has no literal for NaN or the infinities; emitting them raw
+  // (what %.17g would print) produces a document no parser accepts.
+  JsonWriter json(/*with_schema_version=*/false);
+  json.Field("nan", std::nan(""));
+  json.Field("pinf", std::numeric_limits<double>::infinity());
+  json.Field("ninf", -std::numeric_limits<double>::infinity());
+  json.Field("finite", 1.5);
+  EXPECT_EQ(json.Close(),
+            "{\"nan\":null,\"pinf\":null,\"ninf\":null,\"finite\":1.5}");
+}
+
+TEST(JsonWriterTest, DoublesRoundTrip) {
+  JsonWriter json(/*with_schema_version=*/false);
+  json.Field("third", 1.0 / 3.0);
+  std::string out = json.Close();
+  double parsed = 0.0;
+  ASSERT_EQ(sscanf(out.c_str(), "{\"third\":%lf}", &parsed), 1);
+  EXPECT_EQ(parsed, 1.0 / 3.0);  // Bitwise: %.17g is round-trip exact.
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  using internal_export::JsonEscape;
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\rc\td"), "a\\nb\\rc\\td");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x1f')), "\\u001f");
+
+  JsonWriter json(/*with_schema_version=*/false);
+  json.Field("k\"ey", "va\\lue\n");
+  EXPECT_EQ(json.Close(), "{\"k\\\"ey\":\"va\\\\lue\\n\"}");
 }
 
 TEST(RoundStatsTest, ToStringIncludesEssentials) {

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "core/experiment_spec.h"
+#include "obs/trace_sink.h"
+#include "obs/tracer.h"
+
+namespace vcmp {
+namespace {
+
+/// A minimal recursive-descent JSON well-formedness checker — enough to
+/// reject the classic hand-rolled-writer failures (bare nan/inf tokens,
+/// trailing commas, unescaped quotes) without an external dependency.
+class JsonValidator {
+ public:
+  static bool Valid(const std::string& text) {
+    JsonValidator v(text);
+    v.SkipWs();
+    if (!v.Value()) return false;
+    v.SkipWs();
+    return v.pos_ == text.size();
+  }
+
+ private:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool Eat(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* word) {
+    size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  bool String() {
+    if (!Eat('"')) return false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (!isxdigit(static_cast<unsigned char>(Peek()))) return false;
+            ++pos_;
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) ==
+                   std::string::npos) {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (!isdigit(static_cast<unsigned char>(Peek()))) return false;
+    while (isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Eat('.')) {
+      if (!isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Value() {
+    SkipWs();
+    switch (Peek()) {
+      case '{': {
+        ++pos_;
+        SkipWs();
+        if (Eat('}')) return true;
+        do {
+          SkipWs();
+          if (!String()) return false;
+          SkipWs();
+          if (!Eat(':')) return false;
+          if (!Value()) return false;
+          SkipWs();
+        } while (Eat(','));
+        return Eat('}');
+      }
+      case '[': {
+        ++pos_;
+        SkipWs();
+        if (Eat(']')) return true;
+        do {
+          if (!Value()) return false;
+          SkipWs();
+        } while (Eat(','));
+        return Eat(']');
+      }
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+TEST(JsonValidatorTest, SelfCheck) {
+  EXPECT_TRUE(JsonValidator::Valid("{\"a\":[1,2.5,-3e-2,null,true]}"));
+  EXPECT_TRUE(JsonValidator::Valid("{}"));
+  EXPECT_FALSE(JsonValidator::Valid("{\"a\":nan}"));
+  EXPECT_FALSE(JsonValidator::Valid("{\"a\":inf}"));
+  EXPECT_FALSE(JsonValidator::Valid("{\"a\":1,}"));
+  EXPECT_FALSE(JsonValidator::Valid("{\"a\":1}}"));
+  EXPECT_FALSE(JsonValidator::Valid("{\"a\":\"unterminated}"));
+}
+
+TEST(TracerTest, RecordsSpansInstantsAndGauges) {
+  Tracer tracer;
+  uint32_t track = tracer.AddTrack("proc", "thread");
+  EXPECT_EQ(track, 0u);
+  EXPECT_EQ(tracer.AddTrack("proc", "other"), 1u);
+
+  tracer.Begin(track, "outer", 1.0, {{"k", 2.0}});
+  EXPECT_EQ(tracer.open_spans(track), 1u);
+  tracer.Begin(track, "inner", 1.5);
+  EXPECT_EQ(tracer.open_spans(track), 2u);
+  tracer.Instant(track, "tick", 1.75);
+  tracer.Gauge(track, "level", 2.0, 42.0);
+  tracer.End(track, 2.0);
+  tracer.End(track, 3.0);
+  EXPECT_EQ(tracer.open_spans(track), 0u);
+
+  ASSERT_EQ(tracer.events().size(), 6u);
+  EXPECT_EQ(tracer.events()[0].kind, TraceEvent::Kind::kBegin);
+  EXPECT_EQ(tracer.events()[0].name, "outer");
+  ASSERT_EQ(tracer.events()[0].args.size(), 1u);
+  EXPECT_EQ(tracer.events()[0].args[0].first, "k");
+  EXPECT_EQ(tracer.events()[3].kind, TraceEvent::Kind::kGauge);
+  EXPECT_DOUBLE_EQ(tracer.events()[3].value, 42.0);
+}
+
+TEST(TracerTest, CountersAccumulateAndPeak) {
+  Tracer tracer;
+  EXPECT_DOUBLE_EQ(tracer.counter("missing"), 0.0);
+  tracer.Add("sum", 1.5);
+  tracer.Add("sum", 2.5);
+  tracer.Peak("max", 3.0);
+  tracer.Peak("max", 1.0);  // Lower value must not regress the peak.
+  tracer.Peak("max", 7.0);
+  EXPECT_DOUBLE_EQ(tracer.counter("sum"), 4.0);
+  EXPECT_DOUBLE_EQ(tracer.counter("max"), 7.0);
+  EXPECT_EQ(tracer.counters().size(), 2u);
+}
+
+TEST(TraceSinkTest, ExportsChromeTraceShape) {
+  Tracer tracer;
+  uint32_t a = tracer.AddTrack("alpha", "main");
+  uint32_t b = tracer.AddTrack("beta", "main");
+  tracer.Begin(a, "span", 1.0, {{"x", 1.0}});
+  tracer.End(a, 2.0);
+  tracer.Instant(b, "mark", 1.5);
+  tracer.Gauge(b, "level", 1.5, 9.0);
+  tracer.Add("counter.total", 5.0);
+
+  std::string json = TraceToJson(tracer);
+  EXPECT_TRUE(JsonValidator::Valid(json)) << json;
+  // Metadata names both processes and both tracks.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"beta\""), std::string::npos);
+  // Phases: B/E span, i instant, C counter; seconds exported as micros.
+  EXPECT_NE(json.find("\"ph\":\"B\",\"ts\":1000000"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\",\"ts\":2000000"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  // The flat counter snapshot rides along.
+  EXPECT_NE(json.find("\"counters\":{\"counter.total\":5}"),
+            std::string::npos);
+  // An E event with no args must omit the "args" key, not emit "{}".
+  EXPECT_EQ(json.find("\"args\":{}"), std::string::npos);
+}
+
+TEST(TraceSinkTest, NonFiniteGaugeStaysValidJson) {
+  Tracer tracer;
+  uint32_t track = tracer.AddTrack("p", "t");
+  tracer.Gauge(track, "bad", 1.0,
+               std::numeric_limits<double>::quiet_NaN());
+  tracer.Gauge(track, "worse", 2.0,
+               std::numeric_limits<double>::infinity());
+  std::string json = TraceToJson(tracer);
+  EXPECT_TRUE(JsonValidator::Valid(json)) << json;
+  EXPECT_NE(json.find("\"value\":null"), std::string::npos);
+}
+
+ExperimentSpec GoldenSpec(uint32_t threads) {
+  ExperimentSpec spec;
+  spec.name = "golden";
+  spec.workload = 48;
+  spec.schedule = "equal:3";
+  spec.scale = 512;  // Tiny stand-in, fast.
+  spec.seed = 11;
+  spec.threads = threads;
+  return spec;
+}
+
+std::string TraceForSpec(const ExperimentSpec& spec) {
+  Tracer tracer;
+  auto result = RunExperiment(spec, &tracer);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(tracer.events().empty());
+  return TraceToJson(tracer);
+}
+
+TEST(GoldenTraceTest, SameSpecTwiceIsByteIdentical) {
+  std::string first = TraceForSpec(GoldenSpec(2));
+  std::string second = TraceForSpec(GoldenSpec(2));
+  EXPECT_TRUE(JsonValidator::Valid(first));
+  EXPECT_EQ(first, second);
+}
+
+TEST(GoldenTraceTest, ThreadCountDoesNotChangeTheTrace) {
+  // The determinism contract: timestamps come from the simulated clock,
+  // so execution parallelism must be invisible in the exported bytes.
+  std::string one = TraceForSpec(GoldenSpec(1));
+  std::string two = TraceForSpec(GoldenSpec(2));
+  std::string eight = TraceForSpec(GoldenSpec(8));
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+}  // namespace
+}  // namespace vcmp

@@ -13,6 +13,8 @@
 #include "graph/datasets.h"
 #include "metrics/export.h"
 #include "metrics/table_printer.h"
+#include "obs/trace_sink.h"
+#include "obs/tracer.h"
 #include "tasks/task_registry.h"
 
 namespace vcmp {
@@ -24,6 +26,10 @@ int Main(int argc, char** argv) {
   flags.Define("json-dir", "",
                "write one <experiment>.json report per run to this "
                "directory");
+  flags.Define("trace-out", "",
+               "write one deterministic Chrome/Perfetto trace covering "
+               "the whole suite to this path (one process per "
+               "experiment; load in ui.perfetto.dev)");
   flags.Define("list-tasks", "false",
                "print the registered task names and exit");
   flags.Define("list-datasets", "false",
@@ -67,10 +73,16 @@ int Main(int argc, char** argv) {
   std::cout << "Running " << specs.value().size() << " experiments from "
             << flags.GetString("config") << "\n";
 
+  // One shared tracer across the suite: each experiment becomes its own
+  // process group (named by the spec) in the exported trace.
+  Tracer tracer;
+  Tracer* trace_ptr =
+      flags.GetString("trace-out").empty() ? nullptr : &tracer;
+
   TablePrinter table({"Experiment", "Setting", "Schedule", "Time",
                       "Peak mem", "Msgs/round"});
   for (const ExperimentSpec& spec : specs.value()) {
-    auto result = RunExperiment(spec);
+    auto result = RunExperiment(spec, trace_ptr);
     if (!result.ok()) {
       std::cerr << "experiment '" << spec.name
                 << "' failed: " << result.status().ToString() << "\n";
@@ -99,6 +111,15 @@ int Main(int argc, char** argv) {
     }
   }
   table.Print(std::cout);
+  if (trace_ptr != nullptr) {
+    Status written = WriteTraceJson(tracer, flags.GetString("trace-out"));
+    if (!written.ok()) {
+      std::cerr << written.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << flags.GetString("trace-out") << " ("
+              << tracer.events().size() << " trace events)\n";
+  }
   return 0;
 }
 

@@ -39,6 +39,8 @@
 #include "graph/datasets.h"
 #include "metrics/service_report.h"
 #include "metrics/table_printer.h"
+#include "obs/trace_sink.h"
+#include "obs/tracer.h"
 #include "service/serve_spec.h"
 #include "tasks/task_registry.h"
 
@@ -55,6 +57,10 @@ int Main(int argc, char** argv) {
   flags.Define("csv-dir", "",
                "write one <scenario>.csv per-query outcome file per run "
                "to this directory");
+  flags.Define("trace-out", "",
+               "write one deterministic Chrome/Perfetto lifecycle trace "
+               "covering every scenario to this path (load in "
+               "ui.perfetto.dev)");
   flags.Define("list-tasks", "false",
                "print the registered task names and exit");
   flags.Define("list-datasets", "false",
@@ -98,10 +104,16 @@ int Main(int argc, char** argv) {
   std::cout << "Serving " << specs.value().size() << " scenarios from "
             << flags.GetString("config") << "\n";
 
+  // One shared tracer across the suite: each scenario becomes its own
+  // process group (named by the spec) in the exported trace.
+  Tracer tracer;
+  Tracer* trace_ptr =
+      flags.GetString("trace-out").empty() ? nullptr : &tracer;
+
   TablePrinter table({"Scenario", "Policy", "Done", "Shed", "p50", "p95",
                       "p99", "q/s", "Util", "Peak mem"});
   for (const ServeSpec& spec : specs.value()) {
-    auto result = RunServeScenario(spec);
+    auto result = RunServeScenario(spec, trace_ptr);
     if (!result.ok()) {
       std::cerr << "scenario '" << spec.name
                 << "' failed: " << result.status().ToString() << "\n";
@@ -140,6 +152,15 @@ int Main(int argc, char** argv) {
     }
   }
   table.Print(std::cout);
+  if (trace_ptr != nullptr) {
+    Status written = WriteTraceJson(tracer, flags.GetString("trace-out"));
+    if (!written.ok()) {
+      std::cerr << written.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << flags.GetString("trace-out") << " ("
+              << tracer.events().size() << " trace events)\n";
+  }
   return 0;
 }
 

@@ -21,6 +21,8 @@
 #include "graph/datasets.h"
 #include "metrics/ascii_chart.h"
 #include "metrics/export.h"
+#include "obs/trace_sink.h"
+#include "obs/tracer.h"
 #include "sim/monetary_model.h"
 #include "tasks/task_registry.h"
 
@@ -95,6 +97,9 @@ int Main(int argc, char** argv) {
   flags.Define("csv", "",
                "write per-round statistics as CSV to this path "
                "(single-schedule runs only)");
+  flags.Define("trace-out", "",
+               "write a deterministic Chrome/Perfetto trace of the run "
+               "to this path (load in ui.perfetto.dev)");
   flags.Define("list-tasks", "false",
                "print the registered task names and exit");
   flags.Define("list-datasets", "false",
@@ -211,6 +216,14 @@ int Main(int argc, char** argv) {
         workload, static_cast<uint32_t>(flags.GetInt("batches")));
   }
 
+  // The tracer attaches only to the final run: --tune/--search probes
+  // above are exploration and stay untraced.
+  Tracer tracer;
+  if (!flags.GetString("trace-out").empty()) {
+    options.tracer = &tracer;
+    options.trace_label = "run";
+  }
+
   MultiProcessingRunner runner(dataset, options);
   auto report = runner.Run(*task.value(), schedule);
   if (!report.ok()) {
@@ -218,6 +231,16 @@ int Main(int argc, char** argv) {
     return 1;
   }
   PrintReport(report.value(), schedule);
+
+  if (!flags.GetString("trace-out").empty()) {
+    Status written = WriteTraceJson(tracer, flags.GetString("trace-out"));
+    if (!written.ok()) {
+      std::cerr << written.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << flags.GetString("trace-out") << " ("
+              << tracer.events().size() << " trace events)\n";
+  }
 
   if (!flags.GetString("json").empty()) {
     Status written =
