@@ -12,11 +12,11 @@
 // --threads. Total workload: 3 reps x (B-PPR W=4096 in 4 batches +
 // MSSP W=2048 in 4 batches) on Galaxy8 under Pregel+, seed 11.
 
-#include <chrono>
 #include <cstdio>
 #include <iostream>
 
 #include "common/flags.h"
+#include "common/wall_clock.h"
 #include "core/runner.h"
 #include "graph/datasets.h"
 #include "metrics/export.h"
@@ -71,7 +71,7 @@ int Main(int argc, char** argv) {
     }
     MultiProcessingRunner runner(dataset, options);
     sim_seconds = 0.0;
-    auto start = std::chrono::steady_clock::now();
+    const uint64_t start_ns = wallclock::NowNs();
     for (int rep = 0; rep < reps; ++rep) {
       auto bppr = MakeTask("BPPR");
       auto r1 = runner.Run(*bppr.value(), BatchSchedule::Equal(4096, 4));
@@ -88,8 +88,7 @@ int Main(int argc, char** argv) {
       }
       sim_seconds += r2.value().total_seconds;
     }
-    auto stop = std::chrono::steady_clock::now();
-    return std::chrono::duration<double, std::milli>(stop - start).count();
+    return wallclock::SecondsSince(start_ns) * 1e3;
   };
 
   const double wall_ms = run_workload(/*timed=*/false);

@@ -1,0 +1,22 @@
+#include "common/wall_clock.h"
+
+// The allowlisted home of wall-clock reads (vcmp-lint D1): the only
+// translation unit in src/, tools/ or bench/ that may name a real clock.
+#include <chrono>
+
+namespace vcmp {
+namespace wallclock {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double SecondsSince(uint64_t start_ns) {
+  return static_cast<double>(NowNs() - start_ns) * 1e-9;
+}
+
+}  // namespace wallclock
+}  // namespace vcmp

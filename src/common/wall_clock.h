@@ -1,0 +1,37 @@
+#ifndef VCMP_COMMON_WALL_CLOCK_H_
+#define VCMP_COMMON_WALL_CLOCK_H_
+
+#include <cstdint>
+
+namespace vcmp {
+namespace wallclock {
+
+/// The project's only sanctioned wall-clock seam.
+///
+/// Everything vcmp reports deterministically — run reports, traces,
+/// service metrics — is priced on the *simulated* clock (sim/sim_clock.h
+/// and the cost models), never on wall time. The one legitimate use of a
+/// real clock is self-profiling: phase timers and benchmark harnesses
+/// that measure how long *this process* took, where the numbers are
+/// diagnostic and explicitly excluded from golden outputs.
+///
+/// vcmp-lint rule D1 forbids direct `std::chrono::{system,steady,
+/// high_resolution}_clock` (and C `time()` family) reads everywhere
+/// except this module, so every wall-clock read in the tree is forced
+/// through here and is auditable in one place. If you are tempted to
+/// call NowNs() to influence an algorithm, a report, or a trace: don't —
+/// that breaks the byte-identical-rerun contract (DESIGN.md §7/§9).
+///
+/// Monotonic (steady_clock); safe for interval measurement across
+/// suspend-free runs. Not meaningful as a calendar timestamp.
+
+/// Nanoseconds on the monotonic clock, from an unspecified epoch.
+uint64_t NowNs();
+
+/// Seconds elapsed since a NowNs() reading.
+double SecondsSince(uint64_t start_ns);
+
+}  // namespace wallclock
+}  // namespace vcmp
+
+#endif  // VCMP_COMMON_WALL_CLOCK_H_

@@ -238,6 +238,7 @@ Result<GasResult> GasEngine::Run(GasVertexProgram& program) {
       load.state_bytes =
           (graph_share_bytes_[m] + program.StateBytes(m)) * scale;
       load.residual_bytes = program.ResidualBytes(m) * scale;
+      // vcmp:deterministic-reduction(slot m is owned by shard m; one add per pass in fixed pass order, thread-count invariant)
       cross_bytes_per_machine[m] += load.cross_bytes_out;
     });
     for (uint32_t m = 0; m < machines; ++m) {

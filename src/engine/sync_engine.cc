@@ -1,11 +1,11 @@
 #include "engine/sync_engine.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "common/wall_clock.h"
 #include "obs/tracer.h"
 
 namespace vcmp {
@@ -197,10 +197,6 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
     worker.Reset(machines);
     worker.set_collect_timing(collect_times);
   }
-  using Clock = std::chrono::steady_clock;
-  auto seconds_since = [](Clock::time_point start) {
-    return std::chrono::duration<double>(Clock::now() - start).count();
-  };
 
   // One sink per machine: independent deterministic random streams and
   // sender-side accumulators, so machines can compute concurrently with
@@ -291,10 +287,10 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
 
     // Static round-robin sharding on the persistent pool: machine m goes
     // to shard m % T, exactly as the former per-round thread spawn did.
-    const auto compute_start = Clock::now();
+    const uint64_t compute_start_ns = wallclock::NowNs();
     pool.ParallelFor(machines, process_machine);
     if (collect_times) {
-      result.phase.compute_seconds += seconds_since(compute_start);
+      result.phase.compute_seconds += wallclock::SecondsSince(compute_start_ns);
     }
     double active_vertices_total = 0.0;
     for (const MachineRoundLoad& load : loads) {
@@ -506,7 +502,7 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
     // Parallel by destination: shard d touches only the senders' outboxes
     // for machine d and machine d's inbox, and appends them in fixed
     // sender order — byte-identical to the serial sender-major drain.
-    const auto deliver_start = Clock::now();
+    const uint64_t deliver_start_ns = wallclock::NowNs();
     pool.ParallelFor(machines, [&workers, machines](uint32_t dest) {
       std::vector<Message>& inbox = workers[dest].inbox();
       inbox.clear();
@@ -515,7 +511,7 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
       }
     });
     if (collect_times) {
-      result.phase.deliver_seconds += seconds_since(deliver_start);
+      result.phase.deliver_seconds += wallclock::SecondsSince(deliver_start_ns);
     }
     for (uint32_t machine = 0; machine < machines; ++machine) {
       if (!workers[machine].inbox().empty()) {

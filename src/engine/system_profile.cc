@@ -92,6 +92,7 @@ SystemProfile MakeGraphLabAsync() {
 
 const SystemProfile& ProfileFor(SystemKind kind) {
   // Leaked singletons: trivially-destructible statics only (Google style).
+  // vcmp:lint-allow(C1, one-time registry leak at static init; never on a round path)
   static const auto& profiles = *new std::vector<SystemProfile>{
       MakeGiraph(),           MakeGiraphAsync(), MakePregelPlus(),
       MakePregelPlusMirror(), MakeGraphD(),      MakeGraphLab(),
@@ -103,6 +104,7 @@ const SystemProfile& ProfileFor(SystemKind kind) {
 }
 
 const std::vector<SystemKind>& AllSystemKinds() {
+  // vcmp:lint-allow(C1, one-time registry leak at static init; never on a round path)
   static const auto& all = *new std::vector<SystemKind>{
       SystemKind::kGiraph,      SystemKind::kGiraphAsync,
       SystemKind::kPregelPlus,  SystemKind::kPregelPlusMirror,

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <array>
-#include <chrono>
+
+#include "common/wall_clock.h"
 
 namespace vcmp {
 namespace {
@@ -12,12 +13,10 @@ inline uint64_t KeyOf(const Message& message) {
   return (static_cast<uint64_t>(message.target) << 32) | message.tag;
 }
 
-inline uint64_t NowNs() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+/// Diagnostic phase timers only (group_ns/stage_ns, off by default);
+/// never feeds reports or traces, so it reads the one sanctioned
+/// wall-clock seam instead of std::chrono directly.
+inline uint64_t NowNs() { return wallclock::NowNs(); }
 
 /// Below this size a comparison sort beats the radix passes' fixed costs
 /// (histogram zeroing, scratch traffic).

@@ -1,0 +1,273 @@
+#include "lint/analyzer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "metrics/export.h"
+
+namespace vcmp {
+namespace lint {
+namespace {
+
+bool LintableExtension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".hpp" || ext == ".cpp";
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string FindingKey(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ":" + f.rule;
+}
+
+/// Lints one file's content; applies annotations; emits A1 findings for
+/// malformed or stale annotations.
+void AnalyzeOne(const std::string& path, const std::string& content,
+                LintReport* report) {
+  LexResult lex = Lex(content);
+  // Annotations naming an unknown rule (e.g. the literal "RULE" in doc
+  // comments showing the grammar) are documentation, not suppressions.
+  // A typo'd rule id therefore suppresses nothing — the finding it meant
+  // to cover stays open, which is the failure mode that gets noticed.
+  auto known_rule = [](const std::string& r) {
+    for (const RuleInfo& info : AllRules()) {
+      if (r == info.id) return true;
+    }
+    return false;
+  };
+  std::erase_if(lex.annotations, [&](const Annotation& a) {
+    return !a.deterministic_reduction && !known_rule(a.rule) &&
+           !(a.malformed && a.rule.empty());
+  });
+  std::vector<Finding> findings;
+  CheckTokens(path, lex.tokens, &findings);
+
+  for (Finding& f : findings) {
+    for (Annotation& a : lex.annotations) {
+      if (a.malformed || a.rule != f.rule) continue;
+      if (a.covered_line != f.line) continue;
+      f.allowed = true;
+      f.allow_reason = a.reason;
+      a.used = true;
+      break;
+    }
+  }
+
+  // Annotation hygiene (A1): unparseable/reason-free annotations, and
+  // allows that no longer match a finding (stale suppressions rot the
+  // exception table). A1 is deliberately not suppressible.
+  for (const Annotation& a : lex.annotations) {
+    if (a.malformed) {
+      Finding f;
+      f.file = path;
+      f.line = a.line;
+      f.rule = "A1";
+      f.message =
+          "malformed lint annotation — expected vcmp:lint-allow(RULE, "
+          "reason) or vcmp:deterministic-reduction(reason) with a "
+          "non-empty reason";
+      findings.push_back(std::move(f));
+    } else if (!a.used) {
+      Finding f;
+      f.file = path;
+      f.line = a.line;
+      f.rule = "A1";
+      f.message = "stale '" + a.rule +
+                  "' annotation: no finding on the covered line — remove "
+                  "it or move it next to the code it justifies";
+      findings.push_back(std::move(f));
+    }
+    report->allows.push_back(AllowRecord{path, a.line, a.rule, a.reason,
+                                         a.deterministic_reduction, a.used});
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& x, const Finding& y) {
+              if (x.line != y.line) return x.line < y.line;
+              return x.rule < y.rule;
+            });
+  report->findings.insert(report->findings.end(), findings.begin(),
+                          findings.end());
+  report->files_scanned += 1;
+}
+
+}  // namespace
+
+int LintReport::UnsuppressedCount() const {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (!f.allowed && !f.baselined) ++n;
+  }
+  return n;
+}
+
+LintReport AnalyzeSources(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const AnalyzerOptions& options) {
+  LintReport report;
+  for (const auto& [path, content] : sources) {
+    AnalyzeOne(path, content, &report);
+  }
+  const std::set<std::string> baseline(options.baseline.begin(),
+                                       options.baseline.end());
+  for (Finding& f : report.findings) {
+    if (!f.allowed && baseline.count(FindingKey(f)) != 0) {
+      f.baselined = true;
+    }
+  }
+  return report;
+}
+
+Result<LintReport> AnalyzePaths(const std::vector<std::string>& paths,
+                                const AnalyzerOptions& options) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (fs::recursive_directory_iterator it(path, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file() && LintableExtension(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(fs::path(path).generic_string());
+    } else {
+      return Status::NotFound("no such file or directory: '" + path + "'");
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<std::pair<std::string, std::string>> sources;
+  sources.reserve(files.size());
+  for (const std::string& file : files) {
+    auto content = ReadFile(file);
+    if (!content.ok()) return content.status();
+    sources.emplace_back(file, std::move(content).value());
+  }
+  return AnalyzeSources(sources, options);
+}
+
+Result<std::vector<std::string>> LoadBaseline(const std::string& path) {
+  auto content = ReadFile(path);
+  if (!content.ok()) return content.status();
+  std::vector<std::string> entries;
+  for (std::string& line : SplitString(content.value(), "\n")) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(
+                                line.back()))) {
+      line.pop_back();
+    }
+    if (!line.empty()) entries.push_back(line);
+  }
+  return entries;
+}
+
+std::string FormatText(const LintReport& report) {
+  std::ostringstream out;
+  int allowed = 0;
+  int baselined = 0;
+  for (const Finding& f : report.findings) {
+    if (f.allowed) {
+      ++allowed;
+      continue;
+    }
+    if (f.baselined) {
+      ++baselined;
+      continue;
+    }
+    out << f.file << ":" << f.line << ": " << f.rule << ": " << f.message
+        << "\n";
+  }
+  if (!report.allows.empty()) {
+    out << "\nlint-allow annotations (" << report.allows.size() << "):\n";
+    for (const AllowRecord& a : report.allows) {
+      out << "  " << a.file << ":" << a.line << "  " << a.rule
+          << (a.deterministic_reduction ? " (reduction)" : "") << "  "
+          << a.reason << (a.used ? "" : "  [STALE]") << "\n";
+    }
+  }
+  const int open = report.UnsuppressedCount();
+  out << "\nvcmp_lint: " << report.files_scanned << " files, "
+      << report.findings.size() << " findings (" << open << " open, "
+      << allowed << " allowed, " << baselined << " baselined)\n";
+  return out.str();
+}
+
+std::string ToJson(const LintReport& report) {
+  int allowed = 0;
+  int baselined = 0;
+  std::string findings = "[";
+  for (size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    if (f.allowed) ++allowed;
+    if (f.baselined) ++baselined;
+    JsonWriter item(/*with_schema_version=*/false);
+    item.Field("file", f.file);
+    item.Field("line", static_cast<uint64_t>(f.line));
+    item.Field("rule", f.rule);
+    item.Field("message", f.message);
+    item.Field("status", f.allowed     ? "allowed"
+                         : f.baselined ? "baselined"
+                                       : "open");
+    if (f.allowed) item.Field("reason", f.allow_reason);
+    if (i != 0) findings += ",";
+    findings += item.Close();
+  }
+  findings += "]";
+
+  std::string allows = "[";
+  for (size_t i = 0; i < report.allows.size(); ++i) {
+    const AllowRecord& a = report.allows[i];
+    JsonWriter item(/*with_schema_version=*/false);
+    item.Field("file", a.file);
+    item.Field("line", static_cast<uint64_t>(a.line));
+    item.Field("rule", a.rule);
+    item.Field("reason", a.reason);
+    item.Field("deterministic_reduction", a.deterministic_reduction);
+    item.Field("used", a.used);
+    if (i != 0) allows += ",";
+    allows += item.Close();
+  }
+  allows += "]";
+
+  JsonWriter json;
+  json.Field("tool", "vcmp_lint");
+  json.Field("files_scanned", static_cast<uint64_t>(report.files_scanned));
+  json.Field("finding_count",
+             static_cast<uint64_t>(report.findings.size()));
+  json.Field("open_count",
+             static_cast<uint64_t>(report.UnsuppressedCount()));
+  json.Field("allowed_count", static_cast<uint64_t>(allowed));
+  json.Field("baselined_count", static_cast<uint64_t>(baselined));
+  json.RawField("findings", findings);
+  json.RawField("allows", allows);
+  return json.Close();
+}
+
+std::string ToBaseline(const LintReport& report) {
+  std::string out =
+      "# vcmp_lint baseline: findings listed here are known legacy debt.\n"
+      "# One `file:line:RULE` per line; regenerate with --write-baseline.\n";
+  for (const Finding& f : report.findings) {
+    if (!f.allowed && !f.baselined) out += FindingKey(f) + "\n";
+  }
+  return out;
+}
+
+}  // namespace lint
+}  // namespace vcmp

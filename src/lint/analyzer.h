@@ -1,0 +1,74 @@
+#ifndef VCMP_LINT_ANALYZER_H_
+#define VCMP_LINT_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lint/rules.h"
+
+namespace vcmp {
+namespace lint {
+
+/// One applied (or unapplied) suppression, for the CLI's summary table:
+/// every exception to the determinism contract stays visible.
+struct AllowRecord {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string reason;
+  bool deterministic_reduction = false;
+  bool used = false;  // False = stale annotation (flagged as A1).
+};
+
+struct LintReport {
+  /// All findings, sorted by (file, line, rule). Suppressed and
+  /// baselined entries stay in the list with their status flags set.
+  std::vector<Finding> findings;
+  std::vector<AllowRecord> allows;
+  int files_scanned = 0;
+
+  /// Findings that are neither allowed nor baselined: what fails CI.
+  int UnsuppressedCount() const;
+};
+
+struct AnalyzerOptions {
+  /// `file:line:RULE` entries (see ParseBaseline); matching findings are
+  /// reported but do not count as unsuppressed.
+  std::vector<std::string> baseline;
+};
+
+/// Analyzes in-memory sources: (path, content) pairs. The path is used
+/// for rule scoping and reporting only — tests lint fixture content
+/// under synthetic paths (e.g. "src/engine/fixture.cc") to pin scoping.
+LintReport AnalyzeSources(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const AnalyzerOptions& options = {});
+
+/// Walks files and directories (recursively; .cc/.h/.hpp/.cpp), lints
+/// each file, and merges the reports. Paths are reported as given, with
+/// forward slashes, in sorted order.
+Result<LintReport> AnalyzePaths(const std::vector<std::string>& paths,
+                                const AnalyzerOptions& options = {});
+
+/// Parses a baseline file: one `file:line:RULE` per line, `#` comments
+/// and blank lines ignored.
+Result<std::vector<std::string>> LoadBaseline(const std::string& path);
+
+/// `file:line: RULE: message` lines (the --diff-friendly format), one
+/// per unsuppressed finding, followed by the allow summary table and a
+/// one-line verdict.
+std::string FormatText(const LintReport& report);
+
+/// Machine-readable report via the shared JsonWriter (schema-versioned
+/// like every other vcmp JSON export).
+std::string ToJson(const LintReport& report);
+
+/// `file:line:RULE` lines for every unsuppressed finding — the format
+/// LoadBaseline reads back (--write-baseline).
+std::string ToBaseline(const LintReport& report);
+
+}  // namespace lint
+}  // namespace vcmp
+
+#endif  // VCMP_LINT_ANALYZER_H_

@@ -1,0 +1,274 @@
+#include "lint/lexer.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace vcmp {
+namespace lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// Multi-character punctuators, longest first (maximal munch). Only the
+/// ones the rules distinguish matter; everything else falls through to
+/// single characters.
+constexpr std::array<std::string_view, 22> kPuncts = {
+    "<<=", ">>=", "...", "->*", "::", "->", "+=", "-=", "*=", "/=", "%=",
+    "&=",  "|=",  "^=",  "<<", ">>", "<=", ">=", "==", "!=", "&&", "||"};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexResult Run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        line_has_token_ = false;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' && !line_has_token_) {
+        SkipPreprocessor();
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < src_.size()) {
+        if (src_[pos_ + 1] == '/') {
+          LexLineComment();
+          continue;
+        }
+        if (src_[pos_ + 1] == '*') {
+          LexBlockComment();
+          continue;
+        }
+      }
+      line_has_token_ = true;
+      if (IsIdentStart(c)) {
+        LexIdentifierOrRawString();
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        LexNumber();
+      } else if (c == '"') {
+        LexString();
+      } else if (c == '\'') {
+        LexCharLit();
+      } else {
+        LexPunct();
+      }
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void Emit(TokenKind kind, size_t begin, size_t end, int line) {
+    result_.tokens.push_back(
+        Token{kind, std::string(src_.substr(begin, end - begin)), line});
+  }
+
+  /// A directive spans to end of line, honoring backslash continuations,
+  /// so `#define NOW() steady_clock::now()` contributes no tokens.
+  void SkipPreprocessor() {
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size() &&
+          src_[pos_ + 1] == '\n') {
+        ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;  // Newline handled by the main loop.
+      ++pos_;
+    }
+  }
+
+  void LexLineComment() {
+    const size_t begin = pos_;
+    const int line = line_;
+    const bool own_line = !line_has_token_;
+    pos_ += 2;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    ParseAnnotations(src_.substr(begin, pos_ - begin), line, line, own_line);
+  }
+
+  void LexBlockComment() {
+    const size_t begin = pos_;
+    const int line = line_;
+    const bool own_line = !line_has_token_;
+    pos_ += 2;
+    while (pos_ + 1 < src_.size() &&
+           !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    pos_ = std::min(pos_ + 2, src_.size());
+    ParseAnnotations(src_.substr(begin, pos_ - begin), line, line_, own_line);
+  }
+
+  /// Extracts lint-allow / deterministic-reduction markers from a
+  /// comment's text. `first_line`/`last_line` delimit the
+  /// comment; own-line comments cover the line after the comment ends,
+  /// trailing comments cover the line they sit on.
+  void ParseAnnotations(std::string_view comment, int first_line,
+                        int last_line, bool own_line) {
+    const int covered = own_line ? last_line + 1 : first_line;
+    ParseOne(comment, "vcmp:lint-allow(", first_line, covered, false);
+    ParseOne(comment, "vcmp:deterministic-reduction(", first_line, covered,
+             true);
+  }
+
+  void ParseOne(std::string_view comment, std::string_view marker,
+                int line, int covered, bool reduction) {
+    size_t at = comment.find(marker);
+    while (at != std::string_view::npos) {
+      Annotation a;
+      a.line = line;
+      a.covered_line = covered;
+      a.deterministic_reduction = reduction;
+      const size_t open = at + marker.size();
+      const size_t close = comment.find(')', open);
+      if (close == std::string_view::npos) {
+        a.malformed = true;
+      } else {
+        std::string_view body = comment.substr(open, close - open);
+        if (reduction) {
+          a.rule = "D4";
+          a.reason = Trim(body);
+          a.malformed = a.reason.empty();
+        } else {
+          const size_t comma = body.find(',');
+          if (comma == std::string_view::npos) {
+            a.rule = Trim(body);
+            a.malformed = true;  // Reason is mandatory.
+          } else {
+            a.rule = Trim(body.substr(0, comma));
+            a.reason = Trim(body.substr(comma + 1));
+            a.malformed = a.rule.empty() || a.reason.empty();
+          }
+        }
+      }
+      result_.annotations.push_back(std::move(a));
+      at = comment.find(marker, open);
+    }
+  }
+
+  void LexIdentifierOrRawString() {
+    const size_t begin = pos_;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) ++pos_;
+    std::string_view ident = src_.substr(begin, pos_ - begin);
+    // R"..."  LR"..."  u8R"..."  uR"..."  UR"..." start a raw string.
+    if (pos_ < src_.size() && src_[pos_] == '"' &&
+        (ident == "R" || ident == "LR" || ident == "u8R" || ident == "uR" ||
+         ident == "UR")) {
+      LexRawString(begin);
+      return;
+    }
+    Emit(TokenKind::kIdentifier, begin, pos_, line_);
+  }
+
+  void LexRawString(size_t begin) {
+    const int line = line_;
+    ++pos_;  // Consume the opening quote.
+    const size_t delim_begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '(') ++pos_;
+    std::string closer = ")";
+    closer += src_.substr(delim_begin, pos_ - delim_begin);
+    closer += '"';
+    const size_t body = pos_;
+    const size_t end = src_.find(closer, body);
+    if (end == std::string_view::npos) {
+      pos_ = src_.size();  // Unterminated: swallow the rest.
+    } else {
+      for (size_t i = body; i < end; ++i) {
+        if (src_[i] == '\n') ++line_;
+      }
+      pos_ = end + closer.size();
+    }
+    Emit(TokenKind::kString, begin, pos_, line);
+  }
+
+  void LexNumber() {
+    const size_t begin = pos_;
+    // pp-number: digits, identifier chars, dots, and exponent signs.
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (IsIdentChar(c) || c == '.' || c == '\'') {
+        ++pos_;
+      } else if ((c == '+' || c == '-') && pos_ > begin &&
+                 (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E' ||
+                  src_[pos_ - 1] == 'p' || src_[pos_ - 1] == 'P')) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    Emit(TokenKind::kNumber, begin, pos_, line_);
+  }
+
+  void LexString() {
+    const size_t begin = pos_;
+    const int line = line_;
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      if (src_[pos_] == '\n') ++line_;  // Ill-formed, but keep lines right.
+      ++pos_;
+    }
+    pos_ = std::min(pos_ + 1, src_.size());
+    Emit(TokenKind::kString, begin, pos_, line);
+  }
+
+  void LexCharLit() {
+    const size_t begin = pos_;
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      ++pos_;
+    }
+    pos_ = std::min(pos_ + 1, src_.size());
+    Emit(TokenKind::kCharLit, begin, pos_, line_);
+  }
+
+  void LexPunct() {
+    for (std::string_view p : kPuncts) {
+      if (src_.substr(pos_, p.size()) == p) {
+        Emit(TokenKind::kPunct, pos_, pos_ + p.size(), line_);
+        pos_ += p.size();
+        return;
+      }
+    }
+    Emit(TokenKind::kPunct, pos_, pos_ + 1, line_);
+    ++pos_;
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  /// True once a non-comment token appeared on the current line: gates
+  /// both `#` directive detection and own-line comment classification.
+  bool line_has_token_ = false;
+  LexResult result_;
+};
+
+}  // namespace
+
+LexResult Lex(std::string_view source) { return Lexer(source).Run(); }
+
+}  // namespace lint
+}  // namespace vcmp

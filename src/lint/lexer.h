@@ -1,0 +1,63 @@
+#ifndef VCMP_LINT_LEXER_H_
+#define VCMP_LINT_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vcmp {
+namespace lint {
+
+/// A minimal C++ tokenizer for vcmp-lint: just enough lexical fidelity
+/// that the rule checkers (rules.h) never see the inside of a comment, a
+/// string literal (including raw strings), a character literal, or a
+/// preprocessor directive. It is *not* a parser — rules work on token
+/// patterns — which keeps the linter dependency-free (no libclang) and
+/// fast enough to run on every commit.
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords (new, delete, volatile, ...)
+  kNumber,      // pp-number (integer/float literals incl. suffixes)
+  kString,      // "...", raw R"(...)" and prefixed variants
+  kCharLit,     // 'x'
+  kPunct,       // operators/punctuation, maximal munch ("::", "+=", ...)
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character.
+};
+
+/// An in-source lint annotation, extracted from comments: the
+/// vcmp:lint-allow marker taking (RULE, reason), and the
+/// vcmp:deterministic-reduction marker taking a reason — D4's sanctioned
+/// way to bless a provably order-fixed parallel reduction.
+/// A trailing annotation covers its own line; an annotation on a line of
+/// its own covers the next line. Annotations with an empty reason are
+/// recorded as malformed (rule A1 flags them — every exception must be
+/// justified).
+struct Annotation {
+  std::string rule;    // "D1".."D4", "C1", "C2"; "D4" for reductions.
+  std::string reason;  // Trimmed justification text.
+  int line = 0;          // Line of the comment itself.
+  int covered_line = 0;  // Line whose findings it suppresses.
+  bool deterministic_reduction = false;
+  bool malformed = false;  // Unparseable rule or missing reason.
+  bool used = false;       // Set by the analyzer when it suppresses.
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Annotation> annotations;
+};
+
+/// Tokenizes `source`. Comments, preprocessor directives (including
+/// continuation lines — macro bodies are invisible to the rules) and
+/// literal contents produce no rule-visible identifier tokens; string
+/// and char literals appear as single opaque tokens.
+LexResult Lex(std::string_view source);
+
+}  // namespace lint
+}  // namespace vcmp
+
+#endif  // VCMP_LINT_LEXER_H_

@@ -1,0 +1,408 @@
+#include "lint/rules.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace vcmp {
+namespace lint {
+namespace {
+
+using StringSet = std::unordered_set<std::string_view>;
+
+const StringSet kClockTypes = {"system_clock", "steady_clock",
+                               "high_resolution_clock"};
+const StringSet kClockCalls = {"clock_gettime", "gettimeofday",
+                               "timespec_get", "mktime", "localtime",
+                               "gmtime"};
+/// Flagged only in call position (identifier immediately before `(`).
+const StringSet kClockCallsBare = {"time", "clock"};
+
+const StringSet kRandCalls = {"rand", "srand", "drand48", "lrand48",
+                              "random", "srandom"};
+const StringSet kStdEngines = {
+    "mt19937",       "mt19937_64",   "minstd_rand",
+    "minstd_rand0",  "knuth_b",      "default_random_engine",
+    "ranlux24",      "ranlux48",     "ranlux24_base",
+    "ranlux48_base"};
+
+const StringSet kUnorderedTypes = {"unordered_map", "unordered_set",
+                                   "unordered_multimap",
+                                   "unordered_multiset"};
+const StringSet kBeginLike = {"begin", "cbegin", "rbegin", "crbegin"};
+
+bool Contains(const StringSet& set, const std::string& s) {
+  return set.count(std::string_view(s)) != 0;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool HasSegment(std::string_view path, std::string_view segment) {
+  // Matches `segment` as a whole directory component.
+  size_t at = path.find(segment);
+  while (at != std::string_view::npos) {
+    const bool left_ok = at == 0 || path[at - 1] == '/';
+    const size_t end = at + segment.size();
+    const bool right_ok = end < path.size() && path[end] == '/';
+    if (left_ok && right_ok) return true;
+    at = path.find(segment, at + 1);
+  }
+  return false;
+}
+
+struct Cursor {
+  const std::vector<Token>& toks;
+  const std::string& path;
+  std::vector<Finding>* out;
+
+  const Token* At(size_t i) const { return i < toks.size() ? &toks[i] : nullptr; }
+  bool IsPunct(size_t i, std::string_view p) const {
+    const Token* t = At(i);
+    return t != nullptr && t->kind == TokenKind::kPunct && t->text == p;
+  }
+  bool IsIdent(size_t i) const {
+    const Token* t = At(i);
+    return t != nullptr && t->kind == TokenKind::kIdentifier;
+  }
+
+  void Report(const std::string& rule, int line, std::string message) const {
+    Finding f;
+    f.file = path;
+    f.line = line;
+    f.rule = rule;
+    f.message = std::move(message);
+    out->push_back(std::move(f));
+  }
+
+  /// Index just past the matching closer for the opener at `open`
+  /// (toks[open] must be `(`, `[` or `{`). Returns toks.size() when
+  /// unbalanced.
+  size_t SkipBalanced(size_t open) const {
+    const std::string& o = toks[open].text;
+    const std::string_view c = o == "(" ? ")" : o == "[" ? "]" : "}";
+    int depth = 0;
+    for (size_t i = open; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kPunct) continue;
+      if (toks[i].text == o) ++depth;
+      if (toks[i].text == c && --depth == 0) return i + 1;
+    }
+    return toks.size();
+  }
+
+  /// Index just past a template argument list whose `<` sits at `open`.
+  /// Counts '<'/'>' characters so `>>` closes two levels.
+  size_t SkipAngles(size_t open) const {
+    int depth = 0;
+    for (size_t i = open; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kPunct) continue;
+      for (char ch : toks[i].text) {
+        if (ch == '<') ++depth;
+        if (ch == '>' && --depth == 0) return i + 1;
+      }
+      if (toks[i].text == ";") return i;  // Gave up: not a template list.
+    }
+    return toks.size();
+  }
+};
+
+/// True when the identifier at `i` is in call position: `name(` that is
+/// neither a member access (`x.time(...)`), nor a declaration of a
+/// function by that name (`long time(...)` — preceded by a type name),
+/// and, when qualified, is qualified from `std`.
+bool IsFreeCall(const Cursor& c, size_t i) {
+  if (!c.IsPunct(i + 1, "(")) return false;
+  if (i >= 1) {
+    if (c.IsPunct(i - 1, ".") || c.IsPunct(i - 1, "->")) return false;
+    if (c.IsPunct(i - 1, "::")) {
+      return i >= 2 && c.IsIdent(i - 2) && c.toks[i - 2].text == "std";
+    }
+    if (c.IsIdent(i - 1) && c.toks[i - 1].text != "return") return false;
+  }
+  return true;
+}
+
+// --- D1: wall-clock reads outside the sanctioned seam -------------------
+
+void CheckD1(const Cursor& c) {
+  for (size_t i = 0; i < c.toks.size(); ++i) {
+    if (!c.IsIdent(i)) continue;
+    const std::string& t = c.toks[i].text;
+    if (Contains(kClockTypes, t)) {
+      c.Report("D1", c.toks[i].line,
+               "wall-clock read ('" + t +
+                   "') outside common/wall_clock — route timing through "
+                   "vcmp::wallclock or the simulated clock");
+    } else if (Contains(kClockCalls, t) ||
+               (Contains(kClockCallsBare, t) && IsFreeCall(c, i))) {
+      c.Report("D1", c.toks[i].line,
+               "C time call ('" + t +
+                   "') outside common/wall_clock — route timing through "
+                   "vcmp::wallclock or the simulated clock");
+    }
+  }
+}
+
+// --- D2: unseeded or global RNG -----------------------------------------
+
+void CheckD2(const Cursor& c) {
+  for (size_t i = 0; i < c.toks.size(); ++i) {
+    if (!c.IsIdent(i)) continue;
+    const std::string& t = c.toks[i].text;
+    if (t == "random_device") {
+      c.Report("D2", c.toks[i].line,
+               "'std::random_device' is nondeterministic — derive seeds "
+               "from the run's explicit seed (common/rng.h Fork())");
+      continue;
+    }
+    if (Contains(kRandCalls, t) && IsFreeCall(c, i)) {
+      c.Report("D2", c.toks[i].line,
+               "global RNG call ('" + t +
+                   "') — use an explicitly seeded vcmp::Rng instead");
+      continue;
+    }
+    if (Contains(kStdEngines, t)) {
+      // `std::mt19937 g;`, `std::mt19937 g{}` and `std::mt19937 g()` (or
+      // the temporaries `mt19937{}` / `mt19937()`) default-construct with
+      // a fixed-but-implementation-defined seed nobody chose; seeded
+      // constructions pass an argument and are accepted.
+      size_t j = i + 1;
+      if (c.IsIdent(j)) ++j;  // Skip the declared name, if any.
+      const bool empty_braces = c.IsPunct(j, "{") && c.IsPunct(j + 1, "}");
+      const bool empty_parens = c.IsPunct(j, "(") && c.IsPunct(j + 1, ")");
+      const bool bare_decl = j == i + 2 && c.IsPunct(j, ";");
+      if (empty_braces || empty_parens || bare_decl) {
+        c.Report("D2", c.toks[i].line,
+                 "default-constructed 'std::" + t +
+                     "' (unseeded engine) — seed it explicitly from the "
+                     "run's seed, or use vcmp::Rng");
+      }
+    }
+  }
+}
+
+// --- D3: iteration over unordered containers in output-feeding files ----
+
+void CheckD3(const Cursor& c) {
+  // Pass 1: names declared with an unordered type in this file, e.g.
+  // `std::unordered_map<K, V> name` (members, locals, params alike).
+  StringSet tracked_storage;  // Views into token text — toks outlive us.
+  for (size_t i = 0; i < c.toks.size(); ++i) {
+    if (!c.IsIdent(i) || !Contains(kUnorderedTypes, c.toks[i].text)) continue;
+    size_t j = i + 1;
+    if (c.IsPunct(j, "<")) j = c.SkipAngles(j);
+    while (c.IsPunct(j, "&") || c.IsPunct(j, "*") ||
+           (c.IsIdent(j) && c.toks[j].text == "const")) {
+      ++j;
+    }
+    if (c.IsIdent(j)) {
+      tracked_storage.insert(std::string_view(c.toks[j].text));
+    }
+  }
+  if (tracked_storage.empty()) return;
+
+  auto is_tracked = [&](size_t i) {
+    return c.IsIdent(i) &&
+           tracked_storage.count(std::string_view(c.toks[i].text)) != 0;
+  };
+
+  // Pass 2a: range-for whose range expression names a tracked variable.
+  for (size_t i = 0; i + 1 < c.toks.size(); ++i) {
+    if (!c.IsIdent(i) || c.toks[i].text != "for" || !c.IsPunct(i + 1, "(")) {
+      continue;
+    }
+    const size_t close = c.SkipBalanced(i + 1);
+    // Find the top-level range-for colon (lexed as a single ":").
+    size_t colon = 0;
+    int depth = 0;
+    for (size_t j = i + 1; j < close; ++j) {
+      if (c.toks[j].kind != TokenKind::kPunct) continue;
+      const std::string& p = c.toks[j].text;
+      if (p == "(" || p == "[" || p == "{") ++depth;
+      if (p == ")" || p == "]" || p == "}") --depth;
+      if (p == ":" && depth == 1) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0) continue;
+    for (size_t j = colon + 1; j + 1 < close; ++j) {
+      if (is_tracked(j)) {
+        c.Report("D3", c.toks[i].line,
+                 "iteration over unordered container '" +
+                     c.toks[j].text +
+                     "' — hash order is not deterministic; iterate a "
+                     "sorted copy or an ordered container");
+        break;
+      }
+    }
+  }
+
+  // Pass 2b: explicit iterator walks (`name.begin()` and friends).
+  for (size_t i = 0; i + 2 < c.toks.size(); ++i) {
+    if (!is_tracked(i)) continue;
+    if (!(c.IsPunct(i + 1, ".") || c.IsPunct(i + 1, "->"))) continue;
+    if (c.IsIdent(i + 2) && Contains(kBeginLike, c.toks[i + 2].text) &&
+        c.IsPunct(i + 3, "(")) {
+      c.Report("D3", c.toks[i].line,
+               "iterator over unordered container '" + c.toks[i].text +
+                   "' — hash order is not deterministic; iterate a "
+                   "sorted copy or an ordered container");
+    }
+  }
+}
+
+// --- D4: shared accumulation inside ParallelFor -------------------------
+
+void CheckD4(const Cursor& c) {
+  for (size_t i = 0; i + 1 < c.toks.size(); ++i) {
+    if (!c.IsIdent(i) || c.toks[i].text != "ParallelFor" ||
+        !c.IsPunct(i + 1, "(")) {
+      continue;
+    }
+    const size_t begin = i + 1;
+    const size_t end = c.SkipBalanced(begin);
+
+    // Names declared inside the region (lambda params, locals, range-for
+    // bindings): identifier preceded by a type-ish token (`&`, `*`, or
+    // another identifier) and followed by a declarator terminator.
+    // Capture lists (`[` right after `(` or `,`) are skipped: `[&x]`
+    // names shared state, not a local.
+    StringSet declared;
+    for (size_t j = begin + 1; j + 1 < end; ++j) {
+      if (c.IsPunct(j, "[") &&
+          (c.IsPunct(j - 1, "(") || c.IsPunct(j - 1, ","))) {
+        j = c.SkipBalanced(j) - 1;
+        continue;
+      }
+      if (!c.IsIdent(j)) continue;
+      const bool typed_before =
+          c.IsPunct(j - 1, "&") || c.IsPunct(j - 1, "*") || c.IsIdent(j - 1);
+      const bool terminated_after =
+          c.IsPunct(j + 1, "=") || c.IsPunct(j + 1, ";") ||
+          c.IsPunct(j + 1, ",") || c.IsPunct(j + 1, ")") ||
+          c.IsPunct(j + 1, ":") || c.IsPunct(j + 1, "{");
+      if (typed_before && terminated_after) {
+        declared.insert(std::string_view(c.toks[j].text));
+      }
+    }
+
+    // Compound accumulation whose lvalue's base identifier is captured
+    // (not declared in the region) orders floating-point adds by thread
+    // schedule — exactly what the determinism contract forbids.
+    for (size_t j = begin; j < end; ++j) {
+      if (!(c.IsPunct(j, "+=") || c.IsPunct(j, "-="))) continue;
+      size_t p = j;
+      std::string base;
+      while (p > begin) {
+        --p;
+        if (c.IsPunct(p, "]")) {  // Walk back over a subscript.
+          int depth = 0;
+          while (p > begin) {
+            if (c.IsPunct(p, "]")) ++depth;
+            if (c.IsPunct(p, "[") && --depth == 0) break;
+            --p;
+          }
+          continue;
+        }
+        if (c.IsIdent(p)) {
+          base = c.toks[p].text;
+          if (p >= 1 && (c.IsPunct(p - 1, ".") || c.IsPunct(p - 1, "->"))) {
+            --p;  // Keep walking to the chain's base object.
+            continue;
+          }
+          break;
+        }
+        break;
+      }
+      if (!base.empty() && declared.count(std::string_view(base)) == 0) {
+        c.Report("D4", c.toks[j].line,
+                 "accumulation into captured '" + base +
+                     "' inside ParallelFor — floating-point order becomes "
+                     "schedule-dependent; use per-shard slots reduced "
+                     "serially, or annotate "
+                     "vcmp:deterministic-reduction(reason)");
+      }
+    }
+    i = end;
+  }
+}
+
+// --- C1: naked new/delete in engine hot paths ---------------------------
+
+void CheckC1(const Cursor& c) {
+  for (size_t i = 0; i < c.toks.size(); ++i) {
+    if (!c.IsIdent(i)) continue;
+    const std::string& t = c.toks[i].text;
+    if (t == "new") {
+      c.Report("C1", c.toks[i].line,
+               "naked 'new' in an engine hot path — engine buffers must "
+               "be owned (vector/unique_ptr) so steady-state rounds "
+               "allocate nothing");
+    } else if (t == "delete" && !(i >= 1 && c.IsPunct(i - 1, "="))) {
+      // `= delete` (deleted special members) is declaration syntax.
+      c.Report("C1", c.toks[i].line,
+               "naked 'delete' in an engine hot path — ownership belongs "
+               "to containers/smart pointers");
+    }
+  }
+}
+
+// --- C2: volatile used as synchronization -------------------------------
+
+void CheckC2(const Cursor& c) {
+  for (size_t i = 0; i < c.toks.size(); ++i) {
+    if (c.IsIdent(i) && c.toks[i].text == "volatile") {
+      c.Report("C2", c.toks[i].line,
+               "'volatile' is not synchronization — use std::atomic or a "
+               "mutex (ThreadPool-visible state must be race-free under "
+               "TSan)");
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& AllRules() {
+  static const std::vector<RuleInfo> rules = {
+      {"D1", "no wall-clock reads outside common/wall_clock"},
+      {"D2", "no unseeded or global RNG"},
+      {"D3", "no unordered-container iteration in output-feeding files"},
+      {"D4", "no shared accumulation in ParallelFor without a "
+             "deterministic-reduction annotation"},
+      {"C1", "no naked new/delete in engine hot paths"},
+      {"C2", "no volatile-as-synchronization"},
+      {"A1", "every lint annotation parses and carries a reason, and "
+             "every allow matches a finding"},
+  };
+  return rules;
+}
+
+bool RuleInScope(std::string_view rule, std::string_view path) {
+  if (rule == "D1") {
+    return !EndsWith(path, "common/wall_clock.h") &&
+           !EndsWith(path, "common/wall_clock.cc");
+  }
+  if (rule == "D3") return !HasSegment(path, "common");
+  if (rule == "C1") return HasSegment(path, "engine");
+  return true;  // D2, D4, C2 (and A1) apply everywhere.
+}
+
+void CheckTokens(const std::string& path, const std::vector<Token>& tokens,
+                 std::vector<Finding>* out) {
+  Cursor c{tokens, path, out};
+  if (RuleInScope("D1", path)) CheckD1(c);
+  if (RuleInScope("D2", path)) CheckD2(c);
+  if (RuleInScope("D3", path)) CheckD3(c);
+  if (RuleInScope("D4", path)) CheckD4(c);
+  if (RuleInScope("C1", path)) CheckC1(c);
+  if (RuleInScope("C2", path)) CheckC2(c);
+  std::sort(out->begin(), out->end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+}
+
+}  // namespace lint
+}  // namespace vcmp

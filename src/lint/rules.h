@@ -1,0 +1,56 @@
+#ifndef VCMP_LINT_RULES_H_
+#define VCMP_LINT_RULES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace vcmp {
+namespace lint {
+
+/// One diagnostic. `file` is the path the analyzer was given (forward
+/// slashes); findings print as `file:line: RULE: message`.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  /// Suppressed by a vcmp:lint-allow / deterministic-reduction
+  /// annotation; `allow_reason` carries its justification.
+  bool allowed = false;
+  std::string allow_reason;
+  /// Matched an entry of the checked-in baseline file (legacy debt that
+  /// is visible but does not fail the build).
+  bool baselined = false;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// The rule set, in report order. D* rules guard determinism (byte-
+/// identical reruns, DESIGN.md §7/§9); C* rules guard the concurrency
+/// contract; A1 keeps the annotation mechanism itself honest.
+const std::vector<RuleInfo>& AllRules();
+
+/// True when `rule` applies to `path` (forward-slash separated, relative
+/// or absolute). Scoping is purely path-based:
+///  - D1 everywhere except the sanctioned seam common/wall_clock.{h,cc};
+///  - D2, D4, C2 everywhere;
+///  - D3 everywhere except src/common/ (pure utilities — every other
+///    directory feeds reports, traces, or message delivery);
+///  - C1 only under engine/ (the hot paths).
+bool RuleInScope(std::string_view rule, std::string_view path);
+
+/// Runs every in-scope rule over one file's token stream, appending raw
+/// findings (no annotation/baseline processing — the analyzer does that).
+void CheckTokens(const std::string& path, const std::vector<Token>& tokens,
+                 std::vector<Finding>* out);
+
+}  // namespace lint
+}  // namespace vcmp
+
+#endif  // VCMP_LINT_RULES_H_

@@ -1,0 +1,19 @@
+// Annotation fixture: suppression grammar and A1 hygiene. Not compiled —
+// linted by lint_test.cc under an engine path.
+// Line 9: D1 allowed by its trailing annotation. Line 12: D1 allowed by
+// the own-line annotation above it. Line 14: allow without a reason is
+// malformed (A1 at 14) and suppresses nothing (D1 at 15 stays open).
+// Line 18: stale allow (A1) — it covers a line with no finding.
+#include <chrono>
+
+long A() { return std::chrono::steady_clock::now().time_since_epoch().count(); }  // vcmp:lint-allow(D1, fixture: trailing allow)
+
+// vcmp:lint-allow(D1, fixture: own-line allow covers the next line)
+long B() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+
+// vcmp:lint-allow(D1)
+long C() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+
+// A stale allow: nothing on the next line violates C2.
+// vcmp:lint-allow(C2, fixture: stale — the line below is clean)
+long D() { return 0; }

@@ -1,0 +1,23 @@
+// C1 fixture: naked new/delete. Not compiled — linted by lint_test.cc,
+// once under src/engine/ (fires) and once under src/tasks/ (out of
+// scope: no findings). True positives on lines 11, 13 under engine/.
+#include <vector>
+
+namespace fixture {
+
+struct Pool {
+  int* raw = nullptr;
+
+  void Grow() { raw = new int[64]; }
+
+  ~Pool() { delete[] raw; }
+
+  // Deleted special members are declaration syntax: must not fire.
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+};
+
+// Comments saying new/delete, and strings, must not fire.
+const char* kDoc = "allocate with new, release with delete";
+
+}  // namespace fixture

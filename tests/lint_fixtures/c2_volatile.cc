@@ -1,0 +1,20 @@
+// C2 fixture: volatile-as-synchronization. Not compiled — linted by
+// lint_test.cc. True positives on lines 8 and 12; the rest must not fire.
+
+namespace fixture {
+
+struct SpinState {
+  // The classic pre-C++11 bug: volatile is not a memory fence.
+  volatile bool done = false;
+
+  void Wait() const {
+    // Casting through volatile for a reread is the same bug.
+    while (!*static_cast<volatile const bool*>(&done)) {
+    }
+  }
+};
+
+// Prose and strings mentioning volatile must not fire.
+const char* kDoc = "volatile does not order memory accesses";
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// D1 fixture: wall-clock reads. Not compiled — linted by lint_test.cc.
+// True positives on lines 10, 13, 18, 22; everything else must not fire.
+#include <chrono>
+
+namespace fixture {
+
+// Mentioning std::chrono::steady_clock in a comment must not fire.
+const char* kDoc = "a string naming steady_clock must not fire";
+const char* kRaw = R"(raw string: system_clock::now() must not fire)";
+long Mono() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+
+long Wall() {
+  using clock = std::chrono::system_clock;
+  return clock::to_time_t(clock::now());
+}
+
+long Precise() {
+  return std::chrono::high_resolution_clock::now().time_since_epoch().count();
+}
+
+long CTime() {
+  return static_cast<long>(time(nullptr));
+}
+
+// Macro bodies are invisible: this must not fire.
+#define FIXTURE_NOW() std::chrono::steady_clock::now()
+
+struct Timer {
+  // A member function *named* time, called through an object: no fire.
+  long time_ms = 0;
+  long Read() { return self().time_ms; }
+  Timer& self() { return *this; }
+};
+
+long MemberCall(Timer& t) { return t.self().time_ms; }
+
+}  // namespace fixture

@@ -1,0 +1,43 @@
+// D2 fixture: unseeded/global RNG. Not compiled — linted by lint_test.cc.
+// True positives on lines 9, 10, 13, 16, 20, 23; the rest must not fire.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int Global() {
+  srand(42);
+  return rand();
+}
+
+std::mt19937 unseeded_engine;
+
+int Device() {
+  std::random_device entropy;
+  return static_cast<int>(entropy());
+}
+
+int BracedTemp() { return static_cast<int>(std::mt19937{}()); }
+
+int DefaultLocal() {
+  std::mt19937_64 gen;
+  return static_cast<int>(gen());
+}
+
+int Seeded(unsigned seed) {
+  std::mt19937 gen(seed);       // Explicit seed: must not fire.
+  std::mt19937_64 gen64{seed};  // Braced seed: must not fire.
+  return static_cast<int>(gen() ^ gen64());
+}
+
+struct Dice {
+  int rand() const { return 4; }
+};
+
+// Member call spelled rand: must not fire.
+int MemberRand(const Dice& d) { return d.rand(); }
+
+// A comment calling std::rand() and a string below must not fire.
+const char* kDoc = "docs may say rand() or random_device freely";
+
+}  // namespace fixture

@@ -1,0 +1,46 @@
+// D3 fixture: unordered-container iteration. Not compiled — linted by
+// lint_test.cc under an output-feeding path (src/metrics/...).
+// True positives on lines 14, 20, 28; the rest must not fire.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+double SumValues(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& [key, value] : weights) total += value;
+  return total;
+}
+
+int FirstKey(const std::unordered_set<int>& keys) {
+  if (keys.empty()) return -1;
+  return *keys.begin();
+}
+
+struct Index {
+  std::unordered_map<std::string, int> by_name;
+
+  int Count() const {
+    int n = 0;
+    for (auto it = by_name.cbegin(); it != by_name.cend(); ++it) ++n;
+    return n;
+  }
+
+  // Point lookups on unordered containers are fine.
+  bool Has(const std::string& name) const { return by_name.count(name) > 0; }
+};
+
+// Ordered containers iterate deterministically: must not fire.
+double SumOrdered(const std::map<int, double>& ordered_weights) {
+  double total = 0.0;
+  for (const auto& [key, value] : ordered_weights) total += value;
+  return total;
+}
+
+// Comments iterating an unordered_map, and strings, must not fire.
+const char* kDoc = "for (auto& kv : unordered_map) is only prose here";
+
+}  // namespace fixture

@@ -1,0 +1,52 @@
+// D4 fixture: shared accumulation inside ParallelFor. Not compiled —
+// linted by lint_test.cc.
+// True positives on lines 14 and 31; line 40 is allowed by annotation.
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace fixture {
+
+double RacySum(vcmp::ThreadPool& pool, const std::vector<double>& xs) {
+  double total = 0.0;
+  pool.ParallelFor(static_cast<uint32_t>(xs.size()), [&](uint32_t i) {
+    // Captured scalar: add order depends on the schedule. Must fire.
+    total += xs[i];
+  });
+  return total;
+}
+
+double ShardedSum(vcmp::ThreadPool& pool, const std::vector<double>& xs) {
+  std::vector<double> per_shard(xs.size(), 0.0);
+  pool.ParallelFor(static_cast<uint32_t>(xs.size()), [&](uint32_t i) {
+    // Locally-declared accumulator folded into an owned slot: the slot
+    // write is `=`-free... but the base is declared inside: no fire.
+    double local = 0.0;
+    local += xs[i];
+    per_shard[i] = local;
+  });
+  double total = 0.0;
+  pool.ParallelFor(1, [&](uint32_t) {
+    // Captured through a subscripted chain: still shared. Must fire.
+    per_shard[0] += total;
+  });
+  for (double v : per_shard) total += v;
+  return total;
+}
+
+double BlessedSum(vcmp::ThreadPool& pool, std::vector<double>& slots) {
+  pool.ParallelFor(static_cast<uint32_t>(slots.size()), [&](uint32_t i) {
+    // vcmp:deterministic-reduction(slot i is owned by shard i exclusively)
+    slots[i] += static_cast<double>(i);
+  });
+  return slots.empty() ? 0.0 : slots[0];
+}
+
+// Accumulation outside any ParallelFor region: must not fire.
+double SerialSum(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total;
+}
+
+}  // namespace fixture

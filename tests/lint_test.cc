@@ -1,0 +1,182 @@
+// vcmp-lint behaviour pinned against the fixture corpus in
+// tests/lint_fixtures/: every rule's true positives by exact
+// file:line:rule, and the tricky false-positive surfaces (hazards inside
+// comments, strings, raw strings, and macro bodies must NOT fire).
+//
+// Fixtures are linted as in-memory sources under *synthetic* paths so
+// the path-based rule scoping (engine/-only C1, common/-exempt D3, the
+// wall_clock D1 allowlist) is itself under test.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lint/analyzer.h"
+
+namespace vcmp {
+namespace lint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(VCMP_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Lints one fixture under a synthetic repo path.
+LintReport LintAs(const std::string& fixture,
+                  const std::string& logical_path,
+                  const AnalyzerOptions& options = {}) {
+  return AnalyzeSources({{logical_path, ReadFixture(fixture)}}, options);
+}
+
+/// `file:line:rule` keys of findings, in report order. `which` selects
+/// open, allowed, or all findings.
+enum class Select { kOpen, kAllowed, kAll };
+std::vector<std::string> Keys(const LintReport& report,
+                              Select which = Select::kOpen) {
+  std::vector<std::string> keys;
+  for (const Finding& f : report.findings) {
+    if (which == Select::kOpen && (f.allowed || f.baselined)) continue;
+    if (which == Select::kAllowed && !f.allowed) continue;
+    keys.push_back(f.file + ":" + std::to_string(f.line) + ":" + f.rule);
+  }
+  return keys;
+}
+
+TEST(LintD1, FlagsWallClockReadsAndOnlyThose) {
+  LintReport report = LintAs("d1_clock.cc", "src/engine/d1_clock.cc");
+  EXPECT_EQ(Keys(report),
+            (std::vector<std::string>{
+                "src/engine/d1_clock.cc:10:D1", "src/engine/d1_clock.cc:13:D1",
+                "src/engine/d1_clock.cc:18:D1",
+                "src/engine/d1_clock.cc:22:D1"}));
+}
+
+TEST(LintD1, WallClockModuleIsAllowlisted) {
+  LintReport report = LintAs("d1_clock.cc", "src/common/wall_clock.cc");
+  EXPECT_TRUE(Keys(report).empty());
+}
+
+TEST(LintD2, FlagsUnseededAndGlobalRngAndOnlyThose) {
+  LintReport report = LintAs("d2_rng.cc", "src/service/d2_rng.cc");
+  EXPECT_EQ(Keys(report),
+            (std::vector<std::string>{
+                "src/service/d2_rng.cc:9:D2", "src/service/d2_rng.cc:10:D2",
+                "src/service/d2_rng.cc:13:D2", "src/service/d2_rng.cc:16:D2",
+                "src/service/d2_rng.cc:20:D2",
+                "src/service/d2_rng.cc:23:D2"}));
+}
+
+TEST(LintD3, FlagsUnorderedIterationInOutputFeedingFiles) {
+  LintReport report = LintAs("d3_unordered.cc", "src/metrics/d3.cc");
+  EXPECT_EQ(Keys(report),
+            (std::vector<std::string>{"src/metrics/d3.cc:14:D3",
+                                      "src/metrics/d3.cc:20:D3",
+                                      "src/metrics/d3.cc:28:D3"}));
+}
+
+TEST(LintD3, CommonUtilitiesAreOutOfScope) {
+  LintReport report = LintAs("d3_unordered.cc", "src/common/d3.cc");
+  EXPECT_TRUE(Keys(report).empty());
+}
+
+TEST(LintD4, FlagsCapturedAccumulationInParallelFor) {
+  LintReport report = LintAs("d4_reduction.cc", "src/engine/d4.cc");
+  EXPECT_EQ(Keys(report),
+            (std::vector<std::string>{"src/engine/d4.cc:14:D4",
+                                      "src/engine/d4.cc:31:D4"}));
+  // The deterministic-reduction marker blesses line 40 but stays in the
+  // report as an allowed finding with its reason.
+  EXPECT_EQ(Keys(report, Select::kAllowed),
+            (std::vector<std::string>{"src/engine/d4.cc:40:D4"}));
+  ASSERT_EQ(report.allows.size(), 1u);
+  EXPECT_TRUE(report.allows[0].deterministic_reduction);
+  EXPECT_TRUE(report.allows[0].used);
+  EXPECT_EQ(report.allows[0].reason,
+            "slot i is owned by shard i exclusively");
+}
+
+TEST(LintC1, FlagsNakedNewDeleteInEngineOnly) {
+  LintReport engine = LintAs("c1_new.cc", "src/engine/c1.cc");
+  EXPECT_EQ(Keys(engine),
+            (std::vector<std::string>{"src/engine/c1.cc:11:C1",
+                                      "src/engine/c1.cc:13:C1"}));
+  // Same content outside the hot paths: C1 out of scope, no findings.
+  LintReport tasks = LintAs("c1_new.cc", "src/tasks/c1.cc");
+  EXPECT_TRUE(Keys(tasks).empty());
+}
+
+TEST(LintC2, FlagsVolatileEverywhere) {
+  LintReport report = LintAs("c2_volatile.cc", "src/common/c2.cc");
+  EXPECT_EQ(Keys(report),
+            (std::vector<std::string>{"src/common/c2.cc:8:C2",
+                                      "src/common/c2.cc:12:C2"}));
+}
+
+TEST(LintAllow, TrailingAndOwnLineSuppressionsAndA1Hygiene) {
+  LintReport report = LintAs("allow_annotations.cc", "src/engine/allow.cc");
+  // Open: the malformed annotation (A1@14), the violation it failed to
+  // suppress (D1@15), and the stale allow (A1@18).
+  EXPECT_EQ(Keys(report),
+            (std::vector<std::string>{"src/engine/allow.cc:14:A1",
+                                      "src/engine/allow.cc:15:D1",
+                                      "src/engine/allow.cc:18:A1"}));
+  EXPECT_EQ(Keys(report, Select::kAllowed),
+            (std::vector<std::string>{"src/engine/allow.cc:9:D1",
+                                      "src/engine/allow.cc:12:D1"}));
+  // Reasons survive into the allow table.
+  ASSERT_GE(report.allows.size(), 2u);
+  EXPECT_EQ(report.allows[0].reason, "fixture: trailing allow");
+}
+
+TEST(LintFormat, ExactFileLineRuleText) {
+  LintReport report = LintAs("c2_volatile.cc", "src/common/c2.cc");
+  const std::string text = FormatText(report);
+  EXPECT_NE(text.find("src/common/c2.cc:8: C2: 'volatile' is not "
+                      "synchronization"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("vcmp_lint: 1 files, 2 findings (2 open, 0 allowed, "
+                      "0 baselined)"),
+            std::string::npos)
+      << text;
+}
+
+TEST(LintBaseline, BaselinedFindingsDoNotCountAsOpen) {
+  AnalyzerOptions options;
+  options.baseline = {"src/common/c2.cc:8:C2"};
+  LintReport report = LintAs("c2_volatile.cc", "src/common/c2.cc", options);
+  EXPECT_EQ(Keys(report),
+            (std::vector<std::string>{"src/common/c2.cc:12:C2"}));
+  EXPECT_EQ(report.UnsuppressedCount(), 1);
+  // Round trip: ToBaseline emits exactly the open findings.
+  EXPECT_NE(ToBaseline(report).find("src/common/c2.cc:12:C2\n"),
+            std::string::npos);
+}
+
+TEST(LintJson, MachineReadableReport) {
+  LintReport report = LintAs("c2_volatile.cc", "src/common/c2.cc");
+  const std::string json = ToJson(report);
+  EXPECT_NE(json.find("\"schema_version\""), std::string::npos);
+  EXPECT_NE(json.find("\"tool\":\"vcmp_lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"open_count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"C2\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":8"), std::string::npos);
+}
+
+TEST(LintRepo, RuleTableCoversDocumentedRules) {
+  std::vector<std::string> ids;
+  for (const RuleInfo& rule : AllRules()) ids.push_back(rule.id);
+  EXPECT_EQ(ids, (std::vector<std::string>{"D1", "D2", "D3", "D4", "C1",
+                                           "C2", "A1"}));
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace vcmp

@@ -1,0 +1,122 @@
+// vcmp_lint: the project's determinism & concurrency static analyzer.
+// Walks C++ sources and enforces the contract that makes vcmp runs
+// byte-identical across reruns and thread counts (DESIGN.md §10):
+//
+//   D1  no wall-clock reads outside common/wall_clock
+//   D2  no unseeded or global RNG
+//   D3  no unordered-container iteration in output-feeding files
+//   D4  no shared accumulation in ParallelFor without a
+//       deterministic-reduction annotation
+//   C1  no naked new/delete in engine hot paths
+//   C2  no volatile-as-synchronization
+//   A1  annotations parse, carry a reason, and match a finding
+//
+// Suppress a finding only in source, where reviewers see it:
+//   // vcmp:lint-allow(RULE, justification a reviewer would accept)
+//
+//   vcmp_lint                          # lint src/ tools/ bench/
+//   vcmp_lint src/engine --json=lint.json
+//   vcmp_lint src tools bench --baseline=tools/lint_baseline.txt
+//
+// Exits 0 when clean, 1 on open findings, 2 on usage/IO errors.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/analyzer.h"
+#include "metrics/export.h"
+
+namespace vcmp {
+namespace lint {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: vcmp_lint [paths...] [--json=FILE] [--baseline=FILE]\n"
+    "                 [--write-baseline=FILE] [--list-rules] [--help]\n"
+    "  paths            files or directories (default: src tools bench)\n"
+    "  --json=FILE      write the machine-readable report to FILE\n"
+    "  --baseline=FILE  known legacy findings (file:line:RULE per line)\n"
+    "                   that are reported but do not fail the run\n"
+    "  --write-baseline=FILE  snapshot current open findings as the\n"
+    "                   baseline and exit 0\n"
+    "  --list-rules     print the rule set and exit\n";
+
+int Run(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string json_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      for (const RuleInfo& rule : AllRules()) {
+        std::cout << rule.id << "  " << rule.summary << "\n";
+      }
+      return 0;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = value_of("--json=");
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = value_of("--baseline=");
+    } else if (arg.rfind("--write-baseline=", 0) == 0) {
+      write_baseline_path = value_of("--write-baseline=");
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "vcmp_lint: unknown flag '" << arg << "'\n" << kUsage;
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "tools", "bench"};
+
+  AnalyzerOptions options;
+  if (!baseline_path.empty()) {
+    auto baseline = LoadBaseline(baseline_path);
+    if (!baseline.ok()) {
+      std::cerr << "vcmp_lint: " << baseline.status().ToString() << "\n";
+      return 2;
+    }
+    options.baseline = std::move(baseline).value();
+  }
+
+  auto report = AnalyzePaths(paths, options);
+  if (!report.ok()) {
+    std::cerr << "vcmp_lint: " << report.status().ToString() << "\n";
+    return 2;
+  }
+
+  if (!write_baseline_path.empty()) {
+    Status s = WriteTextFile(ToBaseline(report.value()),
+                             write_baseline_path);
+    if (!s.ok()) {
+      std::cerr << "vcmp_lint: " << s.ToString() << "\n";
+      return 2;
+    }
+    std::cout << "vcmp_lint: baseline written to " << write_baseline_path
+              << "\n";
+    return 0;
+  }
+  if (!json_path.empty()) {
+    Status s = WriteTextFile(ToJson(report.value()), json_path);
+    if (!s.ok()) {
+      std::cerr << "vcmp_lint: " << s.ToString() << "\n";
+      return 2;
+    }
+  }
+  std::cout << FormatText(report.value());
+  return report.value().UnsuppressedCount() == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace vcmp
+
+int main(int argc, char** argv) { return vcmp::lint::Run(argc, argv); }
