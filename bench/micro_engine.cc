@@ -30,12 +30,12 @@ void BM_WorkerStage(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     worker.Reset(8);
+    worker.SetCombiner(combine ? &combiner : nullptr);
     state.ResumeTiming();
     for (int i = 0; i < 10000; ++i) {
-      Message message{static_cast<VertexId>(rng.NextBounded(1024)), 0, 1.0,
-                      1.0};
-      worker.Stage(static_cast<uint32_t>(rng.NextBounded(8)), message,
-                   combine ? &combiner : nullptr);
+      worker.Stage(static_cast<uint32_t>(rng.NextBounded(8)),
+                   static_cast<VertexId>(rng.NextBounded(1024)), 0, 1.0,
+                   1.0);
     }
   }
   state.SetItemsProcessed(state.iterations() * 10000);
@@ -53,12 +53,12 @@ void BM_WorkerStageSkewed(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     worker.Reset(8);
+    worker.SetCombiner(&combiner);
     state.ResumeTiming();
     for (int i = 0; i < 10000; ++i) {
-      Message message{static_cast<VertexId>(rng.NextBounded(distinct)), 0,
-                      1.0, 1.0};
-      worker.Stage(static_cast<uint32_t>(rng.NextBounded(8)), message,
-                   &combiner);
+      worker.Stage(static_cast<uint32_t>(rng.NextBounded(8)),
+                   static_cast<VertexId>(rng.NextBounded(distinct)), 0,
+                   1.0, 1.0);
     }
   }
   state.SetItemsProcessed(state.iterations() * 10000);
@@ -73,45 +73,80 @@ void BM_WorkerDrain(benchmark::State& state) {
   SumCombiner combiner;
   Worker worker;
   worker.Reset(8);
+  worker.SetCombiner(&combiner);
   Rng rng(5);
-  std::vector<Message> inbox;
+  MessageBlock inbox;
   for (auto _ : state) {
     state.PauseTiming();
     for (int i = 0; i < 10000; ++i) {
-      Message message{static_cast<VertexId>(rng.NextBounded(1 << 14)), 0,
-                      1.0, 1.0};
-      worker.Stage(static_cast<uint32_t>(rng.NextBounded(8)), message,
-                   &combiner);
+      worker.Stage(static_cast<uint32_t>(rng.NextBounded(8)),
+                   static_cast<VertexId>(rng.NextBounded(1 << 14)), 0,
+                   1.0, 1.0);
     }
     state.ResumeTiming();
     for (uint32_t machine = 0; machine < 8; ++machine) {
-      inbox.clear();
+      inbox.Clear();
       worker.Drain(machine, &inbox);
-      benchmark::DoNotOptimize(inbox.data());
+      benchmark::DoNotOptimize(inbox.targets());
     }
   }
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_WorkerDrain);
 
+void BM_WorkerSwapOutbox(benchmark::State& state) {
+  // The single-sender delivery path: an O(1) buffer exchange instead of
+  // a column append. The contrast with BM_WorkerDrain quantifies what
+  // single-machine (or single-active-sender) rounds save.
+  Worker worker;
+  worker.Reset(1);
+  worker.SetCombiner(nullptr);
+  Rng rng(6);
+  MessageBlock inbox;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 10000; ++i) {
+      worker.Stage(0, static_cast<VertexId>(rng.NextBounded(1 << 14)), 0,
+                   1.0, 1.0);
+    }
+    inbox.Clear();
+    state.ResumeTiming();
+    worker.SwapOutbox(0, &inbox);
+    benchmark::DoNotOptimize(inbox.targets());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_WorkerSwapOutbox);
+
 void BM_InboxGrouping(benchmark::State& state) {
+  // range(1) selects the dense counting-sort strategy (vertex space
+  // declared and n >= V) versus the sparse pair-radix strategy.
+  const bool dense = state.range(1) != 0;
   Rng rng(2);
-  std::vector<Message> messages(static_cast<size_t>(state.range(0)));
-  for (Message& message : messages) {
-    message.target = static_cast<VertexId>(rng.NextBounded(1 << 15));
+  std::vector<VertexId> targets(static_cast<size_t>(state.range(0)));
+  for (VertexId& target : targets) {
+    target = static_cast<VertexId>(rng.NextBounded(1 << 12));
   }
   Worker worker;
   for (auto _ : state) {
     state.PauseTiming();
     worker.Reset(1);
-    worker.inbox() = messages;
+    if (dense) worker.set_vertex_space(1 << 12);
+    for (VertexId target : targets) {
+      worker.inbox().PushBack(target, 0, 1.0, 1.0);
+    }
     state.ResumeTiming();
     worker.GroupInbox();
-    benchmark::DoNotOptimize(worker.inbox().data());
+    benchmark::DoNotOptimize(worker.runs().size());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_InboxGrouping)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_InboxGrouping)
+    ->Args({1 << 12, 0})
+    ->Args({1 << 16, 0})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 16, 1})
+    ->Args({1 << 20, 1});
 
 void BM_HashPartition(benchmark::State& state) {
   const Graph& graph = BenchGraph();

@@ -6,14 +6,19 @@
 //
 //   perf_engine                      # 3 reps, 8 threads, BENCH_engine.json
 //   perf_engine --threads=1 --json=/tmp/t1.json
+//   perf_engine --threads-sweep=1,2,8   # per-thread-count blocks in JSON
 //
 // The simulated seconds printed at the end are thread-count invariant
-// (the engine's determinism contract); only the wall-clock changes with
-// --threads. Total workload: 3 reps x (B-PPR W=4096 in 4 batches +
-// MSSP W=2048 in 4 batches) on Galaxy8 under Pregel+, seed 11.
+// (the engine's determinism contract); the benchmark verifies this across
+// the sweep and fails if any thread count disagrees. Only the wall-clock
+// changes with --threads. Total workload: 3 reps x (B-PPR W=4096 in 4
+// batches + MSSP W=2048 in 4 batches) on Galaxy8 under Pregel+, seed 11.
 
 #include <cstdio>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/wall_clock.h"
@@ -25,11 +30,102 @@
 namespace vcmp {
 namespace {
 
+struct Measurement {
+  uint32_t threads = 0;
+  double wall_ms = 0.0;
+  EnginePhaseTimes phase;
+  double sim_seconds = 0.0;
+};
+
+/// Runs the whole workload at one thread count. With `timed` the engine
+/// collects its per-phase breakdown, which itself costs wall-clock (two
+/// clock reads per staged message), so the headline wall time comes from
+/// a separate untimed pass.
+Measurement MeasureThreads(const Dataset& dataset, int reps,
+                           uint32_t threads) {
+  Measurement out;
+  out.threads = threads;
+  auto run_workload = [&](bool timed) -> double {
+    RunnerOptions options;
+    options.cluster = ClusterSpec::Galaxy8();
+    options.system = SystemKind::kPregelPlus;
+    options.seed = 11;
+    options.execution_threads = threads;
+    options.collect_phase_times = timed;
+    if (timed) {
+      options.engine_observer = [&out](const EngineResult& result) {
+        out.phase.compute_seconds += result.phase.compute_seconds;
+        out.phase.group_seconds += result.phase.group_seconds;
+        out.phase.stage_seconds += result.phase.stage_seconds;
+        out.phase.deliver_seconds += result.phase.deliver_seconds;
+      };
+    }
+    MultiProcessingRunner runner(dataset, options);
+    out.sim_seconds = 0.0;
+    const uint64_t start_ns = wallclock::NowNs();
+    for (int rep = 0; rep < reps; ++rep) {
+      auto bppr = MakeTask("BPPR");
+      auto r1 = runner.Run(*bppr.value(), BatchSchedule::Equal(4096, 4));
+      if (!r1.ok()) {
+        std::cerr << r1.status().ToString() << "\n";
+        std::exit(1);
+      }
+      out.sim_seconds += r1.value().total_seconds;
+      auto mssp = MakeTask("MSSP");
+      auto r2 = runner.Run(*mssp.value(), BatchSchedule::Equal(2048, 4));
+      if (!r2.ok()) {
+        std::cerr << r2.status().ToString() << "\n";
+        std::exit(1);
+      }
+      out.sim_seconds += r2.value().total_seconds;
+    }
+    return wallclock::SecondsSince(start_ns) * 1e3;
+  };
+  out.wall_ms = run_workload(/*timed=*/false);
+  run_workload(/*timed=*/true);  // Phase breakdown (instrumented).
+  return out;
+}
+
+void PrintMeasurement(const Measurement& m) {
+  std::printf(
+      "threads %u  wall %.1fms  (compute %.1fms, group %.1fms, "
+      "stage %.1fms, deliver %.1fms)\n",
+      m.threads, m.wall_ms, 1e3 * m.phase.compute_seconds,
+      1e3 * m.phase.group_seconds, 1e3 * m.phase.stage_seconds,
+      1e3 * m.phase.deliver_seconds);
+}
+
+/// Serialises one measurement as a nested JSON object (no schema stamp).
+std::string MeasurementJson(const Measurement& m) {
+  JsonWriter json(/*with_schema_version=*/false);
+  json.Field("threads", static_cast<uint64_t>(m.threads));
+  json.Field("wall_ms", m.wall_ms);
+  json.Field("compute_ms", 1e3 * m.phase.compute_seconds);
+  json.Field("group_ms", 1e3 * m.phase.group_seconds);
+  json.Field("stage_ms", 1e3 * m.phase.stage_seconds);
+  json.Field("deliver_ms", 1e3 * m.phase.deliver_seconds);
+  return json.Close();
+}
+
+std::vector<uint32_t> ParseSweep(const std::string& sweep) {
+  std::vector<uint32_t> counts;
+  std::stringstream in(sweep);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    counts.push_back(static_cast<uint32_t>(std::stoul(item)));
+  }
+  return counts;
+}
+
 int Main(int argc, char** argv) {
   FlagParser flags("perf_engine",
                    "engine hot-path benchmark (multi-batch BPPR + MSSP)");
-  flags.Define("threads", "8", "engine execution threads");
+  flags.Define("threads", "8", "headline engine execution threads");
   flags.Define("reps", "3", "workload repetitions");
+  flags.Define("threads-sweep", "",
+               "comma-separated extra thread counts to measure (e.g. 1,2,8);"
+               " each gets a block in the JSON sweep array");
   flags.Define("json", "BENCH_engine.json",
                "write phase timings to this path (empty = skip)");
   Status parsed = flags.Parse(argc, argv);
@@ -47,62 +143,39 @@ int Main(int argc, char** argv) {
               dataset.graph.ToString().c_str(), dataset.scale);
 
   const int reps = static_cast<int>(flags.GetInt("reps"));
-  EnginePhaseTimes phase;
-  double sim_seconds = 0.0;
-  // Runs the whole workload once. With `timed` the engine collects its
-  // per-phase breakdown, which itself costs wall-clock (two clock reads
-  // per staged message), so the headline wall time comes from a separate
-  // untimed pass.
-  auto run_workload = [&](bool timed) -> double {
-    RunnerOptions options;
-    options.cluster = ClusterSpec::Galaxy8();
-    options.system = SystemKind::kPregelPlus;
-    options.seed = 11;
-    options.execution_threads =
-        static_cast<uint32_t>(flags.GetInt("threads"));
-    options.collect_phase_times = timed;
-    if (timed) {
-      options.engine_observer = [&phase](const EngineResult& result) {
-        phase.compute_seconds += result.phase.compute_seconds;
-        phase.group_seconds += result.phase.group_seconds;
-        phase.stage_seconds += result.phase.stage_seconds;
-        phase.deliver_seconds += result.phase.deliver_seconds;
-      };
-    }
-    MultiProcessingRunner runner(dataset, options);
-    sim_seconds = 0.0;
-    const uint64_t start_ns = wallclock::NowNs();
-    for (int rep = 0; rep < reps; ++rep) {
-      auto bppr = MakeTask("BPPR");
-      auto r1 = runner.Run(*bppr.value(), BatchSchedule::Equal(4096, 4));
-      if (!r1.ok()) {
-        std::cerr << r1.status().ToString() << "\n";
-        std::exit(1);
-      }
-      sim_seconds += r1.value().total_seconds;
-      auto mssp = MakeTask("MSSP");
-      auto r2 = runner.Run(*mssp.value(), BatchSchedule::Equal(2048, 4));
-      if (!r2.ok()) {
-        std::cerr << r2.status().ToString() << "\n";
-        std::exit(1);
-      }
-      sim_seconds += r2.value().total_seconds;
-    }
-    return wallclock::SecondsSince(start_ns) * 1e3;
-  };
+  const uint32_t headline_threads =
+      static_cast<uint32_t>(flags.GetInt("threads"));
 
-  const double wall_ms = run_workload(/*timed=*/false);
-  run_workload(/*timed=*/true);  // Phase breakdown (instrumented).
+  // The sweep always includes the headline count (measured exactly once).
+  std::vector<uint32_t> sweep = ParseSweep(flags.GetString("threads-sweep"));
+  bool headline_in_sweep = false;
+  for (uint32_t t : sweep) headline_in_sweep |= (t == headline_threads);
+  if (!headline_in_sweep) sweep.push_back(headline_threads);
 
-  const uint32_t threads = static_cast<uint32_t>(flags.GetInt("threads"));
-  std::printf(
-      "threads %u  wall %.1fms  (compute %.1fms, group %.1fms, "
-      "stage %.1fms, deliver %.1fms)\n",
-      threads, wall_ms, 1e3 * phase.compute_seconds,
-      1e3 * phase.group_seconds, 1e3 * phase.stage_seconds,
-      1e3 * phase.deliver_seconds);
+  std::vector<Measurement> measurements;
+  for (uint32_t threads : sweep) {
+    measurements.push_back(MeasureThreads(dataset, reps, threads));
+    PrintMeasurement(measurements.back());
+  }
+  const Measurement* headline = &measurements.front();
+  for (const Measurement& m : measurements) {
+    if (m.threads == headline_threads) headline = &m;
+  }
+
+  // Determinism contract: the simulated schedule must be bit-identical
+  // for every thread count (DESIGN.md section 7).
+  for (const Measurement& m : measurements) {
+    if (m.sim_seconds != headline->sim_seconds) {
+      std::fprintf(stderr,
+                   "FAIL: simulated seconds differ across thread counts "
+                   "(%u threads: %.6f vs %u threads: %.6f)\n",
+                   m.threads, m.sim_seconds, headline->threads,
+                   headline->sim_seconds);
+      return 1;
+    }
+  }
   std::printf("simulated seconds %.3f (thread-count invariant)\n",
-              sim_seconds);
+              headline->sim_seconds);
 
   const std::string json_path = flags.GetString("json");
   if (!json_path.empty()) {
@@ -111,13 +184,39 @@ int Main(int argc, char** argv) {
                "3x (BPPR W=4096 4-batch + MSSP W=2048 4-batch), "
                "LiveJournal scale 256, Galaxy8, Pregel+");
     json.Field("seed", static_cast<uint64_t>(11));
-    json.Field("threads", static_cast<uint64_t>(threads));
-    json.Field("wall_ms", wall_ms);
-    json.Field("compute_ms", 1e3 * phase.compute_seconds);
-    json.Field("group_ms", 1e3 * phase.group_seconds);
-    json.Field("stage_ms", 1e3 * phase.stage_seconds);
-    json.Field("deliver_ms", 1e3 * phase.deliver_seconds);
-    json.Field("simulated_seconds", sim_seconds);
+    json.Field("threads", static_cast<uint64_t>(headline->threads));
+    json.Field("wall_ms", headline->wall_ms);
+    json.Field("compute_ms", 1e3 * headline->phase.compute_seconds);
+    json.Field("group_ms", 1e3 * headline->phase.group_seconds);
+    json.Field("stage_ms", 1e3 * headline->phase.stage_seconds);
+    json.Field("deliver_ms", 1e3 * headline->phase.deliver_seconds);
+    json.Field("simulated_seconds", headline->sim_seconds);
+    std::string sweep_json = "[";
+    for (size_t i = 0; i < measurements.size(); ++i) {
+      if (i > 0) sweep_json += ", ";
+      sweep_json += MeasurementJson(measurements[i]);
+    }
+    sweep_json += "]";
+    json.RawField("sweep", sweep_json);
+    // Historical reference points, emitted verbatim so regenerating the
+    // checked-in BENCH_engine.json keeps the comparison anchors. The
+    // pre-overhaul engine is the PR4 hot path (AoS message vectors, no
+    // frontier, virtual per-message Compute); the seed baseline predates
+    // even that (per-round thread spawn, std::sort grouping).
+    json.RawField(
+        "pre_overhaul",
+        "{\"note\": \"same workload on the pre-overhaul engine (AoS "
+        "std::vector<Message> buffers, no active-vertex frontier, virtual "
+        "per-message Compute dispatch, conditional-binomial walk splits)\", "
+        "\"wall_ms\": 1814.6, \"compute_ms\": 2972.1, \"group_ms\": 258.7, "
+        "\"stage_ms\": 648.2, \"deliver_ms\": 74.1, "
+        "\"simulated_seconds\": 41941.452}");
+    json.RawField(
+        "seed_baseline",
+        "{\"note\": \"same workload on the pre-PR4 engine (per-round thread "
+        "spawn, std::sort grouping, unordered_map combiner index); phase "
+        "breakdown unavailable there\", \"wall_ms_8_threads\": 2947.0, "
+        "\"wall_ms_1_thread\": 2643.0, \"speedup_8_threads\": 1.62}");
     Status written = WriteTextFile(json.Close(), json_path);
     if (!written.ok()) {
       std::cerr << written.ToString() << "\n";

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "engine/frontier.h"
 #include "obs/tracer.h"
 #include "sim/round_load.h"
 
@@ -18,19 +19,20 @@ class GasEngine::Context : public GasContext {
         rng_(rng),
         machines_(engine->partition_.num_machines),
         acc_(engine->graph_.NumVertices(), 0.0),
-        scheduled_(engine->graph_.NumVertices(), false),
         wire_stamp_(static_cast<size_t>(machines_) *
                         engine->graph_.NumVertices(),
                     0) {
+    frontier_.Reset(engine->graph_.NumVertices());
     ResetPassCounters();
   }
 
   void Signal(VertexId target, double value, double multiplicity) override {
     acc_[target] += value;
-    if (!scheduled_[target]) {
-      scheduled_[target] = true;
-      next_frontier_.push_back(target);
-    }
+    // Frontier membership: the first signal activates (and records) the
+    // vertex; later signals — including ones arriving while the vertex
+    // sits in an already-taken frontier awaiting consumption — fold into
+    // the same pending activation.
+    frontier_.Activate(target);
     // Pass 0 is Seed(): initial activations are machine-local state
     // initialisation, not traffic.
     if (pass_ == 0) return;
@@ -81,15 +83,11 @@ class GasEngine::Context : public GasContext {
   double Consume(VertexId v) {
     double value = acc_[v];
     acc_[v] = 0.0;
-    scheduled_[v] = false;
+    frontier_.Deactivate(v);
     return value;
   }
 
-  std::vector<VertexId> TakeFrontier() {
-    std::vector<VertexId> frontier = std::move(next_frontier_);
-    next_frontier_.clear();
-    return frontier;
-  }
+  std::vector<VertexId> TakeFrontier() { return frontier_.Take(); }
 
   const std::vector<double>& logical_signals() const {
     return logical_signals_;
@@ -119,8 +117,10 @@ class GasEngine::Context : public GasContext {
   uint64_t pass_stamp_ = 1;
   uint32_t sender_machine_ = 0;
   std::vector<double> acc_;
-  std::vector<bool> scheduled_;
-  std::vector<VertexId> next_frontier_;
+  /// Dense-bitmap + sparse-list active set (engine/frontier.h): O(1)
+  /// membership tests during signal accumulation, Take() hands out only
+  /// the activated vertices — no vertex-space scan per pass.
+  VertexFrontier frontier_;
   std::vector<uint64_t> wire_stamp_;
   std::vector<double> logical_signals_;
   std::vector<double> wire_signals_;

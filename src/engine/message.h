@@ -29,6 +29,15 @@ struct Message {
   std::string ToString() const;
 };
 
+/// Merge strategy discriminator so the staging hot path can inline the
+/// two ubiquitous folds (sum, min) instead of paying a virtual Merge
+/// call per staged message. kCustom keeps the virtual dispatch.
+enum class CombinerKind : uint8_t {
+  kCustom = 0,
+  kSum,
+  kMin,
+};
+
 /// Sender-side combining of messages with equal (target, tag), the
 /// mechanism behind Pregel combiners and GraphLab(sync)'s message merging
 /// (Section 4.8). Merging never changes the logical multiplicity — only
@@ -40,6 +49,11 @@ class Combiner {
   /// Folds `from` into `into`; both have equal (target, tag). The
   /// implementation must add multiplicities.
   virtual void Merge(Message& into, const Message& from) const = 0;
+
+  /// Which inlinable fold this combiner performs. Overriding with kSum /
+  /// kMin promises Merge is exactly the corresponding fold below; the
+  /// engine then bypasses the virtual call on the staging path.
+  virtual CombinerKind kind() const { return CombinerKind::kCustom; }
 };
 
 /// Combiner that sums values (walk counts, rank mass).
@@ -49,6 +63,7 @@ class SumCombiner : public Combiner {
     into.value += from.value;
     into.multiplicity += from.multiplicity;
   }
+  CombinerKind kind() const override { return CombinerKind::kSum; }
 };
 
 /// Combiner that keeps the minimum value (shortest-path distances).
@@ -58,6 +73,7 @@ class MinCombiner : public Combiner {
     if (from.value < into.value) into.value = from.value;
     into.multiplicity += from.multiplicity;
   }
+  CombinerKind kind() const override { return CombinerKind::kMin; }
 };
 
 }  // namespace vcmp

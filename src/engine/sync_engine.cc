@@ -21,6 +21,14 @@ class SyncEngine::Sink : public MessageSink {
       : engine_(engine),
         workers_(workers),
         machine_(machine),
+        // Hot-path hoists: Send runs per logical message, so the worker,
+        // the partition assignment array, and the mirroring flag are
+        // resolved once here instead of via pointer chains per call.
+        // The workers vector is sized before any Sink is built and never
+        // reallocates during Run.
+        worker_(&(*workers)[machine]),
+        machine_of_(engine->partition_.assignment.data()),
+        mirror_broadcast_only_(engine->options_.profile.mirroring),
         rng_(seed) {
     logical_cross_in_.assign(engine_->partition_.num_machines, 0.0);
     wire_cross_in_.assign(engine_->partition_.num_machines, 0.0);
@@ -37,7 +45,7 @@ class SyncEngine::Sink : public MessageSink {
 
   void Send(VertexId target, uint32_t tag, double value,
             double multiplicity) override {
-    VCMP_CHECK(!engine_->options_.profile.mirroring)
+    VCMP_CHECK(!mirror_broadcast_only_)
         << "Pregel+(mirror) only exposes the broadcast interface";
     SendInternal(target, tag, value, multiplicity);
   }
@@ -53,7 +61,7 @@ class SyncEngine::Sink : public MessageSink {
       // logical message, but only the mirror hops cross the network and
       // only they occupy the sender's outbox.
       const double mult = multiplicity_per_neighbor;
-      WorkerSendStats& send_stats = (*workers_)[machine_].send_stats();
+      WorkerSendStats& send_stats = worker_->send_stats();
       const double remote = plan->RemoteMirrorMachines(from);
       send_stats.wire_cross += remote;
       send_stats.logical_cross += remote;
@@ -68,8 +76,7 @@ class SyncEngine::Sink : public MessageSink {
           wire_cross_in_[machine] += 1.0;   // The mirror-hop message.
           logical_cross_in_[machine] += 1.0;
         }
-        (*workers_)[machine_].Stage(machine, Message{u, tag, value, mult},
-                                    combiner_);
+        worker_->Stage(machine, u, tag, value, mult);
         send_stats.logical_sent += mult;
       }
       AddComputeUnits(static_cast<double>(neighbors.size()));
@@ -105,11 +112,10 @@ class SyncEngine::Sink : public MessageSink {
  private:
   void SendInternal(VertexId target, uint32_t tag, double value,
                     double multiplicity) {
-    uint32_t target_machine = engine_->partition_.MachineOf(target);
-    Message message{target, tag, value, multiplicity};
+    uint32_t target_machine = machine_of_[target];
     bool new_wire =
-        (*workers_)[machine_].Stage(target_machine, message, combiner_);
-    WorkerSendStats& stats = (*workers_)[machine_].send_stats();
+        worker_->Stage(target_machine, target, tag, value, multiplicity);
+    WorkerSendStats& stats = worker_->send_stats();
     stats.logical_sent += multiplicity;
     double wire_units = WireUnits(multiplicity, new_wire);
     stats.wire_sent += wire_units;
@@ -132,6 +138,9 @@ class SyncEngine::Sink : public MessageSink {
   SyncEngine* engine_;
   std::vector<Worker>* workers_;
   const uint32_t machine_;
+  Worker* const worker_;
+  const uint32_t* const machine_of_;
+  const bool mirror_broadcast_only_;
   Rng rng_;
   const Combiner* combiner_ = nullptr;
   uint64_t round_ = 0;
@@ -193,9 +202,13 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
   workers_.resize(machines);
   std::vector<Worker>& workers = workers_;
   const bool collect_times = options_.collect_phase_times;
+  const Combiner* combiner =
+      options_.profile.combines_messages ? program.combiner() : nullptr;
   for (Worker& worker : workers) {
     worker.Reset(machines);
     worker.set_collect_timing(collect_times);
+    worker.SetCombiner(combiner);
+    worker.set_vertex_space(graph_.NumVertices());
   }
 
   // One sink per machine: independent deterministic random streams and
@@ -249,6 +262,7 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
 
     // --- Compute phase: machines are independent within a round ---
     bool any_messages_pending = false;
+    const bool use_runs = program.UsesComputeRun();
     auto process_machine = [&](uint32_t machine) {
       Worker& worker = workers[machine];
       Sink& sink = *sinks[machine];
@@ -265,23 +279,53 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
       }
 
       worker.GroupInbox();
-      const std::vector<Message>& inbox = worker.inbox();
-      size_t i = 0;
-      while (i < inbox.size()) {
-        size_t j = i;
-        while (j < inbox.size() && inbox[j].target == inbox[i].target) ++j;
-        VertexId v = inbox[i].target;
-        program.Compute(
-            v, std::span<const Message>(inbox.data() + i, j - i), sink);
-        load.active_vertices += 1.0;
-        i = j;
+      // runs() is the round's sparse frontier: only vertices with
+      // messages appear, in ascending (target, tag) order — no scan of
+      // the vertex space, no AoS inbox walk.
+      const std::span<const MessageRun> runs = worker.runs();
+      const double* values = worker.grouped_values();
+      const double* mults = worker.grouped_multiplicities();
+      if (use_runs) {
+        // Devirtualized batch path: one ComputeRun per (vertex, tag)
+        // run, payload handed over as contiguous columns. Same call
+        // order a per-vertex Compute would fold the tag groups in.
+        VertexId prev_target = 0;
+        bool have_prev = false;
+        for (const MessageRun& run : runs) {
+          if (!have_prev || run.target != prev_target) {
+            load.active_vertices += 1.0;
+            prev_target = run.target;
+            have_prev = true;
+          }
+          MessageRunView view{run.tag, values + run.begin,
+                              mults + run.begin, run.size()};
+          program.ComputeRun(run.target, view, sink);
+        }
+      } else {
+        // Fallback: materialize an AoS view once and hand each vertex
+        // the multi-tag span the legacy Compute signature expects.
+        const std::span<const Message> inbox = worker.MaterializedInbox();
+        size_t r = 0;
+        while (r < runs.size()) {
+          size_t r_end = r + 1;
+          while (r_end < runs.size() &&
+                 runs[r_end].target == runs[r].target) {
+            ++r_end;
+          }
+          const size_t begin = runs[r].begin;
+          const size_t end = runs[r_end - 1].end;
+          program.Compute(runs[r].target, inbox.subspan(begin, end - begin),
+                          sink);
+          load.active_vertices += 1.0;
+          r = r_end;
+        }
       }
-      for (const Message& message : inbox) {
-        load.recv_messages += message.multiplicity;
+      const size_t inbox_size = worker.inbox().size();
+      for (size_t i = 0; i < inbox_size; ++i) {
+        load.recv_messages += mults[i];
         // Wire units: what was actually serialized/deserialized.
-        load.processed_messages += options_.profile.combines_messages
-                                       ? 1.0
-                                       : message.multiplicity;
+        load.processed_messages +=
+            options_.profile.combines_messages ? 1.0 : mults[i];
       }
     };
 
@@ -502,12 +546,34 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
     // Parallel by destination: shard d touches only the senders' outboxes
     // for machine d and machine d's inbox, and appends them in fixed
     // sender order — byte-identical to the serial sender-major drain.
+    // A destination fed by exactly one sender (every single-machine
+    // cluster, and any quiet destination) swaps buffers instead of
+    // copying; multi-sender destinations reserve the exact total before
+    // the column appends.
     const uint64_t deliver_start_ns = wallclock::NowNs();
     pool.ParallelFor(machines, [&workers, machines](uint32_t dest) {
-      std::vector<Message>& inbox = workers[dest].inbox();
-      inbox.clear();
+      MessageBlock& inbox = workers[dest].inbox();
+      inbox.Clear();
+      uint32_t nonempty_senders = 0;
+      uint32_t solo_sender = 0;
+      size_t total = 0;
       for (uint32_t sender = 0; sender < machines; ++sender) {
-        workers[sender].Drain(dest, &inbox);
+        const size_t outbox_size = workers[sender].OutboxSize(dest);
+        if (outbox_size != 0) {
+          ++nonempty_senders;
+          solo_sender = sender;
+          total += outbox_size;
+        }
+      }
+      if (nonempty_senders == 1) {
+        workers[solo_sender].SwapOutbox(dest, &inbox);
+      } else if (nonempty_senders > 1) {
+        inbox.Reserve(total);
+        for (uint32_t sender = 0; sender < machines; ++sender) {
+          if (workers[sender].OutboxSize(dest) != 0) {
+            workers[sender].Drain(dest, &inbox);
+          }
+        }
       }
     });
     if (collect_times) {

@@ -44,6 +44,25 @@ class MessageSink {
   virtual Rng& rng() = 0;
 };
 
+/// One contiguous (vertex, tag) message run, straight out of the
+/// worker's grouped SoA columns. `values[i]` / `multiplicities[i]` for
+/// i in [0, count) are the run's messages in the engine's deterministic
+/// grouping order (stable by arrival).
+struct MessageRunView {
+  uint32_t tag = 0;
+  const double* values = nullptr;
+  const double* multiplicities = nullptr;
+  size_t count = 0;
+
+  /// Left-to-right sum of the run's values — the fold most tasks
+  /// (PageRank, BPPR walk counts) perform per tag group.
+  double SumValues() const {
+    double sum = 0.0;
+    for (size_t i = 0; i < count; ++i) sum += values[i];
+    return sum;
+  }
+};
+
 /// A vertex-centric computation in the Pregel style (Section 2.1).
 ///
 /// Round 0 calls Compute for every vertex with an empty inbox (the seeding
@@ -51,14 +70,39 @@ class MessageSink {
 /// received messages — the vote-to-halt default. The engine terminates
 /// when a round sends no messages, when the program requests termination,
 /// or at the round cap.
+///
+/// Programs may additionally opt into the batched run path (UsesComputeRun
+/// returning true): rounds >= 1 then call ComputeRun once per contiguous
+/// (vertex, tag) run instead of Compute once per vertex with an AoS span.
+/// The determinism contract for an opted-in program is that the sequence
+/// of sink calls and RNG draws it makes across the round's runs is
+/// *identical* to what its Compute would make over the same grouped
+/// inbox — the engine delivers runs in exactly the (target, tag) order
+/// Compute's span would present, so a program whose Compute folds each
+/// tag group independently (all of ours do) ports mechanically.
 class VertexProgram {
  public:
   virtual ~VertexProgram() = default;
 
   /// The per-vertex user function. `inbox` holds this round's messages for
-  /// v, grouped by the engine (empty in round 0).
+  /// v, grouped by the engine (empty in round 0). Round 0 always uses this
+  /// entry point; later rounds use it when UsesComputeRun() is false.
   virtual void Compute(VertexId v, std::span<const Message> inbox,
                        MessageSink& sink) = 0;
+
+  /// True if the program implements ComputeRun; the engine then skips the
+  /// AoS inbox materialization entirely.
+  virtual bool UsesComputeRun() const { return false; }
+
+  /// Batched entry point: one call per (v, tag) run in ascending
+  /// (target, tag) order. Default is unreachable (engines only call it
+  /// when UsesComputeRun() is true).
+  virtual void ComputeRun(VertexId v, const MessageRunView& run,
+                          MessageSink& sink) {
+    (void)v;
+    (void)run;
+    (void)sink;
+  }
 
   /// Explicit termination check evaluated after each round, for programs
   /// with round-count semantics (e.g. BKHS stops after k+1 rounds).

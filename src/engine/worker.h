@@ -2,9 +2,12 @@
 #define VCMP_ENGINE_WORKER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/wall_clock.h"
 #include "engine/message.h"
+#include "engine/message_block.h"
 #include "graph/partition.h"
 
 namespace vcmp {
@@ -32,12 +35,34 @@ struct WorkerSendStats {
 /// Clear() O(1) (bump the epoch) instead of rehashing or deallocating, so
 /// the table's memory survives rounds and its hot slots stay cached. This
 /// replaces the std::unordered_map per destination, whose node allocations
-/// and pointer chasing dominated the staging path.
+/// and pointer chasing dominated the staging path. FindOrInsert is inline:
+/// it sits inside the devirtualized staging loop, one call per staged
+/// message.
 class CombineIndex {
  public:
   /// Looks up `key`; inserts it mapping to `fresh_value` when absent.
   /// Returns the stored value and sets *inserted accordingly.
-  size_t FindOrInsert(uint64_t key, size_t fresh_value, bool* inserted);
+  size_t FindOrInsert(uint64_t key, size_t fresh_value, bool* inserted) {
+    if (size_ * 4 >= slots_.size() * 3) Grow();  // Load factor cap: 3/4.
+    uint64_t hash = key * 0x9e3779b97f4a7c15ULL;
+    size_t index = (hash ^ (hash >> 29)) & mask_;
+    while (true) {
+      Slot& slot = slots_[index];
+      if (slot.epoch != epoch_) {  // Empty or stale from a cleared round.
+        slot.key = key;
+        slot.value = fresh_value;
+        slot.epoch = epoch_;
+        ++size_;
+        *inserted = true;
+        return fresh_value;
+      }
+      if (slot.key == key) {
+        *inserted = false;
+        return slot.value;
+      }
+      index = (index + 1) & mask_;
+    }
+  }
 
   /// Logically empties the index, keeping capacity (epoch bump).
   void Clear() {
@@ -66,10 +91,18 @@ class CombineIndex {
 /// Per-machine message buffers of a simulated worker.
 ///
 /// A Worker owns the machine's inbox for the current round and the staging
-/// outboxes of the round in progress. Combining systems merge same-
-/// (target, tag) messages in the outbox before "transmission". All buffers
-/// retain their capacity across rounds and Reset calls: the steady state
-/// of a multi-round run performs no per-round allocations.
+/// outboxes of the round in progress, all in SoA MessageBlock layout.
+/// Combining systems merge same-(target, tag) messages in the outbox
+/// before "transmission". All buffers retain their capacity across rounds
+/// and Reset calls: the steady state of a multi-round run performs no
+/// per-round allocations.
+///
+/// GroupInbox() no longer permutes whole messages. It sorts packed
+/// (target, tag) keys carrying 4-byte indices, gathers only the payload
+/// columns, and publishes the result as `runs()` (one MessageRun per
+/// (target, tag) group, ascending) over `grouped_values()` /
+/// `grouped_multiplicities()`. The inbox's own target/tag columns are
+/// left in arrival order — consumers must read groups via runs().
 class Worker {
  public:
   Worker() = default;
@@ -78,27 +111,102 @@ class Worker {
   /// from earlier rounds/runs is retained.
   void Reset(uint32_t num_machines);
 
-  /// Buffers a message for the worker of `target_machine`, merging it into
-  /// an existing outbox entry when `combiner` is non-null. Returns true if
-  /// a new wire message was created (false = merged into an existing one).
-  bool Stage(uint32_t target_machine, const Message& message,
-             const Combiner* combiner);
+  /// Caches the combiner (may be null = no combining) and its kind so
+  /// Stage() can inline the sum/min folds without a virtual call.
+  void SetCombiner(const Combiner* combiner) {
+    combiner_ = combiner;
+    combiner_kind_ = combiner ? combiner->kind() : CombinerKind::kCustom;
+  }
+
+  /// Declares the vertex-id universe [0, universe). Lets GroupInbox pick
+  /// a dense counting pass when the inbox occupancy is high enough.
+  void set_vertex_space(VertexId universe) { vertex_space_ = universe; }
+
+  /// Buffers (target, tag, value, multiplicity) for the worker of
+  /// `target_machine`, merging it into an existing outbox entry when a
+  /// combiner is set. Returns true if a new wire message was created
+  /// (false = merged into an existing one).
+  bool Stage(uint32_t target_machine, VertexId target, uint32_t tag,
+             double value, double multiplicity) {
+    const uint64_t t0 = collect_timing_ ? wallclock::NowNs() : 0;
+    MessageBlock& outbox = outboxes_[target_machine];
+    bool new_wire = true;
+    if (combiner_ != nullptr) {
+      bool inserted = false;
+      const uint64_t key = (static_cast<uint64_t>(target) << 32) | tag;
+      const size_t position = combine_index_[target_machine].FindOrInsert(
+          key, outbox.size(), &inserted);
+      if (!inserted) {
+        switch (combiner_kind_) {
+          case CombinerKind::kSum:
+            outbox.values()[position] += value;
+            outbox.multiplicities()[position] += multiplicity;
+            break;
+          case CombinerKind::kMin:
+            if (value < outbox.values()[position]) {
+              outbox.values()[position] = value;
+            }
+            outbox.multiplicities()[position] += multiplicity;
+            break;
+          case CombinerKind::kCustom: {
+            Message into = outbox.At(position);
+            combiner_->Merge(into, Message{target, tag, value, multiplicity});
+            outbox.Set(position, into);
+            break;
+          }
+        }
+        new_wire = false;  // Merged: no new wire message.
+      }
+    }
+    if (new_wire) outbox.PushBack(target, tag, value, multiplicity);
+    if (collect_timing_) stage_ns_ += wallclock::NowNs() - t0;
+    return new_wire;
+  }
 
   /// Appends this worker's outbox for `machine` to `dest`, then clears the
   /// outbox (capacity retained).
-  void Drain(uint32_t machine, std::vector<Message>* dest);
+  void Drain(uint32_t machine, MessageBlock* dest);
 
-  std::vector<Message>& inbox() { return inbox_; }
-  const std::vector<Message>& inbox() const { return inbox_; }
+  /// Number of messages currently staged for `machine`.
+  size_t OutboxSize(uint32_t machine) const {
+    return outboxes_[machine].size();
+  }
+
+  /// O(1) delivery for the single-sender case: swaps the outbox for
+  /// `machine` with `*dest` (which must be empty), so both buffers'
+  /// capacities keep recycling with zero copies.
+  void SwapOutbox(uint32_t machine, MessageBlock* dest);
+
+  MessageBlock& inbox() { return inbox_; }
+  const MessageBlock& inbox() const { return inbox_; }
   WorkerSendStats& send_stats() { return send_stats_; }
 
-  /// Sorts the inbox by (target, tag) so Compute receives contiguous
-  /// per-vertex groups. Large inboxes use a stable LSD radix sort over the
-  /// packed (target, tag) key with a reusable scratch buffer; tiny ones
-  /// fall back to std::stable_sort. Either way messages with equal
-  /// (target, tag) keep their arrival order (stable), which fixes the
-  /// grouping order independently of inbox size.
+  /// Groups the inbox by (target, tag) and publishes runs() +
+  /// grouped_values()/grouped_multiplicities(). Messages with equal
+  /// (target, tag) keep their arrival order within the run's payload
+  /// (stable), which fixes the grouping order independently of inbox
+  /// size and sort strategy. Strategy per round: already-sorted inboxes
+  /// are detected and skipped; tiny inboxes comparison-sort; high-
+  /// occupancy single-tag inboxes use a dense per-vertex counting pass;
+  /// everything else runs a byte-skipping LSD radix over (key, index)
+  /// pairs. Only the two 8-byte payload columns are gathered.
   void GroupInbox();
+
+  /// The (target, tag) runs of the grouped inbox, ascending; valid after
+  /// GroupInbox() until the inbox is next modified. Runs with equal
+  /// target are adjacent — this doubles as the round's sparse
+  /// active-vertex frontier (one or more runs per active vertex).
+  std::span<const MessageRun> runs() const { return runs_; }
+
+  /// Payload columns aligned with runs(): element i of the grouped inbox
+  /// is (values[i], multiplicities[i]).
+  const double* grouped_values() const { return grouped_values_ptr_; }
+  const double* grouped_multiplicities() const { return grouped_mults_ptr_; }
+
+  /// AoS view of the grouped inbox for programs without a ComputeRun
+  /// implementation (built lazily, reused within the round). Valid until
+  /// the inbox is next modified.
+  std::span<const Message> MaterializedInbox();
 
   /// Enables phase-time collection (see group_ns/stage_ns). Off by
   /// default; the hot paths then pay a single predictable branch.
@@ -109,13 +217,39 @@ class Worker {
   uint64_t stage_ns() const { return stage_ns_; }
 
  private:
-  void RadixSortInbox();
+  /// Sort key (key, original index) pair; 4-byte index keeps the radix
+  /// element at 16 bytes vs the 24-byte Message it replaces.
+  struct KeyIdx {
+    uint64_t key = 0;
+    uint32_t idx = 0;
+  };
 
-  std::vector<Message> inbox_;
-  std::vector<Message> scratch_;                // Radix sort double-buffer.
-  std::vector<std::vector<Message>> outboxes_;  // One per target machine.
+  void SortPairsAndGather(uint64_t varying, size_t n);
+  void GroupDense(size_t n);
+  void BuildRunsFromKeys(size_t n);
+
+  MessageBlock inbox_;
+  std::vector<MessageBlock> outboxes_;  // One per target machine.
   /// Per-destination combining index, used only when combining.
   std::vector<CombineIndex> combine_index_;
+  const Combiner* combiner_ = nullptr;
+  CombinerKind combiner_kind_ = CombinerKind::kCustom;
+  VertexId vertex_space_ = 0;
+
+  // Grouping state, rebuilt by GroupInbox() each round (capacity kept).
+  std::vector<uint64_t> keys_;
+  std::vector<KeyIdx> pairs_;
+  std::vector<KeyIdx> pair_scratch_;
+  std::vector<uint32_t> counts_;  // Dense counting-sort histogram.
+  std::vector<MessageRun> runs_;
+  std::vector<double> grouped_values_;
+  std::vector<double> grouped_mults_;
+  const double* grouped_values_ptr_ = nullptr;
+  const double* grouped_mults_ptr_ = nullptr;
+  // vcmp:lint-allow(P1, sanctioned AoS fallback view for programs without ComputeRun)
+  std::vector<Message> aos_scratch_;
+  bool aos_valid_ = false;
+
   WorkerSendStats send_stats_;
   bool collect_timing_ = false;
   uint64_t group_ns_ = 0;

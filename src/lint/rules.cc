@@ -362,6 +362,26 @@ void CheckC2(const Cursor& c) {
   }
 }
 
+// --- P1: AoS std::vector<Message> buffers in engine hot paths -----------
+
+void CheckP1(const Cursor& c) {
+  for (size_t i = 0; i + 2 < c.toks.size(); ++i) {
+    if (!c.IsIdent(i) || c.toks[i].text != "vector") continue;
+    if (!c.IsPunct(i + 1, "<")) continue;
+    if (!c.IsIdent(i + 2) || c.toks[i + 2].text != "Message") continue;
+    // The closer may lex as ">" or fold into ">>" when nested.
+    const Token* closer = c.At(i + 3);
+    if (closer == nullptr || closer->kind != TokenKind::kPunct ||
+        closer->text.empty() || closer->text[0] != '>') {
+      continue;
+    }
+    c.Report("P1", c.toks[i].line,
+             "AoS 'std::vector<Message>' buffer in an engine hot path — "
+             "use the SoA MessageBlock (engine/message_block.h) so "
+             "grouping and delivery stay column-oriented");
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& AllRules() {
@@ -373,6 +393,7 @@ const std::vector<RuleInfo>& AllRules() {
              "deterministic-reduction annotation"},
       {"C1", "no naked new/delete in engine hot paths"},
       {"C2", "no volatile-as-synchronization"},
+      {"P1", "no AoS std::vector<Message> buffers in engine hot paths"},
       {"A1", "every lint annotation parses and carries a reason, and "
              "every allow matches a finding"},
   };
@@ -385,7 +406,7 @@ bool RuleInScope(std::string_view rule, std::string_view path) {
            !EndsWith(path, "common/wall_clock.cc");
   }
   if (rule == "D3") return !HasSegment(path, "common");
-  if (rule == "C1") return HasSegment(path, "engine");
+  if (rule == "C1" || rule == "P1") return HasSegment(path, "engine");
   return true;  // D2, D4, C2 (and A1) apply everywhere.
 }
 
@@ -398,6 +419,7 @@ void CheckTokens(const std::string& path, const std::vector<Token>& tokens,
   if (RuleInScope("D4", path)) CheckD4(c);
   if (RuleInScope("C1", path)) CheckC1(c);
   if (RuleInScope("C2", path)) CheckC2(c);
+  if (RuleInScope("P1", path)) CheckP1(c);
   std::sort(out->begin(), out->end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
     return a.rule < b.rule;

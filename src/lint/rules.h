@@ -33,7 +33,8 @@ struct RuleInfo {
 
 /// The rule set, in report order. D* rules guard determinism (byte-
 /// identical reruns, DESIGN.md §7/§9); C* rules guard the concurrency
-/// contract; A1 keeps the annotation mechanism itself honest.
+/// contract; P* rules guard the engine data-layout/perf contract
+/// (DESIGN.md §11); A1 keeps the annotation mechanism itself honest.
 const std::vector<RuleInfo>& AllRules();
 
 /// True when `rule` applies to `path` (forward-slash separated, relative
@@ -42,7 +43,7 @@ const std::vector<RuleInfo>& AllRules();
 ///  - D2, D4, C2 everywhere;
 ///  - D3 everywhere except src/common/ (pure utilities — every other
 ///    directory feeds reports, traces, or message delivery);
-///  - C1 only under engine/ (the hot paths).
+///  - C1 and P1 only under engine/ (the hot paths).
 bool RuleInScope(std::string_view rule, std::string_view path);
 
 /// Runs every in-scope rule over one file's token stream, appending raw

@@ -8,6 +8,79 @@
 
 namespace vcmp {
 
+namespace {
+
+// Small-count fast path for the walk advance: one uniform draw per walk
+// decides stop-vs-move and, for movers, the destination bucket. The joint
+// distribution of (stop count, per-neighbour counts) is exactly the
+// Binomial(alpha) stop draw followed by the conditional-binomial
+// multinomial split, but it costs O(resident) draws where the binomial
+// chain costs O(resident * degree) once NextBinomial is in its exact
+// per-trial regime (n <= 128). Fills counts[0..degree) and returns the
+// number of walks that stop. Callers gate on degree >= 2 (degree 1 splits
+// for free) and degree <= kPerWalkDegreeMax (counts live on the stack).
+constexpr uint64_t kPerWalkResidentMax = 128;
+constexpr size_t kPerWalkDegreeMax = 1024;
+
+uint64_t PerWalkStopAndSplit(Rng& rng, size_t degree, uint64_t resident,
+                             double alpha, uint32_t* counts) {
+  std::fill(counts, counts + degree, 0u);
+  const double scale = static_cast<double>(degree) / (1.0 - alpha);
+  uint64_t stopping = 0;
+  for (uint64_t walk = 0; walk < resident; ++walk) {
+    const double x = rng.NextDouble();
+    if (x < alpha) {
+      ++stopping;
+      continue;
+    }
+    // x | x >= alpha is uniform on [alpha, 1), so the rescale is uniform
+    // on [0, degree); the clamp guards the floating-point upper edge.
+    size_t index = static_cast<size_t>((x - alpha) * scale);
+    if (index >= degree) index = degree - 1;
+    ++counts[index];
+  }
+  return stopping;
+}
+
+// Multinomial split of `moving` walks over `neighbors`: one combined
+// (count, count) message per nonempty destination, in neighbour order.
+// Conditional binomials sample the head; once the remainder is small the
+// tail finishes with one uniform draw per walk — the same distribution,
+// at O(remaining + left) draws instead of O(remaining * left) once
+// NextBinomial is in its exact per-trial regime.
+template <typename SendFn>
+void MultinomialSplit(Rng& rng, std::span<const VertexId> neighbors,
+                      uint64_t moving, SendFn&& send) {
+  uint64_t remaining = moving;
+  const size_t degree = neighbors.size();
+  for (size_t i = 0; i < degree && remaining > 0; ++i) {
+    const size_t left = degree - i;
+    if (left == 1) {
+      send(neighbors[i], remaining);
+      return;
+    }
+    if (remaining <= kPerWalkResidentMax && left <= kPerWalkDegreeMax) {
+      uint32_t counts[kPerWalkDegreeMax];
+      std::fill(counts, counts + left, 0u);
+      for (uint64_t walk = 0; walk < remaining; ++walk) {
+        ++counts[rng.NextBounded(static_cast<uint64_t>(left))];
+      }
+      for (size_t j = 0; j < left; ++j) {
+        if (counts[j] > 0) send(neighbors[i + j], counts[j]);
+      }
+      return;
+    }
+    uint64_t portion =
+        rng.NextBinomial(remaining, 1.0 / static_cast<double>(left));
+    if (portion > 0) {
+      send(neighbors[i], portion);
+      remaining -= portion;
+    }
+  }
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // BpprCountingProgram
 // ---------------------------------------------------------------------------
@@ -39,37 +112,56 @@ void BpprCountingProgram::Compute(VertexId v,
     for (const Message& message : inbox) incoming += message.value;
     resident = static_cast<uint64_t>(std::llround(incoming));
   }
+  AdvanceResident(v, resident, sink);
+}
+
+void BpprCountingProgram::ComputeRun(VertexId v, const MessageRunView& run,
+                                     MessageSink& sink) {
+  // Counting mode sends on a single tag (0), so each vertex owns exactly
+  // one run per round; SumValues folds in the same left-to-right order
+  // Compute's span walk did.
+  AdvanceResident(
+      v, static_cast<uint64_t>(std::llround(run.SumValues())), sink);
+}
+
+void BpprCountingProgram::AdvanceResident(VertexId v, uint64_t resident,
+                                          MessageSink& sink) {
   if (resident == 0) return;
 
   // Each resident walk stops here with probability alpha. Randomness is
   // drawn from the sink's per-machine stream so machines can compute
   // concurrently and deterministically.
   Rng& rng = sink.rng();
-  uint64_t stopping = rng.NextBinomial(resident, params_.alpha);
   const auto neighbors = context_.graph->Neighbors(v);
+  if (resident <= kPerWalkResidentMax && neighbors.size() >= 2 &&
+      neighbors.size() <= kPerWalkDegreeMax) {
+    uint32_t counts[kPerWalkDegreeMax];
+    uint64_t stops = PerWalkStopAndSplit(rng, neighbors.size(), resident,
+                                         params_.alpha, counts);
+    RecordStops(v, stops);
+    if (stops == resident) return;
+    sink.AddComputeUnits(static_cast<double>(neighbors.size()));
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      if (counts[i] > 0) {
+        sink.Send(neighbors[i], /*tag=*/0, static_cast<double>(counts[i]),
+                  static_cast<double>(counts[i]));
+      }
+    }
+    return;
+  }
+  uint64_t stopping = rng.NextBinomial(resident, params_.alpha);
   if (neighbors.empty()) stopping = resident;  // Dangling: walks end here.
   RecordStops(v, stopping);
   uint64_t moving = resident - stopping;
   if (moving == 0) return;
 
-  // Multinomial split of the survivors over the neighbours via conditional
-  // binomials (exact in distribution).
+  // Multinomial split of the survivors over the neighbours (exact in
+  // distribution).
   sink.AddComputeUnits(static_cast<double>(neighbors.size()));
-  uint64_t remaining = moving;
-  size_t left = neighbors.size();
-  for (VertexId u : neighbors) {
-    if (remaining == 0) break;
-    uint64_t portion =
-        (left == 1)
-            ? remaining
-            : rng.NextBinomial(remaining, 1.0 / static_cast<double>(left));
-    if (portion > 0) {
-      sink.Send(u, /*tag=*/0, static_cast<double>(portion),
-                static_cast<double>(portion));
-      remaining -= portion;
-    }
-    --left;
-  }
+  MultinomialSplit(rng, neighbors, moving, [&](VertexId u, uint64_t portion) {
+    sink.Send(u, /*tag=*/0, static_cast<double>(portion),
+              static_cast<double>(portion));
+  });
 }
 
 void BpprCountingProgram::RecordStops(VertexId v, uint64_t count) {
@@ -127,6 +219,12 @@ void BpprPushProgram::Compute(VertexId v, std::span<const Message> inbox,
     ProcessMass(v, inbox[i].tag, mass, sink);
     i = j;
   }
+}
+
+void BpprPushProgram::ComputeRun(VertexId v, const MessageRunView& run,
+                                 MessageSink& sink) {
+  // One run per (vertex, source): the per-tag fold Compute performed.
+  ProcessMass(v, run.tag, run.SumValues(), sink);
 }
 
 void BpprPushProgram::ProcessMass(VertexId v, uint32_t source, double mass,
@@ -227,18 +325,9 @@ BpprPerSourceProgram::BpprPerSourceProgram(const TaskContext& context,
 void BpprPerSourceProgram::Compute(VertexId v,
                                    std::span<const Message> inbox,
                                    MessageSink& sink) {
-  // Per-machine round-pair tracking (v's owner is the executing machine,
-  // so each slot is only ever touched by one thread).
-  PairTracker& tracker =
-      pair_tracker_[context_.partition->MachineOf(v)];
-  if (sink.round() != tracker.round) {
-    tracker.peak = std::max(tracker.peak, tracker.current);
-    tracker.current = 0.0;
-    tracker.round = sink.round();
-  }
   if (sink.round() == 0) {
+    TrackPair(v, sink.round());
     Advance(v, v, walks_per_vertex_, sink);
-    tracker.current += 1.0;
     return;
   }
   // Inbox grouped by (target, tag): one resident count per source.
@@ -250,19 +339,58 @@ void BpprPerSourceProgram::Compute(VertexId v,
       incoming += inbox[j].value;
       ++j;
     }
+    TrackPair(v, sink.round());
     Advance(v, inbox[i].tag,
             static_cast<uint64_t>(std::llround(incoming)), sink);
-    tracker.current += 1.0;
     i = j;
   }
+}
+
+void BpprPerSourceProgram::ComputeRun(VertexId v, const MessageRunView& run,
+                                      MessageSink& sink) {
+  TrackPair(v, sink.round());
+  Advance(v, run.tag, static_cast<uint64_t>(std::llround(run.SumValues())),
+          sink);
+}
+
+void BpprPerSourceProgram::TrackPair(VertexId v, uint64_t round) {
+  // Per-machine round-pair tracking (v's owner is the executing machine,
+  // so each slot is only ever touched by one thread).
+  PairTracker& tracker = pair_tracker_[context_.partition->MachineOf(v)];
+  if (round != tracker.round) {
+    tracker.peak = std::max(tracker.peak, tracker.current);
+    tracker.current = 0.0;
+    tracker.round = round;
+  }
+  tracker.current += 1.0;
 }
 
 void BpprPerSourceProgram::Advance(VertexId v, uint32_t source,
                                    uint64_t count, MessageSink& sink) {
   if (count == 0) return;
   Rng& rng = sink.rng();
-  uint64_t stopping = rng.NextBinomial(count, params_.alpha);
   const auto neighbors = context_.graph->Neighbors(v);
+  if (count <= kPerWalkResidentMax && neighbors.size() >= 2 &&
+      neighbors.size() <= kPerWalkDegreeMax) {
+    uint32_t counts[kPerWalkDegreeMax];
+    uint64_t stops = PerWalkStopAndSplit(rng, neighbors.size(), count,
+                                         params_.alpha, counts);
+    if (stops > 0) {
+      stopped_[v] += stops;
+      residual_per_machine_[context_.partition->MachineOf(v)] +=
+          static_cast<double>(stops) * params_.residual_record_bytes;
+    }
+    if (stops == count) return;
+    sink.AddComputeUnits(static_cast<double>(neighbors.size()));
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      if (counts[i] > 0) {
+        sink.Send(neighbors[i], source, static_cast<double>(counts[i]),
+                  static_cast<double>(counts[i]));
+      }
+    }
+    return;
+  }
+  uint64_t stopping = rng.NextBinomial(count, params_.alpha);
   if (neighbors.empty()) stopping = count;
   if (stopping > 0) {
     stopped_[v] += stopping;
@@ -272,21 +400,10 @@ void BpprPerSourceProgram::Advance(VertexId v, uint32_t source,
   uint64_t moving = count - stopping;
   if (moving == 0) return;
   sink.AddComputeUnits(static_cast<double>(neighbors.size()));
-  uint64_t remaining = moving;
-  size_t left = neighbors.size();
-  for (VertexId u : neighbors) {
-    if (remaining == 0) break;
-    uint64_t portion =
-        (left == 1)
-            ? remaining
-            : rng.NextBinomial(remaining, 1.0 / static_cast<double>(left));
-    if (portion > 0) {
-      sink.Send(u, source, static_cast<double>(portion),
-                static_cast<double>(portion));
-      remaining -= portion;
-    }
-    --left;
-  }
+  MultinomialSplit(rng, neighbors, moving, [&](VertexId u, uint64_t portion) {
+    sink.Send(u, source, static_cast<double>(portion),
+              static_cast<double>(portion));
+  });
 }
 
 double BpprPerSourceProgram::ResidualBytes(uint32_t machine) const {

@@ -70,6 +70,9 @@ class BpprCountingProgram : public VertexProgram {
 
   void Compute(VertexId v, std::span<const Message> inbox,
                MessageSink& sink) override;
+  bool UsesComputeRun() const override { return true; }
+  void ComputeRun(VertexId v, const MessageRunView& run,
+                  MessageSink& sink) override;
   double ResidualBytes(uint32_t machine) const override;
   double StateBytes(uint32_t machine) const override;
 
@@ -80,6 +83,7 @@ class BpprCountingProgram : public VertexProgram {
   const Combiner* combiner() const override { return &sum_combiner_; }
 
  private:
+  void AdvanceResident(VertexId v, uint64_t resident, MessageSink& sink);
   void RecordStops(VertexId v, uint64_t count);
 
   const TaskContext context_;
@@ -109,6 +113,9 @@ class BpprPushProgram : public VertexProgram {
 
   void Compute(VertexId v, std::span<const Message> inbox,
                MessageSink& sink) override;
+  bool UsesComputeRun() const override { return true; }
+  void ComputeRun(VertexId v, const MessageRunView& run,
+                  MessageSink& sink) override;
   double ResidualBytes(uint32_t machine) const override;
   double StateBytes(uint32_t machine) const override;
 
@@ -149,6 +156,9 @@ class BpprPerSourceProgram : public VertexProgram {
 
   void Compute(VertexId v, std::span<const Message> inbox,
                MessageSink& sink) override;
+  bool UsesComputeRun() const override { return true; }
+  void ComputeRun(VertexId v, const MessageRunView& run,
+                  MessageSink& sink) override;
   double ResidualBytes(uint32_t machine) const override;
   double StateBytes(uint32_t machine) const override;
   const Combiner* combiner() const override { return &sum_combiner_; }
@@ -159,6 +169,7 @@ class BpprPerSourceProgram : public VertexProgram {
  private:
   void Advance(VertexId v, uint32_t source, uint64_t count,
                MessageSink& sink);
+  void TrackPair(VertexId v, uint64_t round);
 
   /// Per-machine (source, target) pair counting for state accounting;
   /// one slot per machine keeps the tracking thread-safe under

@@ -20,11 +20,7 @@ void ConnectedComponentsProgram::Compute(VertexId v,
   uint32_t best = labels_[v];
   if (sink.round() == 0) {
     // Seed: offer my id to every neighbour.
-    const auto neighbors = context_.graph->Neighbors(v);
-    sink.AddComputeUnits(static_cast<double>(neighbors.size()));
-    for (VertexId u : neighbors) {
-      sink.Send(u, /*tag=*/0, static_cast<double>(best), 1.0);
-    }
+    Offer(v, best, sink);
     return;
   }
   for (const Message& message : inbox) {
@@ -32,10 +28,29 @@ void ConnectedComponentsProgram::Compute(VertexId v,
   }
   if (best >= labels_[v]) return;  // No improvement: vote to halt.
   labels_[v] = best;
+  Offer(v, best, sink);
+}
+
+void ConnectedComponentsProgram::ComputeRun(VertexId v,
+                                            const MessageRunView& run,
+                                            MessageSink& sink) {
+  // Single tag (0): one run per vertex — the hash-min fold over the
+  // run's label column, same element order as Compute's span walk.
+  uint32_t best = labels_[v];
+  for (size_t i = 0; i < run.count; ++i) {
+    best = std::min(best, static_cast<uint32_t>(run.values[i]));
+  }
+  if (best >= labels_[v]) return;  // No improvement: vote to halt.
+  labels_[v] = best;
+  Offer(v, best, sink);
+}
+
+void ConnectedComponentsProgram::Offer(VertexId v, uint32_t label,
+                                       MessageSink& sink) {
   const auto neighbors = context_.graph->Neighbors(v);
   sink.AddComputeUnits(static_cast<double>(neighbors.size()));
   for (VertexId u : neighbors) {
-    sink.Send(u, /*tag=*/0, static_cast<double>(best), 1.0);
+    sink.Send(u, /*tag=*/0, static_cast<double>(label), 1.0);
   }
 }
 

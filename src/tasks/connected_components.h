@@ -20,6 +20,9 @@ class ConnectedComponentsProgram : public VertexProgram {
 
   void Compute(VertexId v, std::span<const Message> inbox,
                MessageSink& sink) override;
+  bool UsesComputeRun() const override { return true; }
+  void ComputeRun(VertexId v, const MessageRunView& run,
+                  MessageSink& sink) override;
   double StateBytes(uint32_t machine) const override;
   const Combiner* combiner() const override { return &min_combiner_; }
 
@@ -32,6 +35,8 @@ class ConnectedComponentsProgram : public VertexProgram {
   uint64_t NumComponents() const;
 
  private:
+  void Offer(VertexId v, uint32_t label, MessageSink& sink);
+
   const TaskContext context_;
   MinCombiner min_combiner_;
   std::vector<uint32_t> labels_;

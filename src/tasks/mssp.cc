@@ -56,6 +56,17 @@ void MsspProgram::Compute(VertexId v, std::span<const Message> inbox,
   }
 }
 
+void MsspProgram::ComputeRun(VertexId v, const MessageRunView& run,
+                             MessageSink& sink) {
+  // One run per (vertex, source): the receiver-side min fold over the
+  // run's distance column, same element order as Compute's span walk.
+  uint32_t best = kUnreached;
+  for (size_t i = 0; i < run.count; ++i) {
+    best = std::min(best, static_cast<uint32_t>(run.values[i]));
+  }
+  Relax(v, run.tag, best, sink);
+}
+
 void MsspProgram::Relax(VertexId v, uint32_t sample, uint32_t distance,
                         MessageSink& sink) {
   uint32_t& current = dist_[static_cast<size_t>(sample) * num_vertices_ + v];

@@ -56,6 +56,9 @@ class MsspProgram : public VertexProgram {
 
   void Compute(VertexId v, std::span<const Message> inbox,
                MessageSink& sink) override;
+  bool UsesComputeRun() const override { return true; }
+  void ComputeRun(VertexId v, const MessageRunView& run,
+                  MessageSink& sink) override;
   double ResidualBytes(uint32_t machine) const override;
   const Combiner* combiner() const override { return &min_combiner_; }
 

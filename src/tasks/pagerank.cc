@@ -26,6 +26,24 @@ void PageRankProgram::Compute(VertexId v, std::span<const Message> inbox,
     }
     rank_[v] = updated;
   }
+  Propagate(v, sink);
+}
+
+void PageRankProgram::ComputeRun(VertexId v, const MessageRunView& run,
+                                 MessageSink& sink) {
+  // Single tag (0): one run per vertex per round, summed in the same
+  // left-to-right order Compute's span walk used.
+  const VertexId n = context_.graph->NumVertices();
+  double updated =
+      (1.0 - params_.damping) / n + params_.damping * run.SumValues();
+  if (params_.tolerance > 0.0) {
+    sink.Aggregate(std::fabs(updated - rank_[v]));
+  }
+  rank_[v] = updated;
+  Propagate(v, sink);
+}
+
+void PageRankProgram::Propagate(VertexId v, MessageSink& sink) {
   if (sink.round() >= params_.iterations) return;  // Power iteration done.
   const auto neighbors = context_.graph->Neighbors(v);
   if (neighbors.empty()) return;  // Dangling mass leaks (documented).

@@ -29,6 +29,9 @@ class PageRankProgram : public VertexProgram {
 
   void Compute(VertexId v, std::span<const Message> inbox,
                MessageSink& sink) override;
+  bool UsesComputeRun() const override { return true; }
+  void ComputeRun(VertexId v, const MessageRunView& run,
+                  MessageSink& sink) override;
   bool ShouldTerminate(uint64_t rounds_completed) const override {
     return rounds_completed > params_.iterations;
   }
@@ -43,6 +46,8 @@ class PageRankProgram : public VertexProgram {
   double TotalRank() const;
 
  private:
+  void Propagate(VertexId v, MessageSink& sink);
+
   const TaskContext context_;
   const Params params_;
   SumCombiner sum_combiner_;

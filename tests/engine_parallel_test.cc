@@ -16,6 +16,9 @@
 #include "engine/worker.h"
 #include "graph/generators.h"
 #include "graph/partition.h"
+#include "tasks/bppr.h"
+#include "tasks/mssp.h"
+#include "tasks/pagerank.h"
 #include "tasks/task_registry.h"
 #include "test_util.h"
 
@@ -97,7 +100,8 @@ std::vector<Message> RandomInbox(size_t size, uint32_t num_targets,
   return inbox;
 }
 
-void ExpectGroupInboxMatchesStableSort(std::vector<Message> inbox) {
+void ExpectGroupInboxMatchesStableSort(std::vector<Message> inbox,
+                                       VertexId vertex_space = 0) {
   std::vector<Message> expected = inbox;
   std::stable_sort(expected.begin(), expected.end(),
                    [](const Message& a, const Message& b) {
@@ -106,15 +110,37 @@ void ExpectGroupInboxMatchesStableSort(std::vector<Message> inbox) {
                    });
   Worker worker;
   worker.Reset(1);
-  worker.inbox() = std::move(inbox);
+  if (vertex_space > 0) worker.set_vertex_space(vertex_space);
+  for (const Message& message : inbox) worker.inbox().PushBack(message);
   worker.GroupInbox();
-  ASSERT_EQ(worker.inbox().size(), expected.size());
+  // Runs must tile [0, n) with strictly ascending (target, tag) keys and
+  // match the stable-sorted AoS oracle element for element. The payload
+  // encodes the original position, so stability is observable.
+  const std::span<const MessageRun> runs = worker.runs();
+  const double* values = worker.grouped_values();
+  const double* mults = worker.grouped_multiplicities();
+  size_t pos = 0;
+  uint64_t previous_key = 0;
+  bool have_previous = false;
+  for (const MessageRun& run : runs) {
+    ASSERT_EQ(static_cast<size_t>(run.begin), pos);
+    ASSERT_LT(run.begin, run.end);
+    const uint64_t key = (static_cast<uint64_t>(run.target) << 32) | run.tag;
+    if (have_previous) {
+      EXPECT_GT(key, previous_key);
+    }
+    previous_key = key;
+    have_previous = true;
+    for (uint32_t i = run.begin; i < run.end; ++i) {
+      EXPECT_EQ(run.target, expected[i].target) << "at " << i;
+      EXPECT_EQ(run.tag, expected[i].tag) << "at " << i;
+    }
+    pos = run.end;
+  }
+  ASSERT_EQ(pos, expected.size());
   for (size_t i = 0; i < expected.size(); ++i) {
-    EXPECT_EQ(worker.inbox()[i].target, expected[i].target) << "at " << i;
-    EXPECT_EQ(worker.inbox()[i].tag, expected[i].tag) << "at " << i;
-    // Equal (target, tag) messages must keep arrival order (stability):
-    // the payload encodes the original position.
-    EXPECT_EQ(worker.inbox()[i].value, expected[i].value) << "at " << i;
+    EXPECT_EQ(values[i], expected[i].value) << "at " << i;
+    EXPECT_EQ(mults[i], expected[i].multiplicity) << "at " << i;
   }
 }
 
@@ -152,6 +178,23 @@ TEST(RadixGroupingTest, SingleTargetIsIdentity) {
   std::vector<Message> inbox =
       RandomInbox(300, /*num_targets=*/1, /*num_tags=*/1, /*seed=*/9);
   ExpectGroupInboxMatchesStableSort(inbox);
+}
+
+TEST(RadixGroupingTest, DenseCountingPathMatchesStableSort) {
+  // Single tag, vertex space known, and n >= V routes through the dense
+  // counting-sort strategy; it must produce the same grouping as the
+  // comparison sort, including stability.
+  ExpectGroupInboxMatchesStableSort(
+      RandomInbox(5000, /*num_targets=*/64, /*num_tags=*/1, /*seed=*/11),
+      /*vertex_space=*/64);
+}
+
+TEST(RadixGroupingTest, VertexSpaceBelowSizeStillSparseWithManyTags) {
+  // Multiple tags disqualify the dense path even when n >= V; the pair
+  // sort must handle it identically.
+  ExpectGroupInboxMatchesStableSort(
+      RandomInbox(5000, /*num_targets=*/64, /*num_tags=*/4, /*seed=*/13),
+      /*vertex_space=*/64);
 }
 
 // --- Flat combiner index ---------------------------------------------
@@ -230,8 +273,9 @@ TEST(CombineIndexTest, ManyClearCyclesBehaveLikeFreshTables) {
 TEST(WorkerTest, ResetRetainsInboxCapacity) {
   Worker worker;
   worker.Reset(2);
-  worker.inbox().resize(10000);
+  worker.inbox().Reserve(10000);
   size_t capacity = worker.inbox().capacity();
+  EXPECT_GE(capacity, 10000u);
   worker.Reset(2);
   EXPECT_TRUE(worker.inbox().empty());
   EXPECT_GE(worker.inbox().capacity(), capacity);
@@ -240,12 +284,12 @@ TEST(WorkerTest, ResetRetainsInboxCapacity) {
 TEST(WorkerTest, DrainRetainsOutboxCapacity) {
   Worker worker;
   worker.Reset(1);
+  worker.SetCombiner(nullptr);
   for (int round = 0; round < 3; ++round) {
     for (int i = 0; i < 1000; ++i) {
-      worker.Stage(0, Message{static_cast<VertexId>(i), 0, 1.0, 1.0},
-                   nullptr);
+      worker.Stage(0, static_cast<VertexId>(i), 0, 1.0, 1.0);
     }
-    std::vector<Message> dest;
+    MessageBlock dest;
     worker.Drain(0, &dest);
     EXPECT_EQ(dest.size(), 1000u);
   }
@@ -336,6 +380,199 @@ INSTANTIATE_TEST_SUITE_P(
           return std::string("Other");
       }
     });
+
+// --- Golden behaviours of the SoA compute path -----------------------
+
+EngineOptions GoldenOptions(uint32_t machines, uint32_t threads) {
+  EngineOptions options;
+  options.cluster = RelaxedCluster(machines);
+  options.profile = ProfileFor(SystemKind::kPregelPlus);
+  options.execution_threads = threads;
+  options.clamp_threads_to_hardware = false;
+  return options;
+}
+
+TEST(EngineGoldenTest, EmptyInboxRoundTerminatesCleanly) {
+  // A program that never sends: round 0 runs with empty inboxes, then the
+  // engine must quiesce without touching the grouping machinery.
+  class Silent : public VertexProgram {
+   public:
+    void Compute(VertexId, std::span<const Message>,
+                 MessageSink&) override {}
+  };
+  Graph ring = GenerateRing(16, 1);
+  Partitioning part = HashPartitioner().Partition(ring, 2);
+  SyncEngine engine(ring, part, GoldenOptions(2, 2));
+  Silent program;
+  auto result = engine.Run(program);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().num_rounds, 1u);
+  EXPECT_DOUBLE_EQ(result.value().total_messages, 0.0);
+}
+
+TEST(EngineGoldenTest, SingleMachineClusterUsesSwapDelivery) {
+  // One machine means every round's delivery has exactly one sender —
+  // the O(1) SwapOutbox path. PageRank must still conserve rank mass,
+  // identically for any thread count.
+  Graph ring = GenerateRing(128, 2);
+  Partitioning part = HashPartitioner().Partition(ring, 1);
+  auto run = [&](uint32_t threads) {
+    SyncEngine engine(ring, part, GoldenOptions(1, threads));
+    PageRankProgram::Params params;
+    params.iterations = 20;
+    TaskContext context{&ring, &part, 1.0, true};
+    PageRankProgram program(context, params);
+    auto result = engine.Run(program);
+    EXPECT_TRUE(result.ok());
+    return std::make_pair(result.value_or(EngineResult{}),
+                          program.TotalRank());
+  };
+  auto [serial, serial_rank] = run(1);
+  EXPECT_NEAR(serial_rank, 1.0, 1e-9);  // Ring: no dangling mass leaks.
+  EXPECT_GT(serial.num_rounds, 20u);
+  auto [threaded, threaded_rank] = run(8);
+  EXPECT_EQ(serial_rank, threaded_rank);
+  ExpectBitIdentical(serial, threaded);
+}
+
+TEST(EngineGoldenTest, AllVerticesActiveBitIdenticalAcrossThreads) {
+  // PageRank keeps every vertex active every round: the grouper sees a
+  // single tag with n >= V, i.e. the dense counting-sort strategy. Final
+  // per-vertex ranks must be bitwise equal for any thread count.
+  auto run = [](uint32_t threads) {
+    RmatParams rmat;
+    rmat.num_vertices = 2000;
+    rmat.num_edges = 12000;
+    rmat.seed = 77;
+    static const Graph& graph = *new Graph(GenerateRmat(rmat));
+    static const Partitioning& part =
+        *new Partitioning(HashPartitioner().Partition(graph, 4));
+    SyncEngine engine(graph, part, GoldenOptions(4, threads));
+    PageRankProgram::Params params;
+    params.iterations = 15;
+    TaskContext context{&graph, &part, 1.0, true};
+    PageRankProgram program(context, params);
+    auto result = engine.Run(program);
+    EXPECT_TRUE(result.ok());
+    std::vector<double> ranks(graph.NumVertices());
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      ranks[v] = program.Rank(v);
+    }
+    return std::make_pair(result.value_or(EngineResult{}),
+                          std::move(ranks));
+  };
+  auto [serial, serial_ranks] = run(1);
+  for (uint32_t threads : {2u, 8u}) {
+    auto [threaded, threaded_ranks] = run(threads);
+    ExpectBitIdentical(serial, threaded);
+    EXPECT_EQ(serial_ranks, threaded_ranks);  // Bitwise double equality.
+  }
+}
+
+TEST(EngineGoldenTest, SparseActivityBitIdenticalAcrossThreads) {
+  // MSSP from two sources on a long ring: each round only the wavefront
+  // (a handful of vertices) receives messages, so the grouper sees
+  // n << V — the sparse pair-sort strategy. Distances must be identical
+  // for any thread count.
+  auto run = [](uint32_t threads) {
+    static const Graph& graph = *new Graph(GenerateRing(512, 1));
+    static const Partitioning& part =
+        *new Partitioning(HashPartitioner().Partition(graph, 4));
+    SyncEngine engine(graph, part, GoldenOptions(4, threads));
+    TaskContext context{&graph, &part, 1.0, true};
+    MsspProgram program(context, ProgramFlavor::kPointToPoint,
+                        /*workload=*/2.0, MsspTask::Params{}, /*seed=*/5);
+    auto result = engine.Run(program);
+    EXPECT_TRUE(result.ok());
+    std::vector<uint32_t> distances;
+    for (uint32_t sample = 0; sample < program.num_samples(); ++sample) {
+      for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+        distances.push_back(program.Distance(sample, v));
+      }
+    }
+    return std::make_pair(result.value_or(EngineResult{}),
+                          std::move(distances));
+  };
+  auto [serial, serial_dist] = run(1);
+  EXPECT_EQ(serial_dist.size(), 2u * 512u);
+  // Every ring vertex is reachable within n/2 hops.
+  for (uint32_t d : serial_dist) EXPECT_LE(d, 256u);
+  for (uint32_t threads : {2u, 8u}) {
+    auto [threaded, threaded_dist] = run(threads);
+    ExpectBitIdentical(serial, threaded);
+    EXPECT_EQ(serial_dist, threaded_dist);
+  }
+}
+
+/// Delegates to a wrapped program but reports UsesComputeRun() == false,
+/// forcing the engine down the materialized AoS fallback path. Running
+/// the same program both ways must give bitwise-identical results.
+class ForceFallback : public VertexProgram {
+ public:
+  explicit ForceFallback(VertexProgram& inner) : inner_(inner) {}
+  void Compute(VertexId v, std::span<const Message> inbox,
+               MessageSink& sink) override {
+    inner_.Compute(v, inbox, sink);
+  }
+  bool UsesComputeRun() const override { return false; }
+  bool ShouldTerminate(uint64_t rounds_completed) const override {
+    return inner_.ShouldTerminate(rounds_completed);
+  }
+  bool TerminateOnAggregate(double aggregate_sum) const override {
+    return inner_.TerminateOnAggregate(aggregate_sum);
+  }
+  double StateBytes(uint32_t machine) const override {
+    return inner_.StateBytes(machine);
+  }
+  double ResidualBytes(uint32_t machine) const override {
+    return inner_.ResidualBytes(machine);
+  }
+  const Combiner* combiner() const override { return inner_.combiner(); }
+
+ private:
+  VertexProgram& inner_;
+};
+
+std::pair<EngineResult, uint64_t> RunCountingBppr(bool force_fallback,
+                                                  uint32_t threads) {
+  RmatParams rmat;
+  rmat.num_vertices = 3000;
+  rmat.num_edges = 20000;
+  rmat.seed = 51;
+  static const Graph& graph = *new Graph(GenerateRmat(rmat));
+  static const Partitioning& part =
+      *new Partitioning(HashPartitioner().Partition(graph, 4));
+  SyncEngine engine(graph, part, GoldenOptions(4, threads));
+  TaskContext context{&graph, &part, 1.0, true};
+  BpprCountingProgram program(context, /*walks=*/64, {}, /*seed=*/3);
+  Result<EngineResult> result = [&] {
+    if (force_fallback) {
+      ForceFallback wrapped(program);
+      return engine.Run(wrapped);
+    }
+    return engine.Run(program);
+  }();
+  EXPECT_TRUE(result.ok());
+  return {result.value_or(EngineResult{}), program.TotalStopped()};
+}
+
+TEST(EngineGoldenTest, FallbackPathBitIdenticalToComputeRun) {
+  // The stochastic program is the hard case: any divergence in fold
+  // order between ComputeRun and the materialized fallback would shift
+  // RNG draws and change every later round. Both paths, at every thread
+  // count, must match the serial ComputeRun run exactly.
+  auto [golden, golden_stopped] = RunCountingBppr(false, 1);
+  EXPECT_GT(golden.num_rounds, 1u);
+  EXPECT_GT(golden_stopped, 0u);
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    for (bool fallback : {false, true}) {
+      auto [result, stopped] = RunCountingBppr(fallback, threads);
+      ExpectBitIdentical(golden, result);
+      EXPECT_EQ(golden_stopped, stopped)
+          << "threads=" << threads << " fallback=" << fallback;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace vcmp

@@ -17,13 +17,14 @@ using testing_util::RelaxedCluster;
 TEST(WorkerTest, StagesAndDrains) {
   Worker worker;
   worker.Reset(2);
-  EXPECT_TRUE(worker.Stage(0, Message{1, 0, 1.0, 1.0}, nullptr));
-  EXPECT_TRUE(worker.Stage(1, Message{2, 0, 1.0, 1.0}, nullptr));
-  std::vector<Message> dest;
+  worker.SetCombiner(nullptr);
+  EXPECT_TRUE(worker.Stage(0, 1, 0, 1.0, 1.0));
+  EXPECT_TRUE(worker.Stage(1, 2, 0, 1.0, 1.0));
+  MessageBlock dest;
   worker.Drain(0, &dest);
   ASSERT_EQ(dest.size(), 1u);
-  EXPECT_EQ(dest[0].target, 1u);
-  dest.clear();
+  EXPECT_EQ(dest.targets()[0], 1u);
+  dest.Clear();
   worker.Drain(0, &dest);
   EXPECT_TRUE(dest.empty());  // Drain clears.
 }
@@ -32,14 +33,59 @@ TEST(WorkerTest, CombinerMergesSameTargetAndTag) {
   Worker worker;
   worker.Reset(1);
   SumCombiner combiner;
-  EXPECT_TRUE(worker.Stage(0, Message{5, 1, 2.0, 2.0}, &combiner));
-  EXPECT_FALSE(worker.Stage(0, Message{5, 1, 3.0, 3.0}, &combiner));
-  EXPECT_TRUE(worker.Stage(0, Message{5, 2, 1.0, 1.0}, &combiner));
-  std::vector<Message> dest;
+  worker.SetCombiner(&combiner);
+  EXPECT_TRUE(worker.Stage(0, 5, 1, 2.0, 2.0));
+  EXPECT_FALSE(worker.Stage(0, 5, 1, 3.0, 3.0));
+  EXPECT_TRUE(worker.Stage(0, 5, 2, 1.0, 1.0));
+  MessageBlock dest;
   worker.Drain(0, &dest);
   ASSERT_EQ(dest.size(), 2u);
-  EXPECT_DOUBLE_EQ(dest[0].value, 5.0);
-  EXPECT_DOUBLE_EQ(dest[0].multiplicity, 5.0);
+  EXPECT_DOUBLE_EQ(dest.values()[0], 5.0);
+  EXPECT_DOUBLE_EQ(dest.multiplicities()[0], 5.0);
+}
+
+/// Keeps the largest value: not expressible as the inlined kSum/kMin
+/// folds, so staging must fall back to the virtual Merge (kCustom).
+class MaxCombiner : public Combiner {
+ public:
+  void Merge(Message& into, const Message& from) const override {
+    if (from.value > into.value) into.value = from.value;
+    into.multiplicity += from.multiplicity;
+  }
+};
+
+TEST(WorkerTest, CustomCombinerUsesVirtualMerge) {
+  Worker worker;
+  worker.Reset(1);
+  MaxCombiner combiner;
+  ASSERT_EQ(combiner.kind(), CombinerKind::kCustom);
+  worker.SetCombiner(&combiner);
+  EXPECT_TRUE(worker.Stage(0, 7, 0, 2.0, 1.0));
+  EXPECT_FALSE(worker.Stage(0, 7, 0, 5.0, 1.0));
+  EXPECT_FALSE(worker.Stage(0, 7, 0, 3.0, 1.0));
+  MessageBlock dest;
+  worker.Drain(0, &dest);
+  ASSERT_EQ(dest.size(), 1u);
+  EXPECT_DOUBLE_EQ(dest.values()[0], 5.0);
+  EXPECT_DOUBLE_EQ(dest.multiplicities()[0], 3.0);
+}
+
+TEST(WorkerTest, SwapOutboxDeliversAndRecyclesCapacity) {
+  Worker worker;
+  worker.Reset(1);
+  worker.SetCombiner(nullptr);
+  for (uint32_t i = 0; i < 100; ++i) {
+    worker.Stage(0, i, 0, 1.0, 1.0);
+  }
+  MessageBlock inbox;
+  worker.SwapOutbox(0, &inbox);
+  EXPECT_EQ(inbox.size(), 100u);
+  EXPECT_EQ(worker.OutboxSize(0), 0u);
+  // Next round: the swapped-out buffer's capacity serves the outbox.
+  const size_t recycled = 100;
+  worker.Stage(0, 1, 0, 1.0, 1.0);
+  EXPECT_GE(inbox.capacity(), recycled);
+  EXPECT_EQ(worker.OutboxSize(0), 1u);
 }
 
 TEST(WorkerTest, MinCombinerKeepsSmallest) {
@@ -55,13 +101,34 @@ TEST(WorkerTest, MinCombinerKeepsSmallest) {
 TEST(WorkerTest, GroupInboxSortsByTargetThenTag) {
   Worker worker;
   worker.Reset(1);
-  worker.inbox() = {{3, 1, 0, 1}, {1, 2, 0, 1}, {3, 0, 0, 1}, {1, 1, 0, 1}};
+  worker.inbox().PushBack(3, 1, 10.0, 1.0);
+  worker.inbox().PushBack(1, 2, 20.0, 1.0);
+  worker.inbox().PushBack(3, 0, 30.0, 1.0);
+  worker.inbox().PushBack(1, 1, 40.0, 1.0);
   worker.GroupInbox();
-  EXPECT_EQ(worker.inbox()[0].target, 1u);
-  EXPECT_EQ(worker.inbox()[0].tag, 1u);
-  EXPECT_EQ(worker.inbox()[1].tag, 2u);
-  EXPECT_EQ(worker.inbox()[2].target, 3u);
-  EXPECT_EQ(worker.inbox()[2].tag, 0u);
+  const std::span<const MessageRun> runs = worker.runs();
+  ASSERT_EQ(runs.size(), 4u);
+  EXPECT_EQ(runs[0].target, 1u);
+  EXPECT_EQ(runs[0].tag, 1u);
+  EXPECT_EQ(runs[1].target, 1u);
+  EXPECT_EQ(runs[1].tag, 2u);
+  EXPECT_EQ(runs[2].target, 3u);
+  EXPECT_EQ(runs[2].tag, 0u);
+  EXPECT_EQ(runs[3].target, 3u);
+  EXPECT_EQ(runs[3].tag, 1u);
+  // Payload columns follow the permutation.
+  EXPECT_DOUBLE_EQ(worker.grouped_values()[runs[0].begin], 40.0);
+  EXPECT_DOUBLE_EQ(worker.grouped_values()[runs[1].begin], 20.0);
+  EXPECT_DOUBLE_EQ(worker.grouped_values()[runs[2].begin], 30.0);
+  EXPECT_DOUBLE_EQ(worker.grouped_values()[runs[3].begin], 10.0);
+  // The AoS fallback view materializes the same grouped order.
+  const std::span<const Message> aos = worker.MaterializedInbox();
+  ASSERT_EQ(aos.size(), 4u);
+  EXPECT_EQ(aos[0].target, 1u);
+  EXPECT_EQ(aos[0].tag, 1u);
+  EXPECT_DOUBLE_EQ(aos[0].value, 40.0);
+  EXPECT_EQ(aos[2].target, 3u);
+  EXPECT_DOUBLE_EQ(aos[2].value, 30.0);
 }
 
 TEST(MirrorPlanTest, StarGraphHub) {

@@ -1,0 +1,26 @@
+// P1 fixture: AoS std::vector<Message> buffers. Not compiled — linted by
+// lint_test.cc, once under src/engine/ (fires) and once under src/tasks/
+// (out of scope: no findings). True positives on lines 11, 13, 15 under
+// engine/; line 24 is suppressed by the trailing allow.
+#include <vector>
+
+namespace fixture {
+
+struct Message;
+
+std::vector<Message> inbox;
+
+void Drain(std::vector<Message>* dest);
+
+using Outboxes = std::vector<std::vector<Message>>;
+
+// Other element types must not fire.
+std::vector<int> counts;
+std::vector<MessageRun> runs;
+
+// Comments saying std::vector<Message>, and strings, must not fire.
+const char* kDoc = "replaced std::vector<Message> with MessageBlock";
+
+std::vector<Message> scratch;  // vcmp:lint-allow(P1, fixture: sanctioned AoS view)
+
+}  // namespace fixture

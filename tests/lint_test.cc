@@ -112,6 +112,24 @@ TEST(LintC1, FlagsNakedNewDeleteInEngineOnly) {
   EXPECT_TRUE(Keys(tasks).empty());
 }
 
+TEST(LintP1, FlagsAoSMessageVectorsInEngineOnly) {
+  LintReport engine = LintAs("p1_message_vec.cc", "src/engine/p1.cc");
+  // Declarations, parameters, and the inner type of a nested vector all
+  // fire; other element types, comments, and strings do not.
+  EXPECT_EQ(Keys(engine),
+            (std::vector<std::string>{"src/engine/p1.cc:11:P1",
+                                      "src/engine/p1.cc:13:P1",
+                                      "src/engine/p1.cc:15:P1"}));
+  // The sanctioned-AoS escape hatch: a trailing lint-allow with a reason.
+  EXPECT_EQ(Keys(engine, Select::kAllowed),
+            (std::vector<std::string>{"src/engine/p1.cc:24:P1"}));
+  // Same content outside the hot paths: P1 out of scope, so the only
+  // finding is the now-stale allow annotation (A1 hygiene).
+  LintReport tasks = LintAs("p1_message_vec.cc", "src/tasks/p1.cc");
+  EXPECT_EQ(Keys(tasks),
+            (std::vector<std::string>{"src/tasks/p1.cc:24:A1"}));
+}
+
 TEST(LintC2, FlagsVolatileEverywhere) {
   LintReport report = LintAs("c2_volatile.cc", "src/common/c2.cc");
   EXPECT_EQ(Keys(report),
@@ -174,7 +192,7 @@ TEST(LintRepo, RuleTableCoversDocumentedRules) {
   std::vector<std::string> ids;
   for (const RuleInfo& rule : AllRules()) ids.push_back(rule.id);
   EXPECT_EQ(ids, (std::vector<std::string>{"D1", "D2", "D3", "D4", "C1",
-                                           "C2", "A1"}));
+                                           "C2", "P1", "A1"}));
 }
 
 }  // namespace
