@@ -4,9 +4,13 @@
 // deliver), writing the numbers to a JSON file so successive engine
 // changes can be compared run-over-run:
 //
-//   perf_engine                      # 3 reps, 8 threads, BENCH_engine.json
+//   perf_engine                      # sweep 1,2,4 + headline 8 threads
 //   perf_engine --threads=1 --json=/tmp/t1.json
 //   perf_engine --threads-sweep=1,2,8   # per-thread-count blocks in JSON
+//
+// When the sweep covers both 1 and 8 threads (the default), the JSON
+// gains top-level wall_ms_1t / wall_ms_8t / speedup_8t fields — the
+// scaling headline CI's bench-smoke job gates on.
 //
 // The simulated seconds printed at the end are thread-count invariant
 // (the engine's determinism contract); the benchmark verifies this across
@@ -123,9 +127,10 @@ int Main(int argc, char** argv) {
                    "engine hot-path benchmark (multi-batch BPPR + MSSP)");
   flags.Define("threads", "8", "headline engine execution threads");
   flags.Define("reps", "3", "workload repetitions");
-  flags.Define("threads-sweep", "",
-               "comma-separated extra thread counts to measure (e.g. 1,2,8);"
-               " each gets a block in the JSON sweep array");
+  flags.Define("threads-sweep", "1,2,4",
+               "comma-separated extra thread counts to measure; each gets a"
+               " block in the JSON sweep array (the headline count is always"
+               " appended). Empty = headline only.");
   flags.Define("json", "BENCH_engine.json",
                "write phase timings to this path (empty = skip)");
   Status parsed = flags.Parse(argc, argv);
@@ -191,6 +196,21 @@ int Main(int argc, char** argv) {
     json.Field("stage_ms", 1e3 * headline->phase.stage_seconds);
     json.Field("deliver_ms", 1e3 * headline->phase.deliver_seconds);
     json.Field("simulated_seconds", headline->sim_seconds);
+    // Scaling headline: single-thread vs eight-thread wall-clock from the
+    // same sweep. CI's bench-smoke job gates on speedup_8t, so these stay
+    // top-level scalars rather than buried in the sweep array.
+    const Measurement* one_thread = nullptr;
+    const Measurement* eight_threads = nullptr;
+    for (const Measurement& m : measurements) {
+      if (m.threads == 1) one_thread = &m;
+      if (m.threads == 8) eight_threads = &m;
+    }
+    if (one_thread != nullptr && eight_threads != nullptr &&
+        eight_threads->wall_ms > 0.0) {
+      json.Field("wall_ms_1t", one_thread->wall_ms);
+      json.Field("wall_ms_8t", eight_threads->wall_ms);
+      json.Field("speedup_8t", one_thread->wall_ms / eight_threads->wall_ms);
+    }
     std::string sweep_json = "[";
     for (size_t i = 0; i < measurements.size(); ++i) {
       if (i > 0) sweep_json += ", ";

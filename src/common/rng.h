@@ -47,6 +47,14 @@ class Rng {
   /// state, so Fork() sequences are reproducible.
   Rng Fork() { return Rng(NextUint64()); }
 
+  /// Combines a base seed with stream coordinates (round, vertex, ...) into
+  /// a decorrelated child seed. The engines reseed per vertex through this
+  /// so the draw sequence depends only on (seed, coordinates) — never on
+  /// which thread or shard executed the vertex.
+  static uint64_t MixSeed(uint64_t seed, uint64_t a, uint64_t b) {
+    return Mix(Mix(seed + a * kGamma) + b * kGamma);
+  }
+
  private:
   /// Natural log of k!: table below 10, Stirling–De Moivre series above
   /// (error < 1e-8 at k = 10, shrinking as k grows). Thread-safe, unlike

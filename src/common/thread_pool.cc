@@ -1,5 +1,7 @@
 #include "common/thread_pool.h"
 
+#include <memory>
+
 namespace vcmp {
 
 ThreadPool::ThreadPool(uint32_t num_workers) {
@@ -50,6 +52,37 @@ void ThreadPool::ParallelFor(uint32_t count,
     });
   }
   for (uint32_t i = 0; i < count; i += shards) fn(i);  // Caller is shard 0.
+  Wait();
+}
+
+void ThreadPool::ParallelForStealable(
+    uint32_t count, const std::function<void(uint32_t)>& fn) {
+  const uint32_t participants = std::min(num_workers() + 1, count);
+  if (participants <= 1) {
+    for (uint32_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // One claim flag per index: exchange(acq_rel) makes the winner's read of
+  // any prior writes to the index's inputs visible and runs fn exactly once.
+  auto claimed = std::make_unique<std::atomic<uint8_t>[]>(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    claimed[i].store(0, std::memory_order_relaxed);
+  }
+  std::atomic<uint8_t>* flags = claimed.get();
+  auto run_as = [flags, &fn, participants, count](uint32_t p) {
+    // Own indices first, then victims in the fixed order p+1, p+2, ...
+    // (mod P); within each victim, ascending index order.
+    for (uint32_t v = 0; v < participants; ++v) {
+      const uint32_t owner = (p + v) % participants;
+      for (uint32_t i = owner; i < count; i += participants) {
+        if (flags[i].exchange(1, std::memory_order_acq_rel) == 0) fn(i);
+      }
+    }
+  };
+  for (uint32_t p = 1; p < participants; ++p) {
+    Submit([run_as, p] { run_as(p); });
+  }
+  run_as(0);  // Caller is participant 0.
   Wait();
 }
 

@@ -2,6 +2,7 @@
 #define VCMP_COMMON_THREAD_POOL_H_
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -50,9 +51,33 @@ class ThreadPool {
   /// caller participates, so the pool is never idle-waited from outside.
   void ParallelFor(uint32_t count, const std::function<void(uint32_t)>& fn);
 
+  /// Work-stealing variant of ParallelFor for skewed index costs.
+  ///
+  /// Ownership stays static — index i belongs to participant i mod P — but
+  /// a participant that drains its own indices claims leftovers from
+  /// victims in the fixed scan order (p + 1) mod P, (p + 2) mod P, ...
+  /// Victim selection and steal order are pure functions of participant
+  /// and index numbers, never of timing. Which thread *executes* an index
+  /// still depends on the schedule, so `fn` must write only to state keyed
+  /// by the index (per-shard slots/arenas); any cross-index reduction must
+  /// happen after the barrier, in fixed index order.
+  void ParallelForStealable(uint32_t count,
+                            const std::function<void(uint32_t)>& fn);
+
   /// Hardware concurrency with a floor of 1 (the standard allows 0).
   static uint32_t HardwareThreads() {
     return std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  /// Single policy point for turning an `execution_threads` option into a
+  /// worker count: 0 means "use the hardware", and the hardware clamp is
+  /// applied only when the caller asked for it. Both engines route their
+  /// thread options through here so they cannot drift apart.
+  static uint32_t ResolveThreads(uint32_t requested, bool clamp_to_hardware) {
+    uint32_t threads = requested == 0 ? HardwareThreads()
+                                      : std::max(1u, requested);
+    if (clamp_to_hardware) threads = std::min(threads, HardwareThreads());
+    return threads;
   }
 
  private:

@@ -134,9 +134,14 @@ Result<RunReport> MultiProcessingRunner::Run(const MultiTask& task,
       break;  // The paper stops overloaded runs at the cut-off.
     }
 
-    // Residual memory of this batch persists into the next ones.
+    // Residual memory of this batch persists into the next ones: results
+    // the program recorded through MessageSink::AddResidualBytes (folded
+    // per machine by the engine) plus any program-side accounting.
     for (uint32_t machine = 0; machine < carryover.size(); ++machine) {
       carryover[machine] += program->ResidualBytes(machine);
+      if (machine < result.residual_bytes_per_machine.size()) {
+        carryover[machine] += result.residual_bytes_per_machine[machine];
+      }
     }
     if (options_.residual_observer || tracer != nullptr) {
       std::vector<double> paper_scale(carryover.size());

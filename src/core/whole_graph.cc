@@ -68,6 +68,9 @@ Result<WholeGraphReport> WholeGraphRunner::Run(
       break;
     }
     carryover[0] += program->ResidualBytes(0);
+    if (!result.residual_bytes_per_machine.empty()) {
+      carryover[0] += result.residual_bytes_per_machine[0];
+    }
   }
 
   // Final aggregation: every machine ships its n-vector of partial results

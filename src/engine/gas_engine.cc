@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -11,14 +12,85 @@
 
 namespace vcmp {
 
+namespace {
+
+/// One logged Signal call (replayed later in deterministic order).
+struct GasSignalEvent {
+  VertexId target;
+  double value;
+  double multiplicity;
+};
+
+/// Per-processed-vertex record of a shard's event log.
+struct GasVertexRecord {
+  VertexId vertex;
+  uint32_t first_event;
+  uint32_t num_events = 0;
+  double compute_units = 0.0;
+  double residual_bytes = 0.0;
+};
+
+/// Shard-local GasContext for the synchronous sharded Process phase: it
+/// only LOGS what the program did — signals, compute units, residual
+/// bytes — keyed by processed vertex. The engine replays the logs in
+/// fixed shard order through the real Context afterwards, so the global
+/// accumulator/frontier/wire-stat folds happen in frontier order no
+/// matter how shards were scheduled. rng() is reseeded per vertex from
+/// (seed, pass, vertex), making draw sequences shard-layout invariant.
+class GasShardLog : public GasContext {
+ public:
+  void Configure(uint64_t seed) { seed_ = seed; }
+
+  void BeginPass(uint64_t pass) {
+    pass_ = pass;
+    events_.clear();
+    records_.clear();
+  }
+
+  void BeginVertex(VertexId v) {
+    records_.push_back(GasVertexRecord{
+        v, static_cast<uint32_t>(events_.size()), 0, 0.0, 0.0});
+    current_ = &records_.back();
+    rng_ = Rng(Rng::MixSeed(seed_, pass_, v));
+  }
+
+  void Signal(VertexId target, double value, double multiplicity) override {
+    events_.push_back(GasSignalEvent{target, value, multiplicity});
+    ++current_->num_events;
+  }
+  void AddComputeUnits(double units) override {
+    current_->compute_units += units;
+  }
+  void AddResidualBytes(double bytes) override {
+    current_->residual_bytes += bytes;
+  }
+  Rng& rng() override { return rng_; }
+  uint64_t pass() const override { return pass_; }
+
+  const std::vector<GasSignalEvent>& events() const { return events_; }
+  const std::vector<GasVertexRecord>& records() const { return records_; }
+
+ private:
+  uint64_t seed_ = 0;
+  uint64_t pass_ = 0;
+  Rng rng_{0};
+  GasVertexRecord* current_ = nullptr;
+  std::vector<GasSignalEvent> events_;
+  std::vector<GasVertexRecord> records_;
+};
+
+constexpr uint32_t kDefaultGasShards = 16;
+
+}  // namespace
+
 /// Accumulator-based scheduling context shared by both modes.
 class GasEngine::Context : public GasContext {
  public:
-  Context(GasEngine* engine, Rng* rng)
+  explicit Context(GasEngine* engine)
       : engine_(engine),
-        rng_(rng),
         machines_(engine->partition_.num_machines),
         acc_(engine->graph_.NumVertices(), 0.0),
+        residual_ledger_(machines_, 0.0),
         wire_stamp_(static_cast<size_t>(machines_) *
                         engine->graph_.NumVertices(),
                     0) {
@@ -65,7 +137,11 @@ class GasEngine::Context : public GasContext {
     compute_units_[sender_machine_] += units;
   }
 
-  Rng& rng() override { return *rng_; }
+  void AddResidualBytes(double bytes) override {
+    residual_ledger_[sender_machine_] += bytes;
+  }
+
+  Rng& rng() override { return rng_; }
   uint64_t pass() const override { return pass_; }
 
   // --- engine-side helpers ---
@@ -75,6 +151,13 @@ class GasEngine::Context : public GasContext {
     ResetPassCounters();
   }
   void SetSender(uint32_t machine) { sender_machine_ = machine; }
+
+  /// Reseeds the context RNG for the serial (async) Process path — the
+  /// same (seed, pass, vertex) mix the sharded path uses, so a program
+  /// gets identical draws for a given activation in either mode.
+  void BeginVertex(VertexId v) {
+    rng_ = Rng(Rng::MixSeed(engine_->options_.seed, pass_, v));
+  }
 
   /// Reads the accumulated signal of v without consuming it.
   double PendingSignal(VertexId v) const { return acc_[v]; }
@@ -99,6 +182,9 @@ class GasEngine::Context : public GasContext {
   const std::vector<double>& wire_cross_in() const { return wire_cross_in_; }
   const std::vector<double>& logical_cross() const { return logical_cross_; }
   const std::vector<double>& compute_units() const { return compute_units_; }
+  const std::vector<double>& residual_ledger() const {
+    return residual_ledger_;
+  }
 
  private:
   void ResetPassCounters() {
@@ -111,12 +197,15 @@ class GasEngine::Context : public GasContext {
   }
 
   GasEngine* engine_;
-  Rng* rng_;
   uint32_t machines_;
   uint64_t pass_ = 0;
   uint64_t pass_stamp_ = 1;
   uint32_t sender_machine_ = 0;
+  Rng rng_{0};
   std::vector<double> acc_;
+  /// Per-machine AddResidualBytes totals, accumulated over the whole run
+  /// (folded in frontier/replay order — thread-count invariant).
+  std::vector<double> residual_ledger_;
   /// Dense-bitmap + sparse-list active set (engine/frontier.h): O(1)
   /// membership tests during signal accumulation, Take() hands out only
   /// the activated vertices — no vertex-space scan per pass.
@@ -151,19 +240,28 @@ Result<GasResult> GasEngine::Run(GasVertexProgram& program) {
   const MachineSpec& machine_spec = options_.cluster.machine;
   CostModel cost_model(options_.cluster, profile, options_.cost);
 
-  Rng rng(options_.seed);
-  Context context(this, &rng);
+  Context context(this);
 
-  // Persistent pool for the engine's order-independent sections. The
-  // Process loop stays serial by necessity: signals sent to frontier
-  // vertices that have not been consumed yet fold into the *current* pass
-  // (and must not reschedule), and programs may draw from a shared RNG —
-  // both fix a sequential frontier order.
-  uint32_t thread_count = options_.execution_threads == 0
-                              ? ThreadPool::HardwareThreads()
-                              : std::max(options_.execution_threads, 1u);
-  thread_count = std::min(thread_count, ThreadPool::HardwareThreads());
+  // Persistent pool for the engine's parallel sections. Synchronous
+  // passes run the Process loop itself over fixed frontier shards (logs
+  // replayed in shard order — see GasShardLog); the asynchronous loop
+  // stays serial because in-pass signal folding is its semantics.
+  const uint32_t thread_count = ThreadPool::ResolveThreads(
+      options_.execution_threads, options_.clamp_threads_to_hardware);
   ThreadPool pool(thread_count - 1);
+  const uint32_t shards = options_.compute_shards == 0
+                              ? kDefaultGasShards
+                              : options_.compute_shards;
+  std::vector<GasShardLog> shard_logs(profile.synchronous ? shards : 0);
+  for (GasShardLog& log : shard_logs) log.Configure(options_.seed);
+  const auto parallel_shards = [&](uint32_t count,
+                                   const std::function<void(uint32_t)>& fn) {
+    if (options_.enable_work_stealing) {
+      pool.ParallelForStealable(count, fn);
+    } else {
+      pool.ParallelFor(count, fn);
+    }
+  };
 
   Tracer* const tracer = options_.tracer;
   uint32_t trace_track = options_.trace_track;
@@ -203,10 +301,64 @@ Result<GasResult> GasEngine::Run(GasVertexProgram& program) {
     // Snapshot the pass's send-side stats while processing.
     context.BeginPass(pass);
     double pass_logical = 0.0;
-    for (VertexId v : frontier) {
-      double signal = context.Consume(v);
-      context.SetSender(partition_.MachineOf(v));
-      program.Process(v, signal, context);
+    if (profile.synchronous) {
+      // Sharded synchronous pass. Phase A: snapshot-consume every
+      // frontier signal up front (serial, cheap) — all signals emitted in
+      // this pass land in the NEXT pass's accumulators, the
+      // bulk-synchronous semantics. Phase B: fixed contiguous frontier
+      // shards run the programs concurrently, logging into per-shard
+      // event logs (stealable; outputs are per-shard state only).
+      // Phase C: replay the logs in shard order — equal to frontier
+      // order — through the real signal path, so the accumulator and
+      // wire-combining folds are bit-identical at every thread count and
+      // every shard count.
+      const size_t frontier_size = frontier.size();
+      std::vector<double> signals(frontier_size);
+      for (size_t i = 0; i < frontier_size; ++i) {
+        signals[i] = context.Consume(frontier[i]);
+      }
+      const auto shard_begin = [&](uint32_t s) {
+        return static_cast<size_t>(static_cast<uint64_t>(frontier_size) *
+                                   s / shards);
+      };
+      parallel_shards(shards, [&](uint32_t s) {
+        GasShardLog& log = shard_logs[s];
+        log.BeginPass(pass);
+        const size_t begin = shard_begin(s);
+        const size_t end = shard_begin(s + 1);
+        for (size_t i = begin; i < end; ++i) {
+          log.BeginVertex(frontier[i]);
+          program.Process(frontier[i], signals[i], log);
+        }
+      });
+      for (uint32_t s = 0; s < shards; ++s) {
+        const GasShardLog& log = shard_logs[s];
+        for (const GasVertexRecord& record : log.records()) {
+          context.SetSender(partition_.MachineOf(record.vertex));
+          for (uint32_t e = 0; e < record.num_events; ++e) {
+            const GasSignalEvent& event =
+                log.events()[record.first_event + e];
+            context.Signal(event.target, event.value, event.multiplicity);
+          }
+          if (record.compute_units != 0.0) {
+            context.AddComputeUnits(record.compute_units);
+          }
+          if (record.residual_bytes != 0.0) {
+            context.AddResidualBytes(record.residual_bytes);
+          }
+        }
+      }
+    } else {
+      // Asynchronous scheduling is sequential by semantics: signals sent
+      // to frontier vertices that have not been consumed yet fold into
+      // the *current* pass (eager propagation — the behaviour the async
+      // pricing models), which fixes a serial frontier order.
+      for (VertexId v : frontier) {
+        double signal = context.Consume(v);
+        context.SetSender(partition_.MachineOf(v));
+        context.BeginVertex(v);
+        program.Process(v, signal, context);
+      }
     }
     total_activations += frontier.size();
     result.passes = pass;
@@ -237,7 +389,9 @@ Result<GasResult> GasEngine::Run(GasVertexProgram& program) {
       load.compute_units = context.compute_units()[m] * scale;
       load.state_bytes =
           (graph_share_bytes_[m] + program.StateBytes(m)) * scale;
-      load.residual_bytes = program.ResidualBytes(m) * scale;
+      load.residual_bytes = (program.ResidualBytes(m) +
+                             context.residual_ledger()[m]) *
+                            scale;
       // vcmp:deterministic-reduction(slot m is owned by shard m; one add per pass in fixed pass order, thread-count invariant)
       cross_bytes_per_machine[m] += load.cross_bytes_out;
     });
@@ -323,6 +477,7 @@ Result<GasResult> GasEngine::Run(GasVertexProgram& program) {
     frontier = context.TakeFrontier();
   }
   result.activations = total_activations * scale;
+  result.residual_bytes_per_machine = context.residual_ledger();
 
   if (!profile.synchronous && !result.overloaded) {
     // Asynchronous pricing: no barriers; work flows through a shared

@@ -31,6 +31,17 @@ class GasContext {
   /// Extra modelled compute in edge-scan units.
   virtual void AddComputeUnits(double units) = 0;
 
+  /// Records bytes of residual (intermediate-result) memory produced by
+  /// the current vertex. The engine attributes them to the vertex's
+  /// machine and folds them in frontier order, so several compute shards
+  /// of one machine can run concurrently without the program keeping a
+  /// shared per-machine accumulator. Accumulated totals are returned in
+  /// GasResult::residual_bytes_per_machine.
+  virtual void AddResidualBytes(double bytes) { (void)bytes; }
+
+  /// Deterministic random stream of the CURRENT vertex: reseeded from
+  /// (engine seed, pass, vertex) at each Process call, so draw sequences
+  /// never depend on the shard layout, thread count or frontier order.
   virtual Rng& rng() = 0;
   /// Scheduling pass (== superstep in sync mode).
   virtual uint64_t pass() const = 0;
@@ -83,6 +94,10 @@ struct GasResult {
   double peak_memory_bytes = 0.0;
   double barrier_seconds = 0.0;
   double lock_seconds = 0.0;
+  /// Residual bytes recorded via GasContext::AddResidualBytes over the
+  /// whole run, per machine, generated-graph scale (mirrors
+  /// EngineResult::residual_bytes_per_machine).
+  std::vector<double> residual_bytes_per_machine;
 };
 
 /// Options for a GAS execution.
@@ -94,13 +109,30 @@ struct GasOptions {
   double stat_scale = 1.0;
   uint64_t seed = 7;
   uint64_t max_passes = 8192;
-  /// Threads for the engine's parallelisable sections (the priority-sort
-  /// of the frontier and per-machine load assembly), served by the same
-  /// persistent ThreadPool as SyncEngine. Results are bit-identical for
-  /// any value. The Process loop itself is inherently sequential: signals
-  /// to not-yet-consumed frontier vertices fold into the current pass, and
-  /// programs may draw from one shared RNG in frontier order. 0 = auto.
+  /// Threads for the engine's parallel sections, served by the same
+  /// persistent ThreadPool as SyncEngine. In synchronous mode the Process
+  /// loop itself runs shard-parallel: the pass's frontier signals are
+  /// snapshot-consumed up front, fixed contiguous frontier shards log
+  /// their signals/compute/residual into per-shard event logs, and the
+  /// logs are replayed serially in shard order through the real signal
+  /// path — so results are bit-identical for any thread count and any
+  /// shard count (DESIGN.md section 12). The asynchronous Process loop
+  /// stays sequential by semantics: signals to not-yet-consumed frontier
+  /// vertices fold into the current pass. 0 = auto (hardware threads).
   uint32_t execution_threads = 1;
+  /// Clamp the thread count to the hardware concurrency (same contract as
+  /// EngineOptions::clamp_threads_to_hardware — results are invariant, so
+  /// oversubscription only adds context switches). Tests that must run an
+  /// exact thread count disable this.
+  bool clamp_threads_to_hardware = true;
+  /// Fixed number of compute shards the synchronous frontier is split
+  /// into (contiguous segments). Like the sync engine, deliberately NOT
+  /// derived from the thread count. 0 = auto (16).
+  uint32_t compute_shards = 0;
+  /// Allow idle threads to steal leftover shards from statically-chosen
+  /// victims (ThreadPool::ParallelForStealable); steal order derives from
+  /// shard indices, never timing. Outputs are identical either way.
+  bool enable_work_stealing = true;
   /// GraphLab's priority scheduler (async mode): process vertices with the
   /// largest pending signal first. Convergent programs settle heavy mass
   /// early and need fewer activations than FIFO order.

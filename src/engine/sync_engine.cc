@@ -6,41 +6,152 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/wall_clock.h"
+#include "obs/shard_spans.h"
 #include "obs/tracer.h"
 
 namespace vcmp {
 
-/// Per-machine MessageSink: wired into the machine's Worker, its own
-/// deterministic random stream, and sender-side statistics. One instance
-/// per simulated machine makes the compute phase embarrassingly parallel
-/// across machines while staying bit-identical to serial execution.
-class SyncEngine::Sink : public MessageSink {
+namespace {
+
+/// Default shard count per machine when compute_shards_per_machine is 0.
+/// Fixed (never derived from the thread count) so the shard plan — and
+/// with it every reduction order — is a pure function of the round's
+/// inbox.
+constexpr uint32_t kDefaultShardsPerMachine = 16;
+
+}  // namespace
+
+/// Contiguous item ranges assigning one machine's round to its compute
+/// shards. `bounds` has shards + 1 entries; shard s covers items
+/// [bounds[s], bounds[s + 1]) — run indices for message rounds, positions
+/// into vertices_by_machine_ for the seeding superstep. Cuts always land
+/// on vertex boundaries (all runs of one target stay in one shard), so
+/// per-vertex RNG reseeding and active-vertex counting see whole
+/// vertices. The plan depends only on the shard count and the round's
+/// payload weights: it is identical at every thread count.
+struct SyncEngine::ShardPlan {
+  std::vector<uint32_t> bounds;
+
+  /// Greedy proportional cut: shard s ends at the first vertex boundary
+  /// where the cumulative weight reaches total * (s + 1) / shards.
+  void BuildForVertices(const Graph& graph,
+                        const std::vector<VertexId>& vertices,
+                        uint32_t shards) {
+    uint64_t total = 0;
+    for (VertexId v : vertices) total += 1 + graph.OutDegree(v);
+    bounds.assign(shards + 1, 0);
+    const uint32_t n = static_cast<uint32_t>(vertices.size());
+    uint32_t i = 0;
+    uint64_t cum = 0;
+    for (uint32_t s = 0; s < shards; ++s) {
+      bounds[s] = i;
+      const uint64_t target = total * (s + 1) / shards;
+      while (i < n && cum < target) {
+        cum += 1 + graph.OutDegree(vertices[i]);
+        ++i;
+      }
+    }
+    bounds[shards] = n;
+  }
+
+  void BuildForRuns(std::span<const MessageRun> runs, uint32_t shards) {
+    uint64_t total = 0;
+    for (const MessageRun& run : runs) total += run.size() + 1;
+    bounds.assign(shards + 1, 0);
+    const uint32_t n = static_cast<uint32_t>(runs.size());
+    uint32_t i = 0;
+    uint64_t cum = 0;
+    for (uint32_t s = 0; s < shards; ++s) {
+      bounds[s] = i;
+      const uint64_t target = total * (s + 1) / shards;
+      while (i < n && cum < target) {
+        const VertexId vertex = runs[i].target;
+        while (i < n && runs[i].target == vertex) {  // Whole vertex.
+          cum += runs[i].size() + 1;
+          ++i;
+        }
+      }
+    }
+    bounds[shards] = n;
+  }
+};
+
+/// Result of merging one (sender, destination) outbox from the sender's
+/// shard arenas. Written by exactly one merge task, read serially after
+/// the merge barrier.
+struct SyncEngine::MergeSlot {
+  /// Logical / wire traffic the sender pushed INTO the destination
+  /// machine, folded by walking the shard arenas in shard order — i.e.
+  /// the sender's emission order, which shard boundaries cannot change.
+  double logical_cross_in = 0.0;
+  double wire_cross_in = 0.0;
+  /// Combining only: distinct (target, tag) keys created in this outbox
+  /// (integer-valued; the sender's wire_sent contribution).
+  double new_wire_keys = 0.0;
+  uint64_t merge_ns = 0;
+
+  void Clear() { *this = MergeSlot{}; }
+};
+
+/// Per-(machine, shard) MessageSink: raw staging arenas (one per
+/// destination machine), per-vertex log records, and a per-vertex-reseeded
+/// random stream.
+///
+/// The sharded compute phase never writes shared machine state: every
+/// message lands in this shard's arena, every statistic in the current
+/// vertex's log record, and every RNG draw comes from a stream seeded by
+/// (seed, round, vertex). Cross-shard reductions happen after the barrier
+/// in fixed orders — arena concatenation in shard order equals the serial
+/// emission order, and log records concatenated across shards equal the
+/// machine's vertex order — so results are bit-identical at every thread
+/// count AND every shard count (per-shard partial sums would only give
+/// per-shard-count invariance).
+class SyncEngine::ShardSink : public MessageSink {
  public:
-  Sink(SyncEngine* engine, std::vector<Worker>* workers, uint32_t machine,
-       uint64_t seed)
-      : engine_(engine),
-        workers_(workers),
-        machine_(machine),
-        // Hot-path hoists: Send runs per logical message, so the worker,
-        // the partition assignment array, and the mirroring flag are
-        // resolved once here instead of via pointer chains per call.
-        // The workers vector is sized before any Sink is built and never
-        // reallocates during Run.
-        worker_(&(*workers)[machine]),
-        machine_of_(engine->partition_.assignment.data()),
-        mirror_broadcast_only_(engine->options_.profile.mirroring),
-        rng_(seed) {
-    logical_cross_in_.assign(engine_->partition_.num_machines, 0.0);
-    wire_cross_in_.assign(engine_->partition_.num_machines, 0.0);
+  /// Everything one vertex contributed to its machine's round statistics.
+  /// Folded (per machine) in vertex order during finalization; the fields
+  /// themselves accumulate in the vertex's own emission order, entirely
+  /// within one shard.
+  struct VertexLog {
+    double compute_units = 0.0;
+    double aggregate = 0.0;
+    double logical_sent = 0.0;
+    /// Wire counts are only meaningful without a combiner (raw staging:
+    /// one wire unit per logical unit; mirror broadcasts count mirror
+    /// hops). Under combining the merge counts distinct keys instead.
+    double wire_sent = 0.0;
+    double logical_cross = 0.0;
+    double wire_cross = 0.0;
+    double residual_bytes = 0.0;
+    bool aggregate_used = false;
+  };
+
+  explicit ShardSink(SyncEngine* engine) : engine_(engine) {}
+
+  void Configure(uint32_t machine, uint32_t num_machines) {
+    machine_ = machine;
+    num_machines_ = num_machines;
+    machine_of_ = engine_->partition_.assignment.data();
+    mirror_broadcast_only_ = engine_->options_.profile.mirroring;
+    arenas_.resize(num_machines);
+    cross_weights_.resize(num_machines);
   }
 
   void BeginRound(uint64_t round) {
     round_ = round;
-    std::fill(logical_cross_in_.begin(), logical_cross_in_.end(), 0.0);
-    std::fill(wire_cross_in_.begin(), wire_cross_in_.end(), 0.0);
-    compute_units_ = 0.0;
-    aggregate_sum_ = 0.0;
-    aggregate_used_ = false;
+    for (MessageBlock& arena : arenas_) arena.Clear();
+    for (std::vector<double>& weights : cross_weights_) weights.clear();
+    log_.clear();
+    cur_ = nullptr;
+  }
+
+  /// Opens the log record for `v` and reseeds the random stream from
+  /// (seed, round, v): the draw sequence a vertex sees depends only on
+  /// those coordinates, never on which shard or thread ran it.
+  void BeginVertex(VertexId v) {
+    log_.emplace_back();
+    cur_ = &log_.back();
+    rng_ = Rng(Rng::MixSeed(engine_->options_.seed, round_, v));
   }
 
   void Send(VertexId target, uint32_t tag, double value,
@@ -53,31 +164,32 @@ class SyncEngine::Sink : public MessageSink {
   void Broadcast(VertexId from, uint32_t tag, double value,
                  double multiplicity_per_neighbor) override {
     const Graph& graph = engine_->graph_;
-    const Partitioning& partition = engine_->partition_;
     const MirrorPlan* plan = engine_->mirror_plan_.get();
     if (plan != nullptr && plan->IsMirrored(from)) {
       // One wire message per remote mirror machine; the mirrors fan out
       // locally. Every neighbour still receives (and buffers/processes) a
       // logical message, but only the mirror hops cross the network and
-      // only they occupy the sender's outbox.
+      // only they occupy the sender's wire statistics. Each staged cross
+      // message carries a cross weight — 1.0 on the first touch of its
+      // machine within this broadcast, else 0.0 — so the merge can fold
+      // the destination's cross-in traffic from the arenas in emission
+      // order without re-deriving broadcast boundaries.
       const double mult = multiplicity_per_neighbor;
-      WorkerSendStats& send_stats = worker_->send_stats();
       const double remote = plan->RemoteMirrorMachines(from);
-      send_stats.wire_cross += remote;
-      send_stats.logical_cross += remote;
-      send_stats.wire_sent += remote;
+      cur_->wire_cross += remote;
+      cur_->logical_cross += remote;
+      cur_->wire_sent += remote;
       std::vector<uint8_t>& seen = mirror_seen_;
-      seen.assign(partition.num_machines, 0);
+      seen.assign(num_machines_, 0);
       std::span<const VertexId> neighbors = graph.Neighbors(from);
       for (VertexId u : neighbors) {
-        uint32_t machine = partition.MachineOf(u);
-        if (machine != machine_ && !seen[machine]) {
+        const uint32_t machine = machine_of_[u];
+        arenas_[machine].PushBack(u, tag, value, mult);
+        if (machine != machine_) {
+          cross_weights_[machine].push_back(seen[machine] ? 0.0 : 1.0);
           seen[machine] = 1;
-          wire_cross_in_[machine] += 1.0;   // The mirror-hop message.
-          logical_cross_in_[machine] += 1.0;
         }
-        worker_->Stage(machine, u, tag, value, mult);
-        send_stats.logical_sent += mult;
+        cur_->logical_sent += mult;
       }
       AddComputeUnits(static_cast<double>(neighbors.size()));
       return;
@@ -88,69 +200,62 @@ class SyncEngine::Sink : public MessageSink {
     }
   }
 
-  void AddComputeUnits(double units) override { compute_units_ += units; }
+  void AddComputeUnits(double units) override {
+    cur_->compute_units += units;
+  }
 
   void Aggregate(double value) override {
-    aggregate_sum_ += value;
-    aggregate_used_ = true;
+    cur_->aggregate += value;
+    cur_->aggregate_used = true;
+  }
+
+  void AddResidualBytes(double bytes) override {
+    cur_->residual_bytes += bytes;
   }
 
   uint64_t round() const override { return round_; }
   Rng& rng() override { return rng_; }
 
-  /// Mirror-hop / cross-machine traffic this sink sent INTO each machine.
-  const std::vector<double>& logical_cross_in() const {
-    return logical_cross_in_;
+  const MessageBlock& arena(uint32_t dest) const { return arenas_[dest]; }
+  const std::vector<double>& cross_weights(uint32_t dest) const {
+    return cross_weights_[dest];
   }
-  const std::vector<double>& wire_cross_in() const { return wire_cross_in_; }
-  double compute_units() const { return compute_units_; }
-  double aggregate_sum() const { return aggregate_sum_; }
-  bool aggregate_used() const { return aggregate_used_; }
-
-  void set_combiner(const Combiner* combiner) { combiner_ = combiner; }
+  const std::vector<VertexLog>& log() const { return log_; }
 
  private:
   void SendInternal(VertexId target, uint32_t tag, double value,
                     double multiplicity) {
-    uint32_t target_machine = machine_of_[target];
-    bool new_wire =
-        worker_->Stage(target_machine, target, tag, value, multiplicity);
-    WorkerSendStats& stats = worker_->send_stats();
-    stats.logical_sent += multiplicity;
-    double wire_units = WireUnits(multiplicity, new_wire);
-    stats.wire_sent += wire_units;
+    const uint32_t target_machine = machine_of_[target];
+    arenas_[target_machine].PushBack(target, tag, value, multiplicity);
+    cur_->logical_sent += multiplicity;
+    cur_->wire_sent += multiplicity;
     if (target_machine != machine_) {
-      stats.logical_cross += multiplicity;
-      stats.wire_cross += wire_units;
-      logical_cross_in_[target_machine] += multiplicity;
-      wire_cross_in_[target_machine] += wire_units;
+      cur_->logical_cross += multiplicity;
+      cur_->wire_cross += multiplicity;
+      if (mirror_broadcast_only_) {
+        // Mirror profiles mix first-touch hops (weight 1/0) with plain
+        // sends from unmirrored vertices (weight = multiplicity); the
+        // weight column keeps the merge's cross-in fold uniform.
+        cross_weights_[target_machine].push_back(multiplicity);
+      }
     }
   }
 
-  /// Wire messages represented by one staged physical message: without
-  /// sender-side combining every logical message is serialized separately;
-  /// with combining, merged messages cost one wire unit.
-  double WireUnits(double multiplicity, bool new_wire) const {
-    if (combiner_ != nullptr) return new_wire ? 1.0 : 0.0;
-    return multiplicity;
-  }
-
-  SyncEngine* engine_;
-  std::vector<Worker>* workers_;
-  const uint32_t machine_;
-  Worker* const worker_;
-  const uint32_t* const machine_of_;
-  const bool mirror_broadcast_only_;
-  Rng rng_;
-  const Combiner* combiner_ = nullptr;
+  SyncEngine* const engine_;
+  uint32_t machine_ = 0;
+  uint32_t num_machines_ = 0;
+  const uint32_t* machine_of_ = nullptr;
+  bool mirror_broadcast_only_ = false;
   uint64_t round_ = 0;
-  double compute_units_ = 0.0;
-  double aggregate_sum_ = 0.0;
-  bool aggregate_used_ = false;
-  std::vector<double> logical_cross_in_;
-  std::vector<double> wire_cross_in_;
+  Rng rng_{0};
+  VertexLog* cur_ = nullptr;
+  std::vector<MessageBlock> arenas_;          // One per destination.
+  std::vector<std::vector<double>> cross_weights_;  // Mirror mode only.
+  std::vector<VertexLog> log_;
   std::vector<uint8_t> mirror_seen_;
 };
+
+SyncEngine::~SyncEngine() = default;  // ShardSink is complete here.
 
 SyncEngine::SyncEngine(const Graph& graph, const Partitioning& partition,
                        EngineOptions options)
@@ -211,38 +316,56 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
     worker.set_vertex_space(graph_.NumVertices());
   }
 
-  // One sink per machine: independent deterministic random streams and
-  // sender-side accumulators, so machines can compute concurrently with
-  // results identical to serial execution.
-  std::vector<std::unique_ptr<Sink>> sinks;
-  sinks.reserve(machines);
-  for (uint32_t machine = 0; machine < machines; ++machine) {
-    sinks.push_back(std::make_unique<Sink>(
-        this, &workers, machine,
-        options_.seed * 0x9e3779b97f4a7c15ULL + machine));
-    sinks.back()->set_combiner(options_.profile.combines_messages
-                                   ? program.combiner()
-                                   : nullptr);
+  // One sink per (machine, shard): raw staging arenas and per-vertex log
+  // records, merged after the compute barrier in fixed shard order.
+  const uint32_t shards_per_machine =
+      options_.compute_shards_per_machine == 0
+          ? kDefaultShardsPerMachine
+          : options_.compute_shards_per_machine;
+  const uint32_t num_shard_tasks = machines * shards_per_machine;
+  shard_sinks_.resize(num_shard_tasks);
+  for (uint32_t task = 0; task < num_shard_tasks; ++task) {
+    if (shard_sinks_[task] == nullptr) {
+      shard_sinks_[task] = std::make_unique<ShardSink>(this);
+    }
+    shard_sinks_[task]->Configure(task / shards_per_machine, machines);
   }
+  std::vector<std::unique_ptr<ShardSink>>& shard_sinks = shard_sinks_;
 
   // The pool outlives the round loop: its threads are created once per
   // Run and parked between parallel sections, instead of spawning and
-  // joining a thread set every round. Oversubscribing the hardware only
-  // adds context switches (results are thread-count invariant), so the
-  // requested count is clamped to the core count by default; tests that
-  // must run an exact shard count disable the clamp.
-  uint32_t thread_count =
-      options_.execution_threads == 0 ? ThreadPool::HardwareThreads()
-                                      : options_.execution_threads;
-  thread_count = std::min(std::max(thread_count, 1u), machines);
-  if (options_.clamp_threads_to_hardware) {
-    thread_count = std::min(thread_count, ThreadPool::HardwareThreads());
-  }
+  // joining a thread set every round. Intra-machine sharding means more
+  // threads than machines still helps, so the only cap is the optional
+  // hardware clamp (oversubscription adds context switches without
+  // changing any output — results are thread-count invariant).
+  const uint32_t thread_count = ThreadPool::ResolveThreads(
+      options_.execution_threads, options_.clamp_threads_to_hardware);
   ThreadPool pool(thread_count - 1);
+  const bool steal = options_.enable_work_stealing;
+  auto parallel_shards = [&pool, steal](
+                             uint32_t count,
+                             const std::function<void(uint32_t)>& fn) {
+    if (steal) {
+      pool.ParallelForStealable(count, fn);
+    } else {
+      pool.ParallelFor(count, fn);
+    }
+  };
 
   EngineResult result;
   const double scale = options_.stat_scale;
   const double cutoff = options_.cost.overload_cutoff_seconds;
+
+  // Round-loop scratch, reused every round.
+  std::vector<ShardPlan> plans(machines);
+  std::vector<MergeSlot> merge_slots(
+      static_cast<size_t>(machines) * machines);
+  std::vector<double> machine_units(machines, 0.0);
+  std::vector<double> machine_aggregate(machines, 0.0);
+  std::vector<uint8_t> machine_aggregate_used(machines, 0);
+  std::vector<double> machine_residual_round(machines, 0.0);
+  std::vector<double> residual_ledger(machines, 0.0);
+  std::vector<double> shard_weights;  // trace_shard_spans only.
 
   // Tracing rides the simulated clock: this run sits on the caller's
   // timeline at trace_time_offset_seconds (the runner lines batches up
@@ -260,28 +383,66 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
 
     ClusterRoundLoad loads(machines);
 
-    // --- Compute phase: machines are independent within a round ---
     bool any_messages_pending = false;
     const bool use_runs = program.UsesComputeRun();
-    auto process_machine = [&](uint32_t machine) {
-      Worker& worker = workers[machine];
-      Sink& sink = *sinks[machine];
-      sink.BeginRound(round);
-      MachineRoundLoad& load = loads[machine];
+    const uint64_t compute_start_ns = wallclock::NowNs();
 
+    // --- Phase A: per-machine prep (group, receive fold, shard plan) ---
+    // Grouping and the inbox receive fold are serial per machine — the
+    // same FP add order at every thread and shard count — and machines
+    // are independent.
+    auto prep_machine = [&](uint32_t machine) {
+      Worker& worker = workers[machine];
+      ShardPlan& plan = plans[machine];
       if (round == 0) {
-        // Seeding superstep: every local vertex runs with an empty inbox.
-        for (VertexId v : vertices_by_machine_[machine]) {
-          program.Compute(v, {}, sink);
-          load.active_vertices += 1.0;
+        // Seeding superstep: every local vertex runs with an empty inbox;
+        // shards balance by out-degree (broadcast seeds scan adjacency).
+        plan.BuildForVertices(graph_, vertices_by_machine_[machine],
+                              shards_per_machine);
+        return;
+      }
+      worker.GroupInbox();
+      MachineRoundLoad& load = loads[machine];
+      const double* mults = worker.grouped_multiplicities();
+      const size_t inbox_size = worker.inbox().size();
+      for (size_t i = 0; i < inbox_size; ++i) {
+        load.recv_messages += mults[i];
+        // Wire units: what was actually serialized/deserialized.
+        load.processed_messages +=
+            options_.profile.combines_messages ? 1.0 : mults[i];
+      }
+      if (!use_runs) {
+        // Built once here, read concurrently by this machine's shards.
+        worker.MaterializedInbox();
+      }
+      plan.BuildForRuns(worker.runs(), shards_per_machine);
+    };
+    pool.ParallelFor(machines, prep_machine);
+
+    // --- Phase B: sharded compute kernels ---
+    // runs() is the round's sparse frontier: only vertices with messages
+    // appear, in ascending (target, tag) order. Each shard executes its
+    // contiguous vertex range into its own arenas/logs; work stealing
+    // only changes which thread runs a shard, never what the shard
+    // writes.
+    auto run_shard = [&](uint32_t task) {
+      const uint32_t machine = task / shards_per_machine;
+      const uint32_t shard = task % shards_per_machine;
+      ShardSink& sink = *shard_sinks[task];
+      sink.BeginRound(round);
+      const ShardPlan& plan = plans[machine];
+      const uint32_t begin = plan.bounds[shard];
+      const uint32_t end = plan.bounds[shard + 1];
+      if (round == 0) {
+        const std::vector<VertexId>& vertices =
+            vertices_by_machine_[machine];
+        for (uint32_t i = begin; i < end; ++i) {
+          sink.BeginVertex(vertices[i]);
+          program.Compute(vertices[i], {}, sink);
         }
         return;
       }
-
-      worker.GroupInbox();
-      // runs() is the round's sparse frontier: only vertices with
-      // messages appear, in ascending (target, tag) order — no scan of
-      // the vertex space, no AoS inbox walk.
+      Worker& worker = workers[machine];
       const std::span<const MessageRun> runs = worker.runs();
       const double* values = worker.grouped_values();
       const double* mults = worker.grouped_multiplicities();
@@ -291,9 +452,10 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
         // order a per-vertex Compute would fold the tag groups in.
         VertexId prev_target = 0;
         bool have_prev = false;
-        for (const MessageRun& run : runs) {
+        for (uint32_t r = begin; r < end; ++r) {
+          const MessageRun& run = runs[r];
           if (!have_prev || run.target != prev_target) {
-            load.active_vertices += 1.0;
+            sink.BeginVertex(run.target);
             prev_target = run.target;
             have_prev = true;
           }
@@ -302,39 +464,190 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
           program.ComputeRun(run.target, view, sink);
         }
       } else {
-        // Fallback: materialize an AoS view once and hand each vertex
-        // the multi-tag span the legacy Compute signature expects.
+        // Fallback: the AoS view was materialized in phase A; hand each
+        // vertex the multi-tag span the legacy Compute signature expects.
         const std::span<const Message> inbox = worker.MaterializedInbox();
-        size_t r = 0;
-        while (r < runs.size()) {
-          size_t r_end = r + 1;
-          while (r_end < runs.size() &&
-                 runs[r_end].target == runs[r].target) {
+        uint32_t r = begin;
+        while (r < end) {
+          uint32_t r_end = r + 1;
+          while (r_end < end && runs[r_end].target == runs[r].target) {
             ++r_end;
           }
-          const size_t begin = runs[r].begin;
-          const size_t end = runs[r_end - 1].end;
-          program.Compute(runs[r].target, inbox.subspan(begin, end - begin),
-                          sink);
-          load.active_vertices += 1.0;
+          const size_t first = runs[r].begin;
+          const size_t last = runs[r_end - 1].end;
+          sink.BeginVertex(runs[r].target);
+          program.Compute(runs[r].target,
+                          inbox.subspan(first, last - first), sink);
           r = r_end;
         }
       }
-      const size_t inbox_size = worker.inbox().size();
-      for (size_t i = 0; i < inbox_size; ++i) {
-        load.recv_messages += mults[i];
-        // Wire units: what was actually serialized/deserialized.
-        load.processed_messages +=
-            options_.profile.combines_messages ? 1.0 : mults[i];
-      }
     };
+    parallel_shards(num_shard_tasks, run_shard);
 
-    // Static round-robin sharding on the persistent pool: machine m goes
-    // to shard m % T, exactly as the former per-round thread spawn did.
-    const uint64_t compute_start_ns = wallclock::NowNs();
-    pool.ParallelFor(machines, process_machine);
+    // --- Phase C: canonical merge into worker outboxes ---
+    // One task per (sender, destination) pair walks the sender's shard
+    // arenas for that destination in ascending shard order — exactly the
+    // sender's serial emission order — so combining folds, outbox bytes
+    // and the destination's cross-in traffic are all independent of the
+    // shard count.
+    auto merge_pair = [&](uint32_t pair) {
+      const uint32_t sender = pair / machines;
+      const uint32_t dest = pair % machines;
+      const uint64_t t0 = collect_times ? wallclock::NowNs() : 0;
+      Worker& worker = workers[sender];
+      MergeSlot& slot = merge_slots[pair];
+      slot.Clear();
+      MessageBlock& outbox = worker.outbox(dest);
+      const uint32_t first_task = sender * shards_per_machine;
+      double logical_in = 0.0;
+      if (combiner != nullptr) {
+        // Per-message fold through the sender's combining index, counting
+        // created keys (integer wire units).
+        CombineIndex& index = worker.combine_index(dest);
+        const CombinerKind kind = worker.combiner_kind();
+        double new_keys = 0.0;
+        double wire_in = 0.0;
+        for (uint32_t shard = 0; shard < shards_per_machine; ++shard) {
+          const MessageBlock& arena =
+              shard_sinks[first_task + shard]->arena(dest);
+          const VertexId* targets = arena.targets();
+          const uint32_t* tags = arena.tags();
+          const double* values = arena.values();
+          const double* mults = arena.multiplicities();
+          const size_t n = arena.size();
+          for (size_t i = 0; i < n; ++i) {
+            bool inserted = false;
+            const uint64_t key =
+                (static_cast<uint64_t>(targets[i]) << 32) | tags[i];
+            const size_t position =
+                index.FindOrInsert(key, outbox.size(), &inserted);
+            if (inserted) {
+              outbox.PushBack(targets[i], tags[i], values[i], mults[i]);
+              new_keys += 1.0;
+              if (dest != sender) wire_in += 1.0;
+            } else {
+              switch (kind) {
+                case CombinerKind::kSum:
+                  outbox.values()[position] += values[i];
+                  outbox.multiplicities()[position] += mults[i];
+                  break;
+                case CombinerKind::kMin:
+                  if (values[i] < outbox.values()[position]) {
+                    outbox.values()[position] = values[i];
+                  }
+                  outbox.multiplicities()[position] += mults[i];
+                  break;
+                case CombinerKind::kCustom: {
+                  Message into = outbox.At(position);
+                  combiner->Merge(into, Message{targets[i], tags[i],
+                                                values[i], mults[i]});
+                  outbox.Set(position, into);
+                  break;
+                }
+              }
+            }
+            if (dest != sender) logical_in += mults[i];
+          }
+        }
+        slot.new_wire_keys = new_keys;
+        slot.wire_cross_in = wire_in;
+      } else if (mirror_plan_ != nullptr) {
+        // Mirror mode: bulk append; cross-in folds the per-message
+        // weights (1/0 for mirror first-touches, multiplicity for plain
+        // sends from unmirrored vertices) in emission order.
+        for (uint32_t shard = 0; shard < shards_per_machine; ++shard) {
+          const ShardSink& sink = *shard_sinks[first_task + shard];
+          outbox.Append(sink.arena(dest));
+          if (dest != sender) {
+            for (double weight : sink.cross_weights(dest)) {
+              logical_in += weight;
+            }
+          }
+        }
+        slot.wire_cross_in = logical_in;
+      } else {
+        // Plain mode: bulk column appends; wire == logical traffic.
+        size_t total = 0;
+        for (uint32_t shard = 0; shard < shards_per_machine; ++shard) {
+          total += shard_sinks[first_task + shard]->arena(dest).size();
+        }
+        outbox.Reserve(outbox.size() + total);
+        for (uint32_t shard = 0; shard < shards_per_machine; ++shard) {
+          const MessageBlock& arena =
+              shard_sinks[first_task + shard]->arena(dest);
+          outbox.Append(arena);
+          if (dest != sender) {
+            const double* mults = arena.multiplicities();
+            const size_t n = arena.size();
+            for (size_t i = 0; i < n; ++i) logical_in += mults[i];
+          }
+        }
+        slot.wire_cross_in = logical_in;
+      }
+      slot.logical_cross_in = logical_in;
+      if (collect_times) slot.merge_ns = wallclock::NowNs() - t0;
+    };
+    parallel_shards(machines * machines, merge_pair);
+
+    // --- Phase D: fold per-vertex logs in vertex order ---
+    // Shard s holds a contiguous vertex range, so concatenating the
+    // machine's shard logs in shard order IS its vertex order: the fold
+    // below performs the same FP add sequence at every shard count.
+    auto finalize_machine = [&](uint32_t machine) {
+      double units = 0.0;
+      double aggregate = 0.0;
+      bool aggregate_used = false;
+      double residual = 0.0;
+      double active = 0.0;
+      double logical_sent = 0.0;
+      double logical_cross = 0.0;
+      double wire_sent = 0.0;
+      double wire_cross = 0.0;
+      const uint32_t first_task = machine * shards_per_machine;
+      for (uint32_t shard = 0; shard < shards_per_machine; ++shard) {
+        for (const ShardSink::VertexLog& rec :
+             shard_sinks[first_task + shard]->log()) {
+          units += rec.compute_units;
+          aggregate += rec.aggregate;
+          aggregate_used = aggregate_used || rec.aggregate_used;
+          residual += rec.residual_bytes;
+          logical_sent += rec.logical_sent;
+          logical_cross += rec.logical_cross;
+          wire_sent += rec.wire_sent;
+          wire_cross += rec.wire_cross;
+          active += 1.0;
+        }
+      }
+      if (combiner != nullptr) {
+        // Wire units under combining are the distinct keys the merge
+        // created — integers, summed over destinations in fixed order.
+        wire_sent = 0.0;
+        wire_cross = 0.0;
+        for (uint32_t dest = 0; dest < machines; ++dest) {
+          const MergeSlot& slot = merge_slots[machine * machines + dest];
+          wire_sent += slot.new_wire_keys;
+          if (dest != machine) wire_cross += slot.new_wire_keys;
+        }
+      }
+      WorkerSendStats& stats = workers[machine].send_stats();
+      stats.logical_sent = logical_sent;
+      stats.wire_sent = wire_sent;
+      stats.wire_cross = wire_cross;
+      stats.logical_cross = logical_cross;
+      MachineRoundLoad& load = loads[machine];
+      load.active_vertices = active;
+      machine_units[machine] = units;
+      machine_aggregate[machine] = aggregate;
+      machine_aggregate_used[machine] = aggregate_used ? 1 : 0;
+      machine_residual_round[machine] = residual;
+    };
+    pool.ParallelFor(machines, finalize_machine);
     if (collect_times) {
-      result.phase.compute_seconds += wallclock::SecondsSince(compute_start_ns);
+      result.phase.compute_seconds +=
+          wallclock::SecondsSince(compute_start_ns);
+      uint64_t merge_ns = 0;
+      for (const MergeSlot& slot : merge_slots) merge_ns += slot.merge_ns;
+      result.phase.stage_seconds += merge_ns * 1e-9;
     }
     double active_vertices_total = 0.0;
     for (const MachineRoundLoad& load : loads) {
@@ -349,8 +662,9 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
       const WorkerSendStats& send = workers[machine].send_stats();
       load.cross_bytes_out = send.wire_cross * bytes_per_message * scale;
       double wire_cross_in = 0.0;
-      for (const auto& sender_sink : sinks) {
-        wire_cross_in += sender_sink->wire_cross_in()[machine];
+      for (uint32_t sender = 0; sender < machines; ++sender) {
+        wire_cross_in +=
+            merge_slots[sender * machines + machine].wire_cross_in;
       }
       load.cross_bytes_in = wire_cross_in * bytes_per_message * scale;
       double recv_wire_units = options_.profile.combines_messages
@@ -391,14 +705,19 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
       load.recv_messages *= scale;
       load.processed_messages *= scale;
       load.active_vertices *= scale;
-      load.compute_units = sinks[machine]->compute_units() * scale;
+      load.compute_units = machine_units[machine] * scale;
       load.state_bytes =
           (graph_share_bytes_[machine] + program.StateBytes(machine)) *
           scale;
+      // Residual memory: the carryover from earlier batches, whatever the
+      // program still reports itself, and the engine's ledger of
+      // AddResidualBytes calls accumulated over this run's rounds.
+      residual_ledger[machine] += machine_residual_round[machine];
       double carryover = options_.carryover_residual_bytes.empty()
                              ? 0.0
                              : options_.carryover_residual_bytes[machine];
-      load.residual_bytes = (carryover + program.ResidualBytes(machine)) *
+      load.residual_bytes = (carryover + program.ResidualBytes(machine) +
+                             residual_ledger[machine]) *
                             scale;
     }
 
@@ -418,8 +737,8 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
       // actually scanned this round; tasks report scans as compute units
       // (one per edge).
       double scanned_units = 0.0;
-      for (const auto& sender_sink : sinks) {
-        scanned_units += sender_sink->compute_units();
+      for (uint32_t machine = 0; machine < machines; ++machine) {
+        scanned_units += machine_units[machine];
       }
       double scanned_fraction =
           scanned_units > 0.0
@@ -501,11 +820,32 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
         t = std::min(t + duration, t_end);
         tracer->End(trace_track, t);
       };
-      child("compute", work,
-            {{"max_compute_seconds", stats.compute_seconds},
-             {"network_stall_seconds", stats.network_seconds},
-             {"disk_stall_seconds", stats.disk_stall_seconds},
-             {"thrash_multiplier", stats.thrash_multiplier}});
+      // The compute child optionally nests one span per (machine, shard),
+      // sized by the shard's staged messages — the same integer weights
+      // at every thread count, so the subdivision is deterministic too.
+      tracer->Begin(trace_track, "compute", t,
+                    {{"max_compute_seconds", stats.compute_seconds},
+                     {"network_stall_seconds", stats.network_seconds},
+                     {"disk_stall_seconds", stats.disk_stall_seconds},
+                     {"thrash_multiplier", stats.thrash_multiplier}});
+      {
+        const double compute_end = std::min(t + work, t_end);
+        if (options_.trace_shard_spans) {
+          shard_weights.assign(num_shard_tasks, 0.0);
+          for (uint32_t task = 0; task < num_shard_tasks; ++task) {
+            double staged = 0.0;
+            for (uint32_t dest = 0; dest < machines; ++dest) {
+              staged +=
+                  static_cast<double>(shard_sinks[task]->arena(dest).size());
+            }
+            shard_weights[task] = staged;
+          }
+          obs::EmitShardSpans(*tracer, trace_track, t, compute_end - t,
+                              shards_per_machine, shard_weights);
+        }
+        t = compute_end;
+      }
+      tracer->End(trace_track, t);
       child("barrier", stats.barrier_seconds);
       if (round_checkpoint_seconds > 0.0) {
         child("checkpoint", round_checkpoint_seconds);
@@ -588,14 +928,16 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
     if (program.ShouldTerminate(round + 1)) break;
     bool aggregate_used = false;
     double aggregate_sum = 0.0;
-    for (const auto& sender_sink : sinks) {
-      aggregate_used = aggregate_used || sender_sink->aggregate_used();
-      aggregate_sum += sender_sink->aggregate_sum();
+    for (uint32_t machine = 0; machine < machines; ++machine) {
+      aggregate_used = aggregate_used || machine_aggregate_used[machine];
+      aggregate_sum += machine_aggregate[machine];
     }
     if (aggregate_used && program.TerminateOnAggregate(aggregate_sum)) {
       break;
     }
   }
+
+  result.residual_bytes_per_machine = residual_ledger;
 
   if (result.seconds > 0.0) {
     result.disk_utilization =
@@ -607,7 +949,6 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
   if (collect_times) {
     for (const Worker& worker : workers) {
       result.phase.group_seconds += worker.group_ns() * 1e-9;
-      result.phase.stage_seconds += worker.stage_ns() * 1e-9;
     }
   }
   if (tracer != nullptr) {

@@ -38,19 +38,31 @@ struct EngineOptions {
   /// Stop executing once overload is certain (memory overflow or the
   /// simulated clock passing the cut-off); the result is flagged.
   bool stop_early_on_overload = true;
-  /// Worker threads for the compute and delivery phases (machines are
-  /// processed concurrently on a persistent per-Run ThreadPool). Results
-  /// are bit-identical for any thread count: each machine owns a sink with
-  /// its own deterministic random stream, programs touch only owned-vertex
-  /// state during Compute, and delivery appends sender outboxes in fixed
-  /// sender order. 0 = auto (one thread per hardware core, capped by the
-  /// machine count).
+  /// Worker threads for the compute, merge and delivery phases. Results
+  /// are bit-identical for any thread count: compute runs over fixed
+  /// vertex shards whose outputs land in per-shard arenas and per-vertex
+  /// log records, merged and folded in fixed shard/vertex order (see
+  /// DESIGN.md section 12). 0 = auto (one thread per hardware core).
   uint32_t execution_threads = 1;
   /// Because results are thread-count invariant, the engine by default
   /// clamps the thread count to the hardware concurrency —
   /// oversubscribing cores only adds context switches without changing
-  /// any output. Tests that must run an exact shard count disable this.
+  /// any output. Tests that must run an exact thread count disable this.
   bool clamp_threads_to_hardware = true;
+  /// Fixed number of compute shards each machine's round is split into
+  /// (contiguous vertex ranges, cut at vertex boundaries). Deliberately
+  /// NOT derived from the thread count: the shard plan depends only on
+  /// this value and the round's inbox, and every cross-shard reduction
+  /// folds per-vertex records in vertex order, so results are
+  /// bit-identical at every thread count and every shard count.
+  /// 0 = auto (16).
+  uint32_t compute_shards_per_machine = 0;
+  /// Let threads that drained their own shards claim leftovers from
+  /// statically-chosen victims (ThreadPool::ParallelForStealable). Steal
+  /// order derives from shard indices, never timing; turning this off
+  /// pins every shard to its round-robin owner. Outputs are identical
+  /// either way.
+  bool enable_work_stealing = true;
   /// Collect wall/busy time per engine phase into EngineResult::phase
   /// (perf-trajectory benches). Off by default: the hot paths then pay
   /// only a predictable branch per round.
@@ -69,6 +81,12 @@ struct EngineOptions {
   /// track at Run() (standalone engine users; the runner passes its own).
   uint32_t trace_track = kAutoTrack;
   double trace_time_offset_seconds = 0.0;
+  /// Additionally emit one child span per (machine, shard) under each
+  /// round's compute span, sized proportionally to the shard's staged
+  /// message count (simulated timestamps; bit-identical across thread
+  /// counts like everything else in the trace). Off by default: a round
+  /// then costs machines × shards extra spans.
+  bool trace_shard_spans = false;
   static constexpr uint32_t kAutoTrack = ~0u;
 
   /// --- Pregel fault tolerance (checkpointing) ---
@@ -92,7 +110,7 @@ struct EngineOptions {
 struct EnginePhaseTimes {
   double compute_seconds = 0.0;  // Superstep compute (includes group/stage).
   double group_seconds = 0.0;    // Worker::GroupInbox busy time.
-  double stage_seconds = 0.0;    // Worker::Stage busy time.
+  double stage_seconds = 0.0;    // Arena-merge (staging) busy time.
   double deliver_seconds = 0.0;  // Outbox -> inbox delivery.
 };
 
@@ -124,6 +142,13 @@ struct EngineResult {
   bool disk_saturated = false;
   double max_io_queue_length = 0.0;
 
+  /// Residual bytes the program recorded via MessageSink::AddResidualBytes
+  /// over the whole run, per machine, at generated-graph scale. The
+  /// runner adds these to its carryover for the next batch; programs no
+  /// longer need shared per-machine accumulators of their own (which
+  /// would race once one machine's vertices execute on several shards).
+  std::vector<double> residual_bytes_per_machine;
+
   /// Real per-phase engine time (zeros unless collect_phase_times).
   EnginePhaseTimes phase;
 
@@ -144,6 +169,7 @@ class SyncEngine {
   /// `graph` and `partition` must outlive the engine.
   SyncEngine(const Graph& graph, const Partitioning& partition,
              EngineOptions options);
+  ~SyncEngine();
 
   SyncEngine(const SyncEngine&) = delete;
   SyncEngine& operator=(const SyncEngine&) = delete;
@@ -156,7 +182,9 @@ class SyncEngine {
   const MirrorPlan* mirror_plan() const { return mirror_plan_.get(); }
 
  private:
-  class Sink;
+  class ShardSink;
+  struct ShardPlan;
+  struct MergeSlot;
 
   /// Per-machine share of CSR storage, generated scale.
   void ComputeGraphShares();
@@ -172,6 +200,10 @@ class SyncEngine {
   /// Per-machine message buffers, reused across Run calls so repeated runs
   /// (trainer probes, batch loops) hit steady-state capacity immediately.
   std::vector<Worker> workers_;
+  /// Per-(machine, shard) compute sinks — staging arenas, per-vertex log
+  /// records and the shard's deterministic random stream — reused across
+  /// rounds and Run calls like the workers.
+  std::vector<std::unique_ptr<ShardSink>> shard_sinks_;
   // Fault-tolerance bookkeeping (reset per Run): simulated time elapsed
   // since the last checkpoint, i.e. the replay cost of a failure now.
   double seconds_since_checkpoint_ = 0.0;

@@ -37,6 +37,14 @@ class MessageSink {
   /// after the round's barrier.
   virtual void Aggregate(double value) = 0;
 
+  /// Records bytes of intermediate results produced at the current vertex
+  /// that must survive until final aggregation (the paper's residual
+  /// memory). The engine accumulates these into a per-machine ledger and
+  /// reports them in the result, so programs need no shared per-machine
+  /// arrays of their own — which would race once vertices of one machine
+  /// execute on different shards. Sinks that do not model memory ignore it.
+  virtual void AddResidualBytes(double bytes) { (void)bytes; }
+
   /// Current communication round (0 = the seeding superstep).
   virtual uint64_t round() const = 0;
 

@@ -181,6 +181,18 @@ class Worker {
   const MessageBlock& inbox() const { return inbox_; }
   WorkerSendStats& send_stats() { return send_stats_; }
 
+  /// Direct access to the staging outbox / combining index for one
+  /// destination. The sharded engine merges per-shard arenas into these
+  /// itself (one merge task owns exactly one (sender, destination) pair,
+  /// so no two tasks touch the same buffer) instead of going through
+  /// Stage, whose timing accumulator would race across merge tasks.
+  MessageBlock& outbox(uint32_t machine) { return outboxes_[machine]; }
+  CombineIndex& combine_index(uint32_t machine) {
+    return combine_index_[machine];
+  }
+  const Combiner* combiner() const { return combiner_; }
+  CombinerKind combiner_kind() const { return combiner_kind_; }
+
   /// Groups the inbox by (target, tag) and publishes runs() +
   /// grouped_values()/grouped_multiplicities(). Messages with equal
   /// (target, tag) keep their arrival order within the run's payload

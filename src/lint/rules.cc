@@ -257,7 +257,9 @@ void CheckD3(const Cursor& c) {
 
 void CheckD4(const Cursor& c) {
   for (size_t i = 0; i + 1 < c.toks.size(); ++i) {
-    if (!c.IsIdent(i) || c.toks[i].text != "ParallelFor" ||
+    if (!c.IsIdent(i) ||
+        (c.toks[i].text != "ParallelFor" &&
+         c.toks[i].text != "ParallelForStealable") ||
         !c.IsPunct(i + 1, "(")) {
       continue;
     }
@@ -318,8 +320,9 @@ void CheckD4(const Cursor& c) {
       }
       if (!base.empty() && declared.count(std::string_view(base)) == 0) {
         c.Report("D4", c.toks[j].line,
-                 "accumulation into captured '" + base +
-                     "' inside ParallelFor — floating-point order becomes "
+                 "accumulation into captured '" + base + "' inside " +
+                     c.toks[i].text +
+                     " — floating-point order becomes "
                      "schedule-dependent; use per-shard slots reduced "
                      "serially, or annotate "
                      "vcmp:deterministic-reduction(reason)");

@@ -1,0 +1,39 @@
+#include "obs/shard_spans.h"
+
+#include <algorithm>
+
+#include "obs/tracer.h"
+
+namespace vcmp {
+namespace obs {
+
+void EmitShardSpans(Tracer& tracer, uint32_t track, double t0,
+                    double duration, uint32_t shards_per_machine,
+                    std::span<const double> staged_messages) {
+  double total = 0.0;
+  for (double w : staged_messages) total += w;
+  if (total <= 0.0 || duration <= 0.0 || shards_per_machine == 0) return;
+  // Sequential proportional children: cursor advances by each shard's
+  // share, clamped into the parent interval so FP rounding of the last
+  // share cannot escape the enclosing span.
+  const double t_end = t0 + duration;
+  double t = t0;
+  for (size_t i = 0; i < staged_messages.size(); ++i) {
+    const double weight = staged_messages[i];
+    if (weight <= 0.0) continue;
+    const uint32_t machine =
+        static_cast<uint32_t>(i) / shards_per_machine;
+    const uint32_t shard = static_cast<uint32_t>(i) % shards_per_machine;
+    const double next =
+        std::min(t + duration * (weight / total), t_end);
+    tracer.Begin(track, "shard", t,
+                 {{"machine", static_cast<double>(machine)},
+                  {"shard", static_cast<double>(shard)},
+                  {"staged_messages", weight}});
+    t = next;
+    tracer.End(track, t);
+  }
+}
+
+}  // namespace obs
+}  // namespace vcmp

@@ -1,0 +1,29 @@
+#ifndef VCMP_OBS_SHARD_SPANS_H_
+#define VCMP_OBS_SHARD_SPANS_H_
+
+#include <cstdint>
+#include <span>
+
+namespace vcmp {
+
+class Tracer;
+
+namespace obs {
+
+/// Emits one child span per (machine, shard) inside an open compute span.
+///
+/// `staged_messages` is machine-major (machine * shards_per_machine +
+/// shard) and holds the shard's staged message count for the round — an
+/// integer-valued statistic, so the subdivision is bit-identical across
+/// thread counts like every other trace payload. The interval
+/// [t0, t0 + duration] is split proportionally to the weights, in fixed
+/// index order; zero-weight shards emit nothing. The caller must hold the
+/// enclosing span open on `track` (Begin before, End after).
+void EmitShardSpans(Tracer& tracer, uint32_t track, double t0,
+                    double duration, uint32_t shards_per_machine,
+                    std::span<const double> staged_messages);
+
+}  // namespace obs
+}  // namespace vcmp
+
+#endif  // VCMP_OBS_SHARD_SPANS_H_

@@ -14,8 +14,7 @@ BkhsProgram::BkhsProgram(const TaskContext& context, ProgramFlavor flavor,
     : context_(context),
       flavor_(flavor),
       params_(params),
-      num_vertices_(context.graph->NumVertices()),
-      residual_per_machine_(context.partition->num_machines, 0.0) {
+      num_vertices_(context.graph->NumVertices()) {
   uint32_t samples = static_cast<uint32_t>(
       std::min<double>(params.max_sampled_sources, workload));
   VCMP_CHECK(samples > 0);
@@ -29,8 +28,11 @@ BkhsProgram::BkhsProgram(const TaskContext& context, ProgramFlavor flavor,
     used[candidate] = true;
     sources_.push_back(candidate);
   }
-  visited_.assign(static_cast<size_t>(samples) * num_vertices_, false);
-  khop_count_.assign(samples, 0);
+  visited_.assign(static_cast<size_t>(samples) * num_vertices_, 0);
+  khop_count_ = std::make_unique<std::atomic<uint64_t>[]>(samples);
+  for (uint32_t i = 0; i < samples; ++i) {
+    khop_count_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 void BkhsProgram::Compute(VertexId v, std::span<const Message> inbox,
@@ -58,11 +60,10 @@ void BkhsProgram::Visit(VertexId v, uint32_t sample, uint32_t hop,
                         MessageSink& sink) {
   size_t index = static_cast<size_t>(sample) * num_vertices_ + v;
   if (visited_[index]) return;
-  visited_[index] = true;
+  visited_[index] = 1;
   if (v != sources_[sample]) {
-    ++khop_count_[sample];
-    residual_per_machine_[context_.partition->MachineOf(v)] +=
-        extrapolation_ * params_.residual_entry_bytes;
+    khop_count_[sample].fetch_add(1, std::memory_order_relaxed);
+    sink.AddResidualBytes(extrapolation_ * params_.residual_entry_bytes);
   }
   if (hop >= params_.k) return;  // Frontier reached the radius.
   const auto neighbors = context_.graph->Neighbors(v);
@@ -76,10 +77,6 @@ void BkhsProgram::Visit(VertexId v, uint32_t sample, uint32_t hop,
   for (VertexId u : neighbors) {
     sink.Send(u, sample, next_hop, extrapolation_);
   }
-}
-
-double BkhsProgram::ResidualBytes(uint32_t machine) const {
-  return residual_per_machine_[machine];
 }
 
 Result<std::unique_ptr<VertexProgram>> BkhsTask::MakeProgram(

@@ -1,6 +1,7 @@
 #ifndef VCMP_TASKS_BKHS_H_
 #define VCMP_TASKS_BKHS_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -52,7 +53,6 @@ class BkhsProgram : public VertexProgram {
   bool ShouldTerminate(uint64_t rounds_completed) const override {
     return rounds_completed >= params_.k + 1;
   }
-  double ResidualBytes(uint32_t machine) const override;
   const Combiner* combiner() const override { return &min_combiner_; }
 
   uint32_t num_samples() const {
@@ -61,7 +61,9 @@ class BkhsProgram : public VertexProgram {
   VertexId SourceOf(uint32_t sample) const { return sources_[sample]; }
   /// Vertices discovered within k hops of sampled source `sample`
   /// (excluding the source itself).
-  uint64_t KHopCount(uint32_t sample) const { return khop_count_[sample]; }
+  uint64_t KHopCount(uint32_t sample) const {
+    return khop_count_[sample].load(std::memory_order_relaxed);
+  }
   double extrapolation() const { return extrapolation_; }
 
  private:
@@ -74,9 +76,13 @@ class BkhsProgram : public VertexProgram {
   double extrapolation_ = 1.0;
   MinCombiner min_combiner_;
   std::vector<VertexId> sources_;
-  std::vector<bool> visited_;  // samples x n, row-major.
-  std::vector<uint64_t> khop_count_;
-  std::vector<double> residual_per_machine_;
+  /// samples x n, row-major. uint8_t (not vector<bool>): adjacent vertex
+  /// slots must not share a byte once shards of one machine run
+  /// concurrently — each vertex column is written only by its owner.
+  std::vector<uint8_t> visited_;
+  /// Counting-only cross-vertex accumulation: relaxed atomics (integer
+  /// adds commute, so the totals stay deterministic).
+  std::unique_ptr<std::atomic<uint64_t>[]> khop_count_;
 };
 
 }  // namespace vcmp

@@ -93,8 +93,7 @@ BpprCountingProgram::BpprCountingProgram(const TaskContext& context,
       walks_per_vertex_(static_cast<uint64_t>(
           std::llround(std::max(0.0, walks_per_vertex)))),
       params_(params),
-      stopped_(context.graph->NumVertices(), 0),
-      residual_per_machine_(context.partition->num_machines, 0.0) {
+      stopped_(context.graph->NumVertices(), 0) {
   // Randomness comes from the engine's per-machine streams (sink.rng());
   // the seed parameter is kept so batch construction remains explicit
   // about its stochastic identity.
@@ -138,7 +137,7 @@ void BpprCountingProgram::AdvanceResident(VertexId v, uint64_t resident,
     uint32_t counts[kPerWalkDegreeMax];
     uint64_t stops = PerWalkStopAndSplit(rng, neighbors.size(), resident,
                                          params_.alpha, counts);
-    RecordStops(v, stops);
+    RecordStops(v, stops, sink);
     if (stops == resident) return;
     sink.AddComputeUnits(static_cast<double>(neighbors.size()));
     for (size_t i = 0; i < neighbors.size(); ++i) {
@@ -151,7 +150,7 @@ void BpprCountingProgram::AdvanceResident(VertexId v, uint64_t resident,
   }
   uint64_t stopping = rng.NextBinomial(resident, params_.alpha);
   if (neighbors.empty()) stopping = resident;  // Dangling: walks end here.
-  RecordStops(v, stopping);
+  RecordStops(v, stopping, sink);
   uint64_t moving = resident - stopping;
   if (moving == 0) return;
 
@@ -164,15 +163,16 @@ void BpprCountingProgram::AdvanceResident(VertexId v, uint64_t resident,
   });
 }
 
-void BpprCountingProgram::RecordStops(VertexId v, uint64_t count) {
+void BpprCountingProgram::RecordStops(VertexId v, uint64_t count,
+                                      MessageSink& sink) {
   if (count == 0) return;
   stopped_[v] += count;
-  residual_per_machine_[context_.partition->MachineOf(v)] +=
-      static_cast<double>(count) * params_.residual_record_bytes;
-}
-
-double BpprCountingProgram::ResidualBytes(uint32_t machine) const {
-  return residual_per_machine_[machine];
+  // Terminated-walk records accrue through the sink's per-vertex log so
+  // several shards of one machine can execute concurrently; the engine
+  // folds the records in vertex order and reports the per-machine totals
+  // in EngineResult::residual_bytes_per_machine.
+  sink.AddResidualBytes(static_cast<double>(count) *
+                        params_.residual_record_bytes);
 }
 
 double BpprCountingProgram::StateBytes(uint32_t machine) const {
@@ -197,8 +197,7 @@ BpprPushProgram::BpprPushProgram(const TaskContext& context,
       walks_per_vertex_(walks_per_vertex),
       params_(params),
       stopped_mass_(context.graph->NumVertices(), 0.0),
-      settled_sources_(context.graph->NumVertices()),
-      residual_per_machine_(context.partition->num_machines, 0.0) {}
+      settled_sources_(context.graph->NumVertices()) {}
 
 void BpprPushProgram::Compute(VertexId v, std::span<const Message> inbox,
                               MessageSink& sink) {
@@ -240,7 +239,7 @@ void BpprPushProgram::ProcessMass(VertexId v, uint32_t source, double mass,
     settling = mass;
     moving = 0.0;
   }
-  RecordSettle(v, source, settling);
+  RecordSettle(v, source, settling, sink);
   if (moving <= 0.0 || neighbors.empty()) return;
   // One common broadcast message for this source: every neighbour
   // receives the same per-neighbour share (the walk fractionalized over
@@ -249,20 +248,17 @@ void BpprPushProgram::ProcessMass(VertexId v, uint32_t source, double mass,
   sink.Broadcast(v, source, share, /*multiplicity_per_neighbor=*/1.0);
 }
 
-void BpprPushProgram::RecordSettle(VertexId v, uint32_t source,
-                                   double mass) {
+void BpprPushProgram::RecordSettle(VertexId v, uint32_t source, double mass,
+                                   MessageSink& sink) {
   if (mass <= 0.0) return;
   stopped_mass_[v] += mass;
   if (settled_sources_[v].insert(source).second) {
     ++result_pairs_;
-    // One PPR(source, v) record in the batch's intermediate results.
-    residual_per_machine_[context_.partition->MachineOf(v)] +=
-        params_.residual_record_bytes;
+    // One PPR(source, v) record in the batch's intermediate results,
+    // accrued through the sink so concurrent shards of one machine never
+    // touch a shared accumulator.
+    sink.AddResidualBytes(params_.residual_record_bytes);
   }
-}
-
-double BpprPushProgram::ResidualBytes(uint32_t machine) const {
-  return residual_per_machine_[machine];
 }
 
 double BpprPushProgram::StateBytes(uint32_t machine) const {
@@ -317,8 +313,7 @@ BpprPerSourceProgram::BpprPerSourceProgram(const TaskContext& context,
           std::llround(std::max(0.0, walks_per_vertex)))),
       params_(params),
       stopped_(context.graph->NumVertices(), 0),
-      pair_tracker_(context.partition->num_machines),
-      residual_per_machine_(context.partition->num_machines, 0.0) {
+      pair_tracker_(context.partition->num_machines) {
   (void)seed;
 }
 
@@ -354,8 +349,11 @@ void BpprPerSourceProgram::ComputeRun(VertexId v, const MessageRunView& run,
 }
 
 void BpprPerSourceProgram::TrackPair(VertexId v, uint64_t round) {
-  // Per-machine round-pair tracking (v's owner is the executing machine,
-  // so each slot is only ever touched by one thread).
+  // Per-machine round-pair tracking. Several shards of v's machine run
+  // concurrently, so the slot is mutex-guarded; within one round every
+  // call carries the same `round` and only adds, so the totals are
+  // order-independent and the rollover fires exactly once per round.
+  std::lock_guard<std::mutex> lock(pair_mutex_);
   PairTracker& tracker = pair_tracker_[context_.partition->MachineOf(v)];
   if (round != tracker.round) {
     tracker.peak = std::max(tracker.peak, tracker.current);
@@ -377,8 +375,8 @@ void BpprPerSourceProgram::Advance(VertexId v, uint32_t source,
                                          params_.alpha, counts);
     if (stops > 0) {
       stopped_[v] += stops;
-      residual_per_machine_[context_.partition->MachineOf(v)] +=
-          static_cast<double>(stops) * params_.residual_record_bytes;
+      sink.AddResidualBytes(static_cast<double>(stops) *
+                            params_.residual_record_bytes);
     }
     if (stops == count) return;
     sink.AddComputeUnits(static_cast<double>(neighbors.size()));
@@ -394,8 +392,8 @@ void BpprPerSourceProgram::Advance(VertexId v, uint32_t source,
   if (neighbors.empty()) stopping = count;
   if (stopping > 0) {
     stopped_[v] += stopping;
-    residual_per_machine_[context_.partition->MachineOf(v)] +=
-        static_cast<double>(stopping) * params_.residual_record_bytes;
+    sink.AddResidualBytes(static_cast<double>(stopping) *
+                          params_.residual_record_bytes);
   }
   uint64_t moving = count - stopping;
   if (moving == 0) return;
@@ -406,11 +404,8 @@ void BpprPerSourceProgram::Advance(VertexId v, uint32_t source,
   });
 }
 
-double BpprPerSourceProgram::ResidualBytes(uint32_t machine) const {
-  return residual_per_machine_[machine];
-}
-
 double BpprPerSourceProgram::StateBytes(uint32_t machine) const {
+  std::lock_guard<std::mutex> lock(pair_mutex_);
   const PairTracker& tracker = pair_tracker_[machine];
   // Per-(source, target) hash-map entries of the in-flight walk table.
   double pairs = std::max(tracker.peak, tracker.current);
@@ -434,8 +429,7 @@ BpprExactProgram::BpprExactProgram(const TaskContext& context,
       alpha_(alpha),
       stops_(static_cast<size_t>(context.graph->NumVertices()) *
                  context.graph->NumVertices(),
-             0),
-      residual_per_machine_(context.partition->num_machines, 0.0) {
+             0) {
   (void)seed;
   VCMP_CHECK(context.graph->NumVertices() <= 4096)
       << "BpprExactProgram is for small validation graphs";
@@ -471,8 +465,7 @@ void BpprExactProgram::Advance(VertexId v, uint32_t source, uint64_t count,
   if (stopping > 0) {
     stops_[static_cast<size_t>(source) * context_.graph->NumVertices() + v] +=
         stopping;
-    residual_per_machine_[context_.partition->MachineOf(v)] +=
-        8.0 * static_cast<double>(stopping);
+    sink.AddResidualBytes(8.0 * static_cast<double>(stopping));
   }
   uint64_t moving = count - stopping;
   if (moving == 0) return;
@@ -491,10 +484,6 @@ void BpprExactProgram::Advance(VertexId v, uint32_t source, uint64_t count,
     }
     --left;
   }
-}
-
-double BpprExactProgram::ResidualBytes(uint32_t machine) const {
-  return residual_per_machine_[machine];
 }
 
 double BpprExactProgram::Ppr(VertexId source, VertexId u) const {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -73,7 +74,6 @@ class BpprCountingProgram : public VertexProgram {
   bool UsesComputeRun() const override { return true; }
   void ComputeRun(VertexId v, const MessageRunView& run,
                   MessageSink& sink) override;
-  double ResidualBytes(uint32_t machine) const override;
   double StateBytes(uint32_t machine) const override;
 
   /// Walks that have terminated at u so far (all sources pooled).
@@ -84,14 +84,13 @@ class BpprCountingProgram : public VertexProgram {
 
  private:
   void AdvanceResident(VertexId v, uint64_t resident, MessageSink& sink);
-  void RecordStops(VertexId v, uint64_t count);
+  void RecordStops(VertexId v, uint64_t count, MessageSink& sink);
 
   const TaskContext context_;
   const uint64_t walks_per_vertex_;
   const BpprTask::Params params_;
   SumCombiner sum_combiner_;
   std::vector<uint64_t> stopped_;
-  std::vector<double> residual_per_machine_;
 };
 
 /// Generalized fractional walk (forward push) for the broadcast-only
@@ -116,7 +115,6 @@ class BpprPushProgram : public VertexProgram {
   bool UsesComputeRun() const override { return true; }
   void ComputeRun(VertexId v, const MessageRunView& run,
                   MessageSink& sink) override;
-  double ResidualBytes(uint32_t machine) const override;
   double StateBytes(uint32_t machine) const override;
 
   /// Walk mass settled at u so far (all sources pooled).
@@ -128,7 +126,8 @@ class BpprPushProgram : public VertexProgram {
  private:
   void ProcessMass(VertexId v, uint32_t source, double mass,
                    MessageSink& sink);
-  void RecordSettle(VertexId v, uint32_t source, double mass);
+  void RecordSettle(VertexId v, uint32_t source, double mass,
+                    MessageSink& sink);
 
   const TaskContext context_;
   const double walks_per_vertex_;
@@ -137,9 +136,8 @@ class BpprPushProgram : public VertexProgram {
   /// Per-vertex set of sources with a settled-mass record (drives the
   /// residual-memory accounting).
   std::vector<std::unordered_set<uint32_t>> settled_sources_;
-  /// Atomic: RecordSettle runs concurrently across machines.
+  /// Atomic: RecordSettle runs concurrently across shards.
   std::atomic<uint64_t> result_pairs_{0};
-  std::vector<double> residual_per_machine_;
 };
 
 /// Per-source counting-mode walks for systems that combine messages at
@@ -159,7 +157,6 @@ class BpprPerSourceProgram : public VertexProgram {
   bool UsesComputeRun() const override { return true; }
   void ComputeRun(VertexId v, const MessageRunView& run,
                   MessageSink& sink) override;
-  double ResidualBytes(uint32_t machine) const override;
   double StateBytes(uint32_t machine) const override;
   const Combiner* combiner() const override { return &sum_combiner_; }
 
@@ -171,9 +168,10 @@ class BpprPerSourceProgram : public VertexProgram {
                MessageSink& sink);
   void TrackPair(VertexId v, uint64_t round);
 
-  /// Per-machine (source, target) pair counting for state accounting;
-  /// one slot per machine keeps the tracking thread-safe under
-  /// concurrent machine execution.
+  /// Per-machine (source, target) pair counting for state accounting.
+  /// Several compute shards of one machine run concurrently, so the
+  /// trackers are guarded by `pair_mutex_`; the per-round counts are
+  /// pure commutative additions, so the result is order-independent.
   struct PairTracker {
     uint64_t round = ~0ULL;
     double current = 0.0;
@@ -185,8 +183,8 @@ class BpprPerSourceProgram : public VertexProgram {
   const BpprTask::Params params_;
   SumCombiner sum_combiner_;
   std::vector<uint64_t> stopped_;
+  mutable std::mutex pair_mutex_;
   std::vector<PairTracker> pair_tracker_;
-  std::vector<double> residual_per_machine_;
 };
 
 /// Exact per-source BPPR for correctness validation: simulates W walks per
@@ -199,7 +197,6 @@ class BpprExactProgram : public VertexProgram {
 
   void Compute(VertexId v, std::span<const Message> inbox,
                MessageSink& sink) override;
-  double ResidualBytes(uint32_t machine) const override;
 
   /// PPR estimate of target u for source s: stops(s, u) / W.
   double Ppr(VertexId source, VertexId u) const;
@@ -213,7 +210,6 @@ class BpprExactProgram : public VertexProgram {
   const double alpha_;
   /// stops_[source * n + u] = walks from `source` that stopped at `u`.
   std::vector<uint64_t> stops_;
-  std::vector<double> residual_per_machine_;
 };
 
 }  // namespace vcmp

@@ -15,8 +15,7 @@ BpprSourceBatchProgram::BpprSourceBatchProgram(
       params_(params),
       rng_(seed),
       is_source_(context.graph->NumVertices(), false),
-      stopped_(context.graph->NumVertices(), 0),
-      residual_per_machine_(context.partition->num_machines, 0.0) {
+      stopped_(context.graph->NumVertices(), 0) {
   const VertexId n = context.graph->NumVertices();
   uint32_t samples = static_cast<uint32_t>(std::min<double>(
       std::min<double>(params.max_sampled_sources, num_queries), n));
@@ -57,9 +56,8 @@ void BpprSourceBatchProgram::Move(VertexId v, uint64_t count,
   if (neighbors.empty()) stopping = count;
   if (stopping > 0) {
     stopped_[v] += stopping;
-    residual_per_machine_[context_.partition->MachineOf(v)] +=
-        static_cast<double>(stopping) * extrapolation_ *
-        params_.residual_record_bytes;
+    sink.AddResidualBytes(static_cast<double>(stopping) * extrapolation_ *
+                          params_.residual_record_bytes);
   }
   uint64_t moving = count - stopping;
   if (moving == 0) return;
@@ -81,10 +79,6 @@ void BpprSourceBatchProgram::Move(VertexId v, uint64_t count,
     }
     --left;
   }
-}
-
-double BpprSourceBatchProgram::ResidualBytes(uint32_t machine) const {
-  return residual_per_machine_[machine];
 }
 
 double BpprSourceBatchProgram::StateBytes(uint32_t machine) const {

@@ -51,7 +51,6 @@ class BpprSourceBatchProgram : public VertexProgram {
 
   void Compute(VertexId v, std::span<const Message> inbox,
                MessageSink& sink) override;
-  double ResidualBytes(uint32_t machine) const override;
   double StateBytes(uint32_t machine) const override;
   const Combiner* combiner() const override { return &sum_combiner_; }
 
@@ -74,7 +73,6 @@ class BpprSourceBatchProgram : public VertexProgram {
   std::vector<VertexId> sources_;
   std::vector<bool> is_source_;
   std::vector<uint64_t> stopped_;
-  std::vector<double> residual_per_machine_;
 };
 
 }  // namespace vcmp

@@ -60,9 +60,12 @@ GasBpprWalks::GasBpprWalks(const Graph& graph, const Partitioning& partition,
       partition_(partition),
       walks_per_vertex_(static_cast<uint64_t>(walks_per_vertex)),
       params_(params),
-      rng_(seed),
-      stopped_(graph.NumVertices(), 0),
-      residual_per_machine_(partition.num_machines, 0.0) {}
+      stopped_(graph.NumVertices(), 0) {
+  // Randomness comes from the context's per-vertex streams (rng() is
+  // reseeded per activation); the seed parameter keeps construction
+  // explicit about the program's stochastic identity.
+  (void)seed;
+}
 
 void GasBpprWalks::Seed(GasContext& context) {
   for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
@@ -78,13 +81,14 @@ void GasBpprWalks::Process(VertexId v, double signal, GasContext& context) {
 
 void GasBpprWalks::Move(VertexId v, uint64_t count, GasContext& context) {
   if (count == 0) return;
-  uint64_t stopping = rng_.NextBinomial(count, params_.alpha);
+  Rng& rng = context.rng();
+  uint64_t stopping = rng.NextBinomial(count, params_.alpha);
   const auto neighbors = graph_.Neighbors(v);
   if (neighbors.empty()) stopping = count;
   if (stopping > 0) {
     stopped_[v] += stopping;
-    residual_per_machine_[partition_.MachineOf(v)] +=
-        static_cast<double>(stopping) * params_.residual_record_bytes;
+    context.AddResidualBytes(static_cast<double>(stopping) *
+                             params_.residual_record_bytes);
   }
   uint64_t moving = count - stopping;
   if (moving == 0) return;
@@ -96,7 +100,7 @@ void GasBpprWalks::Move(VertexId v, uint64_t count, GasContext& context) {
     uint64_t portion =
         (left == 1)
             ? remaining
-            : rng_.NextBinomial(remaining, 1.0 / static_cast<double>(left));
+            : rng.NextBinomial(remaining, 1.0 / static_cast<double>(left));
     if (portion > 0) {
       context.Signal(u, static_cast<double>(portion),
                      static_cast<double>(portion));
@@ -109,10 +113,6 @@ void GasBpprWalks::Move(VertexId v, uint64_t count, GasContext& context) {
 double GasBpprWalks::StateBytes(uint32_t machine) const {
   (void)machine;
   return 16.0 * graph_.NumVertices() / partition_.num_machines;
-}
-
-double GasBpprWalks::ResidualBytes(uint32_t machine) const {
-  return residual_per_machine_[machine];
 }
 
 uint64_t GasBpprWalks::TotalStopped() const {

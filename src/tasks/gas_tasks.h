@@ -64,7 +64,6 @@ class GasBpprWalks : public GasVertexProgram {
   void Seed(GasContext& context) override;
   void Process(VertexId v, double signal, GasContext& context) override;
   double StateBytes(uint32_t machine) const override;
-  double ResidualBytes(uint32_t machine) const override;
 
   uint64_t TotalStopped() const;
 
@@ -75,9 +74,7 @@ class GasBpprWalks : public GasVertexProgram {
   const Partitioning& partition_;
   const uint64_t walks_per_vertex_;
   Params params_;
-  Rng rng_;
   std::vector<uint64_t> stopped_;
-  std::vector<double> residual_per_machine_;
 };
 
 }  // namespace vcmp

@@ -14,8 +14,7 @@ MsspProgram::MsspProgram(const TaskContext& context, ProgramFlavor flavor,
     : context_(context),
       flavor_(flavor),
       params_(params),
-      num_vertices_(context.graph->NumVertices()),
-      residual_per_machine_(context.partition->num_machines, 0.0) {
+      num_vertices_(context.graph->NumVertices()) {
   uint32_t samples = static_cast<uint32_t>(
       std::min<double>(params.max_sampled_sources, workload));
   VCMP_CHECK(samples > 0);
@@ -72,9 +71,10 @@ void MsspProgram::Relax(VertexId v, uint32_t sample, uint32_t distance,
   uint32_t& current = dist_[static_cast<size_t>(sample) * num_vertices_ + v];
   if (distance >= current) return;
   if (current == kUnreached) {
-    // First time reached: one more (source, vertex) result entry.
-    residual_per_machine_[context_.partition->MachineOf(v)] +=
-        extrapolation_ * params_.residual_entry_bytes;
+    // First time reached: one more (source, vertex) result entry. Accrues
+    // through the sink's per-vertex log so concurrent shards of one
+    // machine never share an accumulator.
+    sink.AddResidualBytes(extrapolation_ * params_.residual_entry_bytes);
   }
   current = distance;
   const auto neighbors = context_.graph->Neighbors(v);
@@ -88,10 +88,6 @@ void MsspProgram::Relax(VertexId v, uint32_t sample, uint32_t distance,
   for (VertexId u : neighbors) {
     sink.Send(u, sample, forwarded, extrapolation_);
   }
-}
-
-double MsspProgram::ResidualBytes(uint32_t machine) const {
-  return residual_per_machine_[machine];
 }
 
 Result<std::unique_ptr<VertexProgram>> MsspTask::MakeProgram(

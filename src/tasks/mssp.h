@@ -59,7 +59,6 @@ class MsspProgram : public VertexProgram {
   bool UsesComputeRun() const override { return true; }
   void ComputeRun(VertexId v, const MessageRunView& run,
                   MessageSink& sink) override;
-  double ResidualBytes(uint32_t machine) const override;
   const Combiner* combiner() const override { return &min_combiner_; }
 
   uint32_t num_samples() const {
@@ -84,7 +83,6 @@ class MsspProgram : public VertexProgram {
   std::vector<VertexId> sources_;
   MinCombiner min_combiner_;
   std::vector<uint32_t> dist_;  // samples x n, row-major.
-  std::vector<double> residual_per_machine_;
 };
 
 }  // namespace vcmp

@@ -1,6 +1,7 @@
-// D4 fixture: shared accumulation inside ParallelFor. Not compiled —
-// linted by lint_test.cc.
-// True positives on lines 14 and 31; line 40 is allowed by annotation.
+// D4 fixture: shared accumulation inside ParallelFor /
+// ParallelForStealable. Not compiled — linted by lint_test.cc.
+// True positives on lines 15, 32 and 60; lines 41 and 70 are allowed by
+// annotation.
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -47,6 +48,28 @@ double SerialSum(const std::vector<double>& xs) {
   double total = 0.0;
   for (double x : xs) total += x;
   return total;
+}
+
+double StealableRacySum(vcmp::ThreadPool& pool,
+                        const std::vector<double>& xs) {
+  double total = 0.0;
+  pool.ParallelForStealable(static_cast<uint32_t>(xs.size()),
+                            [&](uint32_t i) {
+    // Work stealing makes the schedule even less predictable than the
+    // static ParallelFor — captured accumulation must fire all the same.
+    total += xs[i];
+  });
+  return total;
+}
+
+double StealableShardSlots(vcmp::ThreadPool& pool,
+                           std::vector<double>& slots) {
+  pool.ParallelForStealable(static_cast<uint32_t>(slots.size()),
+                            [&](uint32_t i) {
+    // vcmp:deterministic-reduction(index i is claimed by exactly one thread — stolen or not — so slot i has a single writer)
+    slots[i] += static_cast<double>(i);
+  });
+  return slots.empty() ? 0.0 : slots[0];
 }
 
 }  // namespace fixture

@@ -88,18 +88,27 @@ TEST(LintD3, CommonUtilitiesAreOutOfScope) {
 
 TEST(LintD4, FlagsCapturedAccumulationInParallelFor) {
   LintReport report = LintAs("d4_reduction.cc", "src/engine/d4.cc");
+  // ParallelFor bodies fire on 15 and 32; the work-stealing variant
+  // (ParallelForStealable) is covered by the same rule and fires on 60.
   EXPECT_EQ(Keys(report),
-            (std::vector<std::string>{"src/engine/d4.cc:14:D4",
-                                      "src/engine/d4.cc:31:D4"}));
-  // The deterministic-reduction marker blesses line 40 but stays in the
-  // report as an allowed finding with its reason.
+            (std::vector<std::string>{"src/engine/d4.cc:15:D4",
+                                      "src/engine/d4.cc:32:D4",
+                                      "src/engine/d4.cc:60:D4"}));
+  // The deterministic-reduction marker blesses lines 41 and 70 but stays
+  // in the report as allowed findings with their reasons.
   EXPECT_EQ(Keys(report, Select::kAllowed),
-            (std::vector<std::string>{"src/engine/d4.cc:40:D4"}));
-  ASSERT_EQ(report.allows.size(), 1u);
+            (std::vector<std::string>{"src/engine/d4.cc:41:D4",
+                                      "src/engine/d4.cc:70:D4"}));
+  ASSERT_EQ(report.allows.size(), 2u);
   EXPECT_TRUE(report.allows[0].deterministic_reduction);
   EXPECT_TRUE(report.allows[0].used);
   EXPECT_EQ(report.allows[0].reason,
             "slot i is owned by shard i exclusively");
+  EXPECT_TRUE(report.allows[1].deterministic_reduction);
+  EXPECT_TRUE(report.allows[1].used);
+  EXPECT_EQ(report.allows[1].reason,
+            "index i is claimed by exactly one thread — stolen or not — "
+            "so slot i has a single writer");
 }
 
 TEST(LintC1, FlagsNakedNewDeleteInEngineOnly) {
