@@ -1,0 +1,226 @@
+// perf_outofcore: the standing out-of-core benchmark. Runs PageRank on
+// the Web-St stand-in under the GraphD profile across cache policies —
+// budget levels x prefetch on/off x section counts — plus the purely
+// modeled baseline, and writes the measured I/O to BENCH_outofcore.json
+// so successive src/ooc changes can be compared run-over-run:
+//
+//   perf_outofcore
+//   perf_outofcore --json=/tmp/ooc.json --iterations=20
+//
+// Everything in the JSON is deterministic (simulated seconds, paper-scale
+// spilled bytes, real spill/state file traffic, cache counters); only the
+// wall-clock printed to stdout varies between runs. The benchmark itself
+// enforces the OOC determinism contract: every configuration must produce
+// the same rounds, messages and total PageRank mass as the uncapped run,
+// and the tight budgets must actually spill.
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/wall_clock.h"
+#include "engine/sync_engine.h"
+#include "engine/system_profile.h"
+#include "graph/datasets.h"
+#include "graph/partition.h"
+#include "metrics/export.h"
+#include "tasks/pagerank.h"
+
+namespace vcmp {
+namespace {
+
+struct BenchConfig {
+  const char* name;
+  uint64_t budget_bytes;  // 0 = real OOC off (modeled baseline).
+  bool prefetch;
+  uint32_t sections;
+};
+
+struct BenchResult {
+  BenchConfig config;
+  EngineResult engine;
+  double total_rank = 0.0;
+  double wall_ms = 0.0;
+};
+
+constexpr uint64_t kMiB = 1ull << 20;
+constexpr uint64_t kGiB = 1ull << 30;
+
+// Budget levels are paper-scale bytes, like the cost model. The bench
+// uses a 256-message spill page so the feasibility floor at stat scale
+// 64 is 640KiB: 1MiB then forces every round to page most of its inbox
+// out, 4MiB spills a moderate tail, and 4GiB runs the full OOC
+// machinery without ever exceeding the resident cap.
+constexpr uint32_t kSpillPageMessages = 256;
+const BenchConfig kConfigs[] = {
+    {"modeled_baseline", 0, false, 0},
+    {"budget_4GiB_prefetch", 4 * kGiB, true, 64},
+    {"budget_4MiB_prefetch", 4 * kMiB, true, 64},
+    {"budget_1MiB_prefetch", 1 * kMiB, true, 64},
+    {"budget_1MiB_prefetch_s256", 1 * kMiB, true, 256},
+    // 700KiB: the 35% cache share no longer holds each machine's whole
+    // vertex state, so sections evict and the prefetcher has real work.
+    {"budget_700KiB_prefetch", 700 * 1024, true, 64},
+    {"budget_700KiB_noprefetch", 700 * 1024, false, 64},
+};
+
+BenchResult RunConfig(const Dataset& dataset, const Partitioning& part,
+                      const BenchConfig& config, uint32_t iterations) {
+  EngineOptions options;
+  options.cluster = ClusterSpec::Galaxy8();
+  options.profile = ProfileFor(SystemKind::kGraphD);
+  options.stat_scale = dataset.scale;
+  options.execution_threads = 4;
+  if (config.budget_bytes > 0) {
+    options.ooc.enabled = true;
+    options.ooc.memory_budget_bytes = config.budget_bytes;
+    options.ooc.cache_sections = config.sections;
+    options.ooc.prefetch = config.prefetch;
+    options.ooc.spill_page_messages = kSpillPageMessages;
+  }
+  SyncEngine engine(dataset.graph, part, options);
+  TaskContext context{&dataset.graph, &part, dataset.scale,
+                      options.profile.combines_messages};
+  PageRankProgram::Params params;
+  params.iterations = iterations;
+  PageRankProgram program(context, params);
+
+  BenchResult out;
+  out.config = config;
+  const uint64_t start_ns = wallclock::NowNs();
+  auto result = engine.Run(program);
+  out.wall_ms = wallclock::SecondsSince(start_ns) * 1e3;
+  if (!result.ok()) {
+    std::cerr << config.name << ": " << result.status().ToString() << "\n";
+    std::exit(1);
+  }
+  out.engine = result.value();
+  out.total_rank = program.TotalRank();
+  return out;
+}
+
+std::string ConfigJson(const BenchResult& r) {
+  JsonWriter json(/*with_schema_version=*/false);
+  json.Field("name", r.config.name);
+  json.Field("budget_bytes", r.config.budget_bytes);
+  json.Field("prefetch", r.config.prefetch ? "on" : "off");
+  json.Field("cache_sections", static_cast<uint64_t>(r.config.sections));
+  json.Field("simulated_seconds", r.engine.seconds);
+  json.Field("rounds", r.engine.num_rounds);
+  json.Field("messages", r.engine.total_messages);
+  json.Field("spilled_paper_bytes", r.engine.spilled_bytes);
+  json.Field("spill_file_mib",
+             (r.engine.ooc.spill_bytes_written +
+              r.engine.ooc.spill_bytes_read) /
+                 static_cast<double>(kMiB));
+  json.Field("state_file_mib",
+             r.engine.ooc.state_bytes_read / static_cast<double>(kMiB));
+  json.Field("restored_messages", r.engine.ooc.restored_messages);
+  json.Field("cache_hits", r.engine.ooc.cache_hits);
+  json.Field("cache_misses", r.engine.ooc.cache_misses);
+  json.Field("prefetch_loads", r.engine.ooc.prefetch_loads);
+  json.Field("cache_evictions", r.engine.ooc.cache_evictions);
+  return json.Close();
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags("perf_outofcore",
+                   "out-of-core cache-policy benchmark (PageRank, GraphD)");
+  flags.Define("iterations", "20", "PageRank iterations per run");
+  flags.Define("json", "BENCH_outofcore.json",
+               "write measured I/O per configuration to this path "
+               "(empty = skip)");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.ToString() << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.HelpText();
+    return 0;
+  }
+  const uint32_t iterations =
+      static_cast<uint32_t>(flags.GetInt("iterations"));
+
+  Dataset dataset = LoadDataset(DatasetId::kWebSt, 64.0);
+  Partitioning part = HashPartitioner().Partition(dataset.graph, 8);
+  std::printf("dataset: %s stand-in %s (scale %.0f)\n", dataset.info.name,
+              dataset.graph.ToString().c_str(), dataset.scale);
+
+  std::vector<BenchResult> results;
+  for (const BenchConfig& config : kConfigs) {
+    results.push_back(RunConfig(dataset, part, config, iterations));
+    const BenchResult& r = results.back();
+    std::printf(
+        "%-28s wall %7.1fms  sim %9.1fs  spilled %8.1fMiB paper "
+        "(%7.1fMiB spill files, %llu restored msgs, hit/miss/prefetch "
+        "%llu/%llu/%llu)\n",
+        r.config.name, r.wall_ms, r.engine.seconds,
+        r.engine.spilled_bytes / static_cast<double>(kMiB),
+        (r.engine.ooc.spill_bytes_written + r.engine.ooc.spill_bytes_read) /
+            static_cast<double>(kMiB),
+        static_cast<unsigned long long>(r.engine.ooc.restored_messages),
+        static_cast<unsigned long long>(r.engine.ooc.cache_hits),
+        static_cast<unsigned long long>(r.engine.ooc.cache_misses),
+        static_cast<unsigned long long>(r.engine.ooc.prefetch_loads));
+  }
+
+  // Determinism contract: a hard budget changes costs, never answers.
+  const BenchResult& baseline = results.front();
+  for (const BenchResult& r : results) {
+    if (r.engine.num_rounds != baseline.engine.num_rounds ||
+        r.engine.total_messages != baseline.engine.total_messages ||
+        r.total_rank != baseline.total_rank) {
+      std::fprintf(stderr,
+                   "FAIL: %s diverged from the modeled baseline "
+                   "(rounds %llu vs %llu, rank %.17g vs %.17g)\n",
+                   r.config.name,
+                   static_cast<unsigned long long>(r.engine.num_rounds),
+                   static_cast<unsigned long long>(baseline.engine.num_rounds),
+                   r.total_rank, baseline.total_rank);
+      return 1;
+    }
+    if (r.config.budget_bytes > 0 && r.config.budget_bytes <= kMiB &&
+        r.engine.ooc.spill_bytes_written <= 0.0) {
+      std::fprintf(stderr, "FAIL: %s did not spill under a tight budget\n",
+                   r.config.name);
+      return 1;
+    }
+  }
+  std::printf("all configurations produced identical task results\n");
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    JsonWriter json;
+    json.Field("workload",
+               StrFormat("PageRank %u iterations, Web-St scale 64, "
+                         "Galaxy8, GraphD",
+                         iterations));
+    json.Field("simulated_seconds_uncapped", baseline.engine.seconds);
+    json.Field("rounds", baseline.engine.num_rounds);
+    json.Field("messages", baseline.engine.total_messages);
+    std::string configs = "[";
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (i > 0) configs += ", ";
+      configs += ConfigJson(results[i]);
+    }
+    configs += "]";
+    json.RawField("configs", configs);
+    Status written = WriteTextFile(json.Close(), json_path);
+    if (!written.ok()) {
+      std::cerr << written.ToString() << "\n";
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vcmp
+
+int main(int argc, char** argv) { return vcmp::Main(argc, argv); }

@@ -1,7 +1,13 @@
 #ifndef VCMP_COMMON_UNITS_H_
 #define VCMP_COMMON_UNITS_H_
 
+#include <cctype>
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "common/result.h"
 
 namespace vcmp {
 
@@ -24,6 +30,49 @@ inline double BytesToGiB(double bytes) {
 /// Converts bytes to fractional MiB for reporting.
 inline double BytesToMiB(double bytes) {
   return bytes / static_cast<double>(kMiB);
+}
+
+/// Parses a human byte size like "512MiB", "2.5GiB", "64K", "4096".
+/// Suffixes are binary and case-insensitive: B, K/KB/KiB, M/MB/MiB,
+/// G/GB/GiB; fractional values are allowed ("2.5GiB"). Rejects empty,
+/// negative, non-finite, and unrecognised inputs with InvalidArgument.
+inline Result<uint64_t> ParseByteSize(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("empty byte size");
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end == begin) {
+    return Status::InvalidArgument("malformed byte size '" + text + "'");
+  }
+  if (!std::isfinite(value) || value < 0.0) {
+    return Status::InvalidArgument("byte size must be a non-negative finite "
+                                   "number, got '" + text + "'");
+  }
+  std::string suffix;
+  for (const char* c = end; *c != '\0'; ++c) {
+    if (!std::isspace(static_cast<unsigned char>(*c))) {
+      suffix.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(*c))));
+    }
+  }
+  double multiplier = 1.0;
+  if (suffix.empty() || suffix == "b") {
+    multiplier = 1.0;
+  } else if (suffix == "k" || suffix == "kb" || suffix == "kib") {
+    multiplier = static_cast<double>(kKiB);
+  } else if (suffix == "m" || suffix == "mb" || suffix == "mib") {
+    multiplier = static_cast<double>(kMiB);
+  } else if (suffix == "g" || suffix == "gb" || suffix == "gib") {
+    multiplier = static_cast<double>(kGiB);
+  } else {
+    return Status::InvalidArgument("unrecognised byte-size suffix in '" +
+                                   text + "' (use B, KiB, MiB, or GiB)");
+  }
+  const double bytes = value * multiplier;
+  if (bytes > 9.2e18) {
+    return Status::OutOfRange("byte size '" + text + "' overflows 64 bits");
+  }
+  return static_cast<uint64_t>(bytes);
 }
 
 }  // namespace vcmp

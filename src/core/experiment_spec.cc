@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "common/units.h"
 #include "core/batch_search.h"
 #include "core/tuning/tuner.h"
 #include "graph/datasets.h"
@@ -14,7 +15,8 @@ namespace {
 const std::set<std::string>& KnownKeys() {
   static const auto& keys = *new std::set<std::string>{
       "dataset", "task",  "system", "cluster", "machines",
-      "workload", "schedule", "scale", "seed", "threads"};
+      "workload", "schedule", "scale", "seed", "threads",
+      "memory_budget", "ooc_dir"};
   return keys;
 }
 
@@ -122,6 +124,9 @@ Result<std::vector<ExperimentSpec>> ParseExperimentSpecs(
     VCMP_ASSIGN_OR_RETURN(int64_t threads,
                           IniDocument::GetInt(section, "threads", 0));
     spec.threads = static_cast<uint32_t>(threads);
+    spec.memory_budget =
+        IniDocument::GetString(section, "memory_budget", "");
+    spec.ooc_dir = IniDocument::GetString(section, "ooc_dir", "");
     specs.push_back(std::move(spec));
   }
   if (specs.empty()) {
@@ -146,6 +151,17 @@ Result<ExperimentResult> RunExperiment(const ExperimentSpec& spec,
   options.system = system;
   options.seed = spec.seed;
   options.execution_threads = spec.threads;
+  if (!spec.memory_budget.empty()) {
+    VCMP_ASSIGN_OR_RETURN(options.ooc.memory_budget_bytes,
+                          ParseByteSize(spec.memory_budget));
+    options.ooc.enabled = true;
+    options.ooc.directory = spec.ooc_dir;
+  } else if (!spec.ooc_dir.empty()) {
+    return Status::InvalidArgument(
+        "experiment '" + spec.name +
+        "': ooc_dir requires memory_budget to enable real out-of-core "
+        "execution");
+  }
 
   VCMP_ASSIGN_OR_RETURN(std::unique_ptr<MultiTask> task,
                         MakeTask(spec.task));

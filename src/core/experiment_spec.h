@@ -41,6 +41,13 @@ struct ExperimentSpec {
   double scale = 0.0;  // 0 = dataset default.
   uint64_t seed = 1;
   uint32_t threads = 0;  // 0 = auto (hardware cores).
+  /// Real out-of-core execution (src/ooc): hard per-machine memory
+  /// budget with unit suffixes ("2.5GiB"); empty = off. Requires an
+  /// out-of-core system such as GraphD.
+  std::string memory_budget;
+  /// Spill/state directory for the real out-of-core path; empty = a
+  /// fresh temp directory per run.
+  std::string ooc_dir;
 };
 
 /// Parses every section of an INI document into a spec (section name =

@@ -82,6 +82,7 @@ Result<RunReport> MultiProcessingRunner::Run(const MultiTask& task,
     engine_options.collect_phase_times = options_.collect_phase_times;
     engine_options.checkpoint_interval_rounds =
         options_.checkpoint_interval_rounds;
+    engine_options.ooc = options_.ooc;
     engine_options.seed = options_.seed + batch_index;
     if (tracer != nullptr) {
       // Batches line up end to end on the report's own running sum, so
@@ -110,6 +111,7 @@ Result<RunReport> MultiProcessingRunner::Run(const MultiTask& task,
     batch.disk_utilization = result.disk_utilization;
     batch.disk_saturated = result.disk_saturated;
     batch.max_io_queue_length = result.max_io_queue_length;
+    batch.spilled_bytes = result.spilled_bytes;
     const double batch_start_seconds = report.total_seconds;
     report.Absorb(batch);
     if (tracer != nullptr) {

@@ -37,6 +37,11 @@ struct RunnerOptions {
   bool collect_phase_times = false;
   /// Replaces the canonical profile for `system` (ablation studies).
   std::optional<SystemProfile> profile_override;
+  /// Real out-of-core execution (src/ooc): when ooc.enabled, every batch
+  /// runs under the hard per-machine memory budget with real spill files
+  /// and a bounded vertex cache, and the report carries measured spilled
+  /// bytes. Requires an out-of-core system profile (GraphD).
+  OocOptions ooc;
   /// Called with each batch's finished program (result aggregation).
   std::function<void(const VertexProgram&)> batch_observer;
   /// Called with each batch's raw EngineResult (phase times, round trace)

@@ -48,6 +48,35 @@ void MessageBlock::Append(const MessageBlock& other) {
   size_ += other.size_;
 }
 
+void MessageBlock::AppendColumns(const VertexId* targets,
+                                 const uint32_t* tags, const double* values,
+                                 const double* multiplicities, size_t n) {
+  if (n == 0) return;
+  Reserve(size_ + n);
+  std::memcpy(targets_.get() + size_, targets, n * sizeof(VertexId));
+  std::memcpy(tags_.get() + size_, tags, n * sizeof(uint32_t));
+  std::memcpy(values_.get() + size_, values, n * sizeof(double));
+  std::memcpy(multiplicities_.get() + size_, multiplicities,
+              n * sizeof(double));
+  size_ += n;
+}
+
+void MessageBlock::EraseFront(size_t n) {
+  if (n == 0) return;
+  if (n >= size_) {
+    size_ = 0;
+    return;
+  }
+  const size_t remaining = size_ - n;
+  std::memmove(targets_.get(), targets_.get() + n,
+               remaining * sizeof(VertexId));
+  std::memmove(tags_.get(), tags_.get() + n, remaining * sizeof(uint32_t));
+  std::memmove(values_.get(), values_.get() + n, remaining * sizeof(double));
+  std::memmove(multiplicities_.get(), multiplicities_.get() + n,
+               remaining * sizeof(double));
+  size_ = remaining;
+}
+
 void MessageBlock::Swap(MessageBlock& other) noexcept {
   targets_.swap(other.targets_);
   tags_.swap(other.tags_);

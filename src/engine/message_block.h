@@ -36,6 +36,11 @@ struct MessageRun {
 /// no per-round reallocation.
 class MessageBlock {
  public:
+  /// Real bytes one element occupies across the four columns — the
+  /// figure spill files and the out-of-core governor account with.
+  static constexpr size_t kBytesPerMessage =
+      sizeof(VertexId) + sizeof(uint32_t) + 2 * sizeof(double);
+
   MessageBlock() = default;
   MessageBlock(MessageBlock&&) noexcept = default;
   MessageBlock& operator=(MessageBlock&&) noexcept = default;
@@ -71,6 +76,21 @@ class MessageBlock {
 
   /// Appends all of `other`'s elements (column-wise memcpy).
   void Append(const MessageBlock& other);
+
+  /// Appends `n` elements given as raw column pointers — the spill
+  /// restore and capped-delivery paths move column slices directly.
+  void AppendColumns(const VertexId* targets, const uint32_t* tags,
+                     const double* values, const double* multiplicities,
+                     size_t n);
+
+  /// Removes the first `n` elements (column-wise memmove); capacity is
+  /// retained. Used by the spill staging page after flushing.
+  void EraseFront(size_t n);
+
+  /// Shrinks to the first `n` elements; no-op when already smaller.
+  void Truncate(size_t n) {
+    if (n < size_) size_ = n;
+  }
 
   /// O(1) exchange of the two blocks' storage.
   void Swap(MessageBlock& other) noexcept;

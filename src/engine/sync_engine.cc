@@ -8,6 +8,7 @@
 #include "common/wall_clock.h"
 #include "obs/shard_spans.h"
 #include "obs/tracer.h"
+#include "ooc/ooc_runtime.h"
 
 namespace vcmp {
 
@@ -48,6 +49,29 @@ struct SyncEngine::ShardPlan {
       const uint64_t target = total * (s + 1) / shards;
       while (i < n && cum < target) {
         cum += 1 + graph.OutDegree(vertices[i]);
+        ++i;
+      }
+    }
+    bounds[shards] = n;
+  }
+
+  /// Same cut, weighted by a position-indexed degree column (the real
+  /// out-of-core path streams degrees from the state file instead of
+  /// touching the CSR; the values are identical to graph.OutDegree, so
+  /// the resulting plan is too).
+  void BuildForDegrees(const std::vector<uint32_t>& degrees,
+                       uint32_t shards) {
+    uint64_t total = 0;
+    for (uint32_t d : degrees) total += 1 + static_cast<uint64_t>(d);
+    bounds.assign(shards + 1, 0);
+    const uint32_t n = static_cast<uint32_t>(degrees.size());
+    uint32_t i = 0;
+    uint64_t cum = 0;
+    for (uint32_t s = 0; s < shards; ++s) {
+      bounds[s] = i;
+      const uint64_t target = total * (s + 1) / shards;
+      while (i < n && cum < target) {
+        cum += 1 + static_cast<uint64_t>(degrees[i]);
         ++i;
       }
     }
@@ -257,11 +281,23 @@ class SyncEngine::ShardSink : public MessageSink {
 
 SyncEngine::~SyncEngine() = default;  // ShardSink is complete here.
 
+EngineOptions SyncEngine::NormalizeOptions(EngineOptions options) {
+  if (options.ooc.enabled && options.profile.out_of_core &&
+      options.ooc.memory_budget_bytes > 0) {
+    // The real runtime only grants messages their governor share of the
+    // budget; pointing the cost model's resident allowance at the same
+    // share keeps modeled and measured spilling comparable.
+    options.profile.ooc_budget_bytes =
+        MemoryGovernor::MessageShareBytes(options.ooc.memory_budget_bytes);
+  }
+  return options;
+}
+
 SyncEngine::SyncEngine(const Graph& graph, const Partitioning& partition,
                        EngineOptions options)
     : graph_(graph),
       partition_(partition),
-      options_(std::move(options)),
+      options_(NormalizeOptions(std::move(options))),
       cost_model_(options_.cluster, options_.profile, options_.cost) {
   if (options_.profile.mirroring) {
     mirror_plan_ = std::make_unique<MirrorPlan>(
@@ -301,6 +337,28 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
   if (partition_.assignment.size() != graph_.NumVertices()) {
     return Status::InvalidArgument("partition does not cover the graph");
   }
+
+  // Real out-of-core runtime: fresh per Run (spill files and caches are
+  // round-lifecycle state), validated against the infeasible floor.
+  ooc_runtime_.reset();
+  if (options_.ooc.enabled) {
+    if (!options_.profile.out_of_core) {
+      return Status::InvalidArgument(
+          "real out-of-core execution (ooc.enabled) requires an "
+          "out-of-core system profile such as GraphD");
+    }
+    OocRuntime::Setup setup;
+    setup.options = options_.ooc;
+    setup.machines = machines;
+    setup.stat_scale = options_.stat_scale;
+    setup.bytes_per_message = options_.profile.bytes_per_message;
+    setup.message_memory_overhead =
+        options_.profile.message_memory_overhead;
+    VCMP_ASSIGN_OR_RETURN(
+        ooc_runtime_,
+        OocRuntime::Create(setup, graph_, vertices_by_machine_));
+  }
+  OocRuntime* const rt = ooc_runtime_.get();
 
   // Workers persist across Run calls; Reset retains their capacity so
   // repeated runs (trainer probes, batch loops) allocate nothing new.
@@ -366,6 +424,10 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
   std::vector<double> machine_residual_round(machines, 0.0);
   std::vector<double> residual_ledger(machines, 0.0);
   std::vector<double> shard_weights;  // trace_shard_spans only.
+  // Real OOC seeding superstep: per-machine degree columns streamed from
+  // the vertex-state files (shard planning without touching the CSR).
+  std::vector<std::vector<uint32_t>> ooc_degrees(rt != nullptr ? machines
+                                                               : 0);
 
   // Tracing rides the simulated clock: this run sits on the caller's
   // timeline at trace_time_offset_seconds (the runner lines batches up
@@ -379,6 +441,14 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
   }
 
   for (uint64_t round = 0; round <= options_.max_rounds; ++round) {
+    if (rt != nullptr && round > 0) {
+      // Happens-before edge for the background prefetch jobs launched at
+      // the end of last round: after this barrier their staged sections
+      // are plain data, consumed lazily (and deterministically) inside
+      // TouchSections.
+      pool.Wait();
+      VCMP_RETURN_IF_ERROR(rt->ConsumeError());
+    }
     for (Worker& worker : workers) worker.send_stats().Clear();
 
     ClusterRoundLoad loads(machines);
@@ -397,9 +467,24 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
       if (round == 0) {
         // Seeding superstep: every local vertex runs with an empty inbox;
         // shards balance by out-degree (broadcast seeds scan adjacency).
+        // Under real OOC the degrees come off the state file, streamed
+        // through the cache so the first round pays real vertex-state
+        // I/O like GraphD's load phase would.
+        if (rt != nullptr) {
+          rt->StreamAllDegrees(machine, &ooc_degrees[machine]);
+          plan.BuildForDegrees(ooc_degrees[machine], shards_per_machine);
+          return;
+        }
         plan.BuildForVertices(graph_, vertices_by_machine_[machine],
                               shards_per_machine);
         return;
+      }
+      if (rt != nullptr) {
+        // Stream last round's spilled overflow back in before grouping;
+        // restored messages append after the resident ones, and grouping
+        // sorts the union, so the grouped inbox is bit-identical to the
+        // uncapped run's.
+        rt->RestoreInbox(machine, &worker.inbox());
       }
       worker.GroupInbox();
       MachineRoundLoad& load = loads[machine];
@@ -415,9 +500,16 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
         // Built once here, read concurrently by this machine's shards.
         worker.MaterializedInbox();
       }
+      if (rt != nullptr) {
+        // Page in the vertex-state sections behind this round's targets
+        // (ascending section order; prefetched buffers are consumed at
+        // exactly the point a synchronous load would install them).
+        rt->TouchSections(machine, worker.runs());
+      }
       plan.BuildForRuns(worker.runs(), shards_per_machine);
     };
     pool.ParallelFor(machines, prep_machine);
+    if (rt != nullptr) VCMP_RETURN_IF_ERROR(rt->ConsumeError());
 
     // --- Phase B: sharded compute kernels ---
     // runs() is the round's sparse frontier: only vertices with messages
@@ -719,10 +811,30 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
       load.residual_bytes = (carryover + program.ResidualBytes(machine) +
                              residual_ledger[machine]) *
                             scale;
+      if (rt != nullptr) {
+        // Measured spill: what the stream actually restored this round,
+        // expressed in the same paper-scale buffered-byte terms the
+        // modeled recv-side overflow uses.
+        load.measured_spill_bytes =
+            static_cast<double>(rt->TakeRestoredMessages(machine)) *
+            bytes_per_message * options_.profile.message_memory_overhead *
+            scale;
+        // Measured vertex-state streaming replaces the page-cache
+        // heuristic below.
+        load.measured_edge_stream_bytes =
+            rt->TakeRoundStreamBytes(machine) * scale;
+        size_t live_messages = workers[machine].inbox().size();
+        for (uint32_t dest = 0; dest < machines; ++dest) {
+          live_messages += workers[machine].OutboxSize(dest);
+        }
+        rt->NoteRoundLiveBytes(machine,
+                               static_cast<double>(live_messages) *
+                                   MessageBlock::kBytesPerMessage);
+      }
     }
 
     double edge_stream_per_machine = 0.0;
-    if (options_.profile.out_of_core) {
+    if (options_.profile.out_of_core && rt == nullptr) {
       for (double bytes : edge_stream_bytes_) {
         edge_stream_per_machine = std::max(edge_stream_per_machine, bytes);
       }
@@ -853,11 +965,22 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
       if (round_recovery_seconds > 0.0) {
         child("recovery", round_recovery_seconds);
       }
+      if (rt != nullptr && stats.spilled_bytes > 0.0) {
+        // Real OOC only (non-OOC traces stay byte-identical): a marker
+        // span inside the round carrying the measured spill traffic.
+        // Its I/O time is already part of the compute child's disk
+        // stalls, so the marker adds no duration of its own.
+        child("ooc_spill", 0.0, {{"spilled_bytes", stats.spilled_bytes}});
+      }
       tracer->End(trace_track, t_end);
       tracer->Gauge(trace_track, "memory_bytes", t_end,
                     stats.max_memory_bytes);
       tracer->Gauge(trace_track, "residual_bytes", t_end,
                     stats.max_residual_bytes);
+      if (rt != nullptr) {
+        tracer->Gauge(trace_track, "ooc_spilled_bytes", t_end,
+                      stats.spilled_bytes);
+      }
     }
 
     result.seconds += stats.total_seconds;
@@ -874,6 +997,7 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
     result.disk_saturated = result.disk_saturated || stats.disk_saturated;
     result.max_io_queue_length =
         std::max(result.max_io_queue_length, stats.io_queue_length);
+    result.spilled_bytes += stats.spilled_bytes;
     result.rounds.push_back(stats);
     result.num_rounds = round + 1;
 
@@ -891,7 +1015,7 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
     // copying; multi-sender destinations reserve the exact total before
     // the column appends.
     const uint64_t deliver_start_ns = wallclock::NowNs();
-    pool.ParallelFor(machines, [&workers, machines](uint32_t dest) {
+    pool.ParallelFor(machines, [&workers, machines, rt](uint32_t dest) {
       MessageBlock& inbox = workers[dest].inbox();
       inbox.Clear();
       uint32_t nonempty_senders = 0;
@@ -905,7 +1029,35 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
           total += outbox_size;
         }
       }
-      if (nonempty_senders == 1) {
+      const size_t cap = rt != nullptr
+                             ? static_cast<size_t>(rt->resident_message_cap())
+                             : ~size_t{0};
+      if (total > cap) {
+        // Hard budget: keep the prefix of the sender-major concatenation
+        // resident and page the suffix to the spill file. Exactly one
+        // sender straddles the cut, so resident ++ restored reproduces
+        // the uncapped inbox order byte for byte (and GroupInbox's
+        // stable sort then folds identical payload orders).
+        inbox.Reserve(cap);
+        size_t kept = 0;
+        for (uint32_t sender = 0; sender < machines; ++sender) {
+          MessageBlock& outbox = workers[sender].outbox(dest);
+          const size_t n = outbox.size();
+          if (n == 0) continue;
+          const size_t take = std::min(n, cap - kept);
+          if (take > 0) {
+            inbox.AppendColumns(outbox.targets(), outbox.tags(),
+                                outbox.values(), outbox.multiplicities(),
+                                take);
+            kept += take;
+          }
+          if (take < n) {
+            rt->SpillMessages(dest, outbox, take, n - take);
+          }
+          outbox.Clear();
+          workers[sender].combine_index(dest).Clear();
+        }
+      } else if (nonempty_senders == 1) {
         workers[solo_sender].SwapOutbox(dest, &inbox);
       } else if (nonempty_senders > 1) {
         inbox.Reserve(total);
@@ -915,12 +1067,15 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
           }
         }
       }
+      if (rt != nullptr) rt->FinishDeliverRound(dest);
     });
     if (collect_times) {
       result.phase.deliver_seconds += wallclock::SecondsSince(deliver_start_ns);
     }
+    if (rt != nullptr) VCMP_RETURN_IF_ERROR(rt->ConsumeError());
     for (uint32_t machine = 0; machine < machines; ++machine) {
-      if (!workers[machine].inbox().empty()) {
+      if (!workers[machine].inbox().empty() ||
+          (rt != nullptr && rt->has_pending_spill(machine))) {
         any_messages_pending = true;
       }
     }
@@ -935,9 +1090,28 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
     if (aggregate_used && program.TerminateOnAggregate(aggregate_sum)) {
       break;
     }
+    if (rt != nullptr) {
+      // The loop will run another round: queue its sections (from the
+      // resident inbox targets — a subset of next round's needed set)
+      // and kick off one background read job per machine. The barrier
+      // at the top of the next iteration publishes the staged buffers.
+      for (uint32_t machine = 0; machine < machines; ++machine) {
+        rt->SchedulePrefetch(machine, workers[machine].inbox());
+      }
+      rt->LaunchPrefetch(&pool);
+    }
   }
 
   result.residual_bytes_per_machine = residual_ledger;
+
+  if (rt != nullptr) {
+    // Drain any prefetch jobs a terminal break left in flight before
+    // reading the runtime's counters (or letting it be destroyed).
+    pool.Wait();
+    VCMP_RETURN_IF_ERROR(rt->ConsumeError());
+    result.ooc_active = true;
+    result.ooc = rt->run_stats();
+  }
 
   if (result.seconds > 0.0) {
     result.disk_utilization =
@@ -969,6 +1143,23 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
     if (mirror_plan_ != nullptr) {
       tracer->Peak("engine.mirrors",
                    static_cast<double>(mirror_plan_->TotalMirrors()));
+    }
+    if (result.ooc_active) {
+      tracer->Add("engine.ooc.spilled_bytes", result.spilled_bytes);
+      tracer->Add("engine.ooc.spill_bytes_written",
+                  result.ooc.spill_bytes_written);
+      tracer->Add("engine.ooc.spill_bytes_read",
+                  result.ooc.spill_bytes_read);
+      tracer->Add("engine.ooc.state_bytes_read",
+                  result.ooc.state_bytes_read);
+      tracer->Add("engine.ooc.cache_hits",
+                  static_cast<double>(result.ooc.cache_hits));
+      tracer->Add("engine.ooc.cache_misses",
+                  static_cast<double>(result.ooc.cache_misses));
+      tracer->Add("engine.ooc.prefetch_loads",
+                  static_cast<double>(result.ooc.prefetch_loads));
+      tracer->Peak("engine.ooc.peak_live_bytes",
+                   result.ooc.peak_live_bytes);
     }
   }
   return result;

@@ -13,12 +13,14 @@
 #include "graph/graph.h"
 #include "graph/partition.h"
 #include "metrics/round_stats.h"
+#include "ooc/ooc_options.h"
 #include "sim/cluster_spec.h"
 #include "sim/cost_model.h"
 
 namespace vcmp {
 
 class Tracer;
+class OocRuntime;
 
 /// Configuration of one engine execution.
 struct EngineOptions {
@@ -89,6 +91,15 @@ struct EngineOptions {
   bool trace_shard_spans = false;
   static constexpr uint32_t kAutoTrack = ~0u;
 
+  /// --- Real out-of-core execution (src/ooc, DESIGN.md section 13) ---
+  /// When ooc.enabled, the engine runs under the hard per-machine memory
+  /// budget for real: inter-round message overflow pages to checksummed
+  /// spill files, vertex state sits behind a sectioned LRU cache, and
+  /// RoundStats carries the *measured* spilled bytes instead of the
+  /// modeled estimate. Requires an out-of-core profile (GraphD). Results
+  /// are bit-identical to the uncapped run at every thread count.
+  OocOptions ooc;
+
   /// --- Pregel fault tolerance (checkpointing) ---
   /// Checkpoint every N rounds (0 = off): each machine flushes its vertex
   /// state, residual results and in-flight messages to disk, adding the
@@ -149,6 +160,14 @@ struct EngineResult {
   /// would race once one machine's vertices execute on several shards).
   std::vector<double> residual_bytes_per_machine;
 
+  /// Bytes spilled to disk over the run, summed over rounds and machines
+  /// (paper scale). Modeled overflow for plain out-of-core profiles;
+  /// measured spill-file traffic when the real src/ooc path ran.
+  double spilled_bytes = 0.0;
+  /// Measured I/O of the real out-of-core path; zeros unless ooc_active.
+  OocRunStats ooc;
+  bool ooc_active = false;
+
   /// Real per-phase engine time (zeros unless collect_phase_times).
   EnginePhaseTimes phase;
 
@@ -189,6 +208,11 @@ class SyncEngine {
   /// Per-machine share of CSR storage, generated scale.
   void ComputeGraphShares();
 
+  /// Aligns the cost model's ooc budget with the real runtime's message
+  /// share when real out-of-core execution is requested, so modeled and
+  /// measured spilling answer against the same resident allowance.
+  static EngineOptions NormalizeOptions(EngineOptions options);
+
   const Graph& graph_;
   const Partitioning& partition_;
   EngineOptions options_;
@@ -204,6 +228,9 @@ class SyncEngine {
   /// records and the shard's deterministic random stream — reused across
   /// rounds and Run calls like the workers.
   std::vector<std::unique_ptr<ShardSink>> shard_sinks_;
+  /// Real out-of-core runtime; recreated on each Run when options_.ooc
+  /// is enabled, null otherwise.
+  std::unique_ptr<OocRuntime> ooc_runtime_;
   // Fault-tolerance bookkeeping (reset per Run): simulated time elapsed
   // since the last checkpoint, i.e. the replay cost of a failure now.
   double seconds_since_checkpoint_ = 0.0;

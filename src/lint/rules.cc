@@ -385,6 +385,29 @@ void CheckP1(const Cursor& c) {
   }
 }
 
+// --- D5: direct file I/O in the engine outside the src/ooc seam ---------
+
+void CheckD5(const Cursor& c) {
+  for (size_t i = 0; i < c.toks.size(); ++i) {
+    if (!c.IsIdent(i)) continue;
+    const std::string& t = c.toks[i].text;
+    if ((t == "fopen" || t == "freopen" || t == "tmpfile") &&
+        IsFreeCall(c, i)) {
+      c.Report("D5", c.toks[i].line,
+               "direct file I/O ('" + t +
+                   "') in the engine — disk access belongs behind the "
+                   "src/ooc seam (spill_file/state_file) so budgets, "
+                   "checksums and cleanup stay in one place");
+    } else if (t == "ofstream" || t == "ifstream" || t == "fstream") {
+      c.Report("D5", c.toks[i].line,
+               "direct file stream ('std::" + t +
+                   "') in the engine — disk access belongs behind the "
+                   "src/ooc seam (spill_file/state_file) so budgets, "
+                   "checksums and cleanup stay in one place");
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& AllRules() {
@@ -397,6 +420,7 @@ const std::vector<RuleInfo>& AllRules() {
       {"C1", "no naked new/delete in engine hot paths"},
       {"C2", "no volatile-as-synchronization"},
       {"P1", "no AoS std::vector<Message> buffers in engine hot paths"},
+      {"D5", "no direct file I/O in the engine outside the src/ooc seam"},
       {"A1", "every lint annotation parses and carries a reason, and "
              "every allow matches a finding"},
   };
@@ -409,7 +433,9 @@ bool RuleInScope(std::string_view rule, std::string_view path) {
            !EndsWith(path, "common/wall_clock.cc");
   }
   if (rule == "D3") return !HasSegment(path, "common");
-  if (rule == "C1" || rule == "P1") return HasSegment(path, "engine");
+  if (rule == "C1" || rule == "P1" || rule == "D5") {
+    return HasSegment(path, "engine");
+  }
   return true;  // D2, D4, C2 (and A1) apply everywhere.
 }
 
@@ -423,6 +449,7 @@ void CheckTokens(const std::string& path, const std::vector<Token>& tokens,
   if (RuleInScope("C1", path)) CheckC1(c);
   if (RuleInScope("C2", path)) CheckC2(c);
   if (RuleInScope("P1", path)) CheckP1(c);
+  if (RuleInScope("D5", path)) CheckD5(c);
   std::sort(out->begin(), out->end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
     return a.rule < b.rule;

@@ -16,18 +16,19 @@ Status WriteRoundStatsCsv(const std::vector<RoundStats>& rounds,
          "disk_stall_seconds,barrier_seconds,total_seconds,"
          "max_memory_bytes,max_residual_bytes,thrash_multiplier,overflow,"
          "network_overuse_seconds,disk_overuse_seconds,disk_utilization,"
-         "io_queue_length,disk_saturated\n";
+         "io_queue_length,disk_saturated,spilled_bytes\n";
   for (const RoundStats& r : rounds) {
     out << StrFormat(
         "%llu,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,"
-        "%.17g,%.17g,%.17g,%d,%.17g,%.17g,%.17g,%.17g,%d\n",
+        "%.17g,%.17g,%.17g,%d,%.17g,%.17g,%.17g,%.17g,%d,%.17g\n",
         static_cast<unsigned long long>(r.round), r.messages,
         r.message_bytes, r.cross_machine_bytes, r.active_vertices,
         r.compute_seconds, r.network_seconds, r.disk_stall_seconds,
         r.barrier_seconds, r.total_seconds, r.max_memory_bytes,
         r.max_residual_bytes, r.thrash_multiplier, r.overflow ? 1 : 0,
         r.network_overuse_seconds, r.disk_overuse_seconds,
-        r.disk_utilization, r.io_queue_length, r.disk_saturated ? 1 : 0);
+        r.disk_utilization, r.io_queue_length, r.disk_saturated ? 1 : 0,
+        r.spilled_bytes);
   }
   out.flush();
   if (!out) return Status::IoError("write failed: " + path);
@@ -154,6 +155,7 @@ std::string RunReportToJson(const RunReport& report) {
   json.Field("disk_utilization", report.disk_utilization);
   json.Field("disk_saturated", report.disk_saturated);
   json.Field("max_io_queue_length", report.max_io_queue_length);
+  json.Field("spilled_bytes", report.spilled_bytes);
   json.Field("monetary_cost", report.monetary_cost);
   std::string batches = "[";
   for (size_t i = 0; i < report.batches.size(); ++i) {
@@ -167,6 +169,7 @@ std::string RunReportToJson(const RunReport& report) {
     item.Field("messages", batch.messages);
     item.Field("peak_memory_bytes", batch.peak_memory_bytes);
     item.Field("peak_residual_bytes", batch.peak_residual_bytes);
+    item.Field("spilled_bytes", batch.spilled_bytes);
     batches += item.Close();
   }
   batches += "]";

@@ -39,6 +39,11 @@ struct RoundStats {
   double thrash_multiplier = 1.0;
   bool overflow = false;
 
+  /// Bytes spilled to disk this round, summed over machines. Modeled
+  /// overflow for plain out-of-core profiles; the engine's *measured*
+  /// spill-file traffic when the real src/ooc path is active.
+  double spilled_bytes = 0.0;
+
   double network_overuse_seconds = 0.0;
   double disk_overuse_seconds = 0.0;
   /// Raw transfer time demanded from the bottleneck machine's disk.

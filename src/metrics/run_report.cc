@@ -30,6 +30,7 @@ void RunReport::Absorb(const BatchReport& batch) {
   disk_saturated = disk_saturated || batch.disk_saturated;
   max_io_queue_length =
       std::max(max_io_queue_length, batch.max_io_queue_length);
+  spilled_bytes += batch.spilled_bytes;
 }
 
 std::string RunReport::ToString() const {

@@ -23,6 +23,9 @@ struct BatchReport {
   double disk_utilization = 0.0;
   bool disk_saturated = false;
   double max_io_queue_length = 0.0;
+  /// Bytes spilled to disk over the batch (modeled, or measured when the
+  /// real out-of-core path ran).
+  double spilled_bytes = 0.0;
 };
 
 /// Summary of a complete multi-processing run (all batches).
@@ -48,6 +51,8 @@ struct RunReport {
   double disk_utilization = 0.0;
   bool disk_saturated = false;
   double max_io_queue_length = 0.0;
+  /// Bytes spilled to disk over the whole run.
+  double spilled_bytes = 0.0;
   /// Cloud credits (only populated for cloud clusters).
   double monetary_cost = 0.0;
 

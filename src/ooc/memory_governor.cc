@@ -1,0 +1,54 @@
+#include "ooc/memory_governor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace vcmp {
+namespace {
+
+double PaperBytesPerMessage(const MemoryGovernor::Config& config) {
+  return config.bytes_per_message * config.message_memory_overhead *
+         std::max(config.stat_scale, 1e-12);
+}
+
+}  // namespace
+
+uint64_t MemoryGovernor::MinFeasibleBytes(const Config& config) {
+  const double per_message = PaperBytesPerMessage(config);
+  const double message_floor =
+      std::max<uint32_t>(config.spill_page_messages, 1) * per_message /
+      kMessageShare;
+  const double cache_floor =
+      static_cast<double>(config.max_section_real_bytes) *
+      std::max(config.stat_scale, 1e-12) *
+      std::max<uint32_t>(config.cache_ways, 1) / kCacheShare;
+  return static_cast<uint64_t>(std::ceil(std::max(message_floor, cache_floor)));
+}
+
+Status MemoryGovernor::Validate(const Config& config) {
+  const uint64_t floor = MinFeasibleBytes(config);
+  if (config.budget_bytes < floor) {
+    return Status::InvalidArgument(StrFormat(
+        "memory budget %llu bytes is below the minimum feasible budget "
+        "%llu bytes for this configuration (one spill page of %u messages "
+        "in the %.0f%% message share and the largest vertex-state section "
+        "in each of %u cache ways in the %.0f%% cache share must fit)",
+        static_cast<unsigned long long>(config.budget_bytes),
+        static_cast<unsigned long long>(floor), config.spill_page_messages,
+        100.0 * kMessageShare, config.cache_ways, 100.0 * kCacheShare));
+  }
+  return Status::OK();
+}
+
+MemoryGovernor::MemoryGovernor(const Config& config) {
+  paper_bytes_per_message_ = PaperBytesPerMessage(config);
+  resident_message_cap_ = static_cast<uint64_t>(
+      MessageShareBytes(config.budget_bytes) / paper_bytes_per_message_);
+  cache_capacity_bytes_ = static_cast<uint64_t>(
+      kCacheShare * static_cast<double>(config.budget_bytes) /
+      std::max(config.stat_scale, 1e-12));
+}
+
+}  // namespace vcmp

@@ -1,0 +1,68 @@
+// Budget arithmetic for the real out-of-core path (DESIGN.md section
+// 13.5). The hard per-machine budget (paper-scale bytes) is split into
+// fixed shares: 60% for buffered messages (the resident inbox cap that
+// triggers spilling), 35% for the vertex cache, and the remaining 5%
+// for fixed overheads (spill staging page, plans, counters). The
+// governor also computes the infeasible floor — the smallest budget for
+// which one spill page and one copy of the largest section per cache
+// way still fit — and validates requested budgets against it.
+#ifndef VCMP_OOC_MEMORY_GOVERNOR_H_
+#define VCMP_OOC_MEMORY_GOVERNOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace vcmp {
+
+class MemoryGovernor {
+ public:
+  struct Config {
+    uint64_t budget_bytes = 0;  // Paper-scale.
+    double stat_scale = 1.0;    // Paper bytes = real bytes * stat_scale.
+    double bytes_per_message = 20.0;
+    double message_memory_overhead = 1.2;
+    uint64_t max_section_real_bytes = 0;
+    uint32_t cache_ways = 4;
+    uint32_t spill_page_messages = 4096;
+  };
+
+  static constexpr double kMessageShare = 0.60;
+  static constexpr double kCacheShare = 0.35;
+
+  /// Paper-scale bytes of the message share — what the cost model's
+  /// ooc_budget_bytes is set to so modeled and measured spilling answer
+  /// against the same resident allowance.
+  static double MessageShareBytes(uint64_t budget_bytes) {
+    return kMessageShare * static_cast<double>(budget_bytes);
+  }
+
+  /// Smallest budget (paper-scale bytes) this configuration can run
+  /// under: the message share must hold one spill page and the cache
+  /// share one copy of the largest section in every way.
+  static uint64_t MinFeasibleBytes(const Config& config);
+
+  /// OK, or InvalidArgument naming the floor when the budget is below it.
+  static Status Validate(const Config& config);
+
+  explicit MemoryGovernor(const Config& config);
+
+  /// Maximum messages resident in one machine's inbox between rounds;
+  /// delivery past the cap spills to the MessageStream.
+  uint64_t resident_message_cap() const { return resident_message_cap_; }
+
+  /// Real-byte capacity of one machine's vertex cache.
+  uint64_t cache_capacity_bytes() const { return cache_capacity_bytes_; }
+
+  /// Paper-scale bytes one resident message is billed at.
+  double paper_bytes_per_message() const { return paper_bytes_per_message_; }
+
+ private:
+  uint64_t resident_message_cap_ = 0;
+  uint64_t cache_capacity_bytes_ = 0;
+  double paper_bytes_per_message_ = 0.0;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_OOC_MEMORY_GOVERNOR_H_

@@ -1,0 +1,72 @@
+#include "ooc/message_stream.h"
+
+#include <utility>
+
+namespace vcmp {
+
+void MessageStream::Configure(std::string path, uint32_t page_messages) {
+  path_ = std::move(path);
+  page_messages_ = page_messages == 0 ? 1 : page_messages;
+}
+
+Status MessageStream::Append(const VertexId* targets, const uint32_t* tags,
+                             const double* values,
+                             const double* multiplicities, size_t count) {
+  if (count == 0) return Status::OK();
+  if (!writer_.is_open()) {
+    VCMP_RETURN_IF_ERROR(writer_.Open(path_));
+  }
+  staging_.AppendColumns(targets, tags, values, multiplicities, count);
+  pending_messages_ += count;
+  messages_spilled_ += count;
+  return FlushFullPages(/*flush_partial=*/false);
+}
+
+Status MessageStream::FlushFullPages(bool flush_partial) {
+  size_t offset = 0;
+  while (staging_.size() - offset >= page_messages_) {
+    VCMP_RETURN_IF_ERROR(writer_.WritePage(
+        staging_.targets() + offset, staging_.tags() + offset,
+        staging_.values() + offset, staging_.multiplicities() + offset,
+        page_messages_));
+    offset += page_messages_;
+  }
+  if (flush_partial && staging_.size() > offset) {
+    VCMP_RETURN_IF_ERROR(writer_.WritePage(
+        staging_.targets() + offset, staging_.tags() + offset,
+        staging_.values() + offset, staging_.multiplicities() + offset,
+        static_cast<uint32_t>(staging_.size() - offset)));
+    offset = staging_.size();
+  }
+  if (offset > 0) staging_.EraseFront(offset);
+  return Status::OK();
+}
+
+Status MessageStream::EndRound() {
+  if (!writer_.is_open()) return Status::OK();
+  VCMP_RETURN_IF_ERROR(FlushFullPages(/*flush_partial=*/true));
+  pages_written_ += writer_.pages_written();
+  bytes_written_ += writer_.bytes_written();
+  return writer_.Finish();
+}
+
+Result<uint64_t> MessageStream::Restore(MessageBlock* inbox) {
+  if (pending_messages_ == 0) return uint64_t{0};
+  SpillFileReader reader;
+  VCMP_RETURN_IF_ERROR(reader.Open(path_));
+  uint64_t restored = 0;
+  for (;;) {
+    VCMP_ASSIGN_OR_RETURN(uint64_t count, reader.ReadPage(inbox));
+    if (count == 0) break;
+    restored += count;
+  }
+  if (restored != pending_messages_) {
+    return Status::IoError("spill restore count mismatch in " + path_);
+  }
+  bytes_read_ += reader.bytes_read();
+  messages_restored_ += restored;
+  pending_messages_ = 0;
+  return restored;
+}
+
+}  // namespace vcmp

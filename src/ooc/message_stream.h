@@ -1,0 +1,71 @@
+// Per-machine paged message spill channel (DESIGN.md section 13.2).
+// During delivery, messages past the resident cap are appended here in
+// fixed sender order; at the start of the next round Restore streams
+// every spilled message back in the exact append order, so the inbox
+// ends up identical to the uncapped run's. Only one staging page is
+// ever resident — full pages go straight to disk.
+#ifndef VCMP_OOC_MESSAGE_STREAM_H_
+#define VCMP_OOC_MESSAGE_STREAM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "engine/message_block.h"
+#include "ooc/spill_file.h"
+
+namespace vcmp {
+
+class MessageStream {
+ public:
+  /// `path` is reused round over round (each spill round truncates it);
+  /// `page_messages` is the spill page granularity.
+  void Configure(std::string path, uint32_t page_messages);
+
+  /// Appends `count` messages given as raw columns. Opens the round's
+  /// spill file lazily on first use after a Restore.
+  Status Append(const VertexId* targets, const uint32_t* tags,
+                const double* values, const double* multiplicities,
+                size_t count);
+
+  /// Flushes the partial staging page and finishes the file. Must be
+  /// called at the end of a delivery that appended anything.
+  Status EndRound();
+
+  /// True when spilled messages are waiting to be restored.
+  bool has_spill() const { return pending_messages_ > 0; }
+
+  /// Streams every spilled message back, appending to `inbox` in the
+  /// original order. Returns the number restored (0 when none pending).
+  Result<uint64_t> Restore(MessageBlock* inbox);
+
+  /// Real bytes of the staging page currently held in memory.
+  uint64_t staging_bytes() const {
+    return staging_.size() * MessageBlock::kBytesPerMessage;
+  }
+
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t messages_spilled() const { return messages_spilled_; }
+  uint64_t messages_restored() const { return messages_restored_; }
+  uint64_t pages_written() const { return pages_written_; }
+
+ private:
+  Status FlushFullPages(bool flush_partial);
+
+  std::string path_;
+  uint32_t page_messages_ = 4096;
+  MessageBlock staging_;
+  SpillFileWriter writer_;
+  uint64_t pending_messages_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t bytes_read_ = 0;
+  uint64_t messages_spilled_ = 0;
+  uint64_t messages_restored_ = 0;
+  uint64_t pages_written_ = 0;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_OOC_MESSAGE_STREAM_H_

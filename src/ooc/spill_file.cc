@@ -1,0 +1,165 @@
+#include "ooc/spill_file.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace vcmp {
+namespace {
+
+struct FileHeader {
+  uint32_t magic;
+  uint32_t version;
+};
+
+struct PageHeader {
+  uint32_t count;
+  uint32_t flags;  // Reserved, written as 0.
+  uint64_t checksum;
+};
+
+static_assert(sizeof(FileHeader) == 8, "spill file header is 8 bytes");
+static_assert(sizeof(PageHeader) == 16, "spill page header is 16 bytes");
+
+}  // namespace
+
+uint64_t Fnv1aHash(const void* data, size_t size, uint64_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+SpillFileWriter::~SpillFileWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SpillFileWriter::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::Internal("spill writer already open: " + path_);
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot create spill file " + path);
+  }
+  path_ = path;
+  bytes_written_ = 0;
+  pages_written_ = 0;
+  FileHeader header{kSpillMagic, kSpillVersion};
+  if (std::fwrite(&header, sizeof(header), 1, file_) != 1) {
+    return Status::IoError("cannot write spill header to " + path_);
+  }
+  bytes_written_ += sizeof(header);
+  return Status::OK();
+}
+
+Status SpillFileWriter::WritePage(const VertexId* targets,
+                                  const uint32_t* tags, const double* values,
+                                  const double* multiplicities,
+                                  uint32_t count) {
+  if (file_ == nullptr) return Status::Internal("spill writer not open");
+  if (count == 0) return Status::OK();
+  PageHeader header{count, 0, 0};
+  header.checksum = Fnv1aHash(targets, count * sizeof(VertexId));
+  header.checksum = Fnv1aHash(tags, count * sizeof(uint32_t), header.checksum);
+  header.checksum =
+      Fnv1aHash(values, count * sizeof(double), header.checksum);
+  header.checksum =
+      Fnv1aHash(multiplicities, count * sizeof(double), header.checksum);
+  bool ok = std::fwrite(&header, sizeof(header), 1, file_) == 1;
+  ok = ok && std::fwrite(targets, sizeof(VertexId), count, file_) == count;
+  ok = ok && std::fwrite(tags, sizeof(uint32_t), count, file_) == count;
+  ok = ok && std::fwrite(values, sizeof(double), count, file_) == count;
+  ok = ok &&
+       std::fwrite(multiplicities, sizeof(double), count, file_) == count;
+  if (!ok) return Status::IoError("short write to spill file " + path_);
+  bytes_written_ += sizeof(header) + static_cast<uint64_t>(count) *
+                                         MessageBlock::kBytesPerMessage;
+  ++pages_written_;
+  return Status::OK();
+}
+
+Status SpillFileWriter::Finish() {
+  if (file_ == nullptr) return Status::OK();
+  bool ok = std::fflush(file_) == 0;
+  ok = std::fclose(file_) == 0 && ok;
+  file_ = nullptr;
+  if (!ok) return Status::IoError("cannot finish spill file " + path_);
+  return Status::OK();
+}
+
+SpillFileReader::~SpillFileReader() { Close(); }
+
+void SpillFileReader::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status SpillFileReader::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open spill file " + path);
+  }
+  path_ = path;
+  bytes_read_ = 0;
+  FileHeader header{};
+  if (std::fread(&header, sizeof(header), 1, file_) != 1) {
+    return Status::IoError("truncated spill header in " + path_);
+  }
+  if (header.magic != kSpillMagic) {
+    return Status::IoError("bad spill magic in " + path_);
+  }
+  if (header.version != kSpillVersion) {
+    return Status::IoError(StrFormat("unsupported spill version %u in %s",
+                                     header.version, path_.c_str()));
+  }
+  bytes_read_ += sizeof(header);
+  return Status::OK();
+}
+
+Result<uint64_t> SpillFileReader::ReadPage(MessageBlock* out) {
+  if (file_ == nullptr) return Status::Internal("spill reader not open");
+  PageHeader header{};
+  size_t got = std::fread(&header, 1, sizeof(header), file_);
+  if (got == 0 && std::feof(file_)) return uint64_t{0};  // Clean EOF.
+  if (got != sizeof(header)) {
+    return Status::IoError("truncated page header in " + path_);
+  }
+  const uint32_t count = header.count;
+  if (count == 0) {
+    return Status::IoError("corrupt page (zero count) in " + path_);
+  }
+  targets_.resize(count);
+  tags_.resize(count);
+  values_.resize(count);
+  multiplicities_.resize(count);
+  bool ok =
+      std::fread(targets_.data(), sizeof(VertexId), count, file_) == count;
+  ok = ok &&
+       std::fread(tags_.data(), sizeof(uint32_t), count, file_) == count;
+  ok = ok && std::fread(values_.data(), sizeof(double), count, file_) == count;
+  ok = ok && std::fread(multiplicities_.data(), sizeof(double), count,
+                        file_) == count;
+  if (!ok) return Status::IoError("truncated page body in " + path_);
+  uint64_t checksum = Fnv1aHash(targets_.data(), count * sizeof(VertexId));
+  checksum = Fnv1aHash(tags_.data(), count * sizeof(uint32_t), checksum);
+  checksum = Fnv1aHash(values_.data(), count * sizeof(double), checksum);
+  checksum =
+      Fnv1aHash(multiplicities_.data(), count * sizeof(double), checksum);
+  if (checksum != header.checksum) {
+    return Status::IoError("checksum mismatch in spill page of " + path_);
+  }
+  out->AppendColumns(targets_.data(), tags_.data(), values_.data(),
+                     multiplicities_.data(), count);
+  bytes_read_ += sizeof(header) + static_cast<uint64_t>(count) *
+                                      MessageBlock::kBytesPerMessage;
+  return uint64_t{count};
+}
+
+}  // namespace vcmp

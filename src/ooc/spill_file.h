@@ -1,0 +1,86 @@
+// Versioned, checksummed on-disk page format for SoA MessageBlock
+// columns (DESIGN.md section 13.1). A spill file is a fixed header
+// followed by pages; each page is a small header (message count + FNV-1a
+// checksum over the column bytes) followed by the four columns written
+// back to back: targets, tags, values, multiplicities. Pages stream back
+// in write order, so a restore reproduces the exact append sequence.
+#ifndef VCMP_OOC_SPILL_FILE_H_
+#define VCMP_OOC_SPILL_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "engine/message_block.h"
+#include "graph/graph.h"
+
+namespace vcmp {
+
+inline constexpr uint32_t kSpillMagic = 0x4c505356;  // "VSPL" little-endian.
+inline constexpr uint32_t kSpillVersion = 1;
+
+/// FNV-1a over a byte range; `seed` chains checksums across ranges.
+uint64_t Fnv1aHash(const void* data, size_t size,
+                   uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Sequential page writer. Open → WritePage* → Finish. Reopening an
+/// existing path truncates it.
+class SpillFileWriter {
+ public:
+  SpillFileWriter() = default;
+  ~SpillFileWriter();
+  SpillFileWriter(const SpillFileWriter&) = delete;
+  SpillFileWriter& operator=(const SpillFileWriter&) = delete;
+
+  Status Open(const std::string& path);
+  bool is_open() const { return file_ != nullptr; }
+  Status WritePage(const VertexId* targets, const uint32_t* tags,
+                   const double* values, const double* multiplicities,
+                   uint32_t count);
+  /// Flushes and closes; the file is complete only after Finish.
+  Status Finish();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t pages_written() const { return pages_written_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t bytes_written_ = 0;
+  uint64_t pages_written_ = 0;
+};
+
+/// Sequential page reader. ReadPage appends one page's messages to the
+/// destination block and returns the message count, 0 at clean EOF.
+/// Corruption (bad magic/version, checksum mismatch, truncated page)
+/// yields an IoError Status — never a crash or silent short read.
+class SpillFileReader {
+ public:
+  SpillFileReader() = default;
+  ~SpillFileReader();
+  SpillFileReader(const SpillFileReader&) = delete;
+  SpillFileReader& operator=(const SpillFileReader&) = delete;
+
+  Status Open(const std::string& path);
+  Result<uint64_t> ReadPage(MessageBlock* out);
+  void Close();
+
+  uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t bytes_read_ = 0;
+  // Column scratch, reused across pages.
+  std::vector<VertexId> targets_;
+  std::vector<uint32_t> tags_;
+  std::vector<double> values_;
+  std::vector<double> multiplicities_;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_OOC_SPILL_FILE_H_

@@ -1,0 +1,142 @@
+#include "ooc/state_file.h"
+
+#include "common/string_util.h"
+#include "ooc/spill_file.h"  // Fnv1aHash.
+
+namespace vcmp {
+namespace {
+
+struct StateHeader {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t num_sections;
+  uint32_t reserved;
+};
+
+struct SectionHeader {
+  uint32_t count;
+  uint32_t flags;  // Reserved, written as 0.
+  uint64_t checksum;
+};
+
+static_assert(sizeof(StateHeader) == 16, "state file header is 16 bytes");
+static_assert(sizeof(SectionHeader) == 16, "section header is 16 bytes");
+
+}  // namespace
+
+Status WriteStateFile(
+    const std::string& path,
+    const std::vector<std::vector<VertexRecord>>& sections) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot create state file " + path);
+  }
+  StateHeader header{kStateMagic, kStateVersion,
+                     static_cast<uint32_t>(sections.size()), 0};
+  bool ok = std::fwrite(&header, sizeof(header), 1, file) == 1;
+  for (const std::vector<VertexRecord>& records : sections) {
+    SectionHeader section{static_cast<uint32_t>(records.size()), 0,
+                          Fnv1aHash(records.data(),
+                                    records.size() * sizeof(VertexRecord))};
+    ok = ok && std::fwrite(&section, sizeof(section), 1, file) == 1;
+    if (!records.empty()) {
+      ok = ok && std::fwrite(records.data(), sizeof(VertexRecord),
+                             records.size(), file) == records.size();
+    }
+  }
+  ok = std::fflush(file) == 0 && ok;
+  ok = std::fclose(file) == 0 && ok;
+  if (!ok) return Status::IoError("short write to state file " + path);
+  return Status::OK();
+}
+
+StateFileReader::~StateFileReader() { Close(); }
+
+void StateFileReader::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status StateFileReader::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open state file " + path);
+  }
+  path_ = path;
+  bytes_read_ = 0;
+  counts_.clear();
+  offsets_.clear();
+  checksums_.clear();
+  StateHeader header{};
+  if (std::fread(&header, sizeof(header), 1, file_) != 1) {
+    return Status::IoError("truncated state header in " + path_);
+  }
+  if (header.magic != kStateMagic) {
+    return Status::IoError("bad state magic in " + path_);
+  }
+  if (header.version != kStateVersion) {
+    return Status::IoError(StrFormat("unsupported state version %u in %s",
+                                     header.version, path_.c_str()));
+  }
+  uint64_t offset = sizeof(header);
+  counts_.reserve(header.num_sections);
+  for (uint32_t s = 0; s < header.num_sections; ++s) {
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IoError("cannot seek section header in " + path_);
+    }
+    SectionHeader section{};
+    if (std::fread(&section, sizeof(section), 1, file_) != 1) {
+      return Status::IoError("truncated section header in " + path_);
+    }
+    counts_.push_back(section.count);
+    checksums_.push_back(section.checksum);
+    offsets_.push_back(offset + sizeof(section));
+    offset += sizeof(section) +
+              static_cast<uint64_t>(section.count) * sizeof(VertexRecord);
+  }
+  // `offset` is now the exact size the headers promise; a shorter file
+  // has a truncated section body and must be rejected here, not when the
+  // missing section happens to be read mid-run.
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::IoError("cannot seek to end of " + path_);
+  }
+  const long actual = std::ftell(file_);
+  if (actual < 0 || static_cast<uint64_t>(actual) < offset) {
+    return Status::IoError("truncated state file " + path_);
+  }
+  return Status::OK();
+}
+
+Status StateFileReader::ReadSection(uint32_t section,
+                                    std::vector<VertexRecord>* out) {
+  if (file_ == nullptr) return Status::Internal("state reader not open");
+  if (section >= counts_.size()) {
+    return Status::OutOfRange(
+        StrFormat("section %u out of range in %s", section, path_.c_str()));
+  }
+  const uint32_t count = counts_[section];
+  out->resize(count);
+  if (count > 0) {
+    if (std::fseek(file_, static_cast<long>(offsets_[section]), SEEK_SET) !=
+        0) {
+      return Status::IoError("cannot seek section in " + path_);
+    }
+    if (std::fread(out->data(), sizeof(VertexRecord), count, file_) != count) {
+      return Status::IoError("truncated section body in " + path_);
+    }
+  }
+  if (Fnv1aHash(out->data(), count * sizeof(VertexRecord)) !=
+      checksums_[section]) {
+    return Status::IoError(
+        StrFormat("checksum mismatch in section %u of %s", section,
+                  path_.c_str()));
+  }
+  bytes_read_ += sizeof(SectionHeader) +
+                 static_cast<uint64_t>(count) * sizeof(VertexRecord);
+  return Status::OK();
+}
+
+}  // namespace vcmp

@@ -1,0 +1,72 @@
+// Sectioned vertex-state file (DESIGN.md section 13.3). One file per
+// machine holds that machine's vertices split into fixed contiguous
+// sections — the paging granularity of the VertexCache. Each section
+// carries its own FNV-1a checksum so a damaged section is detected on
+// load, not silently consumed. Records are fixed 8-byte rows
+// {vertex id, out-degree}; the degree column is what round-0 shard
+// planning and the streamed-adjacency accounting consume.
+#ifndef VCMP_OOC_STATE_FILE_H_
+#define VCMP_OOC_STATE_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace vcmp {
+
+inline constexpr uint32_t kStateMagic = 0x54535656;  // "VVST" little-endian.
+inline constexpr uint32_t kStateVersion = 1;
+
+struct VertexRecord {
+  VertexId id = 0;
+  uint32_t degree = 0;
+};
+static_assert(sizeof(VertexRecord) == 8, "vertex record is 8 bytes");
+
+/// Writes a complete state file in one shot (sections in order).
+Status WriteStateFile(const std::string& path,
+                      const std::vector<std::vector<VertexRecord>>& sections);
+
+/// Random-access section reader. Open scans the section headers once to
+/// index byte offsets; ReadSection then seeks, reads, and verifies the
+/// checksum of a single section.
+class StateFileReader {
+ public:
+  StateFileReader() = default;
+  ~StateFileReader();
+  StateFileReader(const StateFileReader&) = delete;
+  StateFileReader& operator=(const StateFileReader&) = delete;
+
+  Status Open(const std::string& path);
+  void Close();
+
+  uint32_t num_sections() const {
+    return static_cast<uint32_t>(counts_.size());
+  }
+  uint32_t section_count(uint32_t section) const { return counts_[section]; }
+  /// Real bytes one resident copy of `section` occupies.
+  uint64_t section_bytes(uint32_t section) const {
+    return static_cast<uint64_t>(counts_[section]) * sizeof(VertexRecord);
+  }
+
+  Status ReadSection(uint32_t section, std::vector<VertexRecord>* out);
+
+  uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::vector<uint32_t> counts_;
+  std::vector<uint64_t> offsets_;  // Byte offset of each section's records.
+  std::vector<uint64_t> checksums_;
+  uint64_t bytes_read_ = 0;
+};
+
+}  // namespace vcmp
+
+#endif  // VCMP_OOC_STATE_FILE_H_

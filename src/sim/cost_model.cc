@@ -51,11 +51,23 @@ RoundStats CostModel::EvaluateRound(
     if (profile_.out_of_core) {
       double buffered =
           load.buffered_message_bytes * profile_.message_memory_overhead;
-      double spill = std::max(0.0, buffered - profile_.ooc_budget_bytes);
-      double resident = std::min(buffered, profile_.ooc_budget_bytes);
-      disk = disk_model_.Assess(spill, resident,
-                                edge_stream_bytes_per_machine, machine,
+      double spill;
+      double resident;
+      if (load.measured_spill_bytes >= 0.0) {
+        // Real OOC path active: bill the bytes the engine actually moved
+        // through its spill files instead of the modeled overflow.
+        spill = load.measured_spill_bytes;
+        resident = std::max(0.0, buffered - spill);
+      } else {
+        spill = std::max(0.0, buffered - profile_.ooc_budget_bytes);
+        resident = std::min(buffered, profile_.ooc_budget_bytes);
+      }
+      const double edge_stream = load.measured_edge_stream_bytes >= 0.0
+                                     ? load.measured_edge_stream_bytes
+                                     : edge_stream_bytes_per_machine;
+      disk = disk_model_.Assess(spill, resident, edge_stream, machine,
                                 compute);
+      stats.spilled_bytes += spill;
     }
 
     // --- Memory ---

@@ -38,6 +38,12 @@ struct MachineRoundLoad {
   /// that must be retained for final aggregation — the paper's residual
   /// memory.
   double residual_bytes = 0.0;
+  /// Real out-of-core measurements, set only when the src/ooc runtime is
+  /// active. Negative means "not measured": the cost model then falls
+  /// back to its modeled spill estimate and the shared edge-stream
+  /// heuristic. Paper-scale bytes, like every other field here.
+  double measured_spill_bytes = -1.0;
+  double measured_edge_stream_bytes = -1.0;
 
   MachineRoundLoad& operator+=(const MachineRoundLoad& other) {
     recv_messages += other.recv_messages;
@@ -50,6 +56,22 @@ struct MachineRoundLoad {
     compute_units += other.compute_units;
     state_bytes += other.state_bytes;
     residual_bytes += other.residual_bytes;
+    // Measured fields stay "unmeasured" only when both sides are; a
+    // merge with one measured side treats the other as zero.
+    if (measured_spill_bytes >= 0.0 || other.measured_spill_bytes >= 0.0) {
+      measured_spill_bytes = (measured_spill_bytes < 0.0
+                                  ? 0.0 : measured_spill_bytes) +
+                             (other.measured_spill_bytes < 0.0
+                                  ? 0.0 : other.measured_spill_bytes);
+    }
+    if (measured_edge_stream_bytes >= 0.0 ||
+        other.measured_edge_stream_bytes >= 0.0) {
+      measured_edge_stream_bytes =
+          (measured_edge_stream_bytes < 0.0 ? 0.0
+                                            : measured_edge_stream_bytes) +
+          (other.measured_edge_stream_bytes < 0.0
+               ? 0.0 : other.measured_edge_stream_bytes);
+    }
     return *this;
   }
 };

@@ -1,0 +1,29 @@
+// D5 fixture: direct file I/O in the engine. Not compiled — linted by
+// lint_test.cc, once under src/engine/ (fires) and once under src/ooc/
+// (out of scope: the sanctioned seam). True positives on lines 12, 14,
+// 16 under engine/.
+#include <cstdio>
+#include <fstream>
+
+namespace fixture {
+
+struct Checkpointer {
+  void Save(const char* path) {
+    std::FILE* f = std::fopen(path, "wb");
+    (void)f;
+    std::ofstream out(path);
+    out << 1;
+    std::ifstream in(path);
+  }
+
+  // Member calls named like the C functions must not fire.
+  struct Io {
+    void fopen(int) {}
+  } io;
+  void Touch() { io.fopen(0); }
+};
+
+// Comments saying fopen/ofstream, and strings, must not fire.
+const char* kDoc = "spill via fopen or std::ofstream belongs in src/ooc";
+
+}  // namespace fixture

@@ -139,6 +139,19 @@ TEST(LintP1, FlagsAoSMessageVectorsInEngineOnly) {
             (std::vector<std::string>{"src/tasks/p1.cc:24:A1"}));
 }
 
+TEST(LintD5, FlagsDirectFileIoInEngineOnly) {
+  LintReport engine = LintAs("d5_file_io.cc", "src/engine/d5.cc");
+  // The fopen free call and both stream types fire; the member function
+  // named fopen, comments and strings do not.
+  EXPECT_EQ(Keys(engine),
+            (std::vector<std::string>{"src/engine/d5.cc:12:D5",
+                                      "src/engine/d5.cc:14:D5",
+                                      "src/engine/d5.cc:16:D5"}));
+  // The same content inside the sanctioned seam: D5 out of scope.
+  LintReport ooc = LintAs("d5_file_io.cc", "src/ooc/d5.cc");
+  EXPECT_TRUE(Keys(ooc).empty());
+}
+
 TEST(LintC2, FlagsVolatileEverywhere) {
   LintReport report = LintAs("c2_volatile.cc", "src/common/c2.cc");
   EXPECT_EQ(Keys(report),
@@ -201,7 +214,7 @@ TEST(LintRepo, RuleTableCoversDocumentedRules) {
   std::vector<std::string> ids;
   for (const RuleInfo& rule : AllRules()) ids.push_back(rule.id);
   EXPECT_EQ(ids, (std::vector<std::string>{"D1", "D2", "D3", "D4", "C1",
-                                           "C2", "P1", "A1"}));
+                                           "C2", "P1", "D5", "A1"}));
 }
 
 }  // namespace

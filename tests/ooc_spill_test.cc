@@ -1,0 +1,326 @@
+// Tests of the out-of-core spill layer: the versioned checksummed page
+// format (golden round-trip, corruption and truncation detection), the
+// per-machine MessageStream (order-preserving spill/restore), the
+// sectioned vertex-state file, and the byte-size flag parser feeding
+// --memory-budget.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "engine/message_block.h"
+#include "ooc/message_stream.h"
+#include "ooc/spill_file.h"
+#include "ooc/state_file.h"
+
+namespace vcmp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<char> ReadAllBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteAllBytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Deterministic synthetic message columns.
+void FillColumns(size_t n, uint64_t salt, std::vector<VertexId>* targets,
+                 std::vector<uint32_t>* tags, std::vector<double>* values,
+                 std::vector<double>* mults) {
+  targets->resize(n);
+  tags->resize(n);
+  values->resize(n);
+  mults->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    (*targets)[i] = static_cast<VertexId>((i * 2654435761u + salt) % 4096);
+    (*tags)[i] = static_cast<uint32_t>((i + salt) % 7);
+    (*values)[i] = 0.125 * static_cast<double>(i) + static_cast<double>(salt);
+    (*mults)[i] = 1.0 + static_cast<double>(i % 3);
+  }
+}
+
+TEST(Fnv1aTest, MatchesKnownVectorAndChains) {
+  // FNV-1a of the empty string is the offset basis; of "a" the published
+  // constant.
+  EXPECT_EQ(Fnv1aHash("", 0), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1aHash("a", 1), 0xaf63dc4c8601ec8cULL);
+  // Chaining over split ranges equals hashing the concatenation.
+  const char data[] = "spill-page";
+  uint64_t whole = Fnv1aHash(data, sizeof(data) - 1);
+  uint64_t chained = Fnv1aHash(data + 5, sizeof(data) - 6,
+                               Fnv1aHash(data, 5));
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(SpillFileTest, GoldenRoundTripIsByteIdentical) {
+  std::vector<VertexId> targets;
+  std::vector<uint32_t> tags;
+  std::vector<double> values, mults;
+  const std::string path = TempPath("golden.vspl");
+
+  auto write_file = [&](const std::string& p) {
+    SpillFileWriter writer;
+    ASSERT_TRUE(writer.Open(p).ok());
+    FillColumns(100, 3, &targets, &tags, &values, &mults);
+    ASSERT_TRUE(writer
+                    .WritePage(targets.data(), tags.data(), values.data(),
+                               mults.data(), 100)
+                    .ok());
+    FillColumns(37, 9, &targets, &tags, &values, &mults);
+    ASSERT_TRUE(writer
+                    .WritePage(targets.data(), tags.data(), values.data(),
+                               mults.data(), 37)
+                    .ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  };
+  write_file(path);
+  const std::string path2 = TempPath("golden2.vspl");
+  write_file(path2);
+  // The format has no timestamps or randomness: two writes of the same
+  // pages are byte-identical files.
+  EXPECT_EQ(ReadAllBytes(path), ReadAllBytes(path2));
+
+  SpillFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  MessageBlock restored;
+  auto first = reader.ReadPage(&restored);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), 100u);
+  auto second = reader.ReadPage(&restored);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), 37u);
+  auto eof = reader.ReadPage(&restored);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_EQ(eof.value(), 0u);
+  ASSERT_EQ(restored.size(), 137u);
+  // Page 2's columns land after page 1's, exactly as written.
+  FillColumns(100, 3, &targets, &tags, &values, &mults);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(restored.targets()[i], targets[i]);
+    EXPECT_EQ(restored.tags()[i], tags[i]);
+    EXPECT_EQ(restored.values()[i], values[i]);
+    EXPECT_EQ(restored.multiplicities()[i], mults[i]);
+  }
+  FillColumns(37, 9, &targets, &tags, &values, &mults);
+  for (size_t i = 0; i < 37; ++i) {
+    EXPECT_EQ(restored.targets()[100 + i], targets[i]);
+    EXPECT_EQ(restored.values()[100 + i], values[i]);
+  }
+}
+
+TEST(SpillFileTest, RejectsBadMagicAndVersion) {
+  const std::string path = TempPath("bad_magic.vspl");
+  WriteAllBytes(path, std::vector<char>(64, 'x'));
+  SpillFileReader reader;
+  Status status = reader.Open(path);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("magic"), std::string::npos);
+
+  // Right magic, wrong version.
+  std::vector<char> header(8, 0);
+  uint32_t magic = kSpillMagic, version = kSpillVersion + 7;
+  std::memcpy(header.data(), &magic, 4);
+  std::memcpy(header.data() + 4, &version, 4);
+  const std::string vpath = TempPath("bad_version.vspl");
+  WriteAllBytes(vpath, header);
+  SpillFileReader vreader;
+  Status vstatus = vreader.Open(vpath);
+  EXPECT_EQ(vstatus.code(), StatusCode::kIoError);
+  EXPECT_NE(vstatus.message().find("version"), std::string::npos);
+}
+
+TEST(SpillFileTest, DetectsCorruptedChecksumWithoutCrashing) {
+  const std::string path = TempPath("corrupt.vspl");
+  std::vector<VertexId> targets;
+  std::vector<uint32_t> tags;
+  std::vector<double> values, mults;
+  SpillFileWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  FillColumns(50, 1, &targets, &tags, &values, &mults);
+  ASSERT_TRUE(writer
+                  .WritePage(targets.data(), tags.data(), values.data(),
+                             mults.data(), 50)
+                  .ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  std::vector<char> bytes = ReadAllBytes(path);
+  // Flip one byte inside the page body (past the 8-byte file header and
+  // the 16-byte page header).
+  bytes[8 + 16 + 5] ^= 0x40;
+  WriteAllBytes(path, bytes);
+
+  SpillFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  MessageBlock out;
+  auto page = reader.ReadPage(&out);
+  ASSERT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kIoError);
+  EXPECT_NE(page.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(SpillFileTest, DetectsTruncationWithoutCrashing) {
+  const std::string path = TempPath("trunc.vspl");
+  std::vector<VertexId> targets;
+  std::vector<uint32_t> tags;
+  std::vector<double> values, mults;
+  SpillFileWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  FillColumns(50, 2, &targets, &tags, &values, &mults);
+  ASSERT_TRUE(writer
+                  .WritePage(targets.data(), tags.data(), values.data(),
+                             mults.data(), 50)
+                  .ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  std::vector<char> bytes = ReadAllBytes(path);
+  // Cut the page body in half (header intact).
+  bytes.resize(8 + 16 + 40);
+  WriteAllBytes(path, bytes);
+
+  SpillFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  MessageBlock out;
+  auto page = reader.ReadPage(&out);
+  ASSERT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kIoError);
+  EXPECT_NE(page.status().message().find("truncated"), std::string::npos);
+}
+
+TEST(MessageStreamTest, SpillAndRestorePreservesAppendOrder) {
+  MessageStream stream;
+  stream.Configure(TempPath("stream.vspl"), /*page_messages=*/16);
+  std::vector<VertexId> targets;
+  std::vector<uint32_t> tags;
+  std::vector<double> values, mults;
+  // Three appends of awkward sizes: pages straddle append boundaries.
+  size_t chunk_sizes[] = {5, 40, 13};
+  uint64_t salt = 0;
+  for (size_t n : chunk_sizes) {
+    FillColumns(n, ++salt, &targets, &tags, &values, &mults);
+    ASSERT_TRUE(stream
+                    .Append(targets.data(), tags.data(), values.data(),
+                            mults.data(), n)
+                    .ok());
+  }
+  ASSERT_TRUE(stream.EndRound().ok());
+  EXPECT_TRUE(stream.has_spill());
+  EXPECT_EQ(stream.messages_spilled(), 58u);
+  EXPECT_GT(stream.bytes_written(), 0u);
+  EXPECT_EQ(stream.staging_bytes(), 0u);  // Everything flushed at EndRound.
+
+  MessageBlock inbox;
+  auto restored = stream.Restore(&inbox);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value(), 58u);
+  EXPECT_FALSE(stream.has_spill());
+  ASSERT_EQ(inbox.size(), 58u);
+  size_t offset = 0;
+  salt = 0;
+  for (size_t n : chunk_sizes) {
+    FillColumns(n, ++salt, &targets, &tags, &values, &mults);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(inbox.targets()[offset + i], targets[i]);
+      EXPECT_EQ(inbox.tags()[offset + i], tags[i]);
+      EXPECT_EQ(inbox.values()[offset + i], values[i]);
+      EXPECT_EQ(inbox.multiplicities()[offset + i], mults[i]);
+    }
+    offset += n;
+  }
+
+  // The stream is reusable: a second round spills and restores again.
+  FillColumns(3, 77, &targets, &tags, &values, &mults);
+  ASSERT_TRUE(stream
+                  .Append(targets.data(), tags.data(), values.data(),
+                          mults.data(), 3)
+                  .ok());
+  ASSERT_TRUE(stream.EndRound().ok());
+  MessageBlock inbox2;
+  auto restored2 = stream.Restore(&inbox2);
+  ASSERT_TRUE(restored2.ok());
+  EXPECT_EQ(restored2.value(), 3u);
+  EXPECT_EQ(inbox2.targets()[0], targets[0]);
+}
+
+TEST(StateFileTest, RoundTripAndChecksumDetection) {
+  const std::string path = TempPath("state.vvst");
+  std::vector<std::vector<VertexRecord>> sections(3);
+  for (uint32_t s = 0; s < 3; ++s) {
+    for (uint32_t i = 0; i < 4 + s; ++i) {
+      sections[s].push_back(VertexRecord{s * 100 + i, i * 2});
+    }
+  }
+  ASSERT_TRUE(WriteStateFile(path, sections).ok());
+
+  StateFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  ASSERT_EQ(reader.num_sections(), 3u);
+  EXPECT_EQ(reader.section_count(2), 6u);
+  EXPECT_EQ(reader.section_bytes(2), 6u * sizeof(VertexRecord));
+  std::vector<VertexRecord> out;
+  // Random access: read section 2 before section 0.
+  ASSERT_TRUE(reader.ReadSection(2, &out).ok());
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[5].id, 205u);
+  EXPECT_EQ(out[5].degree, 10u);
+  ASSERT_TRUE(reader.ReadSection(0, &out).ok());
+  EXPECT_EQ(out[0].id, 0u);
+  reader.Close();
+
+  // Corrupt one record byte of section 1: only that section fails.
+  std::vector<char> bytes = ReadAllBytes(path);
+  const size_t section0_records = 16 + 16 + 4 * sizeof(VertexRecord);
+  bytes[section0_records + 16 + 3] ^= 0x01;
+  WriteAllBytes(path, bytes);
+  StateFileReader corrupt;
+  ASSERT_TRUE(corrupt.Open(path).ok());
+  EXPECT_TRUE(corrupt.ReadSection(0, &out).ok());
+  Status bad = corrupt.ReadSection(1, &out);
+  EXPECT_EQ(bad.code(), StatusCode::kIoError);
+  EXPECT_NE(bad.message().find("checksum"), std::string::npos);
+  EXPECT_TRUE(corrupt.ReadSection(2, &out).ok());
+}
+
+TEST(StateFileTest, RejectsTruncatedFile) {
+  const std::string path = TempPath("state_trunc.vvst");
+  std::vector<std::vector<VertexRecord>> sections(1);
+  sections[0] = {VertexRecord{1, 2}, VertexRecord{3, 4}};
+  ASSERT_TRUE(WriteStateFile(path, sections).ok());
+  std::vector<char> bytes = ReadAllBytes(path);
+  bytes.resize(bytes.size() - 4);
+  WriteAllBytes(path, bytes);
+  StateFileReader reader;
+  EXPECT_FALSE(reader.Open(path).ok());
+}
+
+TEST(ParseByteSizeTest, AcceptsSuffixesAndRejectsGarbage) {
+  EXPECT_EQ(ParseByteSize("1024").value_or(0), 1024u);
+  EXPECT_EQ(ParseByteSize("2KiB").value_or(0), 2048u);
+  EXPECT_EQ(ParseByteSize("2kb").value_or(0), 2048u);
+  EXPECT_EQ(ParseByteSize("1MiB").value_or(0), 1048576u);
+  EXPECT_EQ(ParseByteSize("2.5GiB").value_or(0),
+            static_cast<uint64_t>(2.5 * 1073741824.0));
+  EXPECT_EQ(ParseByteSize("512 MiB").value_or(0), 512u * 1048576u);
+  EXPECT_EQ(ParseByteSize("0").value_or(1), 0u);
+  EXPECT_FALSE(ParseByteSize("").ok());
+  EXPECT_FALSE(ParseByteSize("12parsecs").ok());
+  EXPECT_FALSE(ParseByteSize("-1GiB").ok());
+  EXPECT_FALSE(ParseByteSize("GiB").ok());
+  EXPECT_FALSE(ParseByteSize("1e30GiB").ok());
+}
+
+}  // namespace
+}  // namespace vcmp

@@ -30,6 +30,14 @@ int Main(int argc, char** argv) {
                "write one deterministic Chrome/Perfetto trace covering "
                "the whole suite to this path (one process per "
                "experiment; load in ui.perfetto.dev)");
+  flags.Define("memory-budget", "",
+               "suite-wide hard per-machine memory budget enabling real "
+               "out-of-core execution (unit suffixes: 512MiB, 2.5GiB; "
+               "overrides each spec's memory_budget key; requires "
+               "out-of-core systems such as GraphD)");
+  flags.Define("ooc-dir", "",
+               "directory for out-of-core spill/state files (empty = a "
+               "fresh temp directory per run)");
   flags.Define("list-tasks", "false",
                "print the registered task names and exit");
   flags.Define("list-datasets", "false",
@@ -69,6 +77,23 @@ int Main(int argc, char** argv) {
   if (!specs.ok()) {
     std::cerr << specs.status().ToString() << "\n";
     return 1;
+  }
+  if (!flags.GetString("memory-budget").empty()) {
+    // Fail fast on a malformed size before any experiment runs; the
+    // per-run feasibility floor is checked by the engine with the
+    // machine layout in hand.
+    auto budget = ParseByteSize(flags.GetString("memory-budget"));
+    if (!budget.ok()) {
+      std::cerr << budget.status().ToString() << "\n";
+      return 2;
+    }
+    for (ExperimentSpec& spec : specs.value()) {
+      spec.memory_budget = flags.GetString("memory-budget");
+      spec.ooc_dir = flags.GetString("ooc-dir");
+    }
+  } else if (!flags.GetString("ooc-dir").empty()) {
+    std::cerr << "--ooc-dir requires --memory-budget\n";
+    return 2;
   }
   std::cout << "Running " << specs.value().size() << " experiments from "
             << flags.GetString("config") << "\n";

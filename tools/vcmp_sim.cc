@@ -59,6 +59,10 @@ void PrintReport(const RunReport& report, const BatchSchedule& schedule) {
                            100.0 * report.disk_utilization,
                            report.disk_saturated ? " (saturated)" : "");
   }
+  if (report.spilled_bytes > 0.0) {
+    std::cout << StrFormat("  spilled to disk: %.2fGB\n",
+                           BytesToGiB(report.spilled_bytes));
+  }
   if (report.monetary_cost > 0.0) {
     std::cout << "  cloud cost: "
               << MonetaryModel::Format(report.monetary_cost,
@@ -92,6 +96,13 @@ int Main(int argc, char** argv) {
   flags.Define("threads", "0",
                "engine threads (0 = one per hardware core; results are "
                "identical for any value)");
+  flags.Define("memory-budget", "",
+               "hard per-machine memory budget enabling real out-of-core "
+               "execution (unit suffixes: 512MiB, 2.5GiB; requires an "
+               "out-of-core system such as GraphD; empty = off)");
+  flags.Define("ooc-dir", "",
+               "directory for out-of-core spill/state files (empty = a "
+               "fresh temp directory, removed on exit)");
   flags.Define("chart", "false", "render an ASCII chart of the sweep");
   flags.Define("json", "", "write the run report as JSON to this path");
   flags.Define("csv", "",
@@ -162,6 +173,19 @@ int Main(int argc, char** argv) {
   options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   options.execution_threads =
       static_cast<uint32_t>(flags.GetInt("threads"));
+  if (!flags.GetString("memory-budget").empty()) {
+    auto budget = ParseByteSize(flags.GetString("memory-budget"));
+    if (!budget.ok()) {
+      std::cerr << budget.status().ToString() << "\n";
+      return 2;
+    }
+    options.ooc.enabled = true;
+    options.ooc.memory_budget_bytes = budget.value();
+    options.ooc.directory = flags.GetString("ooc-dir");
+  } else if (!flags.GetString("ooc-dir").empty()) {
+    std::cerr << "--ooc-dir requires --memory-budget\n";
+    return 2;
+  }
   const double workload = flags.GetDouble("workload");
   std::cout << "Cluster: " << options.cluster.ToString() << ", system "
             << SystemName(system) << ", task "
@@ -266,6 +290,7 @@ int Main(int argc, char** argv) {
       engine_options.cluster = options.cluster;
       engine_options.profile = runner.profile();
       engine_options.stat_scale = dataset.scale;
+      engine_options.ooc = options.ooc;
       SyncEngine engine(dataset.graph, runner.partition(), engine_options);
       auto result = engine.Run(*program.value());
       if (result.ok()) {
