@@ -1,0 +1,274 @@
+// perf_concurrent: the standing concurrent multi-query benchmark. Runs a
+// seeded mix of multi-processing queries (BPPR/MSSP/BKHS over the DBLP
+// stand-in) through the ConcurrentRunner across a concurrency x threads
+// sweep and writes BENCH_concurrent.json so successive engine/runner
+// changes can be compared run-over-run:
+//
+//   perf_concurrent
+//   perf_concurrent --json=/tmp/conc.json --repeats=5
+//   perf_concurrent --deterministic-json   # CI run-twice-diff mode
+//
+// Per-query simulated seconds are deterministic at every point of the
+// sweep — the benchmark itself enforces that every (concurrency, threads)
+// combination reproduces the serial single-threaded reports bit for bit,
+// and exits nonzero on the first divergence. Measured numbers (per-config
+// wall-clock, queries/second, the 8-thread concurrency speedup) vary
+// between runs; --deterministic-json excludes them so CI can diff two
+// runs byte for byte. CI's bench-smoke job also gates on
+// concurrent_speedup_8t: with 8 threads, running the mix at concurrency
+// >= 2 must beat running it serially.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/wall_clock.h"
+#include "core/concurrent_runner.h"
+#include "metrics/export.h"
+#include "sim/cluster_spec.h"
+#include "tasks/task_registry.h"
+
+namespace vcmp {
+namespace {
+
+struct SweepPoint {
+  uint32_t concurrency;
+  uint32_t threads;
+};
+
+// Concurrency sweeps past the thread count on purpose: K=8 at T=8 gives
+// every query its own driver and an empty shared pool — pure inter-query
+// parallelism with zero per-round barrier traffic, the throughput end of
+// the intra/inter-query tradeoff.
+const SweepPoint kSweep[] = {
+    {1, 1}, {2, 1}, {4, 1}, {8, 1}, {1, 2}, {2, 2}, {4, 2}, {8, 2},
+    {1, 8}, {2, 8}, {4, 8}, {8, 8},
+};
+
+struct SweepResult {
+  SweepPoint point;
+  ConcurrentRunReport report;
+  double best_wall_seconds = 0.0;
+};
+
+/// The benchmark's query mix: one seed names the whole workload (task,
+/// batch count, workload per query), same derivation as the concurrent
+/// engine test suite.
+struct QueryMix {
+  std::vector<std::unique_ptr<MultiTask>> tasks;
+  std::vector<ConcurrentQuery> queries;
+};
+
+QueryMix MakeMix(uint64_t mix_seed, size_t count) {
+  QueryMix mix;
+  Rng rng(mix_seed);
+  const std::vector<std::string>& names = BenchmarkTaskNames();
+  for (size_t i = 0; i < count; ++i) {
+    auto task = MakeTask(names[rng.NextBounded(names.size())]);
+    if (!task.ok()) {
+      std::cerr << task.status().ToString() << "\n";
+      std::exit(1);
+    }
+    const double workload = 128.0 + 128.0 * rng.NextBounded(3);
+    const uint32_t batches = 1 + static_cast<uint32_t>(rng.NextBounded(3));
+    mix.tasks.push_back(std::move(task.value()));
+    ConcurrentQuery query;
+    query.task = mix.tasks.back().get();
+    query.schedule = BatchSchedule::Equal(workload, batches);
+    mix.queries.push_back(std::move(query));
+  }
+  return mix;
+}
+
+RunnerOptions BaseOptions(uint32_t threads) {
+  RunnerOptions base;
+  base.cluster = ClusterSpec::Galaxy8();
+  base.system = SystemKind::kPregelPlus;
+  base.seed = 7;
+  base.execution_threads = threads;
+  return base;
+}
+
+/// Runs one sweep point `repeats` times; reports are identical across
+/// repeats (checked), the wall-clock keeps the best.
+SweepResult RunPoint(const Dataset& dataset, const QueryMix& mix,
+                     const SweepPoint& point, uint32_t repeats) {
+  SweepResult out;
+  out.point = point;
+  for (uint32_t r = 0; r < repeats; ++r) {
+    ConcurrentRunnerOptions options;
+    options.base = BaseOptions(point.threads);
+    options.concurrency = point.concurrency;
+    ConcurrentRunner runner(dataset, options);
+    auto report = runner.Run(mix.queries);
+    if (!report.ok()) {
+      std::cerr << "K=" << point.concurrency << " T=" << point.threads
+                << ": " << report.status().ToString() << "\n";
+      std::exit(1);
+    }
+    if (report.value().queries_failed != 0) {
+      std::cerr << "K=" << point.concurrency << " T=" << point.threads
+                << ": a query failed\n";
+      std::exit(1);
+    }
+    const double wall = report.value().wall_seconds;
+    if (r == 0 || wall < out.best_wall_seconds) {
+      out.best_wall_seconds = wall;
+    }
+    out.report = std::move(report.value());
+  }
+  return out;
+}
+
+/// The determinism contract at benchmark scale: every sweep point must
+/// agree with the serial single-threaded baseline on every deterministic
+/// per-query statistic.
+bool MatchesBaseline(const SweepResult& r, const SweepResult& baseline) {
+  for (size_t q = 0; q < r.report.queries.size(); ++q) {
+    const RunReport& a = r.report.queries[q].report;
+    const RunReport& b = baseline.report.queries[q].report;
+    if (a.total_seconds != b.total_seconds ||
+        a.total_messages != b.total_messages ||
+        a.total_rounds != b.total_rounds ||
+        a.spilled_bytes != b.spilled_bytes ||
+        a.peak_residual_bytes != b.peak_residual_bytes) {
+      std::fprintf(stderr,
+                   "FAIL: K=%u T=%u query %zu diverged from the serial "
+                   "baseline (%.17g s vs %.17g s, %.17g vs %.17g msgs)\n",
+                   r.point.concurrency, r.point.threads, q, a.total_seconds,
+                   b.total_seconds, a.total_messages, b.total_messages);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string PointJson(const SweepResult& r, bool deterministic_only) {
+  JsonWriter json(/*with_schema_version=*/false);
+  json.Field("concurrency", static_cast<uint64_t>(r.point.concurrency));
+  json.Field("threads", static_cast<uint64_t>(r.point.threads));
+  json.Field("queries", static_cast<uint64_t>(r.report.queries.size()));
+  json.Field("total_simulated_seconds", r.report.total_simulated_seconds);
+  json.Field("max_simulated_seconds", r.report.max_simulated_seconds);
+  if (!deterministic_only) {
+    json.Field("wall_ms", r.best_wall_seconds * 1e3);
+    json.Field("queries_per_second",
+               r.best_wall_seconds > 0.0
+                   ? r.report.queries.size() / r.best_wall_seconds
+                   : 0.0);
+    json.Field("mean_query_wall_ms", r.report.queries.empty()
+                                         ? 0.0
+                                         : r.best_wall_seconds * 1e3 /
+                                               r.report.queries.size());
+  }
+  return json.Close();
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags("perf_concurrent",
+                   "concurrent multi-query benchmark (seeded mix, "
+                   "concurrency x threads sweep)");
+  flags.Define("queries", "8", "number of queries in the seeded mix");
+  flags.Define("mix-seed", "42", "seed naming the query mix");
+  flags.Define("repeats", "3",
+               "runs per sweep point (wall-clock keeps the best)");
+  flags.Define("json", "BENCH_concurrent.json",
+               "write the sweep to this path (empty = skip)");
+  flags.Define("deterministic-json", "false",
+               "exclude measured wall-clock fields from the JSON so two "
+               "runs diff byte-for-byte (CI determinism check)");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.ToString() << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.HelpText();
+    return 0;
+  }
+  const uint32_t repeats =
+      std::max<uint32_t>(1, static_cast<uint32_t>(flags.GetInt("repeats")));
+  const bool deterministic_only = flags.GetBool("deterministic-json");
+
+  Dataset dataset = LoadDataset(DatasetId::kDblp, 256.0);
+  QueryMix mix = MakeMix(flags.GetInt("mix-seed"),
+                         static_cast<size_t>(flags.GetInt("queries")));
+  std::printf("dataset: %s stand-in %s (scale %.0f), %zu queries\n",
+              dataset.info.name, dataset.graph.ToString().c_str(),
+              dataset.scale, mix.queries.size());
+
+  std::vector<SweepResult> results;
+  for (const SweepPoint& point : kSweep) {
+    results.push_back(RunPoint(dataset, mix, point, repeats));
+    const SweepResult& r = results.back();
+    std::printf(
+        "K=%u T=%u  wall %7.1fms  %6.1f queries/s  sim total %9.1fs  "
+        "sim max %8.1fs\n",
+        r.point.concurrency, r.point.threads, r.best_wall_seconds * 1e3,
+        r.report.queries.size() / r.best_wall_seconds,
+        r.report.total_simulated_seconds, r.report.max_simulated_seconds);
+  }
+
+  for (const SweepResult& r : results) {
+    if (!MatchesBaseline(r, results.front())) return 1;
+  }
+  std::printf("all sweep points produced identical per-query results\n");
+
+  // The throughput claim: at 8 threads, some concurrency >= 2 beats
+  // serial execution of the same mix.
+  double serial_8t = 0.0;
+  double best_concurrent_8t = 0.0;
+  for (const SweepResult& r : results) {
+    if (r.point.threads != 8) continue;
+    if (r.point.concurrency == 1) {
+      serial_8t = r.best_wall_seconds;
+    } else if (best_concurrent_8t == 0.0 ||
+               r.best_wall_seconds < best_concurrent_8t) {
+      best_concurrent_8t = r.best_wall_seconds;
+    }
+  }
+  const double speedup_8t =
+      best_concurrent_8t > 0.0 ? serial_8t / best_concurrent_8t : 0.0;
+  std::printf("concurrent_speedup_8t: %.2fx\n", speedup_8t);
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    JsonWriter json;
+    json.Field("workload",
+               StrFormat("%zu seeded queries (BPPR/MSSP/BKHS), DBLP "
+                         "scale 256, Galaxy8, Pregel+, mix seed %lld",
+                         mix.queries.size(),
+                         static_cast<long long>(flags.GetInt("mix-seed"))));
+    json.Field("total_simulated_seconds",
+               results.front().report.total_simulated_seconds);
+    if (!deterministic_only) {
+      json.Field("concurrent_speedup_8t", speedup_8t);
+    }
+    std::string points = "[";
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (i > 0) points += ", ";
+      points += PointJson(results[i], deterministic_only);
+    }
+    points += "]";
+    json.RawField("sweep", points);
+    Status written = WriteTextFile(json.Close(), json_path);
+    if (!written.ok()) {
+      std::cerr << written.ToString() << "\n";
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vcmp
+
+int main(int argc, char** argv) { return vcmp::Main(argc, argv); }

@@ -55,6 +55,25 @@ class Rng {
     return Mix(Mix(seed + a * kGamma) + b * kGamma);
   }
 
+  /// Folds a query namespace into a base seed: concurrent multi-query
+  /// execution gives every in-flight query its own stream family so two
+  /// queries sharing a base seed still draw decorrelated randomness.
+  /// Query 0 is the identity, so single-query runs keep their historical
+  /// streams bit for bit.
+  static uint64_t QuerySeed(uint64_t seed, uint64_t query) {
+    return query == 0 ? seed : Mix(seed + query * kGamma);
+  }
+
+  /// Per-vertex reseed with a query namespace:
+  /// MixSeed(seed, query, round, v). The stream depends only on those
+  /// four coordinates — never on the thread, shard, or concurrency level
+  /// that executed the vertex — and query 0 reproduces the three-argument
+  /// form exactly.
+  static uint64_t MixSeed(uint64_t seed, uint64_t query, uint64_t round,
+                          uint64_t v) {
+    return MixSeed(QuerySeed(seed, query), round, v);
+  }
+
  private:
   /// Natural log of k!: table below 10, Stirling–De Moivre series above
   /// (error < 1e-8 at k = 10, shrinking as k grows). Thread-safe, unlike

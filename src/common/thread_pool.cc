@@ -4,6 +4,34 @@
 
 namespace vcmp {
 
+namespace {
+
+/// Per-call completion latch for the ParallelFor variants: each call
+/// waits for its own shards only, so concurrent calls from several driver
+/// threads sharing one pool return independently (the pool-wide Wait()
+/// would make every caller wait for everyone's work). The decrement and
+/// the final predicate check share one mutex, so the notifying task never
+/// touches the latch after the waiter could have destroyed it.
+struct CallLatch {
+  std::mutex mutex;
+  std::condition_variable cv;
+  uint32_t pending;
+
+  explicit CallLatch(uint32_t count) : pending(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (--pending == 0) cv.notify_one();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return pending == 0; });
+  }
+};
+
+}  // namespace
+
 ThreadPool::ThreadPool(uint32_t num_workers) {
   workers_.reserve(num_workers);
   for (uint32_t i = 0; i < num_workers; ++i) {
@@ -46,13 +74,15 @@ void ThreadPool::ParallelFor(uint32_t count,
     for (uint32_t i = 0; i < count; ++i) fn(i);
     return;
   }
+  CallLatch latch(shards - 1);
   for (uint32_t s = 1; s < shards; ++s) {
-    Submit([&fn, s, shards, count] {
+    Submit([&fn, &latch, s, shards, count] {
       for (uint32_t i = s; i < count; i += shards) fn(i);
+      latch.CountDown();
     });
   }
   for (uint32_t i = 0; i < count; i += shards) fn(i);  // Caller is shard 0.
-  Wait();
+  latch.Wait();
 }
 
 void ThreadPool::ParallelForStealable(
@@ -79,11 +109,15 @@ void ThreadPool::ParallelForStealable(
       }
     }
   };
+  CallLatch latch(participants - 1);
   for (uint32_t p = 1; p < participants; ++p) {
-    Submit([run_as, p] { run_as(p); });
+    Submit([run_as, &latch, p] {
+      run_as(p);
+      latch.CountDown();
+    });
   }
   run_as(0);  // Caller is participant 0.
-  Wait();
+  latch.Wait();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -102,6 +136,23 @@ void ThreadPool::WorkerLoop() {
       if (--inflight_ == 0) done_cv_.notify_all();
     }
   }
+}
+
+void TaskGroup::Submit(ThreadPool& pool, std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  pool.Submit([this, task = std::move(task)] {
+    task();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--pending_ == 0) cv_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
 }
 
 }  // namespace vcmp

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/rng.h"
 #include "obs/tracer.h"
 #include "sim/monetary_model.h"
 
@@ -15,10 +16,15 @@ MultiProcessingRunner::MultiProcessingRunner(const Dataset& dataset,
       profile_(options_.profile_override.has_value()
                    ? *options_.profile_override
                    : ProfileFor(options_.system)) {
-  std::unique_ptr<Partitioner> partitioner =
-      MakePartitioner(profile_.partitioner);
-  partition_ =
-      partitioner->Partition(dataset_.graph, options_.cluster.num_machines);
+  if (options_.shared_partition != nullptr) {
+    partition_ = options_.shared_partition;
+  } else {
+    std::unique_ptr<Partitioner> partitioner =
+        MakePartitioner(profile_.partitioner);
+    owned_partition_ = partitioner->Partition(dataset_.graph,
+                                              options_.cluster.num_machines);
+    partition_ = &owned_partition_;
+  }
 }
 
 Result<RunReport> MultiProcessingRunner::Run(const MultiTask& task,
@@ -34,7 +40,7 @@ Result<RunReport> MultiProcessingRunner::Run(const MultiTask& task,
   report.cluster = options_.cluster.name;
   report.workload = schedule.TotalWorkload();
 
-  TaskContext context{&dataset_.graph, &partition_, dataset_.scale,
+  TaskContext context{&dataset_.graph, partition_, dataset_.scale,
                       profile_.combines_messages};
   ProgramFlavor flavor = profile_.mirroring ? ProgramFlavor::kBroadcast
                                             : ProgramFlavor::kPointToPoint;
@@ -61,6 +67,17 @@ Result<RunReport> MultiProcessingRunner::Run(const MultiTask& task,
     engine_track = tracer->AddTrack(options_.trace_label, "engine");
   }
 
+  // One context for the whole run: batches of a query execute in order,
+  // so reusing it keeps engine scratch buffers warm across batches while
+  // the query id namespaces every per-vertex RNG stream.
+  QueryContext query_context(options_.query_id);
+  query_context.pool = options_.pool;
+  // Program seeds derive from the query-namespaced base seed, so two
+  // queries sharing options_.seed generate decorrelated workloads; query
+  // 0 reproduces the historical seed sequence exactly.
+  const uint64_t program_seed_base =
+      Rng::QuerySeed(options_.seed, options_.query_id);
+
   uint64_t batch_index = 0;
   for (double workload : schedule.workloads()) {
     ++batch_index;
@@ -69,7 +86,7 @@ Result<RunReport> MultiProcessingRunner::Run(const MultiTask& task,
     VCMP_ASSIGN_OR_RETURN(
         std::unique_ptr<VertexProgram> program,
         task.MakeProgram(context, flavor, workload,
-                         options_.seed * 1315423911ULL + batch_index));
+                         program_seed_base * 1315423911ULL + batch_index));
 
     EngineOptions engine_options;
     engine_options.cluster = options_.cluster;
@@ -93,8 +110,9 @@ Result<RunReport> MultiProcessingRunner::Run(const MultiTask& task,
       engine_options.trace_time_offset_seconds = report.total_seconds;
     }
 
-    SyncEngine engine(dataset_.graph, partition_, engine_options);
-    VCMP_ASSIGN_OR_RETURN(EngineResult result, engine.Run(*program));
+    SyncEngine engine(dataset_.graph, *partition_, engine_options);
+    VCMP_ASSIGN_OR_RETURN(EngineResult result,
+                          engine.Run(*program, query_context));
     if (options_.engine_observer) options_.engine_observer(result);
 
     BatchReport batch;

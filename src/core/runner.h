@@ -18,6 +18,7 @@
 
 namespace vcmp {
 
+class ThreadPool;
 class Tracer;
 
 /// Configuration of a multi-processing run.
@@ -26,6 +27,22 @@ struct RunnerOptions {
   SystemKind system = SystemKind::kPregelPlus;
   CostParams cost;
   uint64_t seed = 1;
+  /// Query namespace of this run inside a concurrent multi-query batch
+  /// (ConcurrentRunner numbers queries 0..K-1). Every per-batch program
+  /// seed and per-vertex engine reseed mixes the query id in, so queries
+  /// sharing a base seed still draw decorrelated streams. Query 0
+  /// reproduces the historical single-query behavior bit for bit.
+  uint64_t query_id = 0;
+  /// Shared compute pool for the engine's parallel sections. Null (the
+  /// default) keeps the historical behavior — each engine run makes a
+  /// private pool sized by execution_threads; non-null shares one pool's
+  /// workers across concurrent queries.
+  ThreadPool* pool = nullptr;
+  /// Partition to run over, computed once by the caller and shared across
+  /// queries (it depends only on graph + profile + cluster, not on the
+  /// query). Must match this runner's profile partitioner and outlive the
+  /// runner. Null = partition in the constructor (historical behavior).
+  const Partitioning* shared_partition = nullptr;
   uint64_t max_rounds = 4096;
   /// Compute/delivery threads per engine run (results are thread-count
   /// invariant; see EngineOptions::execution_threads). 0 = auto: one
@@ -91,13 +108,16 @@ class MultiProcessingRunner {
   Result<RunReport> Run(const MultiTask& task, const BatchSchedule& schedule);
 
   const SystemProfile& profile() const { return profile_; }
-  const Partitioning& partition() const { return partition_; }
+  const Partitioning& partition() const { return *partition_; }
 
  private:
   const Dataset& dataset_;
   RunnerOptions options_;
   SystemProfile profile_;
-  Partitioning partition_;
+  /// Owned partition when options_.shared_partition is null; unused
+  /// otherwise (partition_ then aliases the caller's).
+  Partitioning owned_partition_;
+  const Partitioning* partition_;
 };
 
 }  // namespace vcmp

@@ -39,7 +39,10 @@ struct GasVertexRecord {
 /// (seed, pass, vertex), making draw sequences shard-layout invariant.
 class GasShardLog : public GasContext {
  public:
-  void Configure(uint64_t seed) { seed_ = seed; }
+  void Configure(uint64_t seed, uint64_t query) {
+    seed_ = seed;
+    query_ = query;
+  }
 
   void BeginPass(uint64_t pass) {
     pass_ = pass;
@@ -51,7 +54,7 @@ class GasShardLog : public GasContext {
     records_.push_back(GasVertexRecord{
         v, static_cast<uint32_t>(events_.size()), 0, 0.0, 0.0});
     current_ = &records_.back();
-    rng_ = Rng(Rng::MixSeed(seed_, pass_, v));
+    rng_ = Rng(Rng::MixSeed(seed_, query_, pass_, v));
   }
 
   void Signal(VertexId target, double value, double multiplicity) override {
@@ -72,6 +75,7 @@ class GasShardLog : public GasContext {
 
  private:
   uint64_t seed_ = 0;
+  uint64_t query_ = 0;
   uint64_t pass_ = 0;
   Rng rng_{0};
   GasVertexRecord* current_ = nullptr;
@@ -86,8 +90,9 @@ constexpr uint32_t kDefaultGasShards = 16;
 /// Accumulator-based scheduling context shared by both modes.
 class GasEngine::Context : public GasContext {
  public:
-  explicit Context(GasEngine* engine)
+  Context(const GasEngine* engine, uint64_t query)
       : engine_(engine),
+        query_(query),
         machines_(engine->partition_.num_machines),
         acc_(engine->graph_.NumVertices(), 0.0),
         residual_ledger_(machines_, 0.0),
@@ -153,10 +158,10 @@ class GasEngine::Context : public GasContext {
   void SetSender(uint32_t machine) { sender_machine_ = machine; }
 
   /// Reseeds the context RNG for the serial (async) Process path — the
-  /// same (seed, pass, vertex) mix the sharded path uses, so a program
-  /// gets identical draws for a given activation in either mode.
+  /// same (seed, query, pass, vertex) mix the sharded path uses, so a
+  /// program gets identical draws for a given activation in either mode.
   void BeginVertex(VertexId v) {
-    rng_ = Rng(Rng::MixSeed(engine_->options_.seed, pass_, v));
+    rng_ = Rng(Rng::MixSeed(engine_->options_.seed, query_, pass_, v));
   }
 
   /// Reads the accumulated signal of v without consuming it.
@@ -196,7 +201,8 @@ class GasEngine::Context : public GasContext {
     compute_units_.assign(machines_, 0.0);
   }
 
-  GasEngine* engine_;
+  const GasEngine* engine_;
+  uint64_t query_;
   uint32_t machines_;
   uint64_t pass_ = 0;
   uint64_t pass_stamp_ = 1;
@@ -229,7 +235,13 @@ GasEngine::GasEngine(const Graph& graph, const Partitioning& partition,
   }
 }
 
-Result<GasResult> GasEngine::Run(GasVertexProgram& program) {
+Result<GasResult> GasEngine::Run(GasVertexProgram& program) const {
+  QueryContext ctx;
+  return Run(program, ctx);
+}
+
+Result<GasResult> GasEngine::Run(GasVertexProgram& program,
+                                 QueryContext& ctx) const {
   if (partition_.num_machines != options_.cluster.num_machines) {
     return Status::InvalidArgument(
         "partition machine count does not match cluster spec");
@@ -240,20 +252,28 @@ Result<GasResult> GasEngine::Run(GasVertexProgram& program) {
   const MachineSpec& machine_spec = options_.cluster.machine;
   CostModel cost_model(options_.cluster, profile, options_.cost);
 
-  Context context(this);
+  Context context(this, ctx.query_id);
 
-  // Persistent pool for the engine's parallel sections. Synchronous
-  // passes run the Process loop itself over fixed frontier shards (logs
-  // replayed in shard order — see GasShardLog); the asynchronous loop
-  // stays serial because in-pass signal folding is its semantics.
-  const uint32_t thread_count = ThreadPool::ResolveThreads(
-      options_.execution_threads, options_.clamp_threads_to_hardware);
-  ThreadPool pool(thread_count - 1);
+  // Pool for the engine's parallel sections: the context's shared pool
+  // when one is set (concurrent multi-query runs), else a private
+  // per-run pool. Synchronous passes run the Process loop itself over
+  // fixed frontier shards (logs replayed in shard order — see
+  // GasShardLog); the asynchronous loop stays serial because in-pass
+  // signal folding is its semantics.
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (ctx.pool == nullptr) {
+    const uint32_t thread_count = ThreadPool::ResolveThreads(
+        options_.execution_threads, options_.clamp_threads_to_hardware);
+    owned_pool = std::make_unique<ThreadPool>(thread_count - 1);
+  }
+  ThreadPool& pool = ctx.pool != nullptr ? *ctx.pool : *owned_pool;
   const uint32_t shards = options_.compute_shards == 0
                               ? kDefaultGasShards
                               : options_.compute_shards;
   std::vector<GasShardLog> shard_logs(profile.synchronous ? shards : 0);
-  for (GasShardLog& log : shard_logs) log.Configure(options_.seed);
+  for (GasShardLog& log : shard_logs) {
+    log.Configure(options_.seed, ctx.query_id);
+  }
   const auto parallel_shards = [&](uint32_t count,
                                    const std::function<void(uint32_t)>& fn) {
     if (options_.enable_work_stealing) {

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "engine/query_context.h"
 #include "engine/system_profile.h"
 #include "graph/graph.h"
 #include "graph/partition.h"
@@ -166,6 +167,11 @@ struct GasOptions {
 /// same scheduling order without barriers or combining, pricing the run
 /// with per-activation distributed-lock overhead that grows with the
 /// cluster's fiber count (Section 4.8).
+///
+/// Like SyncEngine, the engine is immutable after construction and Run is
+/// const: all run state lives on Run's stack, so several queries can Run
+/// against one engine concurrently, each with its own QueryContext
+/// (DESIGN.md section 14).
 class GasEngine {
  public:
   GasEngine(const Graph& graph, const Partitioning& partition,
@@ -174,7 +180,14 @@ class GasEngine {
   GasEngine(const GasEngine&) = delete;
   GasEngine& operator=(const GasEngine&) = delete;
 
-  Result<GasResult> Run(GasVertexProgram& program);
+  /// Runs `program` as query_id 0 on a private per-run pool (the
+  /// historical single-query behavior, bit for bit).
+  Result<GasResult> Run(GasVertexProgram& program) const;
+
+  /// Re-entrant form: runs `program` with the context's query_id (which
+  /// namespaces the per-vertex RNG streams) and pool. One context per
+  /// in-flight query.
+  Result<GasResult> Run(GasVertexProgram& program, QueryContext& ctx) const;
 
   const GasOptions& options() const { return options_; }
 

@@ -150,11 +150,18 @@ class SyncEngine::ShardSink : public MessageSink {
     bool aggregate_used = false;
   };
 
-  explicit ShardSink(SyncEngine* engine) : engine_(engine) {}
+  ShardSink() = default;
 
-  void Configure(uint32_t machine, uint32_t num_machines) {
+  /// (Re)binds the sink to an engine for one Run. The engine pointer is
+  /// refreshed every call because sinks persist in the QueryContext
+  /// across a query's batches, while the runner constructs a fresh
+  /// engine per batch.
+  void Configure(const SyncEngine* engine, uint32_t machine,
+                 uint32_t num_machines, uint64_t query) {
+    engine_ = engine;
     machine_ = machine;
     num_machines_ = num_machines;
+    query_ = query;
     machine_of_ = engine_->partition_.assignment.data();
     mirror_broadcast_only_ = engine_->options_.profile.mirroring;
     arenas_.resize(num_machines);
@@ -170,12 +177,14 @@ class SyncEngine::ShardSink : public MessageSink {
   }
 
   /// Opens the log record for `v` and reseeds the random stream from
-  /// (seed, round, v): the draw sequence a vertex sees depends only on
-  /// those coordinates, never on which shard or thread ran it.
+  /// (seed, query, round, v): the draw sequence a vertex sees depends
+  /// only on those coordinates, never on which shard, thread or
+  /// concurrency level ran it. Query 0 keeps the historical
+  /// (seed, round, v) stream bit for bit.
   void BeginVertex(VertexId v) {
     log_.emplace_back();
     cur_ = &log_.back();
-    rng_ = Rng(Rng::MixSeed(engine_->options_.seed, round_, v));
+    rng_ = Rng(Rng::MixSeed(engine_->options_.seed, query_, round_, v));
   }
 
   void Send(VertexId target, uint32_t tag, double value,
@@ -265,9 +274,10 @@ class SyncEngine::ShardSink : public MessageSink {
     }
   }
 
-  SyncEngine* const engine_;
+  const SyncEngine* engine_ = nullptr;  // Rebound by Configure each Run.
   uint32_t machine_ = 0;
   uint32_t num_machines_ = 0;
+  uint64_t query_ = 0;
   const uint32_t* machine_of_ = nullptr;
   bool mirror_broadcast_only_ = false;
   uint64_t round_ = 0;
@@ -277,6 +287,16 @@ class SyncEngine::ShardSink : public MessageSink {
   std::vector<std::vector<double>> cross_weights_;  // Mirror mode only.
   std::vector<VertexLog> log_;
   std::vector<uint8_t> mirror_seen_;
+};
+
+/// The reusable per-query buffers Run hangs off the caller's
+/// QueryContext: per-machine workers and per-(machine, shard) sinks.
+/// They used to be engine members; moving them here is what makes Run
+/// const and the engine shareable across concurrent queries, while one
+/// query still reuses its capacity across batches exactly as before.
+struct SyncEngine::RunScratch : QueryContext::Scratch {
+  std::vector<Worker> workers;
+  std::vector<std::unique_ptr<ShardSink>> shard_sinks;
 };
 
 SyncEngine::~SyncEngine() = default;  // ShardSink is complete here.
@@ -327,8 +347,16 @@ void SyncEngine::ComputeGraphShares() {
   }
 }
 
-Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
-  seconds_since_checkpoint_ = 0.0;
+Result<EngineResult> SyncEngine::Run(VertexProgram& program) const {
+  QueryContext ctx;  // Query 0, private pool: the historical behavior.
+  return Run(program, ctx);
+}
+
+Result<EngineResult> SyncEngine::Run(VertexProgram& program,
+                                     QueryContext& ctx) const {
+  // Fault-tolerance bookkeeping: simulated time elapsed since the last
+  // checkpoint, i.e. the replay cost of a failure now.
+  double seconds_since_checkpoint = 0.0;
   const uint32_t machines = partition_.num_machines;
   if (machines != options_.cluster.num_machines) {
     return Status::InvalidArgument(
@@ -340,7 +368,7 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
 
   // Real out-of-core runtime: fresh per Run (spill files and caches are
   // round-lifecycle state), validated against the infeasible floor.
-  ooc_runtime_.reset();
+  std::unique_ptr<OocRuntime> ooc_runtime;
   if (options_.ooc.enabled) {
     if (!options_.profile.out_of_core) {
       return Status::InvalidArgument(
@@ -355,15 +383,21 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
     setup.message_memory_overhead =
         options_.profile.message_memory_overhead;
     VCMP_ASSIGN_OR_RETURN(
-        ooc_runtime_,
+        ooc_runtime,
         OocRuntime::Create(setup, graph_, vertices_by_machine_));
   }
-  OocRuntime* const rt = ooc_runtime_.get();
+  OocRuntime* const rt = ooc_runtime.get();
 
-  // Workers persist across Run calls; Reset retains their capacity so
+  // Reusable buffers live in the query context, not the engine, so
+  // concurrent queries sharing this engine never alias them. Workers
+  // persist across a query's Run calls; Reset retains their capacity so
   // repeated runs (trainer probes, batch loops) allocate nothing new.
-  workers_.resize(machines);
-  std::vector<Worker>& workers = workers_;
+  if (dynamic_cast<RunScratch*>(ctx.sync_scratch.get()) == nullptr) {
+    ctx.sync_scratch = std::make_unique<RunScratch>();
+  }
+  RunScratch& scratch = static_cast<RunScratch&>(*ctx.sync_scratch);
+  scratch.workers.resize(machines);
+  std::vector<Worker>& workers = scratch.workers;
   const bool collect_times = options_.collect_phase_times;
   const Combiner* combiner =
       options_.profile.combines_messages ? program.combiner() : nullptr;
@@ -381,24 +415,33 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
           ? kDefaultShardsPerMachine
           : options_.compute_shards_per_machine;
   const uint32_t num_shard_tasks = machines * shards_per_machine;
-  shard_sinks_.resize(num_shard_tasks);
+  scratch.shard_sinks.resize(num_shard_tasks);
+  std::vector<std::unique_ptr<ShardSink>>& shard_sinks =
+      scratch.shard_sinks;
   for (uint32_t task = 0; task < num_shard_tasks; ++task) {
-    if (shard_sinks_[task] == nullptr) {
-      shard_sinks_[task] = std::make_unique<ShardSink>(this);
+    if (shard_sinks[task] == nullptr) {
+      shard_sinks[task] = std::make_unique<ShardSink>();
     }
-    shard_sinks_[task]->Configure(task / shards_per_machine, machines);
+    shard_sinks[task]->Configure(this, task / shards_per_machine, machines,
+                                 ctx.query_id);
   }
-  std::vector<std::unique_ptr<ShardSink>>& shard_sinks = shard_sinks_;
 
-  // The pool outlives the round loop: its threads are created once per
-  // Run and parked between parallel sections, instead of spawning and
-  // joining a thread set every round. Intra-machine sharding means more
+  // The pool outlives the round loop. A context without a pool gets a
+  // private one: its threads are created once per Run and parked between
+  // parallel sections, instead of spawning and joining a thread set
+  // every round. A context WITH a pool (concurrent queries) fans out on
+  // the shared workers; per-call completion latches keep the queries'
+  // parallel sections independent. Intra-machine sharding means more
   // threads than machines still helps, so the only cap is the optional
   // hardware clamp (oversubscription adds context switches without
   // changing any output — results are thread-count invariant).
-  const uint32_t thread_count = ThreadPool::ResolveThreads(
-      options_.execution_threads, options_.clamp_threads_to_hardware);
-  ThreadPool pool(thread_count - 1);
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (ctx.pool == nullptr) {
+    const uint32_t thread_count = ThreadPool::ResolveThreads(
+        options_.execution_threads, options_.clamp_threads_to_hardware);
+    owned_pool = std::make_unique<ThreadPool>(thread_count - 1);
+  }
+  ThreadPool& pool = ctx.pool != nullptr ? *ctx.pool : *owned_pool;
   const bool steal = options_.enable_work_stealing;
   auto parallel_shards = [&pool, steal](
                              uint32_t count,
@@ -445,8 +488,9 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
       // Happens-before edge for the background prefetch jobs launched at
       // the end of last round: after this barrier their staged sections
       // are plain data, consumed lazily (and deterministically) inside
-      // TouchSections.
-      pool.Wait();
+      // TouchSections. The wait is scoped to THIS query's jobs so
+      // queries sharing the pool do not couple at each other's barriers.
+      rt->WaitPrefetch();
       VCMP_RETURN_IF_ERROR(rt->ConsumeError());
     }
     for (Worker& worker : workers) worker.send_stats().Clear();
@@ -881,7 +925,7 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
       result.checkpoint_seconds += checkpoint_time;
       round_checkpoint_seconds = checkpoint_time;
       ++result.checkpoints_taken;
-      seconds_since_checkpoint_ = 0.0;
+      seconds_since_checkpoint = 0.0;
     }
     if (round == options_.inject_failure_at_round &&
         !result.failure_recovered) {
@@ -895,14 +939,14 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
                     options_.cluster.machine.disk_bandwidth
               : 0.0;
       double replay_time = options_.checkpoint_interval_rounds > 0
-                               ? seconds_since_checkpoint_
+                               ? seconds_since_checkpoint
                                : result.seconds;
       result.recovery_seconds = reload_time + replay_time;
       stats.total_seconds += result.recovery_seconds;
       round_recovery_seconds = result.recovery_seconds;
       result.failure_recovered = true;
     }
-    seconds_since_checkpoint_ += stats.total_seconds;
+    seconds_since_checkpoint += stats.total_seconds;
 
     if (tracer != nullptr) {
       // The round partitions: the machines work (compute with
@@ -1107,7 +1151,7 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program) {
   if (rt != nullptr) {
     // Drain any prefetch jobs a terminal break left in flight before
     // reading the runtime's counters (or letting it be destroyed).
-    pool.Wait();
+    rt->WaitPrefetch();
     VCMP_RETURN_IF_ERROR(rt->ConsumeError());
     result.ooc_active = true;
     result.ooc = rt->run_stats();

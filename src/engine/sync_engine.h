@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "engine/mirror_engine.h"
+#include "engine/query_context.h"
 #include "engine/system_profile.h"
 #include "engine/vertex_program.h"
 #include "engine/worker.h"
@@ -183,6 +184,12 @@ struct EngineResult {
 /// cost model. One class serves Pregel+, Giraph (profile multipliers),
 /// GraphD (out-of-core costing) and Pregel+(mirror) (broadcast routing via
 /// a MirrorPlan).
+///
+/// The engine is immutable after construction and Run is const: every
+/// mutable run artifact (message buffers, staging arenas, the out-of-core
+/// runtime) lives in the caller's QueryContext, so several queries can
+/// Run against ONE engine concurrently — each with its own context — over
+/// shared graph/partition/mirror state (DESIGN.md section 14).
 class SyncEngine {
  public:
   /// `graph` and `partition` must outlive the engine.
@@ -193,9 +200,16 @@ class SyncEngine {
   SyncEngine(const SyncEngine&) = delete;
   SyncEngine& operator=(const SyncEngine&) = delete;
 
-  /// Runs `program` to quiescence. Returns InvalidArgument when the
-  /// partition does not match the cluster in `options`.
-  Result<EngineResult> Run(VertexProgram& program);
+  /// Runs `program` to quiescence as query_id 0 on a private per-run
+  /// pool (the historical single-query behavior, bit for bit).
+  Result<EngineResult> Run(VertexProgram& program) const;
+
+  /// Re-entrant form: runs `program` with the context's query_id, pool
+  /// and reusable buffers. One context per in-flight query; the same
+  /// context may be reused across a query's batches. Returns
+  /// InvalidArgument when the partition does not match the cluster in
+  /// `options`.
+  Result<EngineResult> Run(VertexProgram& program, QueryContext& ctx) const;
 
   const EngineOptions& options() const { return options_; }
   const MirrorPlan* mirror_plan() const { return mirror_plan_.get(); }
@@ -204,6 +218,7 @@ class SyncEngine {
   class ShardSink;
   struct ShardPlan;
   struct MergeSlot;
+  struct RunScratch;
 
   /// Per-machine share of CSR storage, generated scale.
   void ComputeGraphShares();
@@ -213,6 +228,8 @@ class SyncEngine {
   /// measured spilling answer against the same resident allowance.
   static EngineOptions NormalizeOptions(EngineOptions options);
 
+  /// Everything below is written during construction only; Run never
+  /// mutates the engine (per-run state lives in the QueryContext).
   const Graph& graph_;
   const Partitioning& partition_;
   EngineOptions options_;
@@ -221,19 +238,6 @@ class SyncEngine {
   std::vector<double> graph_share_bytes_;    // Per machine.
   std::vector<double> edge_stream_bytes_;    // Per machine (OOC).
   std::vector<std::vector<VertexId>> vertices_by_machine_;
-  /// Per-machine message buffers, reused across Run calls so repeated runs
-  /// (trainer probes, batch loops) hit steady-state capacity immediately.
-  std::vector<Worker> workers_;
-  /// Per-(machine, shard) compute sinks — staging arenas, per-vertex log
-  /// records and the shard's deterministic random stream — reused across
-  /// rounds and Run calls like the workers.
-  std::vector<std::unique_ptr<ShardSink>> shard_sinks_;
-  /// Real out-of-core runtime; recreated on each Run when options_.ooc
-  /// is enabled, null otherwise.
-  std::unique_ptr<OocRuntime> ooc_runtime_;
-  // Fault-tolerance bookkeeping (reset per Run): simulated time elapsed
-  // since the last checkpoint, i.e. the replay cost of a failure now.
-  double seconds_since_checkpoint_ = 0.0;
 };
 
 }  // namespace vcmp

@@ -121,34 +121,39 @@ class Lexer {
     ParseAnnotations(src_.substr(begin, pos_ - begin), line, line_, own_line);
   }
 
-  /// Extracts lint-allow / deterministic-reduction markers from a
-  /// comment's text. `first_line`/`last_line` delimit the
+  /// Extracts lint-allow / deterministic-reduction / query-local markers
+  /// from a comment's text. `first_line`/`last_line` delimit the
   /// comment; own-line comments cover the line after the comment ends,
   /// trailing comments cover the line they sit on.
   void ParseAnnotations(std::string_view comment, int first_line,
                         int last_line, bool own_line) {
     const int covered = own_line ? last_line + 1 : first_line;
-    ParseOne(comment, "vcmp:lint-allow(", first_line, covered, false);
+    ParseOne(comment, "vcmp:lint-allow(", first_line, covered, "");
     ParseOne(comment, "vcmp:deterministic-reduction(", first_line, covered,
-             true);
+             "D4");
+    ParseOne(comment, "vcmp:query-local(", first_line, covered, "C3");
   }
 
+  /// `implied_rule` is the rule a purpose-built marker suppresses (its
+  /// body is then just the reason); empty means the generic lint-allow
+  /// grammar `(RULE, reason)`.
   void ParseOne(std::string_view comment, std::string_view marker,
-                int line, int covered, bool reduction) {
+                int line, int covered, std::string_view implied_rule) {
     size_t at = comment.find(marker);
     while (at != std::string_view::npos) {
       Annotation a;
       a.line = line;
       a.covered_line = covered;
-      a.deterministic_reduction = reduction;
+      a.deterministic_reduction = implied_rule == "D4";
       const size_t open = at + marker.size();
       const size_t close = comment.find(')', open);
       if (close == std::string_view::npos) {
         a.malformed = true;
+        a.rule = std::string(implied_rule);
       } else {
         std::string_view body = comment.substr(open, close - open);
-        if (reduction) {
-          a.rule = "D4";
+        if (!implied_rule.empty()) {
+          a.rule = std::string(implied_rule);
           a.reason = Trim(body);
           a.malformed = a.reason.empty();
         } else {

@@ -29,15 +29,18 @@ struct Token {
 };
 
 /// An in-source lint annotation, extracted from comments: the
-/// vcmp:lint-allow marker taking (RULE, reason), and the
+/// vcmp:lint-allow marker taking (RULE, reason), the
 /// vcmp:deterministic-reduction marker taking a reason — D4's sanctioned
-/// way to bless a provably order-fixed parallel reduction.
+/// way to bless a provably order-fixed parallel reduction — and the
+/// vcmp:query-local marker taking a reason — C3's sanctioned way to
+/// bless mutable state that is provably driven by one query at a time.
 /// A trailing annotation covers its own line; an annotation on a line of
 /// its own covers the next line. Annotations with an empty reason are
 /// recorded as malformed (rule A1 flags them — every exception must be
 /// justified).
 struct Annotation {
-  std::string rule;    // "D1".."D4", "C1", "C2"; "D4" for reductions.
+  std::string rule;    // "D1".."D5", "C1".."C3", "P1"; "D4" for
+                       // reductions, "C3" for query-local.
   std::string reason;  // Trimmed justification text.
   int line = 0;          // Line of the comment itself.
   int covered_line = 0;  // Line whose findings it suppresses.

@@ -365,6 +365,69 @@ void CheckC2(const Cursor& c) {
   }
 }
 
+// --- C3: mutable static/member scratch state in query compute paths ----
+
+/// Concurrent queries share engines, tasks and the out-of-core layer by
+/// const reference (DESIGN.md section 14): any `mutable` member or
+/// non-const `static` in those directories is a potential cross-query
+/// channel. State that is provably driven by one query at a time (or is
+/// result-neutral) carries a query-local annotation with a reason.
+void CheckC3(const Cursor& c) {
+  for (size_t i = 0; i < c.toks.size(); ++i) {
+    if (!c.IsIdent(i)) continue;
+    const std::string& t = c.toks[i].text;
+    if (t == "mutable") {
+      // `](...) mutable {` is a lambda qualifier (by-value captures the
+      // lambda mutates locally), not shared state.
+      if (i >= 1 && c.IsPunct(i - 1, ")")) continue;
+      c.Report("C3", c.toks[i].line,
+               "'mutable' member in a query compute path — concurrent "
+               "queries share this object const; move the scratch into "
+               "the QueryContext, or annotate vcmp:query-local(reason) "
+               "if one query provably drives it at a time");
+    } else if (t == "static") {
+      // Walk the declaration specifiers. const/constexpr/constinit
+      // before the declarator makes the object immutable after its
+      // thread-safe initialization; a `(` first means a static function
+      // declaration (no state). `=`, `{` or `;` first means mutable
+      // static data — shared by every concurrent query.
+      bool immutable = false;
+      bool function_like = false;
+      size_t j = i + 1;
+      while (j < c.toks.size()) {
+        if (c.IsIdent(j)) {
+          const std::string& s = c.toks[j].text;
+          if (s == "const" || s == "constexpr" || s == "constinit") {
+            immutable = true;
+            break;
+          }
+          ++j;
+          continue;
+        }
+        if (c.IsPunct(j, "<")) {
+          j = c.SkipAngles(j);
+          continue;
+        }
+        if (c.IsPunct(j, "(")) {
+          function_like = true;
+          break;
+        }
+        if (c.IsPunct(j, ";") || c.IsPunct(j, "=") || c.IsPunct(j, "{")) {
+          break;
+        }
+        ++j;  // Pointers/references/scope qualifiers.
+      }
+      if (immutable || function_like) continue;
+      c.Report("C3", c.toks[i].line,
+               "non-const 'static' state in a query compute path — "
+               "shared across concurrent queries; make it "
+               "const/constexpr, move it into per-query state, or "
+               "annotate vcmp:query-local(reason) if it is provably "
+               "result-neutral or single-query");
+    }
+  }
+}
+
 // --- P1: AoS std::vector<Message> buffers in engine hot paths -----------
 
 void CheckP1(const Cursor& c) {
@@ -419,6 +482,8 @@ const std::vector<RuleInfo>& AllRules() {
              "deterministic-reduction annotation"},
       {"C1", "no naked new/delete in engine hot paths"},
       {"C2", "no volatile-as-synchronization"},
+      {"C3", "no mutable static/member scratch state in query compute "
+             "paths without a query-local annotation"},
       {"P1", "no AoS std::vector<Message> buffers in engine hot paths"},
       {"D5", "no direct file I/O in the engine outside the src/ooc seam"},
       {"A1", "every lint annotation parses and carries a reason, and "
@@ -436,6 +501,12 @@ bool RuleInScope(std::string_view rule, std::string_view path) {
   if (rule == "C1" || rule == "P1" || rule == "D5") {
     return HasSegment(path, "engine");
   }
+  if (rule == "C3") {
+    // The directories concurrent queries execute through by const
+    // reference (DESIGN.md section 14).
+    return HasSegment(path, "engine") || HasSegment(path, "tasks") ||
+           HasSegment(path, "ooc");
+  }
   return true;  // D2, D4, C2 (and A1) apply everywhere.
 }
 
@@ -448,6 +519,7 @@ void CheckTokens(const std::string& path, const std::vector<Token>& tokens,
   if (RuleInScope("D4", path)) CheckD4(c);
   if (RuleInScope("C1", path)) CheckC1(c);
   if (RuleInScope("C2", path)) CheckC2(c);
+  if (RuleInScope("C3", path)) CheckC3(c);
   if (RuleInScope("P1", path)) CheckP1(c);
   if (RuleInScope("D5", path)) CheckD5(c);
   std::sort(out->begin(), out->end(), [](const Finding& a, const Finding& b) {

@@ -1,0 +1,44 @@
+#include "obs/trace_merge.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace vcmp {
+
+void MergeTraceInto(Tracer& destination, const Tracer& source) {
+  std::vector<uint32_t> track_map;
+  track_map.reserve(source.tracks().size());
+  for (const TraceTrack& track : source.tracks()) {
+    track_map.push_back(destination.AddTrack(track.process, track.thread));
+  }
+  for (const TraceEvent& event : source.events()) {
+    VCMP_CHECK(event.track < track_map.size());
+    const uint32_t track = track_map[event.track];
+    switch (event.kind) {
+      case TraceEvent::Kind::kBegin:
+        destination.Begin(track, event.name, event.ts_seconds, event.args);
+        break;
+      case TraceEvent::Kind::kEnd:
+        destination.End(track, event.ts_seconds, event.args);
+        break;
+      case TraceEvent::Kind::kInstant:
+        destination.Instant(track, event.name, event.ts_seconds,
+                            event.args);
+        break;
+      case TraceEvent::Kind::kGauge:
+        destination.Gauge(track, event.name, event.ts_seconds, event.value);
+        break;
+    }
+  }
+  for (const auto& [name, value] : source.counters()) {
+    if (source.counter_is_peak(name)) {
+      destination.Peak(name, value);
+    } else {
+      destination.Add(name, value);
+    }
+  }
+}
+
+}  // namespace vcmp

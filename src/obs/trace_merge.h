@@ -1,0 +1,22 @@
+#ifndef VCMP_OBS_TRACE_MERGE_H_
+#define VCMP_OBS_TRACE_MERGE_H_
+
+#include "obs/tracer.h"
+
+namespace vcmp {
+
+/// Replays everything recorded in `source` into `destination`: tracks are
+/// re-registered (ids remapped densely in source order), events replayed
+/// through the normal emission calls (so span-balance invariants stay
+/// checked), and flat counters folded by their kind — Add counters sum,
+/// Peak counters max.
+///
+/// The concurrent runner gives each query a private tracer (the recorder
+/// is not thread-safe) and merges them in query order after all queries
+/// finish, so the merged trace — bytes included — is a pure function of
+/// the per-query traces and never of scheduling timing.
+void MergeTraceInto(Tracer& destination, const Tracer& source);
+
+}  // namespace vcmp
+
+#endif  // VCMP_OBS_TRACE_MERGE_H_

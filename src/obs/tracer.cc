@@ -64,10 +64,16 @@ void Tracer::Gauge(uint32_t track, std::string name, double ts_seconds,
 }
 
 void Tracer::Add(const std::string& counter, double delta) {
+  auto [it, inserted] = counter_is_peak_.emplace(counter, false);
+  VCMP_CHECK(!it->second)
+      << "counter '" << counter << "' mixes Add and Peak";
   counters_[counter] += delta;
 }
 
 void Tracer::Peak(const std::string& counter, double value) {
+  auto [it, inserted] = counter_is_peak_.emplace(counter, true);
+  VCMP_CHECK(it->second)
+      << "counter '" << counter << "' mixes Add and Peak";
   double& slot = counters_[counter];
   slot = std::max(slot, value);
 }
@@ -75,6 +81,11 @@ void Tracer::Peak(const std::string& counter, double value) {
 double Tracer::counter(const std::string& name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? 0.0 : it->second;
+}
+
+bool Tracer::counter_is_peak(const std::string& name) const {
+  auto it = counter_is_peak_.find(name);
+  return it != counter_is_peak_.end() && it->second;
 }
 
 uint32_t Tracer::open_spans(uint32_t track) const {

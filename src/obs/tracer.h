@@ -78,7 +78,9 @@ class Tracer {
              double value);
 
   /// Flat counters (no timestamp): Add accumulates a running sum, Peak a
-  /// running max. Keys are exported sorted.
+  /// running max. Keys are exported sorted. Mixing Add and Peak on one
+  /// key is a checked error — the kind decides how MergeTraceInto folds
+  /// the counter across per-query tracers (sum vs max).
   void Add(const std::string& counter, double delta);
   void Peak(const std::string& counter, double value);
 
@@ -89,6 +91,9 @@ class Tracer {
   }
   /// Value of one flat counter (0.0 when never touched).
   double counter(const std::string& name) const;
+  /// True when `name` is a Peak (running-max) counter; false for Add
+  /// counters and names never touched.
+  bool counter_is_peak(const std::string& name) const;
 
   /// Open (begun, not yet ended) spans on `track`; 0 for a balanced
   /// trace. The invariant tests assert this is 0 on every track after a
@@ -100,6 +105,8 @@ class Tracer {
   std::vector<TraceTrack> tracks_;
   std::vector<uint32_t> open_depth_;  // Parallel to tracks_.
   std::map<std::string, double> counters_;
+  /// Keys ever passed to Peak(); all other counters fold by summing.
+  std::map<std::string, bool> counter_is_peak_;
 };
 
 }  // namespace vcmp

@@ -87,6 +87,9 @@ Result<std::unique_ptr<OocRuntime>> OocRuntime::Create(
   // system temp dir, removed with the runtime.
   std::error_code ec;
   if (setup.options.directory.empty()) {
+    // Distinct directories per runtime instance; the counter value is
+    // never observable in results, so the cross-query sharing is benign.
+    // vcmp:query-local(unique temp-dir suffix only; result-neutral)
     static std::atomic<uint64_t> instance_counter{0};
     const uint64_t instance =
         instance_counter.fetch_add(1, std::memory_order_relaxed);
@@ -146,6 +149,9 @@ Result<std::unique_ptr<OocRuntime>> OocRuntime::Create(
 }
 
 OocRuntime::~OocRuntime() {
+  // Outstanding background reads capture machine slots and file readers;
+  // drain them before any teardown touches either.
+  prefetch_group_.Wait();
   std::error_code ec;
   for (Machine& m : machines_) {
     m.reader.Close();
@@ -302,7 +308,7 @@ void OocRuntime::LaunchPrefetch(ThreadPool* pool) {
   if (!prefetch_enabled_) return;
   for (Machine& m : machines_) {
     if (m.prefetch_wish.empty()) continue;
-    pool->Submit([&m] {
+    prefetch_group_.Submit(*pool, [&m] {
       for (uint32_t s : m.prefetch_wish) {
         std::vector<VertexRecord> records;
         Status read = m.reader.ReadSection(s, &records);

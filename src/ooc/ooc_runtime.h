@@ -98,10 +98,17 @@ class OocRuntime {
 
   /// Queues next round's sections (from the resident inbox targets) and
   /// launches one background read job per machine. No-op when prefetch
-  /// is disabled. The engine must barrier on the pool before the next
+  /// is disabled. The engine must call WaitPrefetch() before the next
   /// round touches the caches.
   void SchedulePrefetch(uint32_t machine, const MessageBlock& inbox);
   void LaunchPrefetch(ThreadPool* pool);
+
+  /// Happens-before barrier for the background jobs LaunchPrefetch
+  /// submitted: after it returns their staged sections are plain data.
+  /// Scoped to THIS runtime's jobs (not a pool-wide drain), so several
+  /// queries can run their prefetchers on one shared pool without
+  /// coupling at each other's barriers.
+  void WaitPrefetch() { prefetch_group_.Wait(); }
 
   /// First recorded per-machine error, cleared; OK when none.
   Status ConsumeError();
@@ -157,6 +164,9 @@ class OocRuntime {
   const std::vector<std::vector<VertexId>>* vertices_by_machine_ = nullptr;
   std::vector<uint64_t> position_of_vertex_;
   bool prefetch_enabled_ = true;
+  /// Completion scope for the background prefetch jobs; the destructor's
+  /// implicit Wait keeps task captures of `machines_` alive long enough.
+  TaskGroup prefetch_group_;
 };
 
 }  // namespace vcmp

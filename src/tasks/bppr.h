@@ -183,6 +183,9 @@ class BpprPerSourceProgram : public VertexProgram {
   const BpprTask::Params params_;
   SumCombiner sum_combiner_;
   std::vector<uint64_t> stopped_;
+  // MakeProgram builds a fresh program per batch per query, so the
+  // mutex only ever orders one query's shard threads.
+  // vcmp:query-local(program instance is per-batch per-query)
   mutable std::mutex pair_mutex_;
   std::vector<PairTracker> pair_tracker_;
 };

@@ -85,6 +85,35 @@ TEST(GasEngineTest, BpprWalksConserve) {
   EXPECT_EQ(program.TotalStopped(), 32u * fx.graph.NumVertices());
 }
 
+TEST(GasEngineTest, QueryContextNamespacesWalkStreams) {
+  // The QueryContext's query id enters every per-vertex reseed: query 0
+  // reproduces the historical (no-context) run bit for bit, while query
+  // 1 draws a different walk stream from the same engine seed. Each
+  // program is fresh — GAS programs accumulate into member state.
+  GasFixture fx(GasGraph(), 4);
+  GasBpprWalks::Params params;
+  GasEngine engine(fx.graph, fx.partition, fx.Options(true, 4));
+
+  GasBpprWalks historical(fx.graph, fx.partition, 32, params, /*seed=*/3);
+  auto base = engine.Run(historical);
+  ASSERT_TRUE(base.ok());
+
+  QueryContext q0(/*query_id=*/0);
+  GasBpprWalks same(fx.graph, fx.partition, 32, params, /*seed=*/3);
+  auto as_q0 = engine.Run(same, q0);
+  ASSERT_TRUE(as_q0.ok());
+  EXPECT_EQ(as_q0.value().messages, base.value().messages);
+  EXPECT_EQ(as_q0.value().passes, base.value().passes);
+
+  QueryContext q1(/*query_id=*/1);
+  GasBpprWalks other(fx.graph, fx.partition, 32, params, /*seed=*/3);
+  auto as_q1 = engine.Run(other, q1);
+  ASSERT_TRUE(as_q1.ok());
+  EXPECT_EQ(other.TotalStopped(), 32u * fx.graph.NumVertices());
+  EXPECT_NE(as_q1.value().messages, base.value().messages)
+      << "query 1 must draw a different walk stream than query 0";
+}
+
 TEST(GasEngineTest, SyncCombinesWireTraffic) {
   // Same walk workload: sync (combining) must move fewer bytes per
   // machine than async (no combining, plus inflation) — Table 4's

@@ -1,0 +1,41 @@
+// C3 fixture: mutable/static scratch state in query compute paths. Not
+// compiled — linted by lint_test.cc under src/engine/ and src/tasks/
+// (fires) and under src/common/ (out of scope). True positives on lines
+// 12, 15, 27 under engine/; the query-local marker blesses 19 and 30.
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+struct Worker {
+  // A mutable member: a cross-query channel when the object is shared.
+  mutable int calls = 0;
+
+  // Non-const function-local static: shared by every concurrent query.
+  int Next() { static int counter = 0; return ++counter; }
+
+  // A blessed mutable member — one query provably drives it at a time.
+  // vcmp:query-local(fixture: single-query mutex)
+  mutable std::mutex lock_;
+
+  // Immutable statics, static functions, and lambda qualifiers pass.
+  static const int kLimit = 8;
+  static constexpr int kWidth = 4;
+  static int Resolve(int x);
+};
+
+static std::vector<int> scratch_pool;
+
+// A blessed static: trailing annotation form.
+static long hits = 0;  // vcmp:query-local(fixture: result-neutral tally)
+
+inline void Lambdas() {
+  int x = 0;
+  auto f = [x]() mutable { return x + 1; };
+  (void)f;
+}
+
+// Comments saying mutable and static, and strings, must not fire.
+const char* kDoc = "mutable static state";
+
+}  // namespace fixture

@@ -152,6 +152,35 @@ TEST(LintD5, FlagsDirectFileIoInEngineOnly) {
   EXPECT_TRUE(Keys(ooc).empty());
 }
 
+TEST(LintC3, FlagsMutableAndStaticScratchInQueryPathsOnly) {
+  LintReport engine = LintAs("c3_scratch.cc", "src/engine/c3.cc");
+  // The mutable member, the function-local static, and the namespace
+  // static fire; const/constexpr statics, static function declarations,
+  // and the lambda `mutable` qualifier do not.
+  EXPECT_EQ(Keys(engine),
+            (std::vector<std::string>{"src/engine/c3.cc:12:C3",
+                                      "src/engine/c3.cc:15:C3",
+                                      "src/engine/c3.cc:27:C3"}));
+  // The query-local escape hatch: blessed sites stay in the report as
+  // allowed findings with their reasons.
+  EXPECT_EQ(Keys(engine, Select::kAllowed),
+            (std::vector<std::string>{"src/engine/c3.cc:19:C3",
+                                      "src/engine/c3.cc:30:C3"}));
+  ASSERT_EQ(engine.allows.size(), 2u);
+  EXPECT_EQ(engine.allows[0].reason, "fixture: single-query mutex");
+  EXPECT_TRUE(engine.allows[0].used);
+  EXPECT_EQ(engine.allows[1].reason, "fixture: result-neutral tally");
+  // tasks/ (and ooc/) are in scope too — concurrent queries reach them
+  // through shared const references.
+  LintReport tasks = LintAs("c3_scratch.cc", "src/tasks/c3.cc");
+  EXPECT_EQ(Keys(tasks).size(), 3u);
+  // Out of scope the rule stays quiet and the annotations go stale (A1).
+  LintReport common = LintAs("c3_scratch.cc", "src/common/c3.cc");
+  EXPECT_EQ(Keys(common),
+            (std::vector<std::string>{"src/common/c3.cc:18:A1",
+                                      "src/common/c3.cc:30:A1"}));
+}
+
 TEST(LintC2, FlagsVolatileEverywhere) {
   LintReport report = LintAs("c2_volatile.cc", "src/common/c2.cc");
   EXPECT_EQ(Keys(report),
@@ -214,7 +243,7 @@ TEST(LintRepo, RuleTableCoversDocumentedRules) {
   std::vector<std::string> ids;
   for (const RuleInfo& rule : AllRules()) ids.push_back(rule.id);
   EXPECT_EQ(ids, (std::vector<std::string>{"D1", "D2", "D3", "D4", "C1",
-                                           "C2", "P1", "D5", "A1"}));
+                                           "C2", "C3", "P1", "D5", "A1"}));
 }
 
 }  // namespace

@@ -3,8 +3,13 @@
 //
 //   vcmp_batch --config=configs/fig04_workload_sweep.ini
 //   vcmp_batch --config=suite.ini --json-dir=/tmp/results
+//   vcmp_batch --config=suite.ini --concurrency=4 --trace-out=suite.trace
 
+#include <atomic>
+#include <cctype>
+#include <deque>
 #include <iostream>
+#include <thread>
 
 #include "common/flags.h"
 #include "common/string_util.h"
@@ -13,12 +18,39 @@
 #include "graph/datasets.h"
 #include "metrics/export.h"
 #include "metrics/table_printer.h"
+#include "obs/trace_merge.h"
 #include "obs/trace_sink.h"
 #include "obs/tracer.h"
 #include "tasks/task_registry.h"
 
 namespace vcmp {
 namespace {
+
+/// Strict parse of --concurrency: the whole string must be a decimal
+/// integer in [1, 1024]. atoll-style silent fallbacks to 0 would turn a
+/// typo into a confusing "concurrency must be at least 1" rather than
+/// naming the malformed value.
+Result<uint32_t> ParseConcurrency(const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("--concurrency must not be empty");
+  }
+  for (char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument("--concurrency expects a positive "
+                                     "integer, got '" + text + "'");
+    }
+  }
+  if (text.size() > 4) {
+    return Status::InvalidArgument("--concurrency out of range (1..1024): '" +
+                                   text + "'");
+  }
+  const long value = std::atol(text.c_str());
+  if (value < 1 || value > 1024) {
+    return Status::InvalidArgument("--concurrency out of range (1..1024): '" +
+                                   text + "'");
+  }
+  return static_cast<uint32_t>(value);
+}
 
 int Main(int argc, char** argv) {
   FlagParser flags("vcmp_batch", "run an INI-defined experiment suite");
@@ -38,6 +70,11 @@ int Main(int argc, char** argv) {
   flags.Define("ooc-dir", "",
                "directory for out-of-core spill/state files (empty = a "
                "fresh temp directory per run)");
+  flags.Define("concurrency", "1",
+               "experiments in flight at once (1..1024). Every output — "
+               "table, JSON reports, --trace-out bytes — is identical at "
+               "every concurrency level; experiments record into private "
+               "tracers merged in suite order");
   flags.Define("list-tasks", "false",
                "print the registered task names and exit");
   flags.Define("list-datasets", "false",
@@ -62,6 +99,11 @@ int Main(int argc, char** argv) {
       std::cout << info.name << "\n";
     }
     return 0;
+  }
+  auto concurrency = ParseConcurrency(flags.GetString("concurrency"));
+  if (!concurrency.ok()) {
+    std::cerr << concurrency.status().ToString() << "\n";
+    return 2;
   }
   if (flags.GetString("config").empty()) {
     std::cout << flags.HelpText();
@@ -98,52 +140,103 @@ int Main(int argc, char** argv) {
   std::cout << "Running " << specs.value().size() << " experiments from "
             << flags.GetString("config") << "\n";
 
-  // One shared tracer across the suite: each experiment becomes its own
-  // process group (named by the spec) in the exported trace.
-  Tracer tracer;
-  Tracer* trace_ptr =
-      flags.GetString("trace-out").empty() ? nullptr : &tracer;
+  // One exported tracer across the suite: each experiment becomes its
+  // own process group (named by the spec) in the trace. Experiments
+  // record into PRIVATE tracers (the recorder is not thread-safe) that
+  // are replayed into the suite tracer in spec order after all runs
+  // finish — for K=1 that replay appends exactly what recording directly
+  // into the shared tracer used to append, so the exported bytes match
+  // the historical single-tracer path at every concurrency level.
+  const bool want_trace = !flags.GetString("trace-out").empty();
+  const std::vector<ExperimentSpec>& suite = specs.value();
+  std::deque<Tracer> tracers(want_trace ? suite.size() : 0);
+
+  struct ExperimentOutcome {
+    Status status = Status::OK();
+    ExperimentResult result;
+    Status json_status = Status::OK();
+  };
+  std::deque<ExperimentOutcome> outcomes(suite.size());
+  // First failure (in any slot) stops every slot from STARTING further
+  // experiments — the sequential loop's fail-fast, generalized. In-flight
+  // neighbors still finish; their outputs are simply not reported.
+  std::atomic<bool> failed{false};
+  const uint32_t slots = static_cast<uint32_t>(std::min<size_t>(
+      concurrency.value(), suite.size()));
+  const std::string json_dir = flags.GetString("json-dir");
+  // Static round-robin: slot s owns experiments s, s+K, ... — disjoint
+  // outcome slots, no locking, and identical assignment on every run.
+  const auto drive_slot = [&](uint32_t slot) {
+    for (size_t i = slot; i < suite.size(); i += slots) {
+      if (failed.load(std::memory_order_relaxed)) break;
+      ExperimentOutcome& outcome = outcomes[i];
+      auto result = RunExperiment(suite[i],
+                                  want_trace ? &tracers[i] : nullptr);
+      if (!result.ok()) {
+        outcome.status = result.status();
+        failed.store(true, std::memory_order_relaxed);
+        break;
+      }
+      outcome.result = std::move(result.value());
+      if (!json_dir.empty()) {
+        // Distinct files per experiment; safe from concurrent slots.
+        outcome.json_status = WriteRunReportJson(
+            outcome.result.report, json_dir + "/" + suite[i].name + ".json");
+        if (!outcome.json_status.ok()) {
+          failed.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+    }
+  };
+  if (slots <= 1) {
+    drive_slot(0);
+  } else {
+    std::vector<std::thread> drivers;
+    drivers.reserve(slots);
+    for (uint32_t s = 0; s < slots; ++s) drivers.emplace_back(drive_slot, s);
+    for (std::thread& driver : drivers) driver.join();
+  }
+  for (size_t i = 0; i < suite.size(); ++i) {
+    if (!outcomes[i].status.ok()) {
+      std::cerr << "experiment '" << suite[i].name
+                << "' failed: " << outcomes[i].status.ToString() << "\n";
+      return 1;
+    }
+    if (!outcomes[i].json_status.ok()) {
+      std::cerr << outcomes[i].json_status.ToString() << "\n";
+      return 1;
+    }
+  }
 
   TablePrinter table({"Experiment", "Setting", "Schedule", "Time",
                       "Peak mem", "Msgs/round"});
-  for (const ExperimentSpec& spec : specs.value()) {
-    auto result = RunExperiment(spec, trace_ptr);
-    if (!result.ok()) {
-      std::cerr << "experiment '" << spec.name
-                << "' failed: " << result.status().ToString() << "\n";
-      return 1;
-    }
-    const RunReport& report = result.value().report;
+  for (size_t i = 0; i < suite.size(); ++i) {
+    const ExperimentSpec& spec = suite[i];
+    const RunReport& report = outcomes[i].result.report;
     table.AddRow({
         spec.name,
         StrFormat("%s/%s/%s W=%.0f", spec.task.c_str(),
                   spec.system.c_str(), spec.dataset.c_str(),
                   spec.workload),
-        result.value().schedule.ToString(),
+        outcomes[i].result.schedule.ToString(),
         report.overloaded ? "Overload"
                           : StrFormat("%.1fs", report.total_seconds),
         StrFormat("%.1fGB", BytesToGiB(report.peak_memory_bytes)),
         FormatCount(report.MessagesPerRound()),
     });
-    if (!flags.GetString("json-dir").empty()) {
-      std::string path =
-          flags.GetString("json-dir") + "/" + spec.name + ".json";
-      Status written = WriteRunReportJson(report, path);
-      if (!written.ok()) {
-        std::cerr << written.ToString() << "\n";
-        return 1;
-      }
-    }
   }
   table.Print(std::cout);
-  if (trace_ptr != nullptr) {
-    Status written = WriteTraceJson(tracer, flags.GetString("trace-out"));
+  if (want_trace) {
+    Tracer merged;
+    for (const Tracer& tracer : tracers) MergeTraceInto(merged, tracer);
+    Status written = WriteTraceJson(merged, flags.GetString("trace-out"));
     if (!written.ok()) {
       std::cerr << written.ToString() << "\n";
       return 1;
     }
     std::cout << "wrote " << flags.GetString("trace-out") << " ("
-              << tracer.events().size() << " trace events)\n";
+              << merged.events().size() << " trace events)\n";
   }
   return 0;
 }
