@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/thread_pool.h"
 #include "common/wall_clock.h"
 #include "core/runner.h"
 #include "graph/datasets.h"
@@ -35,7 +36,8 @@ namespace vcmp {
 namespace {
 
 struct Measurement {
-  uint32_t threads = 0;
+  uint32_t threads = 0;            // Requested configuration.
+  uint32_t effective_threads = 0;  // After the (optional) hardware clamp.
   double wall_ms = 0.0;
   EnginePhaseTimes phase;
   double sim_seconds = 0.0;
@@ -46,15 +48,18 @@ struct Measurement {
 /// clock reads per staged message), so the headline wall time comes from
 /// a separate untimed pass.
 Measurement MeasureThreads(const Dataset& dataset, int reps,
-                           uint32_t threads) {
+                           uint32_t threads, bool clamp_to_hardware) {
   Measurement out;
   out.threads = threads;
+  out.effective_threads = ThreadPool::ResolveThreads(threads,
+                                                     clamp_to_hardware);
   auto run_workload = [&](bool timed) -> double {
     RunnerOptions options;
     options.cluster = ClusterSpec::Galaxy8();
     options.system = SystemKind::kPregelPlus;
     options.seed = 11;
     options.execution_threads = threads;
+    options.clamp_threads_to_hardware = clamp_to_hardware;
     options.collect_phase_times = timed;
     if (timed) {
       options.engine_observer = [&out](const EngineResult& result) {
@@ -92,9 +97,10 @@ Measurement MeasureThreads(const Dataset& dataset, int reps,
 
 void PrintMeasurement(const Measurement& m) {
   std::printf(
-      "threads %u  wall %.1fms  (compute %.1fms, group %.1fms, "
-      "stage %.1fms, deliver %.1fms)\n",
-      m.threads, m.wall_ms, 1e3 * m.phase.compute_seconds,
+      "threads %u (effective %u)  wall %.1fms  (compute %.1fms, "
+      "group %.1fms, stage %.1fms, deliver %.1fms)\n",
+      m.threads, m.effective_threads, m.wall_ms,
+      1e3 * m.phase.compute_seconds,
       1e3 * m.phase.group_seconds, 1e3 * m.phase.stage_seconds,
       1e3 * m.phase.deliver_seconds);
 }
@@ -103,6 +109,7 @@ void PrintMeasurement(const Measurement& m) {
 std::string MeasurementJson(const Measurement& m) {
   JsonWriter json(/*with_schema_version=*/false);
   json.Field("threads", static_cast<uint64_t>(m.threads));
+  json.Field("effective_threads", static_cast<uint64_t>(m.effective_threads));
   json.Field("wall_ms", m.wall_ms);
   json.Field("compute_ms", 1e3 * m.phase.compute_seconds);
   json.Field("group_ms", 1e3 * m.phase.group_seconds);
@@ -133,6 +140,13 @@ int Main(int argc, char** argv) {
                " appended). Empty = headline only.");
   flags.Define("json", "BENCH_engine.json",
                "write phase timings to this path (empty = skip)");
+  flags.Define("clamp-to-hardware", "false",
+               "silently cap thread counts at the hardware concurrency "
+               "(the engine's default). Off here: a scaling benchmark must"
+               " measure the configuration it claims to, so on a small box"
+               " the 8-thread point oversubscribes rather than silently"
+               " re-measuring 1 thread. The JSON records hardware_threads"
+               " and each point's effective_threads either way.");
   Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::cerr << parsed.ToString() << "\n";
@@ -157,9 +171,22 @@ int Main(int argc, char** argv) {
   for (uint32_t t : sweep) headline_in_sweep |= (t == headline_threads);
   if (!headline_in_sweep) sweep.push_back(headline_threads);
 
+  const bool clamp = flags.GetBool("clamp-to-hardware");
+  const uint32_t hardware = ThreadPool::HardwareThreads();
+  if (!clamp) {
+    for (uint32_t t : sweep) {
+      if (t > hardware) {
+        std::printf(
+            "note: %u threads oversubscribe this machine (%u hardware); "
+            "measuring the requested configuration anyway\n",
+            t, hardware);
+      }
+    }
+  }
+
   std::vector<Measurement> measurements;
   for (uint32_t threads : sweep) {
-    measurements.push_back(MeasureThreads(dataset, reps, threads));
+    measurements.push_back(MeasureThreads(dataset, reps, threads, clamp));
     PrintMeasurement(measurements.back());
   }
   const Measurement* headline = &measurements.front();
@@ -190,6 +217,10 @@ int Main(int argc, char** argv) {
                "LiveJournal scale 256, Galaxy8, Pregel+");
     json.Field("seed", static_cast<uint64_t>(11));
     json.Field("threads", static_cast<uint64_t>(headline->threads));
+    json.Field("effective_threads",
+               static_cast<uint64_t>(headline->effective_threads));
+    json.Field("hardware_threads", static_cast<uint64_t>(hardware));
+    json.Field("clamped_to_hardware", clamp);
     json.Field("wall_ms", headline->wall_ms);
     json.Field("compute_ms", 1e3 * headline->phase.compute_seconds);
     json.Field("group_ms", 1e3 * headline->phase.group_seconds);

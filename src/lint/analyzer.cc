@@ -8,11 +8,19 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "lint/callgraph.h"
+#include "lint/dataflow.h"
+#include "lint/parser.h"
+#include "lint/symbols.h"
 #include "metrics/export.h"
 
 namespace vcmp {
 namespace lint {
 namespace {
+
+/// The lint JSON report's own schema version (independent of the shared
+/// vcmp export schema): v3 added C4/D6/D7 and the call-graph stats.
+constexpr uint64_t kLintSchemaVersion = 3;
 
 bool LintableExtension(const std::filesystem::path& p) {
   const std::string ext = p.extension().string();
@@ -31,11 +39,32 @@ std::string FindingKey(const Finding& f) {
   return f.file + ":" + std::to_string(f.line) + ":" + f.rule;
 }
 
-/// Lints one file's content; applies annotations; emits A1 findings for
-/// malformed or stale annotations.
-void AnalyzeOne(const std::string& path, const std::string& content,
-                LintReport* report) {
-  LexResult lex = Lex(content);
+/// Per-file intermediate state for the two-pass analysis: pass 1 lexes,
+/// parses and runs the per-file rules; pass 2 builds the whole-tree
+/// call graph, propagates D6 taint across files, then applies
+/// annotations and hygiene per file.
+struct FileAnalysis {
+  std::string path;
+  LexResult lex;
+  ParsedFile parsed;
+  std::vector<TaintPrimitive> primitives;
+  std::vector<Finding> findings;
+};
+
+/// An annotation suppresses a finding on its covered line with the same
+/// rule, plus two deliberate cross-matches: the parallel-region
+/// annotations also bless the flow-aware race rule on the same site —
+/// vcmp:deterministic-reduction (rule D4) and vcmp:query-local (rule
+/// C3) both imply C4, so a site blessed under the old token rule does
+/// not need a second annotation for the stronger analysis.
+bool AnnotationMatches(const Annotation& a, const Finding& f) {
+  if (a.covered_line != f.line) return false;
+  if (a.rule == f.rule) return true;
+  if (f.rule == "C4" && (a.rule == "D4" || a.rule == "C3")) return true;
+  return false;
+}
+
+void AnalyzeFilePass1(FileAnalysis* fa) {
   // Annotations naming an unknown rule (e.g. the literal "RULE" in doc
   // comments showing the grammar) are documentation, not suppressions.
   // A typo'd rule id therefore suppresses nothing — the finding it meant
@@ -46,17 +75,23 @@ void AnalyzeOne(const std::string& path, const std::string& content,
     }
     return false;
   };
-  std::erase_if(lex.annotations, [&](const Annotation& a) {
+  std::erase_if(fa->lex.annotations, [&](const Annotation& a) {
     return !a.deterministic_reduction && !known_rule(a.rule) &&
            !(a.malformed && a.rule.empty());
   });
-  std::vector<Finding> findings;
-  CheckTokens(path, lex.tokens, &findings);
+  fa->parsed = Parse(fa->path, fa->lex.tokens);
+  fa->primitives = FindTaintPrimitives(fa->lex.tokens);
+  CheckTokens(fa->path, fa->lex.tokens, &fa->findings);
+  CheckFlow(fa->path, fa->lex.tokens, fa->parsed, &fa->findings);
+}
 
+/// Applies annotations to one file's findings, then emits A1 hygiene
+/// findings, sorts, and folds into the report.
+void FinishFile(FileAnalysis* fa, LintReport* report) {
+  std::vector<Finding>& findings = fa->findings;
   for (Finding& f : findings) {
-    for (Annotation& a : lex.annotations) {
-      if (a.malformed || a.rule != f.rule) continue;
-      if (a.covered_line != f.line) continue;
+    for (Annotation& a : fa->lex.annotations) {
+      if (a.malformed || !AnnotationMatches(a, f)) continue;
       f.allowed = true;
       f.allow_reason = a.reason;
       a.used = true;
@@ -67,10 +102,10 @@ void AnalyzeOne(const std::string& path, const std::string& content,
   // Annotation hygiene (A1): unparseable/reason-free annotations, and
   // allows that no longer match a finding (stale suppressions rot the
   // exception table). A1 is deliberately not suppressible.
-  for (const Annotation& a : lex.annotations) {
+  for (const Annotation& a : fa->lex.annotations) {
     if (a.malformed) {
       Finding f;
-      f.file = path;
+      f.file = fa->path;
       f.line = a.line;
       f.rule = "A1";
       f.message =
@@ -80,7 +115,7 @@ void AnalyzeOne(const std::string& path, const std::string& content,
       findings.push_back(std::move(f));
     } else if (!a.used) {
       Finding f;
-      f.file = path;
+      f.file = fa->path;
       f.line = a.line;
       f.rule = "A1";
       f.message = "stale '" + a.rule +
@@ -88,7 +123,7 @@ void AnalyzeOne(const std::string& path, const std::string& content,
                   "it or move it next to the code it justifies";
       findings.push_back(std::move(f));
     }
-    report->allows.push_back(AllowRecord{path, a.line, a.rule, a.reason,
+    report->allows.push_back(AllowRecord{fa->path, a.line, a.rule, a.reason,
                                          a.deterministic_reduction, a.used});
   }
 
@@ -100,6 +135,75 @@ void AnalyzeOne(const std::string& path, const std::string& content,
   report->findings.insert(report->findings.end(), findings.begin(),
                           findings.end());
   report->files_scanned += 1;
+}
+
+/// Pass-1 analyzes every source, then runs the cross-file model: call
+/// graph, D6 taint (annotations on a primitive's line kill its seed —
+/// and killing a seed counts as the annotation being used), and D6 call
+/// site findings with a witness chain.
+std::vector<FileAnalysis> RunPasses(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    CallGraph* graph_out) {
+  std::vector<FileAnalysis> files(sources.size());
+  std::vector<ParsedFile> parsed;
+  parsed.reserve(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    files[i].path = sources[i].first;
+    files[i].lex = Lex(sources[i].second);
+    AnalyzeFilePass1(&files[i]);
+    parsed.push_back(files[i].parsed);
+  }
+
+  CallGraph graph = CallGraph::Build(parsed);
+  CallGraph::TaintOptions taint;
+  taint.primitives.resize(files.size());
+  taint.killed_lines.resize(files.size());
+  for (size_t i = 0; i < files.size(); ++i) {
+    taint.primitives[i] = files[i].primitives;
+    for (const TaintPrimitive& p : files[i].primitives) {
+      for (Annotation& a : files[i].lex.annotations) {
+        if (a.malformed || a.covered_line != p.line) continue;
+        if (a.rule == "D1" || a.rule == "D2" || a.rule == "D3" ||
+            a.rule == "D6") {
+          taint.killed_lines[i].insert(p.line);
+          a.used = true;  // A reviewed seed exception is a live allow.
+        }
+      }
+    }
+  }
+  graph.ComputeTaint(parsed, taint);
+
+  for (size_t i = 0; i < files.size(); ++i) {
+    if (!RuleInScope("D6", files[i].path)) continue;
+    std::set<std::pair<int, std::string>> seen;
+    for (const CallSiteInfo& call : files[i].parsed.calls) {
+      const std::vector<FunctionRef>* targets =
+          graph.index().Lookup(call.callee);
+      if (targets == nullptr) continue;
+      const FunctionRef* tainted = nullptr;
+      for (const FunctionRef& t : *targets) {
+        if (graph.IsTainted(t)) {
+          tainted = &t;
+          break;
+        }
+      }
+      if (tainted == nullptr) continue;
+      if (!seen.insert({call.line, call.callee}).second) continue;
+      Finding f;
+      f.file = files[i].path;
+      f.line = call.line;
+      f.rule = "D6";
+      f.message = "call to '" + call.callee +
+                  "' transitively reaches nondeterminism: " +
+                  graph.TaintChain(parsed, *tainted) +
+                  " — route it through the sanctioned seam or a seeded "
+                  "Rng, or annotate the primitive's line";
+      files[i].findings.push_back(std::move(f));
+    }
+  }
+
+  *graph_out = std::move(graph);
+  return files;
 }
 
 }  // namespace
@@ -116,9 +220,14 @@ LintReport AnalyzeSources(
     const std::vector<std::pair<std::string, std::string>>& sources,
     const AnalyzerOptions& options) {
   LintReport report;
-  for (const auto& [path, content] : sources) {
-    AnalyzeOne(path, content, &report);
+  CallGraph graph;
+  std::vector<FileAnalysis> files = RunPasses(sources, &graph);
+  for (FileAnalysis& fa : files) {
+    FinishFile(&fa, &report);
   }
+  report.functions_indexed = static_cast<int>(graph.index().NumFunctions());
+  report.call_edges = static_cast<int>(graph.num_edges());
+  report.tainted_functions = static_cast<int>(graph.num_tainted());
   const std::set<std::string> baseline(options.baseline.begin(),
                                        options.baseline.end());
   for (Finding& f : report.findings) {
@@ -129,8 +238,20 @@ LintReport AnalyzeSources(
   return report;
 }
 
-Result<LintReport> AnalyzePaths(const std::vector<std::string>& paths,
-                                const AnalyzerOptions& options) {
+namespace {
+
+/// Fixture corpora (tests/lint_fixtures/) deliberately contain
+/// violations; directory walks skip them so repo-wide runs stay clean.
+/// A fixture passed as an explicit file path still lints.
+bool InFixtureDir(const std::filesystem::path& p) {
+  for (const auto& part : p) {
+    if (part.string() == "lint_fixtures") return true;
+  }
+  return false;
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> CollectSources(
+    const std::vector<std::string>& paths) {
   namespace fs = std::filesystem;
   std::vector<std::string> files;
   for (const std::string& path : paths) {
@@ -138,7 +259,8 @@ Result<LintReport> AnalyzePaths(const std::vector<std::string>& paths,
     if (fs::is_directory(path, ec)) {
       for (fs::recursive_directory_iterator it(path, ec), end;
            !ec && it != end; it.increment(ec)) {
-        if (it->is_regular_file() && LintableExtension(it->path())) {
+        if (it->is_regular_file() && LintableExtension(it->path()) &&
+            !InFixtureDir(it->path())) {
           files.push_back(it->path().generic_string());
         }
       }
@@ -158,7 +280,27 @@ Result<LintReport> AnalyzePaths(const std::vector<std::string>& paths,
     if (!content.ok()) return content.status();
     sources.emplace_back(file, std::move(content).value());
   }
-  return AnalyzeSources(sources, options);
+  return sources;
+}
+
+}  // namespace
+
+Result<LintReport> AnalyzePaths(const std::vector<std::string>& paths,
+                                const AnalyzerOptions& options) {
+  auto sources = CollectSources(paths);
+  if (!sources.ok()) return sources.status();
+  return AnalyzeSources(sources.value(), options);
+}
+
+Result<std::string> CallGraphJson(const std::vector<std::string>& paths) {
+  auto sources = CollectSources(paths);
+  if (!sources.ok()) return sources.status();
+  CallGraph graph;
+  std::vector<FileAnalysis> files = RunPasses(sources.value(), &graph);
+  std::vector<ParsedFile> parsed;
+  parsed.reserve(files.size());
+  for (const FileAnalysis& fa : files) parsed.push_back(fa.parsed);
+  return graph.ToJson(parsed);
 }
 
 Result<std::vector<std::string>> LoadBaseline(const std::string& path) {
@@ -203,6 +345,8 @@ std::string FormatText(const LintReport& report) {
   }
   const int open = report.UnsuppressedCount();
   out << "\nvcmp_lint: " << report.files_scanned << " files, "
+      << report.functions_indexed << " functions, " << report.call_edges
+      << " call edges (" << report.tainted_functions << " tainted), "
       << report.findings.size() << " findings (" << open << " open, "
       << allowed << " allowed, " << baselined << " baselined)\n";
   return out.str();
@@ -245,9 +389,15 @@ std::string ToJson(const LintReport& report) {
   }
   allows += "]";
 
-  JsonWriter json;
+  JsonWriter json(/*with_schema_version=*/false);
+  json.Field("schema_version", kLintSchemaVersion);
   json.Field("tool", "vcmp_lint");
   json.Field("files_scanned", static_cast<uint64_t>(report.files_scanned));
+  json.Field("functions_indexed",
+             static_cast<uint64_t>(report.functions_indexed));
+  json.Field("call_edges", static_cast<uint64_t>(report.call_edges));
+  json.Field("tainted_functions",
+             static_cast<uint64_t>(report.tainted_functions));
   json.Field("finding_count",
              static_cast<uint64_t>(report.findings.size()));
   json.Field("open_count",

@@ -27,6 +27,12 @@ struct LintReport {
   std::vector<Finding> findings;
   std::vector<AllowRecord> allows;
   int files_scanned = 0;
+  /// Whole-tree model statistics (the flow-aware pass): function
+  /// definitions indexed, name-resolved call edges, and functions the
+  /// D6 taint analysis marked as transitively nondeterministic.
+  int functions_indexed = 0;
+  int call_edges = 0;
+  int tainted_functions = 0;
 
   /// Findings that are neither allowed nor baselined: what fails CI.
   int UnsuppressedCount() const;
@@ -60,9 +66,15 @@ Result<std::vector<std::string>> LoadBaseline(const std::string& path);
 /// one-line verdict.
 std::string FormatText(const LintReport& report);
 
-/// Machine-readable report via the shared JsonWriter (schema-versioned
-/// like every other vcmp JSON export).
+/// Machine-readable report. The lint report carries its own
+/// "schema_version": 3 — v3 added the flow-aware rules (C4/D6/D7) and
+/// the call-graph model statistics; the shared vcmp export schema
+/// (metrics/export.h) versions independently.
 std::string ToJson(const LintReport& report);
+
+/// Machine-readable dump of the whole-tree call graph + taint state for
+/// the same file set a lint run would analyze (`--callgraph`).
+Result<std::string> CallGraphJson(const std::vector<std::string>& paths);
 
 /// `file:line:RULE` lines for every unsuppressed finding — the format
 /// LoadBaseline reads back (--write-baseline).

@@ -1,0 +1,175 @@
+#include "lint/callgraph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "lint/rules.h"
+#include "metrics/export.h"
+
+namespace vcmp {
+namespace lint {
+namespace {
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+bool IsWallClockSeam(const std::string& path) {
+  return EndsWith(path, "common/wall_clock.h") ||
+         EndsWith(path, "common/wall_clock.cc");
+}
+
+CallGraph CallGraph::Build(const std::vector<ParsedFile>& files) {
+  CallGraph graph;
+  graph.index_ = FunctionIndex::Build(files);
+  graph.offsets_.resize(files.size() + 1, 0);
+  for (size_t f = 0; f < files.size(); ++f) {
+    graph.offsets_[f + 1] = graph.offsets_[f] + files[f].functions.size();
+  }
+  graph.nodes_.resize(graph.offsets_.back());
+
+  for (size_t f = 0; f < files.size(); ++f) {
+    for (const CallSiteInfo& call : files[f].calls) {
+      if (call.enclosing_function < 0) continue;
+      const FunctionRef caller{static_cast<int>(f), call.enclosing_function};
+      const std::vector<FunctionRef>* targets =
+          graph.index_.Lookup(call.callee);
+      if (targets == nullptr) continue;
+      for (const FunctionRef& callee : *targets) {
+        if (callee == caller) continue;  // Self-recursion adds nothing.
+        Node& callee_node = graph.NodeFor(callee);
+        // Dedupe parallel edges (same caller calling the callee twice).
+        if (std::find(callee_node.callers.begin(), callee_node.callers.end(),
+                      caller) != callee_node.callers.end()) {
+          continue;
+        }
+        callee_node.callers.push_back(caller);
+        graph.NodeFor(caller).callees.push_back(callee);
+        ++graph.num_edges_;
+      }
+    }
+  }
+  return graph;
+}
+
+void CallGraph::ComputeTaint(const std::vector<ParsedFile>& files,
+                             const TaintOptions& options) {
+  std::deque<FunctionRef> worklist;
+  for (size_t f = 0; f < files.size(); ++f) {
+    if (IsWallClockSeam(files[f].path)) continue;  // The sanctioned seam.
+    if (f >= options.primitives.size()) continue;
+    // Primitives are attributed to the function whose body covers their
+    // line; primitives outside any parsed function (file-scope
+    // initializers) cannot seed the graph.
+    for (const TaintPrimitive& primitive : options.primitives[f]) {
+      if (f < options.killed_lines.size() &&
+          options.killed_lines[f].count(primitive.line) != 0) {
+        continue;  // Blessed in source: a reviewed exception.
+      }
+      const int fn = EnclosingFunction(files[f], primitive.line);
+      if (fn < 0) continue;
+      const FunctionRef ref{static_cast<int>(f), fn};
+      Node& node = NodeFor(ref);
+      if (node.tainted) continue;
+      node.tainted = true;
+      node.seed = true;
+      node.primitive = primitive.what + " (" + files[f].path + ":" +
+                       std::to_string(primitive.line) + ")";
+      worklist.push_back(ref);
+    }
+  }
+
+  while (!worklist.empty()) {
+    const FunctionRef ref = worklist.front();
+    worklist.pop_front();
+    for (const FunctionRef& caller : NodeFor(ref).callers) {
+      Node& node = NodeFor(caller);
+      if (node.tainted) continue;
+      if (IsWallClockSeam(files[caller.file].path)) continue;
+      node.tainted = true;
+      node.tainted_via = ref;
+      worklist.push_back(caller);
+    }
+  }
+
+  num_tainted_ = 0;
+  for (const Node& node : nodes_) num_tainted_ += node.tainted ? 1 : 0;
+}
+
+bool CallGraph::IsTainted(FunctionRef ref) const {
+  return NodeFor(ref).tainted;
+}
+
+std::string CallGraph::TaintChain(const std::vector<ParsedFile>& files,
+                                  FunctionRef ref) const {
+  if (!IsTainted(ref)) return "";
+  std::string chain;
+  FunctionRef at = ref;
+  // The chain is acyclic by construction (tainted_via points at the
+  // function that was tainted first), but cap it defensively.
+  for (int hops = 0; hops < 64; ++hops) {
+    const Node& node = NodeFor(at);
+    const FunctionInfo& info = index_.Info(files, at);
+    if (!chain.empty()) chain += " -> ";
+    chain += info.class_name.empty() ? info.name
+                                     : info.class_name + "::" + info.name;
+    if (node.seed) {
+      chain += " -> " + node.primitive;
+      break;
+    }
+    at = node.tainted_via;
+  }
+  return chain;
+}
+
+std::string CallGraph::ToJson(const std::vector<ParsedFile>& files) const {
+  std::string functions = "[";
+  bool first = true;
+  for (size_t f = 0; f < files.size(); ++f) {
+    for (size_t i = 0; i < files[f].functions.size(); ++i) {
+      const FunctionRef ref{static_cast<int>(f), static_cast<int>(i)};
+      const FunctionInfo& info = files[f].functions[i];
+      const Node& node = NodeFor(ref);
+      JsonWriter item(/*with_schema_version=*/false);
+      item.Field("name", info.class_name.empty()
+                             ? info.name
+                             : info.class_name + "::" + info.name);
+      item.Field("file", files[f].path);
+      item.Field("line", static_cast<uint64_t>(info.line));
+      std::string calls = "[";
+      for (size_t e = 0; e < node.callees.size(); ++e) {
+        const FunctionInfo& callee = index_.Info(files, node.callees[e]);
+        if (e != 0) calls += ",";
+        calls += "\"" +
+                 (callee.class_name.empty()
+                      ? callee.name
+                      : callee.class_name + "::" + callee.name) +
+                 "\"";
+      }
+      calls += "]";
+      item.RawField("calls", calls);
+      item.Field("tainted", node.tainted);
+      if (node.tainted) item.Field("taint_chain", TaintChain(files, ref));
+      if (!first) functions += ",";
+      first = false;
+      functions += item.Close();
+    }
+  }
+  functions += "]";
+
+  JsonWriter json(/*with_schema_version=*/false);
+  json.Field("schema_version", static_cast<uint64_t>(3));
+  json.Field("tool", "vcmp_lint --callgraph");
+  json.Field("function_count",
+             static_cast<uint64_t>(index_.NumFunctions()));
+  json.Field("edge_count", static_cast<uint64_t>(num_edges_));
+  json.Field("tainted_count", static_cast<uint64_t>(num_tainted_));
+  json.RawField("functions", functions);
+  return json.Close();
+}
+
+}  // namespace lint
+}  // namespace vcmp

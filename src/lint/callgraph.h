@@ -1,0 +1,89 @@
+#ifndef VCMP_LINT_CALLGRAPH_H_
+#define VCMP_LINT_CALLGRAPH_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/parser.h"
+#include "lint/rules.h"
+#include "lint/symbols.h"
+
+namespace vcmp {
+namespace lint {
+
+/// Whole-tree call graph over every function definition the parser saw,
+/// with interprocedural nondeterminism-taint propagation (rule D6).
+///
+/// Taint sources are the primitives the token rules already police —
+/// wall-clock reads, global/unseeded RNG, thread identity, unordered-
+/// container iteration — found inside a function's body. Taint then
+/// propagates callee -> caller over name-resolved call edges, so a
+/// helper that *wraps* a tainted primitive taints everything that calls
+/// it, transitively. Two things kill taint:
+///  - the sanctioned seam: functions defined in common/wall_clock.{h,cc}
+///    are never tainted (self-profiling is the one legitimate clock use);
+///  - an explicit in-source blessing covering the primitive's line
+///    (vcmp:lint-allow on the primitive's own rule or on D6) — a
+///    reviewed exception does not poison its callers.
+class CallGraph {
+ public:
+  /// Per-file taint inputs, parallel to `files`: the primitives found in
+  /// each file's token stream (rules.h FindTaintPrimitives), and the
+  /// lines where seeding is killed by an annotation.
+  struct TaintOptions {
+    std::vector<std::vector<TaintPrimitive>> primitives;
+    std::vector<std::set<int>> killed_lines;
+  };
+
+  static CallGraph Build(const std::vector<ParsedFile>& files);
+
+  void ComputeTaint(const std::vector<ParsedFile>& files,
+                    const TaintOptions& options);
+
+  bool IsTainted(FunctionRef ref) const;
+
+  /// Human-readable witness: "Helper -> Wrapper -> std::mt19937 default
+  /// seed (src/x.cc:12)". Empty for untainted functions.
+  std::string TaintChain(const std::vector<ParsedFile>& files,
+                         FunctionRef ref) const;
+
+  const FunctionIndex& index() const { return index_; }
+  size_t num_edges() const { return num_edges_; }
+  size_t num_tainted() const { return num_tainted_; }
+
+  /// Machine-readable dump (--callgraph): every function with its file,
+  /// line, outgoing call edges, and taint state + chain.
+  std::string ToJson(const std::vector<ParsedFile>& files) const;
+
+ private:
+  struct Node {
+    std::vector<FunctionRef> callers;  // Reverse edges for propagation.
+    std::vector<FunctionRef> callees;  // Forward edges for the dump.
+    bool tainted = false;
+    bool seed = false;
+    std::string primitive;       // Seed description "what (file:line)".
+    FunctionRef tainted_via;     // Callee that propagated taint here.
+  };
+
+  Node& NodeFor(FunctionRef ref) { return nodes_[Slot(ref)]; }
+  const Node& NodeFor(FunctionRef ref) const { return nodes_[Slot(ref)]; }
+  size_t Slot(FunctionRef ref) const {
+    return offsets_[ref.file] + static_cast<size_t>(ref.fn);
+  }
+
+  FunctionIndex index_;
+  std::vector<size_t> offsets_;  // Per-file base into nodes_.
+  std::vector<Node> nodes_;
+  size_t num_edges_ = 0;
+  size_t num_tainted_ = 0;
+};
+
+/// True for the files whose definitions the taint analysis treats as the
+/// sanctioned wall-clock seam.
+bool IsWallClockSeam(const std::string& path);
+
+}  // namespace lint
+}  // namespace vcmp
+
+#endif  // VCMP_LINT_CALLGRAPH_H_

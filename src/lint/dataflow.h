@@ -1,0 +1,39 @@
+#ifndef VCMP_LINT_DATAFLOW_H_
+#define VCMP_LINT_DATAFLOW_H_
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+#include "lint/parser.h"
+#include "lint/rules.h"
+
+namespace vcmp {
+namespace lint {
+
+/// Flow-aware rules that need the parsed IR (parser.h) on top of the
+/// token stream:
+///
+///  - C4: shared-state race analysis over parallel regions. Resolves
+///    ParallelFor / ParallelForStealable bodies — inline lambdas,
+///    lambdas bound to locals (`auto fn = [&]...; pool.ParallelFor(n,
+///    fn)`), and launcher wrappers (a bound lambda that forwards a body
+///    parameter to the pool becomes a launcher itself) — then flags
+///    every write whose target is shared (ref-captured, or a member
+///    field reached through a captured `this`) and not shard-indexed,
+///    atomic, or behind a lock taken in the body.
+///
+///  - D7: pointer-identity ordering. Pointer-keyed map/set keys,
+///    relational comparisons between pointer-typed parameters,
+///    reinterpret_cast to (u)intptr_t and std::hash over pointer types.
+///
+/// Both rules are path-scoped through RuleInScope like the token rules;
+/// D6 (interprocedural taint) lives in callgraph.h because it needs the
+/// whole-tree function index.
+void CheckFlow(const std::string& path, const std::vector<Token>& tokens,
+               const ParsedFile& parsed, std::vector<Finding>* out);
+
+}  // namespace lint
+}  // namespace vcmp
+
+#endif  // VCMP_LINT_DATAFLOW_H_

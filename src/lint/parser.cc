@@ -1,0 +1,384 @@
+#include "lint/parser.h"
+
+#include <unordered_set>
+
+#include "lint/token_cursor.h"
+
+namespace vcmp {
+namespace lint {
+namespace {
+
+using StringSet = std::unordered_set<std::string_view>;
+
+/// Identifiers that look like calls but are control flow or operators.
+const StringSet kNotACall = {
+    "if",     "for",      "while",  "switch",   "return", "sizeof",
+    "catch",  "new",      "delete", "alignof",  "assert", "decltype",
+    "static_assert", "defined", "throw", "co_return", "co_await"};
+
+/// Declaration specifiers that may precede a function name.
+const StringSet kQualifiers = {"const",   "noexcept", "override", "final",
+                               "mutable", "constexpr", "inline",  "static",
+                               "virtual", "explicit",  "friend",  "try"};
+
+bool InSet(const StringSet& set, const std::string& s) {
+  return set.count(std::string_view(s)) != 0;
+}
+
+class Parser {
+ public:
+  Parser(const std::string& path, const std::vector<Token>& toks)
+      : c_(toks) {
+    out_.path = path;
+  }
+
+  ParsedFile Run() {
+    ParseDeclScope(0, c_.size(), /*class_name=*/"");
+    CollectAtomicNames();
+    return std::move(out_);
+  }
+
+ private:
+  /// Walks a namespace/class/translation-unit scope: namespaces and
+  /// classes recurse, function definitions descend into ParseBody, and
+  /// (at class scope) data-member names are collected.
+  void ParseDeclScope(size_t begin, size_t end, const std::string& class_name) {
+    const bool at_class_scope = !class_name.empty();
+    size_t i = begin;
+    while (i < end) {
+      if (c_.IsIdent(i, "namespace")) {
+        size_t j = i + 1;
+        while (c_.IsIdent(j) || c_.IsPunct(j, "::")) ++j;
+        if (c_.IsPunct(j, "{")) {
+          const size_t close = c_.SkipBalanced(j);
+          ParseDeclScope(j + 1, close - 1, "");
+          i = close;
+          continue;
+        }
+        i = j + 1;
+        continue;
+      }
+      if ((c_.IsIdent(i, "class") || c_.IsIdent(i, "struct")) &&
+          !(i > begin && c_.IsIdent(i - 1, "enum"))) {
+        // `class Name [final] [: bases] {` — find the body, skipping the
+        // base clause (which may contain templated names). `class Name;`
+        // is a forward declaration; `class Name` in a parameter or
+        // template header has no body either.
+        size_t j = i + 1;
+        std::string name;
+        while (c_.IsIdent(j)) {
+          name = c_.toks[j].text;
+          ++j;
+        }
+        size_t k = j;
+        while (k < end && !c_.IsPunct(k, "{") && !c_.IsPunct(k, ";") &&
+               !c_.IsPunct(k, ")") && !c_.IsPunct(k, ",")) {
+          if (c_.IsPunct(k, "<")) {
+            k = c_.SkipAngles(k);
+            continue;
+          }
+          ++k;
+        }
+        if (k < end && c_.IsPunct(k, "{") && !name.empty()) {
+          const size_t close = c_.SkipBalanced(k);
+          ParseDeclScope(k + 1, close - 1, name);
+          i = close;
+          continue;
+        }
+        i = k + 1;
+        continue;
+      }
+      if (c_.IsIdent(i, "enum")) {  // enum / enum class: skip the body.
+        size_t j = i + 1;
+        while (j < end && !c_.IsPunct(j, "{") && !c_.IsPunct(j, ";")) ++j;
+        i = (j < end && c_.IsPunct(j, "{")) ? c_.SkipBalanced(j) : j + 1;
+        continue;
+      }
+      // Function definition candidate: `name ( params ) quals {`.
+      if (c_.IsIdent(i) && c_.IsPunct(i + 1, "(") &&
+          !InSet(kNotACall, c_.toks[i].text)) {
+        size_t body = 0;
+        std::vector<ParamDecl> params;
+        if (MatchFunctionDef(i, end, &params, &body)) {
+          FunctionInfo fn;
+          fn.name = c_.toks[i].text;
+          fn.class_name = class_name;
+          if (i >= 2 && c_.IsPunct(i - 1, "::") && c_.IsIdent(i - 2)) {
+            fn.class_name = c_.toks[i - 2].text;
+          }
+          fn.line = c_.Line(i);
+          fn.params = std::move(params);
+          fn.body_begin = body;
+          fn.body_end = c_.SkipBalanced(body);
+          fn.body_first_line = c_.Line(body);
+          fn.body_last_line =
+              fn.body_end > 0 ? c_.Line(fn.body_end - 1) : fn.body_first_line;
+          const int fn_index = static_cast<int>(out_.functions.size());
+          out_.functions.push_back(fn);
+          ParseBody(fn.body_begin + 1, fn.body_end - 1, fn_index);
+          i = fn.body_end;
+          continue;
+        }
+      }
+      if (at_class_scope && c_.IsIdent(i)) {
+        // Data member: `type name_;` / `type name_ = init;` /
+        // `type name_{init};` / `type name_[N];` with a type-ish token
+        // before the name. (Heuristic: over-collection only widens what
+        // C4 treats as member state, which is the safe direction.)
+        const bool typed_before = i > begin && (c_.IsIdent(i - 1) ||
+                                                c_.IsPunct(i - 1, "&") ||
+                                                c_.IsPunct(i - 1, "*") ||
+                                                c_.IsPunct(i - 1, ">"));
+        const bool terminated_after =
+            c_.IsPunct(i + 1, ";") || c_.IsPunct(i + 1, "=") ||
+            c_.IsPunct(i + 1, "{") || c_.IsPunct(i + 1, "[");
+        if (typed_before && terminated_after) {
+          out_.member_fields.push_back(c_.toks[i].text);
+        }
+      }
+      if (c_.IsPunct(i, "{")) {  // Unmodelled brace scope: recurse flat.
+        const size_t close = c_.SkipBalanced(i);
+        ParseDeclScope(i + 1, close - 1, class_name);
+        i = close;
+        continue;
+      }
+      ++i;
+    }
+  }
+
+  /// Matches `name ( params ) [quals] [-> type] [: init-list] {` with the
+  /// name at `i`. On success fills params and the body '{' index.
+  bool MatchFunctionDef(size_t i, size_t end, std::vector<ParamDecl>* params,
+                        size_t* body) {
+    const size_t params_end = c_.SkipBalanced(i + 1);
+    if (params_end >= c_.size()) return false;
+    size_t j = params_end;
+    while (j < end) {
+      if (c_.IsIdent(j) && InSet(kQualifiers, c_.toks[j].text)) {
+        ++j;
+        continue;
+      }
+      if (c_.IsPunct(j, "->")) {  // Trailing return type.
+        ++j;
+        while (j < end && !c_.IsPunct(j, "{") && !c_.IsPunct(j, ";")) {
+          if (c_.IsPunct(j, "<")) {
+            j = c_.SkipAngles(j);
+            continue;
+          }
+          ++j;
+        }
+        continue;
+      }
+      if (c_.IsPunct(j, ":")) {  // Constructor initializer list.
+        ++j;
+        while (j < end && !c_.IsPunct(j, "{")) {
+          if (c_.IsPunct(j, "(")) {
+            j = c_.SkipBalanced(j);
+            continue;
+          }
+          // A '{' directly after an identifier or '>' is a brace
+          // initializer (`member_{x}`), not the body.
+          if (c_.IsPunct(j + 1, "{") &&
+              (c_.IsIdent(j) || c_.IsPunct(j, ">"))) {
+            j = c_.SkipBalanced(j + 1);
+            continue;
+          }
+          ++j;
+        }
+        continue;
+      }
+      break;
+    }
+    if (j >= end || !c_.IsPunct(j, "{")) return false;
+    ParseParams(i + 2, params_end - 1, params);
+    *body = j;
+    return true;
+  }
+
+  /// Splits a parameter list on top-level commas; each parameter's name
+  /// is its last identifier, and it is a pointer when a '*' appears.
+  void ParseParams(size_t begin, size_t end, std::vector<ParamDecl>* out) {
+    size_t item_begin = begin;
+    int depth = 0;
+    for (size_t j = begin; j <= end && j < c_.size(); ++j) {
+      const bool at_end = j == end;
+      bool at_comma = false;
+      if (!at_end && c_.toks[j].kind == TokenKind::kPunct) {
+        const std::string& p = c_.toks[j].text;
+        if (p == "(" || p == "[" || p == "{") ++depth;
+        if (p == ")" || p == "]" || p == "}") --depth;
+        if (p == "<") {
+          j = c_.SkipAngles(j) - 1;
+          continue;
+        }
+        at_comma = p == "," && depth == 0;
+      }
+      if (!at_end && !at_comma) continue;
+      ParamDecl param;
+      size_t eq = j;  // Ignore default arguments.
+      for (size_t k = item_begin; k < j; ++k) {
+        if (c_.IsPunct(k, "=")) {
+          eq = k;
+          break;
+        }
+      }
+      for (size_t k = item_begin; k < eq; ++k) {
+        if (c_.IsPunct(k, "*")) param.is_pointer = true;
+        if (c_.IsIdent(k) && !InSet(kQualifiers, c_.toks[k].text)) {
+          param.name = c_.toks[k].text;
+        }
+      }
+      if (!param.name.empty()) out->push_back(std::move(param));
+      item_begin = j + 1;
+      if (at_end) break;
+    }
+  }
+
+  /// True when the '[' at `i` starts a lambda introducer rather than a
+  /// subscript or an attribute.
+  bool IsLambdaIntro(size_t i) const {
+    if (c_.IsPunct(i + 1, "[")) return false;  // [[attribute]]
+    if (i == 0) return true;
+    const Token& prev = c_.toks[i - 1];
+    if (prev.kind == TokenKind::kIdentifier) return prev.text == "return";
+    if (prev.kind != TokenKind::kPunct) return false;
+    // After a closing token the '[' is a subscript on that expression.
+    return prev.text != ")" && prev.text != "]" && prev.text != "}";
+  }
+
+  /// Walks a function body: records call sites, parses lambdas (and
+  /// recurses into their bodies under the same enclosing function).
+  void ParseBody(size_t begin, size_t end, int fn_index) {
+    size_t i = begin;
+    while (i < end) {
+      if (c_.IsPunct(i, "[") && IsLambdaIntro(i)) {
+        const size_t after = ParseLambda(i, end, fn_index);
+        if (after > i) {
+          i = after;
+          continue;
+        }
+      }
+      if (c_.IsIdent(i) && c_.IsPunct(i + 1, "(") &&
+          !InSet(kNotACall, c_.toks[i].text)) {
+        // `Type name(...)` is a declaration, not a call, unless the
+        // preceding identifier is a statement keyword.
+        const bool decl_like =
+            i > begin && c_.IsIdent(i - 1) &&
+            !InSet(kNotACall, c_.toks[i - 1].text) &&
+            c_.toks[i - 1].text != "else" && c_.toks[i - 1].text != "do";
+        if (!decl_like) {
+          CallSiteInfo call;
+          call.callee = c_.toks[i].text;
+          call.line = c_.Line(i);
+          call.tok = i;
+          call.enclosing_function = fn_index;
+          call.member_call =
+              i > 0 && (c_.IsPunct(i - 1, ".") || c_.IsPunct(i - 1, "->"));
+          out_.calls.push_back(std::move(call));
+        }
+      }
+      ++i;
+    }
+  }
+
+  /// Parses one lambda whose '[' sits at `i`. Returns the index just
+  /// past the lambda (or `i` when it turns out not to be one).
+  size_t ParseLambda(size_t i, size_t end, int fn_index) {
+    const size_t intro_end = c_.SkipBalanced(i);
+    if (intro_end >= c_.size()) return i;
+    LambdaInfo lambda;
+    lambda.line = c_.Line(i);
+    lambda.intro_tok = i;
+    lambda.intro_end = intro_end;
+    lambda.enclosing_function = fn_index;
+
+    // Capture list: top-level comma-separated entries.
+    size_t entry = i + 1;
+    int depth = 0;
+    for (size_t j = i + 1; j < intro_end; ++j) {
+      const bool last = j == intro_end - 1;
+      bool at_comma = false;
+      if (c_.toks[j].kind == TokenKind::kPunct) {
+        const std::string& p = c_.toks[j].text;
+        if (p == "(" || p == "[" || p == "{") ++depth;
+        if (p == ")" || p == "]" || p == "}") --depth;
+        at_comma = p == "," && depth == 0;
+      }
+      if (!at_comma && !last) continue;
+      const size_t stop = at_comma ? j : intro_end - 1;
+      if (stop > entry) {
+        if (c_.IsPunct(entry, "&") && stop == entry + 1) {
+          lambda.capture_all_ref = true;
+        } else if (c_.IsPunct(entry, "=") && stop == entry + 1) {
+          lambda.capture_all_value = true;
+        } else if (c_.IsIdent(entry, "this")) {
+          lambda.captures_this = true;
+        } else if (c_.IsPunct(entry, "*") && c_.IsIdent(entry + 1, "this")) {
+          lambda.captures_this = true;
+        } else if (c_.IsPunct(entry, "&") && c_.IsIdent(entry + 1)) {
+          lambda.ref_captures.push_back(c_.toks[entry + 1].text);
+        } else if (c_.IsIdent(entry)) {
+          // Plain copy or init-capture `name = expr` / `name{expr}`.
+          lambda.value_captures.push_back(c_.toks[entry].text);
+        }
+      }
+      entry = j + 1;
+    }
+
+    size_t j = intro_end;
+    if (c_.IsPunct(j, "(")) {
+      const size_t params_end = c_.SkipBalanced(j);
+      ParseParams(j + 1, params_end - 1, &lambda.params);
+      j = params_end;
+    }
+    while (j < end && !c_.IsPunct(j, "{")) {
+      if (c_.IsPunct(j, ";") || c_.IsPunct(j, ")") || c_.IsPunct(j, ",")) {
+        return i;  // `[x]` was a subscript-like construct after all.
+      }
+      if (c_.IsPunct(j, "<")) {
+        j = c_.SkipAngles(j);
+        continue;
+      }
+      if (c_.IsPunct(j, "(")) {  // noexcept(...) etc.
+        j = c_.SkipBalanced(j);
+        continue;
+      }
+      ++j;
+    }
+    if (j >= end) return i;
+    lambda.body_begin = j;
+    lambda.body_end = c_.SkipBalanced(j);
+    // `auto fn = [...]` — remember the binding for launcher resolution.
+    if (i >= 2 && c_.IsPunct(i - 1, "=") && c_.IsIdent(i - 2)) {
+      lambda.bound_name = c_.toks[i - 2].text;
+    }
+    const size_t body_begin = lambda.body_begin;
+    const size_t body_end = lambda.body_end;
+    out_.lambdas.push_back(std::move(lambda));
+    ParseBody(body_begin + 1, body_end - 1, fn_index);
+    return body_end;
+  }
+
+  /// File-wide scan for `atomic<...> name` declarations (members,
+  /// locals, statics alike).
+  void CollectAtomicNames() {
+    for (size_t i = 0; i + 1 < c_.size(); ++i) {
+      if (!c_.IsIdent(i, "atomic")) continue;
+      size_t j = i + 1;
+      if (c_.IsPunct(j, "<")) j = c_.SkipAngles(j);
+      if (c_.IsIdent(j)) out_.atomic_names.push_back(c_.toks[j].text);
+    }
+  }
+
+  TokenCursor c_;
+  ParsedFile out_;
+};
+
+}  // namespace
+
+ParsedFile Parse(const std::string& path, const std::vector<Token>& tokens) {
+  return Parser(path, tokens).Run();
+}
+
+}  // namespace lint
+}  // namespace vcmp

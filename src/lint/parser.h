@@ -1,0 +1,87 @@
+#ifndef VCMP_LINT_PARSER_H_
+#define VCMP_LINT_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace vcmp {
+namespace lint {
+
+/// A lightweight structural pass over the lexer's token stream: just
+/// enough C++ parsing to give the flow-aware rules (dataflow.h) and the
+/// cross-file call graph (callgraph.h) a per-file IR — function
+/// definitions with body extents, lambda expressions with their capture
+/// lists and parameters, call sites, and the class-scope data members a
+/// lambda can reach through `this`. It is deliberately heuristic (no
+/// templates instantiated, no overload resolution, no type checking);
+/// the rules that consume it are written to stay precise on this
+/// codebase's idiom and to fail open (no finding) on constructs the
+/// parser does not model.
+
+struct ParamDecl {
+  std::string name;
+  bool is_pointer = false;  // Declarator contains a '*'.
+};
+
+struct FunctionInfo {
+  std::string name;        // Unqualified: "Run", "NowNs", "Worker".
+  std::string class_name;  // "SyncEngine" for SyncEngine::Run; empty for
+                           // free functions and unqualified definitions.
+  int line = 0;            // Line of the function name.
+  int body_first_line = 0;
+  int body_last_line = 0;
+  size_t body_begin = 0;  // Token index of the body '{'.
+  size_t body_end = 0;    // One past the matching '}'.
+  std::vector<ParamDecl> params;
+};
+
+struct LambdaInfo {
+  int line = 0;          // Line of the '['.
+  size_t intro_tok = 0;  // Token index of the '['.
+  size_t intro_end = 0;  // One past the capture list's ']'.
+  size_t body_begin = 0;
+  size_t body_end = 0;
+  bool capture_all_ref = false;    // [&]
+  bool capture_all_value = false;  // [=]
+  bool captures_this = false;      // [this] or [*this]
+  std::vector<std::string> ref_captures;    // [&x]
+  std::vector<std::string> value_captures;  // [x], [x = expr]
+  std::vector<ParamDecl> params;
+  /// Variable the lambda is bound to (`auto fn = [...]`), for resolving
+  /// `pool.ParallelFor(n, fn)` back to the body. Empty when passed
+  /// inline or stored through something the parser does not model.
+  std::string bound_name;
+  int enclosing_function = -1;  // Index into ParsedFile::functions.
+};
+
+struct CallSiteInfo {
+  std::string callee;  // Unqualified name as written.
+  int line = 0;
+  size_t tok = 0;               // Token index of the callee identifier.
+  int enclosing_function = -1;  // Index into ParsedFile::functions.
+  bool member_call = false;     // Preceded by '.' or '->'.
+};
+
+struct ParsedFile {
+  std::string path;
+  std::vector<FunctionInfo> functions;
+  std::vector<LambdaInfo> lambdas;
+  std::vector<CallSiteInfo> calls;
+  /// Data members declared at class scope in this file (the names a
+  /// this-capturing lambda can write without naming `this`).
+  std::vector<std::string> member_fields;
+  /// Names declared with std::atomic<...> anywhere in this file; writes
+  /// to them are synchronization, not races.
+  std::vector<std::string> atomic_names;
+};
+
+/// Parses one file's token stream. Never fails: unmodelled constructs
+/// simply contribute nothing to the IR.
+ParsedFile Parse(const std::string& path, const std::vector<Token>& tokens);
+
+}  // namespace lint
+}  // namespace vcmp
+
+#endif  // VCMP_LINT_PARSER_H_

@@ -184,7 +184,11 @@ void CheckD2(const Cursor& c) {
 
 // --- D3: iteration over unordered containers in output-feeding files ----
 
-void CheckD3(const Cursor& c) {
+/// The D3 detection core, shared with the taint seeder (D6): every
+/// iteration over a name declared with an unordered type in this file,
+/// as (line, container-name) pairs in token order.
+void CollectUnorderedIterations(
+    const Cursor& c, std::vector<std::pair<int, std::string>>* out) {
   // Pass 1: names declared with an unordered type in this file, e.g.
   // `std::unordered_map<K, V> name` (members, locals, params alike).
   StringSet tracked_storage;  // Views into token text — toks outlive us.
@@ -229,11 +233,7 @@ void CheckD3(const Cursor& c) {
     if (colon == 0) continue;
     for (size_t j = colon + 1; j + 1 < close; ++j) {
       if (is_tracked(j)) {
-        c.Report("D3", c.toks[i].line,
-                 "iteration over unordered container '" +
-                     c.toks[j].text +
-                     "' — hash order is not deterministic; iterate a "
-                     "sorted copy or an ordered container");
+        out->emplace_back(c.toks[i].line, c.toks[j].text);
         break;
       }
     }
@@ -245,11 +245,19 @@ void CheckD3(const Cursor& c) {
     if (!(c.IsPunct(i + 1, ".") || c.IsPunct(i + 1, "->"))) continue;
     if (c.IsIdent(i + 2) && Contains(kBeginLike, c.toks[i + 2].text) &&
         c.IsPunct(i + 3, "(")) {
-      c.Report("D3", c.toks[i].line,
-               "iterator over unordered container '" + c.toks[i].text +
-                   "' — hash order is not deterministic; iterate a "
-                   "sorted copy or an ordered container");
+      out->emplace_back(c.toks[i].line, c.toks[i].text);
     }
+  }
+}
+
+void CheckD3(const Cursor& c) {
+  std::vector<std::pair<int, std::string>> iterations;
+  CollectUnorderedIterations(c, &iterations);
+  for (const auto& [line, name] : iterations) {
+    c.Report("D3", line,
+             "iteration over unordered container '" + name +
+                 "' — hash order is not deterministic; iterate a "
+                 "sorted copy or an ordered container");
   }
 }
 
@@ -475,19 +483,103 @@ void CheckD5(const Cursor& c) {
 
 const std::vector<RuleInfo>& AllRules() {
   static const std::vector<RuleInfo> rules = {
-      {"D1", "no wall-clock reads outside common/wall_clock"},
-      {"D2", "no unseeded or global RNG"},
-      {"D3", "no unordered-container iteration in output-feeding files"},
+      {"D1", "no wall-clock reads outside common/wall_clock",
+       "Reruns must be byte-identical (DESIGN.md §7): any system_clock /\n"
+       "steady_clock / C time read that feeds results or reports makes\n"
+       "output depend on when the run happened. All timing goes through\n"
+       "the one sanctioned seam, vcmp::wallclock (common/wall_clock.h),\n"
+       "or the simulated clock, so it can be faked, frozen and audited.\n"
+       "Fix: call wallclock::NowNs()/SecondsSince(); if the read is\n"
+       "provably result-neutral, annotate vcmp:lint-allow(D1, reason)."},
+      {"D2", "no unseeded or global RNG",
+       "std::random_device, rand()/srand() and default-constructed std\n"
+       "engines draw entropy nobody chose, so reruns diverge. Every\n"
+       "random stream must derive from the run's explicit seed.\n"
+       "Fix: use vcmp::Rng (common/rng.h) and Fork() substreams; seed\n"
+       "std engines explicitly from the run seed when interop demands."},
+      {"D3", "no unordered-container iteration in output-feeding files",
+       "Hash-table iteration order is implementation- and run-dependent\n"
+       "(it varies with pointer values and rehash history). Iterating an\n"
+       "unordered_map/set anywhere results or reports flow makes output\n"
+       "order nondeterministic.\n"
+       "Fix: iterate a sorted copy of the keys, or use an ordered\n"
+       "container when iteration is the common operation."},
       {"D4", "no shared accumulation in ParallelFor without a "
-             "deterministic-reduction annotation"},
-      {"C1", "no naked new/delete in engine hot paths"},
-      {"C2", "no volatile-as-synchronization"},
+             "deterministic-reduction annotation",
+       "`shared += x` inside ParallelFor orders floating-point adds by\n"
+       "thread schedule, so sums drift between runs. The sanctioned\n"
+       "pattern is per-shard slots reduced serially after the join\n"
+       "(DESIGN.md §9). Provably order-fixed reductions (integer adds,\n"
+       "shard-owned slots) carry vcmp:deterministic-reduction(reason)."},
+      {"C4", "no unsynchronized shared-state writes inside parallel "
+             "regions",
+       "Flow-aware race check over ParallelFor/ParallelForStealable\n"
+       "bodies (including lambdas bound to locals and launcher wrappers\n"
+       "that forward a body to the pool): a write to a ref-captured\n"
+       "variable or a member field is flagged unless the write is\n"
+       "shard-indexed (subscripted directly by a lambda parameter or a\n"
+       "value derived from one), the target is std::atomic, a lock is\n"
+       "taken in the body before the write, or the site carries\n"
+       "vcmp:deterministic-reduction / vcmp:query-local / a C4 allow.\n"
+       "This is the rule that catches the PR-6 bug class:\n"
+       "  residual_per_machine_[m.target % machines] += bytes;\n"
+       "inside ParallelForStealable — subscript not shard-disjoint."},
+      {"C1", "no naked new/delete in engine hot paths",
+       "Engine rounds must not allocate in steady state: naked new and\n"
+       "delete hide ownership and fragment the hot path. Buffers belong\n"
+       "in std::vector/unique_ptr owned by the engine and reused across\n"
+       "rounds (DESIGN.md §11)."},
+      {"C2", "no volatile-as-synchronization",
+       "volatile neither orders memory nor makes accesses atomic; code\n"
+       "using it to share state across ThreadPool workers is racy under\n"
+       "TSan and the memory model. Use std::atomic or a mutex."},
       {"C3", "no mutable static/member scratch state in query compute "
-             "paths without a query-local annotation"},
-      {"P1", "no AoS std::vector<Message> buffers in engine hot paths"},
-      {"D5", "no direct file I/O in the engine outside the src/ooc seam"},
+             "paths without a query-local annotation",
+       "Concurrent queries share engines, tasks and the out-of-core\n"
+       "layer by const reference (DESIGN.md §14): a mutable member or a\n"
+       "non-const static is a cross-query channel. Move scratch into the\n"
+       "QueryContext, or annotate vcmp:query-local(reason) when one\n"
+       "query provably drives the object at a time."},
+      {"P1", "no AoS std::vector<Message> buffers in engine hot paths",
+       "Message flow is the dominant cost in vertex-centric engines; the\n"
+       "SoA MessageBlock (engine/message_block.h) keeps grouping and\n"
+       "delivery column-oriented. An AoS std::vector<Message> in the\n"
+       "engine regresses the layout contract (DESIGN.md §11)."},
+      {"D5", "no direct file I/O in the engine outside the src/ooc seam",
+       "Engine disk access goes through the src/ooc seam (spill_file /\n"
+       "state_file) so byte budgets, checksums and cleanup stay in one\n"
+       "place and out-of-core runs stay reproducible. Direct fopen /\n"
+       "fstream in the engine bypasses all three."},
+      {"D6", "no calls into functions that transitively reach "
+             "nondeterminism",
+       "Interprocedural taint over the whole-tree call graph: wall-clock\n"
+       "reads, global/unseeded RNG, thread identity and unordered\n"
+       "iteration taint the function containing them, and taint\n"
+       "propagates callee -> caller through name-resolved call edges. A\n"
+       "call site in result-producing code whose callee is tainted is\n"
+       "flagged with the full witness chain down to the primitive.\n"
+       "Two things kill taint: the sanctioned seam (functions defined in\n"
+       "common/wall_clock.{h,cc}), and an in-source allow on the\n"
+       "primitive's own line (its token rule or D6) — a reviewed\n"
+       "exception does not poison its callers.\n"
+       "Fix: route the primitive through the seam or a seeded Rng, or\n"
+       "annotate the primitive's line with a reason."},
+      {"D7", "no pointer-identity ordering (pointer-keyed maps, pointer "
+             "comparisons, pointer hashing)",
+       "Allocation addresses differ between runs, so any ordering or\n"
+       "hashing derived from pointer values is nondeterministic even\n"
+       "through std::map: pointer-keyed map/set keys, relational\n"
+       "comparisons between pointers, reinterpret_cast to uintptr_t and\n"
+       "std::hash over pointer types all order results by address.\n"
+       "Fix: key and sort by stable ids (vertex id, machine index) —\n"
+       "every vcmp object that needs ordering has one."},
       {"A1", "every lint annotation parses and carries a reason, and "
-             "every allow matches a finding"},
+             "every allow matches a finding",
+       "The annotation table is the repo's audited list of exceptions to\n"
+       "the determinism contract; it only stays trustworthy if every\n"
+       "entry parses, is justified, and still covers a real finding.\n"
+       "Malformed and stale annotations are flagged and A1 is itself not\n"
+       "suppressible."},
   };
   return rules;
 }
@@ -507,7 +599,82 @@ bool RuleInScope(std::string_view rule, std::string_view path) {
     return HasSegment(path, "engine") || HasSegment(path, "tasks") ||
            HasSegment(path, "ooc");
   }
-  return true;  // D2, D4, C2 (and A1) apply everywhere.
+  if (rule == "D6") {
+    // Call sites are flagged where results and reports are produced or
+    // transformed. common/ (pure utilities — but their *primitives*
+    // still seed taint) and lint/ (a host-side tool) are out of scope,
+    // as are bench/tools/tests, whose output is allowed to mention real
+    // time.
+    return HasSegment(path, "engine") || HasSegment(path, "tasks") ||
+           HasSegment(path, "ooc") || HasSegment(path, "core") ||
+           HasSegment(path, "service") || HasSegment(path, "sim") ||
+           HasSegment(path, "graph") || HasSegment(path, "metrics") ||
+           HasSegment(path, "obs");
+  }
+  return true;  // D2, D4, C2, C4, D7 (and A1) apply everywhere.
+}
+
+std::vector<TaintPrimitive> FindTaintPrimitives(
+    const std::vector<Token>& tokens) {
+  static const std::string kNoPath;
+  const Cursor c{tokens, kNoPath, nullptr};  // Report() is never called.
+  std::vector<TaintPrimitive> out;
+
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!c.IsIdent(i)) continue;
+    const std::string& t = tokens[i].text;
+    // Wall-clock reads (D1's alphabet, without D1's path exemption —
+    // the seam is excluded later, at the graph level, so its *callers*
+    // stay clean while any other clock wrapper taints its callers).
+    if (Contains(kClockTypes, t) || Contains(kClockCalls, t) ||
+        (Contains(kClockCallsBare, t) && IsFreeCall(c, i))) {
+      out.push_back({tokens[i].line, "wall-clock read '" + t + "'"});
+      continue;
+    }
+    // Global / unseeded RNG (D2's alphabet).
+    if (t == "random_device" ||
+        (Contains(kRandCalls, t) && IsFreeCall(c, i))) {
+      out.push_back({tokens[i].line, "nondeterministic RNG '" + t + "'"});
+      continue;
+    }
+    if (Contains(kStdEngines, t)) {
+      size_t j = i + 1;
+      if (c.IsIdent(j)) ++j;
+      const bool empty_braces = c.IsPunct(j, "{") && c.IsPunct(j + 1, "}");
+      const bool empty_parens = c.IsPunct(j, "(") && c.IsPunct(j + 1, ")");
+      const bool bare_decl = j == i + 2 && c.IsPunct(j, ";");
+      if (empty_braces || empty_parens || bare_decl) {
+        out.push_back({tokens[i].line, "unseeded engine 'std::" + t + "'"});
+      }
+      continue;
+    }
+    // Thread identity: schedule-dependent by definition.
+    if ((t == "pthread_self" || t == "gettid") && IsFreeCall(c, i)) {
+      out.push_back({tokens[i].line, "thread identity '" + t + "'"});
+      continue;
+    }
+    if (t == "get_id" && i >= 2 && c.IsPunct(i - 1, "::") &&
+        c.IsIdent(i - 2) && tokens[i - 2].text == "this_thread") {
+      out.push_back(
+          {tokens[i].line, "thread identity 'std::this_thread::get_id'"});
+      continue;
+    }
+  }
+
+  // Unordered-container iteration (D3's detection core, no path
+  // exemption).
+  std::vector<std::pair<int, std::string>> iterations;
+  CollectUnorderedIterations(c, &iterations);
+  for (const auto& [line, name] : iterations) {
+    out.push_back({line, "unordered iteration over '" + name + "'"});
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const TaintPrimitive& a, const TaintPrimitive& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.what < b.what;
+            });
+  return out;
 }
 
 void CheckTokens(const std::string& path, const std::vector<Token>& tokens,

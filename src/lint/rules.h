@@ -29,6 +29,8 @@ struct Finding {
 struct RuleInfo {
   const char* id;
   const char* summary;
+  /// Longer rationale + remediation text printed by `vcmp_lint --explain`.
+  const char* detail;
 };
 
 /// The rule set, in report order. D* rules guard determinism (byte-
@@ -50,6 +52,21 @@ bool RuleInScope(std::string_view rule, std::string_view path);
 /// findings (no annotation/baseline processing — the analyzer does that).
 void CheckTokens(const std::string& path, const std::vector<Token>& tokens,
                  std::vector<Finding>* out);
+
+/// One nondeterminism source found in a token stream — the seed material
+/// for the interprocedural taint analysis (rule D6, callgraph.h). These
+/// are the primitives the token rules police (wall clock, global/unseeded
+/// RNG, thread identity, unordered iteration), found with NO path
+/// scoping: a D3-exempt utility file still seeds taint, because its
+/// callers in result-producing code inherit the nondeterminism.
+struct TaintPrimitive {
+  int line = 0;
+  std::string what;  // e.g. "std::random_device", "unordered iteration
+                     // over 'cache_'", "std::this_thread::get_id".
+};
+
+std::vector<TaintPrimitive> FindTaintPrimitives(
+    const std::vector<Token>& tokens);
 
 }  // namespace lint
 }  // namespace vcmp

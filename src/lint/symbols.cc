@@ -1,0 +1,46 @@
+#include "lint/symbols.h"
+
+namespace vcmp {
+namespace lint {
+
+FunctionIndex FunctionIndex::Build(const std::vector<ParsedFile>& files) {
+  FunctionIndex index;
+  for (size_t f = 0; f < files.size(); ++f) {
+    const ParsedFile& file = files[f];
+    for (size_t i = 0; i < file.functions.size(); ++i) {
+      index.by_name_[file.functions[i].name].push_back(
+          FunctionRef{static_cast<int>(f), static_cast<int>(i)});
+      ++index.num_functions_;
+    }
+  }
+  return index;
+}
+
+const std::vector<FunctionRef>* FunctionIndex::Lookup(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &it->second;
+}
+
+FileSymbols::FileSymbols(const ParsedFile& parsed) {
+  members_.insert(parsed.member_fields.begin(), parsed.member_fields.end());
+  atomics_.insert(parsed.atomic_names.begin(), parsed.atomic_names.end());
+}
+
+int EnclosingFunction(const ParsedFile& parsed, int line) {
+  int best = -1;
+  int best_span = 0;
+  for (size_t i = 0; i < parsed.functions.size(); ++i) {
+    const FunctionInfo& fn = parsed.functions[i];
+    if (line < fn.body_first_line || line > fn.body_last_line) continue;
+    const int span = fn.body_last_line - fn.body_first_line;
+    if (best == -1 || span < best_span) {
+      best = static_cast<int>(i);
+      best_span = span;
+    }
+  }
+  return best;
+}
+
+}  // namespace lint
+}  // namespace vcmp

@@ -1,0 +1,81 @@
+#ifndef VCMP_LINT_SYMBOLS_H_
+#define VCMP_LINT_SYMBOLS_H_
+
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "lint/parser.h"
+
+namespace vcmp {
+namespace lint {
+
+/// A function definition's address in the analyzed set: file index into
+/// the source list, function index into that file's ParsedFile.
+struct FunctionRef {
+  int file = -1;
+  int fn = -1;
+  bool operator==(const FunctionRef& o) const {
+    return file == o.file && fn == o.fn;
+  }
+  bool operator<(const FunctionRef& o) const {
+    if (file != o.file) return file < o.file;
+    return fn < o.fn;
+  }
+};
+
+/// Cross-file function index: unqualified name -> every definition with
+/// that name. Name-based resolution is deliberately conservative — a
+/// call resolves to all same-named definitions, so taint never slips
+/// through an overload or a same-named method on another class.
+class FunctionIndex {
+ public:
+  static FunctionIndex Build(const std::vector<ParsedFile>& files);
+
+  /// All definitions named `name`; nullptr when none is known.
+  const std::vector<FunctionRef>* Lookup(const std::string& name) const;
+
+  const FunctionInfo& Info(const std::vector<ParsedFile>& files,
+                           FunctionRef ref) const {
+    return files[ref.file].functions[ref.fn];
+  }
+
+  size_t NumFunctions() const { return num_functions_; }
+
+ private:
+  std::map<std::string, std::vector<FunctionRef>> by_name_;
+  size_t num_functions_ = 0;
+};
+
+/// Per-file symbol convenience built from the parse: fast membership
+/// tests the dataflow rules need on the hot path.
+class FileSymbols {
+ public:
+  explicit FileSymbols(const ParsedFile& parsed);
+
+  bool IsMemberField(const std::string& name) const {
+    // The codebase's member naming convention (trailing underscore) is
+    // part of the contract: it catches members declared in the paired
+    // header, which a single-file parse cannot see.
+    if (name.size() > 1 && name.back() == '_') return true;
+    return members_.count(name) != 0;
+  }
+  bool IsAtomic(const std::string& name) const {
+    return atomics_.count(name) != 0;
+  }
+
+ private:
+  std::unordered_set<std::string> members_;
+  std::unordered_set<std::string> atomics_;
+};
+
+/// Index of the function whose body covers `line`, -1 when none does
+/// (innermost match wins so methods of nested classes resolve to the
+/// method, not the outer function).
+int EnclosingFunction(const ParsedFile& parsed, int line);
+
+}  // namespace lint
+}  // namespace vcmp
+
+#endif  // VCMP_LINT_SYMBOLS_H_

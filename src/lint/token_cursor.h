@@ -1,0 +1,78 @@
+#ifndef VCMP_LINT_TOKEN_CURSOR_H_
+#define VCMP_LINT_TOKEN_CURSOR_H_
+
+#include <string_view>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace vcmp {
+namespace lint {
+
+/// Read-only navigation helpers over a token stream, shared by the
+/// parser, the dataflow rules and the call-graph builder. (rules.cc has
+/// an older private cursor that also carries reporting state; new code
+/// uses this one.)
+struct TokenCursor {
+  const std::vector<Token>& toks;
+
+  explicit TokenCursor(const std::vector<Token>& t) : toks(t) {}
+
+  size_t size() const { return toks.size(); }
+  const Token* At(size_t i) const {
+    return i < toks.size() ? &toks[i] : nullptr;
+  }
+  bool IsPunct(size_t i, std::string_view p) const {
+    const Token* t = At(i);
+    return t != nullptr && t->kind == TokenKind::kPunct && t->text == p;
+  }
+  bool IsIdent(size_t i) const {
+    const Token* t = At(i);
+    return t != nullptr && t->kind == TokenKind::kIdentifier;
+  }
+  bool IsIdent(size_t i, std::string_view name) const {
+    const Token* t = At(i);
+    return t != nullptr && t->kind == TokenKind::kIdentifier &&
+           t->text == name;
+  }
+  int Line(size_t i) const {
+    const Token* t = At(i);
+    return t != nullptr ? t->line : 0;
+  }
+
+  /// Index just past the matching closer for the opener at `open`
+  /// (toks[open] must be `(`, `[` or `{`). Returns toks.size() when
+  /// unbalanced.
+  size_t SkipBalanced(size_t open) const {
+    const std::string& o = toks[open].text;
+    const std::string_view c = o == "(" ? ")" : o == "[" ? "]" : "}";
+    int depth = 0;
+    for (size_t i = open; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kPunct) continue;
+      if (toks[i].text == o) ++depth;
+      if (toks[i].text == c && --depth == 0) return i + 1;
+    }
+    return toks.size();
+  }
+
+  /// Index just past a template argument list whose `<` sits at `open`.
+  /// Counts '<'/'>' characters so `>>` closes two levels. Gives up (and
+  /// returns the index of the `;`) when a statement ends first.
+  size_t SkipAngles(size_t open) const {
+    int depth = 0;
+    for (size_t i = open; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kPunct) continue;
+      for (char ch : toks[i].text) {
+        if (ch == '<') ++depth;
+        if (ch == '>' && --depth == 0) return i + 1;
+      }
+      if (toks[i].text == ";") return i;  // Not a template list after all.
+    }
+    return toks.size();
+  }
+};
+
+}  // namespace lint
+}  // namespace vcmp
+
+#endif  // VCMP_LINT_TOKEN_CURSOR_H_

@@ -57,6 +57,7 @@ TEST(ParallelForStealableTest, SkewedIndexCostsStillCoverEverything) {
   std::vector<std::atomic<int>> hits(256);
   pool.ParallelForStealable(256, [&hits](uint32_t i) {
     if (i == 0) {
+      // vcmp:lint-allow(C2, local busy-loop sink defeating the optimizer, not synchronization)
       volatile double sink = 0.0;
       for (int k = 0; k < 200000; ++k) sink = sink + k;
     }

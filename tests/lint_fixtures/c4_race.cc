@@ -1,0 +1,109 @@
+// C4 fixture: shared-state writes inside parallel regions. The first
+// positive reproduces the PR-6 bug class byte for byte; the negatives
+// cover every sanctioned pattern the rule must stay quiet on. Linted
+// under a synthetic src/engine/ path by lint_flow_test.cc.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace vcmp {
+
+struct Msg {
+  uint32_t target;
+};
+
+class Router {
+ public:
+  void Accumulate(uint32_t machines, uint64_t bytes);
+
+ private:
+  std::vector<uint64_t> residual_per_machine_;
+  std::vector<Msg> messages_;
+};
+
+// The PR-6 bug class: the subscript routes through a message field and a
+// modulus, so tasks owned by different shards collide on a slot.
+void Router::Accumulate(uint32_t machines, uint64_t bytes) {
+  ThreadPool pool(4);
+  pool.ParallelForStealable(1024, [&](uint32_t task) {
+    const Msg& m = messages_[task];
+    residual_per_machine_[m.target % machines] += bytes;  // C4 (and D4)
+  });
+}
+
+class Engine {
+ public:
+  void Run(ThreadPool& pool) {
+    pool.ParallelFor(4, [this](uint32_t i) {
+      round_counter_ = i;   // C4: member write via captured this
+      shard_slots_[i] = i;  // quiet: shard-indexed member
+    });
+  }
+
+ private:
+  uint64_t round_counter_ = 0;
+  std::vector<uint64_t> shard_slots_;
+};
+
+void BoundAndWrapped(ThreadPool& pool, bool steal) {
+  uint64_t acc = 0;
+  auto run_shard = [&](uint32_t s) {
+    acc = acc + s;  // C4 through the bound lambda name
+  };
+  pool.ParallelFor(8, run_shard);
+
+  auto parallel_shards = [&pool, steal](uint32_t count, auto&& fn) {
+    if (steal) {
+      pool.ParallelForStealable(count, fn);
+    } else {
+      pool.ParallelFor(count, fn);
+    }
+  };
+  uint64_t wrapped = 0;
+  parallel_shards(8, [&](uint32_t shard) {
+    wrapped = shard;  // C4 through the wrapper launcher
+  });
+}
+
+void Negatives(ThreadPool& pool, std::vector<uint64_t>& loads,
+               std::vector<std::vector<uint32_t>>& buckets) {
+  std::atomic<uint64_t> total{0};
+  std::mutex mu;
+  uint64_t guarded = 0;
+  uint64_t snapshot = 0;
+  pool.ParallelFor(16, [&](uint32_t machine) {
+    loads[machine] += 1;  // C4-quiet: shard-indexed (token-level D4 still fires)
+    uint64_t& slot = loads[machine];
+    slot = slot * 2;  // quiet: ref alias bound through a param subscript
+    const uint32_t twin = machine + 8;
+    loads[twin] = 9;  // quiet: index-derived subscript
+    total = machine;  // quiet: atomic target
+    uint64_t local = 0;
+    local += machine;                     // quiet: body-local
+    buckets[machine].push_back(machine);  // quiet: shard-indexed mutation
+  });
+  pool.ParallelFor(8, [&](uint32_t shard) {
+    std::lock_guard<std::mutex> lock(mu);
+    guarded = guarded + shard;  // quiet: lock taken in the body
+  });
+  pool.ParallelFor(4, [snapshot](uint32_t i) mutable {
+    snapshot = i;  // quiet: value capture mutates a copy
+  });
+}
+
+void Annotated(ThreadPool& pool) {
+  uint64_t cross = 0;
+  uint64_t scratch = 0;
+  pool.ParallelFor(4, [&](uint32_t i) {
+    // vcmp:deterministic-reduction(fixture: integer adds in fixed pass order)
+    cross += i;  // C4 and D4, both allowed by the reduction annotation
+  });
+  pool.ParallelFor(4, [&](uint32_t i) {
+    // vcmp:query-local(fixture: a single query drives this scratch)
+    scratch = i;  // C4 allowed via the query-local cross-match
+  });
+}
+
+}  // namespace vcmp

@@ -1,0 +1,18 @@
+// D6 fixture, consumer half: result-producing code calling into the
+// helpers defined in d6_source.cc. Call sites whose callee transitively
+// reaches a primitive are flagged with a witness chain; calls into
+// blessed or pure helpers stay quiet.
+
+namespace vcmp {
+
+long Indirect() { return ReadClock(); }
+
+long DoubleHop() { return Indirect(); }
+
+long UsesBlessed() { return BlessedClock(); }
+
+int UsesRand() { return WrapsRand(); }
+
+int UsesPure() { return PureHelper(3); }
+
+}  // namespace vcmp

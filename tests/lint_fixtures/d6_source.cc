@@ -1,0 +1,23 @@
+// D6 fixture, source half: helpers whose bodies touch nondeterminism
+// primitives. Linted together with d6_consumer.cc under synthetic paths
+// so the cross-file taint propagation is under test.
+
+#include <chrono>
+#include <cstdlib>
+
+namespace vcmp {
+
+long ReadClock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long BlessedClock() {
+  // vcmp:lint-allow(D6, fixture: startup-only diagnostic, never feeds results)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+int WrapsRand() { return rand(); }
+
+int PureHelper(int x) { return x * 2 + 1; }
+
+}  // namespace vcmp

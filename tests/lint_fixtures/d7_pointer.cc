@@ -1,0 +1,42 @@
+// D7 fixture: pointer-identity ordering. Pointer-keyed containers,
+// pointer comparisons and pointer hashing fire; stable-id ordering and
+// reinterpret_cast<char*> binary I/O stay quiet.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace vcmp {
+
+struct Vertex {
+  uint64_t id;
+};
+
+std::map<Vertex*, int> order_by_address;      // D7: pointer-keyed map
+std::set<const Vertex*> visited;              // D7: pointer-keyed set
+std::unordered_map<uint64_t, Vertex*> by_id;  // quiet: pointer is a value
+
+bool Before(const Vertex* a, const Vertex* b) {
+  return a < b;  // D7: orders by allocation address
+}
+
+bool ById(const Vertex* a, const Vertex* b) {
+  return a->id < b->id;  // quiet: stable ids
+}
+
+uint64_t AddressKey(const Vertex* v) {
+  return reinterpret_cast<uintptr_t>(v);  // D7: pointer-to-integer
+}
+
+void Serialize(char* dst, const Vertex& v) {
+  const char* raw = reinterpret_cast<const char*>(&v);  // quiet: binary I/O
+  dst[0] = raw[0];
+}
+
+std::size_t HashPtr(const Vertex* v) {
+  return std::hash<const Vertex*>{}(v);  // D7: hashes the address
+}
+
+}  // namespace vcmp

@@ -1,0 +1,316 @@
+// Flow-aware vcmp-lint behaviour pinned against the fixture corpus:
+// the C4 shared-state race analysis (including the PR-6 bug class it
+// exists to catch), the D6 interprocedural nondeterminism taint with
+// cross-file witness chains, and the D7 pointer-order rules — plus the
+// parser / symbol-table / call-graph layers they are built on, and the
+// byte-exact schema-v3 JSON report.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lint/analyzer.h"
+#include "lint/callgraph.h"
+#include "lint/lexer.h"
+#include "lint/parser.h"
+#include "lint/rules.h"
+#include "lint/symbols.h"
+
+namespace vcmp {
+namespace lint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(VCMP_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+LintReport LintAs(const std::string& fixture,
+                  const std::string& logical_path) {
+  return AnalyzeSources({{logical_path, ReadFixture(fixture)}}, {});
+}
+
+enum class Select { kOpen, kAllowed, kAll };
+std::vector<std::string> Keys(const LintReport& report,
+                              Select which = Select::kOpen) {
+  std::vector<std::string> keys;
+  for (const Finding& f : report.findings) {
+    if (which == Select::kOpen && (f.allowed || f.baselined)) continue;
+    if (which == Select::kAllowed && !f.allowed) continue;
+    keys.push_back(f.file + ":" + std::to_string(f.line) + ":" + f.rule);
+  }
+  return keys;
+}
+
+const Finding* FindingAt(const LintReport& report, int line,
+                         const std::string& rule) {
+  for (const Finding& f : report.findings) {
+    if (f.line == line && f.rule == rule) return &f;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Parser + symbol table + call graph: the layers under the flow rules.
+// ---------------------------------------------------------------------
+
+constexpr char kParseSample[] = R"cc(
+namespace vcmp {
+class Engine {
+ public:
+  void Step(int round);
+ private:
+  std::atomic<int> inflight_;
+  int epoch_;
+};
+void Engine::Step(int round) {
+  Helper(round);
+  auto body = [&, this](uint32_t i) { epoch_ = i; };
+  pool.ParallelFor(4, body);
+}
+int Helper(const Vertex* v, int x) { return x; }
+}  // namespace vcmp
+)cc";
+
+TEST(LintParser, FindsFunctionsLambdasCallsAndMembers) {
+  LexResult lex = Lex(kParseSample);
+  ParsedFile parsed = Parse("src/engine/sample.cc", lex.tokens);
+
+  ASSERT_EQ(parsed.functions.size(), 2u);
+  EXPECT_EQ(parsed.functions[0].name, "Step");
+  EXPECT_EQ(parsed.functions[0].class_name, "Engine");
+  EXPECT_EQ(parsed.functions[1].name, "Helper");
+  ASSERT_EQ(parsed.functions[1].params.size(), 2u);
+  EXPECT_EQ(parsed.functions[1].params[0].name, "v");
+  EXPECT_TRUE(parsed.functions[1].params[0].is_pointer);
+  EXPECT_FALSE(parsed.functions[1].params[1].is_pointer);
+
+  ASSERT_EQ(parsed.lambdas.size(), 1u);
+  EXPECT_TRUE(parsed.lambdas[0].capture_all_ref);
+  EXPECT_TRUE(parsed.lambdas[0].captures_this);
+  EXPECT_EQ(parsed.lambdas[0].bound_name, "body");
+
+  bool saw_helper_call = false;
+  for (const CallSiteInfo& c : parsed.calls) {
+    if (c.callee == "Helper") saw_helper_call = true;
+  }
+  EXPECT_TRUE(saw_helper_call);
+
+  FileSymbols symbols(parsed);
+  EXPECT_TRUE(symbols.IsMemberField("inflight_"));
+  EXPECT_TRUE(symbols.IsAtomic("inflight_"));
+  EXPECT_FALSE(symbols.IsAtomic("epoch_"));
+  // Trailing-underscore convention covers members declared in headers
+  // this parse never saw.
+  EXPECT_TRUE(symbols.IsMemberField("unseen_member_"));
+
+  // Step spans the call to Helper; Helper's one-liner encloses itself.
+  const int step_line = parsed.functions[0].body_first_line;
+  EXPECT_EQ(EnclosingFunction(parsed, step_line), 0);
+  EXPECT_EQ(EnclosingFunction(parsed, parsed.functions[1].line), 1);
+  EXPECT_EQ(EnclosingFunction(parsed, 100000), -1);
+}
+
+TEST(LintCallGraph, ResolvesEdgesAcrossFilesAndCountsThem) {
+  LexResult a = Lex("int Leaf() { return 1; }\n");
+  LexResult b = Lex("int Mid() { return Leaf(); }\nint Top() { return Mid(); }\n");
+  std::vector<ParsedFile> files = {Parse("src/core/a.cc", a.tokens),
+                                   Parse("src/core/b.cc", b.tokens)};
+  CallGraph graph = CallGraph::Build(files);
+  EXPECT_EQ(graph.index().NumFunctions(), 3u);
+  EXPECT_EQ(graph.num_edges(), 2u);
+
+  const std::vector<FunctionRef>* leaf = graph.index().Lookup("Leaf");
+  ASSERT_NE(leaf, nullptr);
+  ASSERT_EQ(leaf->size(), 1u);
+  EXPECT_EQ((*leaf)[0].file, 0);
+  EXPECT_EQ(graph.index().Lookup("Missing"), nullptr);
+}
+
+TEST(LintCallGraph, SeamFilesAreExactlyWallClock) {
+  EXPECT_TRUE(IsWallClockSeam("src/common/wall_clock.h"));
+  EXPECT_TRUE(IsWallClockSeam("src/common/wall_clock.cc"));
+  EXPECT_FALSE(IsWallClockSeam("src/common/wall_clock_test.cc"));
+  EXPECT_FALSE(IsWallClockSeam("src/engine/wall_clock.cc"));
+}
+
+// ---------------------------------------------------------------------
+// C4: shared-state writes inside parallel bodies.
+// ---------------------------------------------------------------------
+
+TEST(LintC4, FlagsSharedWritesAndRedetectsThePr6BugClass) {
+  LintReport report = LintAs("c4_race.cc", "src/engine/c4_race.cc");
+  // Line 32 is the PR-6 bug class verbatim: the subscript routes through
+  // a message field (`m.target % machines`), so it is NOT shard-indexed
+  // and both the flow rule (C4) and the token rule (D4) fire on it.
+  // Line 40 writes a member through a captured `this`; 53 races through
+  // a bound lambda handed to ParallelFor by name; 66 through a wrapper
+  // launcher. Line 77 is C4-quiet (shard-indexed) but token-level D4
+  // still fires on the captured `+=` — the precision gap C4 closes.
+  EXPECT_EQ(Keys(report),
+            (std::vector<std::string>{"src/engine/c4_race.cc:32:C4",
+                                      "src/engine/c4_race.cc:32:D4",
+                                      "src/engine/c4_race.cc:40:C4",
+                                      "src/engine/c4_race.cc:53:C4",
+                                      "src/engine/c4_race.cc:66:C4",
+                                      "src/engine/c4_race.cc:77:D4"}));
+
+  const Finding* pr6 = FindingAt(report, 32, "C4");
+  ASSERT_NE(pr6, nullptr);
+  EXPECT_NE(pr6->message.find("residual_per_machine_"), std::string::npos);
+  EXPECT_NE(pr6->message.find("ParallelForStealable"), std::string::npos);
+  // The wrapper-launcher finding names the wrapper, not the inner pool
+  // call, so the report points at what the author actually wrote.
+  const Finding* wrapped = FindingAt(report, 66, "C4");
+  ASSERT_NE(wrapped, nullptr);
+  EXPECT_NE(wrapped->message.find("parallel_shards"), std::string::npos);
+}
+
+TEST(LintC4, AnnotationsAllowAndCrossMatchBothRuleFamilies) {
+  LintReport report = LintAs("c4_race.cc", "src/engine/c4_race.cc");
+  // One deterministic-reduction marker blesses BOTH the C4 and the D4
+  // finding on line 101; the query-local marker cross-matches C4 on 105.
+  EXPECT_EQ(Keys(report, Select::kAllowed),
+            (std::vector<std::string>{"src/engine/c4_race.cc:101:C4",
+                                      "src/engine/c4_race.cc:101:D4",
+                                      "src/engine/c4_race.cc:105:C4"}));
+  ASSERT_EQ(report.allows.size(), 2u);
+  EXPECT_TRUE(report.allows[0].deterministic_reduction);
+  EXPECT_TRUE(report.allows[0].used);
+  EXPECT_EQ(report.allows[1].rule, "C3");
+  EXPECT_TRUE(report.allows[1].used);
+}
+
+// ---------------------------------------------------------------------
+// D6: interprocedural nondeterminism taint.
+// ---------------------------------------------------------------------
+
+LintReport LintTaintPair(const std::string& source_path) {
+  return AnalyzeSources({{source_path, ReadFixture("d6_source.cc")},
+                         {"src/engine/consumer.cc",
+                          ReadFixture("d6_consumer.cc")}},
+                        {});
+}
+
+TEST(LintD6, PropagatesTaintAcrossFilesWithWitnessChains) {
+  LintReport report = LintTaintPair("src/common/jitter.cc");
+  // The primitives themselves still carry their token-rule findings in
+  // the source file; the NEW findings are the consumer-side call sites:
+  // a direct call into a clock wrapper (8), a two-hop chain (10), and a
+  // rand wrapper (14). UsesBlessed (12) stays quiet — the annotation on
+  // the primitive's line killed that seed — and UsesPure (16) is clean.
+  EXPECT_EQ(Keys(report),
+            (std::vector<std::string>{"src/common/jitter.cc:11:D1",
+                                      "src/common/jitter.cc:16:D1",
+                                      "src/common/jitter.cc:19:D2",
+                                      "src/engine/consumer.cc:8:D6",
+                                      "src/engine/consumer.cc:10:D6",
+                                      "src/engine/consumer.cc:14:D6"}));
+  EXPECT_EQ(report.functions_indexed, 9);
+  EXPECT_EQ(report.call_edges, 5);
+  // ReadClock, WrapsRand, and their transitive callers Indirect,
+  // DoubleHop, UsesRand. BlessedClock and UsesBlessed are NOT tainted.
+  EXPECT_EQ(report.tainted_functions, 5);
+
+  const Finding* two_hop = FindingAt(report, 10, "D6");
+  ASSERT_NE(two_hop, nullptr);
+  EXPECT_NE(two_hop->message.find(
+                "Indirect -> ReadClock -> wall-clock read 'steady_clock' "
+                "(src/common/jitter.cc:11)"),
+            std::string::npos);
+
+  // The seed-kill counts as a *use* of the annotation — it must not go
+  // stale (A1) just because it suppressed a seed instead of a finding.
+  bool saw_d6_allow = false;
+  for (const AllowRecord& a : report.allows) {
+    if (a.rule == "D6") {
+      saw_d6_allow = true;
+      EXPECT_TRUE(a.used);
+    }
+  }
+  EXPECT_TRUE(saw_d6_allow);
+}
+
+TEST(LintD6, WallClockSeamKillsSeedsAtTheSource) {
+  // The same primitives defined inside the sanctioned seam taint nobody:
+  // no D6 findings anywhere and zero tainted functions.
+  LintReport report = LintTaintPair("src/common/wall_clock.h");
+  for (const std::string& key : Keys(report, Select::kAll)) {
+    EXPECT_EQ(key.find(":D6"), std::string::npos) << key;
+  }
+  EXPECT_EQ(report.tainted_functions, 0);
+}
+
+// ---------------------------------------------------------------------
+// D7: pointer-order nondeterminism.
+// ---------------------------------------------------------------------
+
+TEST(LintD7, FlagsPointerOrderingAndSparesBinaryIo) {
+  LintReport report = LintAs("d7_pointer.cc", "src/graph/ptr.cc");
+  // Pointer-keyed map/set (17, 18), a pointer-vs-pointer comparison
+  // between same-typed params (22), reinterpret_cast to uintptr_t (30),
+  // and std::hash over a pointer type (39). The unordered_map with a
+  // pointer *value* (19), the stable-id comparison (26), and the
+  // reinterpret_cast<const char*> serialization idiom (34) stay quiet.
+  EXPECT_EQ(Keys(report),
+            (std::vector<std::string>{"src/graph/ptr.cc:17:D7",
+                                      "src/graph/ptr.cc:18:D7",
+                                      "src/graph/ptr.cc:22:D7",
+                                      "src/graph/ptr.cc:30:D7",
+                                      "src/graph/ptr.cc:39:D7"}));
+}
+
+// ---------------------------------------------------------------------
+// Reporting: model stats in the text summary, byte-exact schema-v3 JSON.
+// ---------------------------------------------------------------------
+
+TEST(LintFormat, SummaryLineCarriesModelStatistics) {
+  LintReport report = LintTaintPair("src/common/jitter.cc");
+  const std::string text = FormatText(report);
+  EXPECT_NE(text.find("vcmp_lint: 2 files, 9 functions, 5 call edges "
+                      "(5 tainted), 6 findings (6 open, 0 allowed, "
+                      "0 baselined)"),
+            std::string::npos)
+      << text;
+}
+
+TEST(LintJson, SchemaV3ReportIsByteExact) {
+  LintReport report = LintAs("c4_race.cc", "src/engine/c4_race.cc");
+  // WriteTextFile appends the trailing newline when the CLI writes the
+  // report, so the golden carries one.
+  EXPECT_EQ(ToJson(report) + "\n", ReadFixture("golden_report_v3.json"));
+}
+
+TEST(LintJson, CallGraphDumpCarrySchemaAndTaint) {
+  LexResult source = Lex(
+      "long Tick() { return std::chrono::steady_clock::now()"
+      ".time_since_epoch().count(); }\n"
+      "long Wrap() { return Tick(); }\n");
+  std::vector<ParsedFile> files = {Parse("src/engine/t.cc", source.tokens)};
+  CallGraph graph = CallGraph::Build(files);
+  CallGraph::TaintOptions options;
+  options.primitives.push_back(FindTaintPrimitives(source.tokens));
+  options.killed_lines.emplace_back();
+  graph.ComputeTaint(files, options);
+  EXPECT_EQ(graph.num_tainted(), 2u);
+
+  const std::string json = graph.ToJson(files);
+  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"tool\":\"vcmp_lint --callgraph\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"function_count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"tainted\":true"), std::string::npos);
+  EXPECT_NE(json.find("Wrap -> Tick -> wall-clock read"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace vcmp

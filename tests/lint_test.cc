@@ -90,10 +90,14 @@ TEST(LintD4, FlagsCapturedAccumulationInParallelFor) {
   LintReport report = LintAs("d4_reduction.cc", "src/engine/d4.cc");
   // ParallelFor bodies fire on 15 and 32; the work-stealing variant
   // (ParallelForStealable) is covered by the same rule and fires on 60.
+  // The flow-aware race rule (C4) independently confirms all three as
+  // unsynchronized shared writes — and stays quiet on the shard-indexed
+  // lines the annotations bless.
   EXPECT_EQ(Keys(report),
-            (std::vector<std::string>{"src/engine/d4.cc:15:D4",
-                                      "src/engine/d4.cc:32:D4",
-                                      "src/engine/d4.cc:60:D4"}));
+            (std::vector<std::string>{
+                "src/engine/d4.cc:15:C4", "src/engine/d4.cc:15:D4",
+                "src/engine/d4.cc:32:C4", "src/engine/d4.cc:32:D4",
+                "src/engine/d4.cc:60:C4", "src/engine/d4.cc:60:D4"}));
   // The deterministic-reduction marker blesses lines 41 and 70 but stays
   // in the report as allowed findings with their reasons.
   EXPECT_EQ(Keys(report, Select::kAllowed),
@@ -211,7 +215,8 @@ TEST(LintFormat, ExactFileLineRuleText) {
                       "synchronization"),
             std::string::npos)
       << text;
-  EXPECT_NE(text.find("vcmp_lint: 1 files, 2 findings (2 open, 0 allowed, "
+  EXPECT_NE(text.find("vcmp_lint: 1 files, 1 functions, 0 call edges "
+                      "(0 tainted), 2 findings (2 open, 0 allowed, "
                       "0 baselined)"),
             std::string::npos)
       << text;
@@ -242,8 +247,14 @@ TEST(LintJson, MachineReadableReport) {
 TEST(LintRepo, RuleTableCoversDocumentedRules) {
   std::vector<std::string> ids;
   for (const RuleInfo& rule : AllRules()) ids.push_back(rule.id);
-  EXPECT_EQ(ids, (std::vector<std::string>{"D1", "D2", "D3", "D4", "C1",
-                                           "C2", "C3", "P1", "D5", "A1"}));
+  EXPECT_EQ(ids, (std::vector<std::string>{"D1", "D2", "D3", "D4", "C4",
+                                           "C1", "C2", "C3", "P1", "D5",
+                                           "D6", "D7", "A1"}));
+  // Every rule ships the long-form explanation behind --explain.
+  for (const RuleInfo& rule : AllRules()) {
+    EXPECT_NE(rule.detail, nullptr) << rule.id;
+    EXPECT_GT(std::string(rule.detail).size(), 40u) << rule.id;
+  }
 }
 
 }  // namespace

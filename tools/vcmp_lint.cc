@@ -1,15 +1,24 @@
 // vcmp_lint: the project's determinism & concurrency static analyzer.
 // Walks C++ sources and enforces the contract that makes vcmp runs
-// byte-identical across reruns and thread counts (DESIGN.md §10):
+// byte-identical across reruns and thread counts (DESIGN.md §10, §15).
 //
+// Token-pattern rules:
 //   D1  no wall-clock reads outside common/wall_clock
 //   D2  no unseeded or global RNG
 //   D3  no unordered-container iteration in output-feeding files
 //   D4  no shared accumulation in ParallelFor without a
 //       deterministic-reduction annotation
+//   D5  no direct file I/O in the engine outside the src/ooc seam
 //   C1  no naked new/delete in engine hot paths
 //   C2  no volatile-as-synchronization
+//   C3  no mutable static/member scratch in query compute paths
+//   P1  no AoS std::vector<Message> buffers in engine hot paths
 //   A1  annotations parse, carry a reason, and match a finding
+//
+// Flow-aware rules (symbol tables + whole-tree call graph):
+//   C4  no unsynchronized shared-state writes in parallel regions
+//   D6  no calls into functions that transitively reach nondeterminism
+//   D7  no pointer-identity ordering (keys, comparisons, hashing)
 //
 // Suppress a finding only in source, where reviewers see it:
 //   // vcmp:lint-allow(RULE, justification a reviewer would accept)
@@ -17,6 +26,8 @@
 //   vcmp_lint                          # lint src/ tools/ bench/
 //   vcmp_lint src/engine --json=lint.json
 //   vcmp_lint src tools bench --baseline=tools/lint_baseline.txt
+//   vcmp_lint --explain=C4             # rationale + remediation
+//   vcmp_lint src --callgraph=cg.json  # dump call graph + taint state
 //
 // Exits 0 when clean, 1 on open findings, 2 on usage/IO errors.
 
@@ -33,18 +44,23 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: vcmp_lint [paths...] [--json=FILE] [--baseline=FILE]\n"
-    "                 [--write-baseline=FILE] [--list-rules] [--help]\n"
+    "                 [--write-baseline=FILE] [--callgraph=FILE]\n"
+    "                 [--explain=RULE] [--list-rules] [--help]\n"
     "  paths            files or directories (default: src tools bench)\n"
     "  --json=FILE      write the machine-readable report to FILE\n"
     "  --baseline=FILE  known legacy findings (file:line:RULE per line)\n"
     "                   that are reported but do not fail the run\n"
     "  --write-baseline=FILE  snapshot current open findings as the\n"
     "                   baseline and exit 0\n"
+    "  --callgraph=FILE write the whole-tree call graph + D6 taint state\n"
+    "                   for the given paths as JSON and exit 0\n"
+    "  --explain=RULE   print a rule's rationale and remediation, exit 0\n"
     "  --list-rules     print the rule set and exit\n";
 
 int Run(int argc, char** argv) {
   std::vector<std::string> paths;
   std::string json_path;
+  std::string callgraph_path;
   std::string baseline_path;
   std::string write_baseline_path;
   for (int i = 1; i < argc; ++i) {
@@ -62,8 +78,22 @@ int Run(int argc, char** argv) {
       }
       return 0;
     }
+    if (arg.rfind("--explain=", 0) == 0) {
+      const std::string id = value_of("--explain=");
+      for (const RuleInfo& rule : AllRules()) {
+        if (id != rule.id) continue;
+        std::cout << rule.id << ": " << rule.summary << "\n\n"
+                  << rule.detail << "\n";
+        return 0;
+      }
+      std::cerr << "vcmp_lint: unknown rule '" << id
+                << "' (see --list-rules)\n";
+      return 2;
+    }
     if (arg.rfind("--json=", 0) == 0) {
       json_path = value_of("--json=");
+    } else if (arg.rfind("--callgraph=", 0) == 0) {
+      callgraph_path = value_of("--callgraph=");
     } else if (arg.rfind("--baseline=", 0) == 0) {
       baseline_path = value_of("--baseline=");
     } else if (arg.rfind("--write-baseline=", 0) == 0) {
@@ -76,6 +106,22 @@ int Run(int argc, char** argv) {
     }
   }
   if (paths.empty()) paths = {"src", "tools", "bench"};
+
+  if (!callgraph_path.empty()) {
+    auto json = CallGraphJson(paths);
+    if (!json.ok()) {
+      std::cerr << "vcmp_lint: " << json.status().ToString() << "\n";
+      return 2;
+    }
+    Status s = WriteTextFile(json.value(), callgraph_path);
+    if (!s.ok()) {
+      std::cerr << "vcmp_lint: " << s.ToString() << "\n";
+      return 2;
+    }
+    std::cout << "vcmp_lint: call graph written to " << callgraph_path
+              << "\n";
+    return 0;
+  }
 
   AnalyzerOptions options;
   if (!baseline_path.empty()) {
