@@ -41,6 +41,18 @@ struct Measurement {
   double wall_ms = 0.0;
   EnginePhaseTimes phase;
   double sim_seconds = 0.0;
+  // Sender-side combining effectiveness: logical messages emitted vs.
+  // wire messages after the combiner (1.0 when combining is off).
+  double logical_sent = 0.0;
+  double wire_messages = 0.0;
+
+  double CombinedRatio() const {
+    return wire_messages > 0.0 ? logical_sent / wire_messages : 1.0;
+  }
+  double MessagePathMs() const {
+    return 1e3 * (phase.group_seconds + phase.stage_seconds +
+                  phase.deliver_seconds);
+  }
 };
 
 /// Runs the whole workload at one thread count. With `timed` the engine
@@ -48,7 +60,8 @@ struct Measurement {
 /// clock reads per staged message), so the headline wall time comes from
 /// a separate untimed pass.
 Measurement MeasureThreads(const Dataset& dataset, int reps,
-                           uint32_t threads, bool clamp_to_hardware) {
+                           uint32_t threads, bool clamp_to_hardware,
+                           bool combining) {
   Measurement out;
   out.threads = threads;
   out.effective_threads = ThreadPool::ResolveThreads(threads,
@@ -61,14 +74,20 @@ Measurement MeasureThreads(const Dataset& dataset, int reps,
     options.execution_threads = threads;
     options.clamp_threads_to_hardware = clamp_to_hardware;
     options.collect_phase_times = timed;
-    if (timed) {
-      options.engine_observer = [&out](const EngineResult& result) {
+    options.sender_combining = combining;
+    options.engine_observer = [&out, timed](const EngineResult& result) {
+      if (timed) {
         out.phase.compute_seconds += result.phase.compute_seconds;
         out.phase.group_seconds += result.phase.group_seconds;
         out.phase.stage_seconds += result.phase.stage_seconds;
         out.phase.deliver_seconds += result.phase.deliver_seconds;
-      };
-    }
+        return;
+      }
+      // Message counts come off the untimed (headline) pass; both passes
+      // run the identical schedule.
+      out.logical_sent += result.total_logical_sent;
+      out.wire_messages += result.total_wire_messages;
+    };
     MultiProcessingRunner runner(dataset, options);
     out.sim_seconds = 0.0;
     const uint64_t start_ns = wallclock::NowNs();
@@ -98,11 +117,11 @@ Measurement MeasureThreads(const Dataset& dataset, int reps,
 void PrintMeasurement(const Measurement& m) {
   std::printf(
       "threads %u (effective %u)  wall %.1fms  (compute %.1fms, "
-      "group %.1fms, stage %.1fms, deliver %.1fms)\n",
+      "group %.1fms, stage %.1fms, deliver %.1fms)  combined_ratio %.3f\n",
       m.threads, m.effective_threads, m.wall_ms,
       1e3 * m.phase.compute_seconds,
       1e3 * m.phase.group_seconds, 1e3 * m.phase.stage_seconds,
-      1e3 * m.phase.deliver_seconds);
+      1e3 * m.phase.deliver_seconds, m.CombinedRatio());
 }
 
 /// Serialises one measurement as a nested JSON object (no schema stamp).
@@ -115,6 +134,7 @@ std::string MeasurementJson(const Measurement& m) {
   json.Field("group_ms", 1e3 * m.phase.group_seconds);
   json.Field("stage_ms", 1e3 * m.phase.stage_seconds);
   json.Field("deliver_ms", 1e3 * m.phase.deliver_seconds);
+  json.Field("message_path_ms", m.MessagePathMs());
   return json.Close();
 }
 
@@ -140,6 +160,10 @@ int Main(int argc, char** argv) {
                " appended). Empty = headline only.");
   flags.Define("json", "BENCH_engine.json",
                "write phase timings to this path (empty = skip)");
+  flags.Define("combining", "true",
+               "engine-level sender-side combining (the default engine"
+               " configuration). Off reproduces the plain send path;"
+               " task results are bit-identical either way.");
   flags.Define("clamp-to-hardware", "false",
                "silently cap thread counts at the hardware concurrency "
                "(the engine's default). Off here: a scaling benchmark must"
@@ -184,9 +208,11 @@ int Main(int argc, char** argv) {
     }
   }
 
+  const bool combining = flags.GetBool("combining");
   std::vector<Measurement> measurements;
   for (uint32_t threads : sweep) {
-    measurements.push_back(MeasureThreads(dataset, reps, threads, clamp));
+    measurements.push_back(
+        MeasureThreads(dataset, reps, threads, clamp, combining));
     PrintMeasurement(measurements.back());
   }
   const Measurement* headline = &measurements.front();
@@ -221,11 +247,14 @@ int Main(int argc, char** argv) {
                static_cast<uint64_t>(headline->effective_threads));
     json.Field("hardware_threads", static_cast<uint64_t>(hardware));
     json.Field("clamped_to_hardware", clamp);
+    json.Field("combining", combining);
+    json.Field("combined_ratio", headline->CombinedRatio());
     json.Field("wall_ms", headline->wall_ms);
     json.Field("compute_ms", 1e3 * headline->phase.compute_seconds);
     json.Field("group_ms", 1e3 * headline->phase.group_seconds);
     json.Field("stage_ms", 1e3 * headline->phase.stage_seconds);
     json.Field("deliver_ms", 1e3 * headline->phase.deliver_seconds);
+    json.Field("message_path_ms", headline->MessagePathMs());
     json.Field("simulated_seconds", headline->sim_seconds);
     // Scaling headline: single-thread vs eight-thread wall-clock from the
     // same sweep. CI's bench-smoke job gates on speedup_8t, so these stay
@@ -241,6 +270,27 @@ int Main(int argc, char** argv) {
       json.Field("wall_ms_1t", one_thread->wall_ms);
       json.Field("wall_ms_8t", eight_threads->wall_ms);
       json.Field("speedup_8t", one_thread->wall_ms / eight_threads->wall_ms);
+      // Per-phase scaling, same two points: where the round's wall time
+      // actually goes as threads grow (a flat wall with a rising
+      // compute speedup means the message path is the new bottleneck).
+      auto speedup = [](double one, double eight) {
+        return eight > 0.0 ? one / eight : 0.0;
+      };
+      json.Field("compute_speedup_8t",
+                 speedup(1e3 * one_thread->phase.compute_seconds,
+                         1e3 * eight_threads->phase.compute_seconds));
+      json.Field("group_speedup_8t",
+                 speedup(1e3 * one_thread->phase.group_seconds,
+                         1e3 * eight_threads->phase.group_seconds));
+      json.Field("stage_speedup_8t",
+                 speedup(1e3 * one_thread->phase.stage_seconds,
+                         1e3 * eight_threads->phase.stage_seconds));
+      json.Field("deliver_speedup_8t",
+                 speedup(1e3 * one_thread->phase.deliver_seconds,
+                         1e3 * eight_threads->phase.deliver_seconds));
+      json.Field("message_path_speedup_8t",
+                 speedup(one_thread->MessagePathMs(),
+                         eight_threads->MessagePathMs()));
     }
     std::string sweep_json = "[";
     for (size_t i = 0; i < measurements.size(); ++i) {
@@ -254,6 +304,15 @@ int Main(int argc, char** argv) {
     // pre-overhaul engine is the PR4 hot path (AoS message vectors, no
     // frontier, virtual per-message Compute); the seed baseline predates
     // even that (per-round thread spawn, std::sort grouping).
+    json.RawField(
+        "pre_combining",
+        "{\"note\": \"same workload on the engine immediately before "
+        "sender-side combining and parallel grouping/delivery (serial "
+        "per-machine grouping, per-dest serial drain, no send-path "
+        "combiner under Pregel+)\", \"wall_ms\": 1487.4, "
+        "\"wall_ms_1t\": 1495.2, \"group_ms_1t\": 236.3, "
+        "\"stage_ms_1t\": 113.2, \"deliver_ms_1t\": 51.6, "
+        "\"stage_ms_8t\": 173.5, \"simulated_seconds\": 41938.144}");
     json.RawField(
         "pre_overhaul",
         "{\"note\": \"same workload on the pre-overhaul engine (AoS "

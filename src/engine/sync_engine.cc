@@ -1,7 +1,10 @@
 #include "engine/sync_engine.h"
 
 #include <algorithm>
+#include <cassert>
+#include <limits>
 #include <cmath>
+#include <span>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -19,6 +22,24 @@ namespace {
 /// with it every reduction order — is a pure function of the round's
 /// inbox.
 constexpr uint32_t kDefaultShardsPerMachine = 16;
+
+/// Largest (local vertices x tag universe) slot space a destination may
+/// have before the merge's dense combine tables fall back to hash
+/// probing. 2^17 slots keep one table's hot arrays (position + epoch,
+/// 8 bytes/slot) around a megabyte — L2-resident on anything current —
+/// while covering every benchmark task's per-machine share.
+constexpr size_t kDenseCombineMaxSlots = size_t{1} << 17;
+
+/// Largest slot space a shard sink will pre-combine into its staging
+/// arenas. Tighter than the merge bound: every (shard, destination)
+/// pair owns a table, so the budget multiplies by shards x machines^2.
+/// 2^15 slots x 8 bytes keeps each table L2-resident while covering
+/// point-to-point tasks like MSSP (~31K slots per machine); bigger slot
+/// spaces skip pre-combining entirely (a per-send probe into a table
+/// that large costs more than the fold it saves, and the merge still
+/// folds duplicates to the identical result because pre-combining is
+/// only enabled for exact-fold combiners).
+constexpr size_t kDensePrecombineMaxSlots = size_t{1} << 15;
 
 }  // namespace
 
@@ -117,6 +138,78 @@ struct SyncEngine::MergeSlot {
   void Clear() { *this = MergeSlot{}; }
 };
 
+/// Direct-indexed replacement for the merge fold's CombineIndex, usable
+/// when the program declares a bounded tag universe: slot
+/// local_index(target) * tags + tag maps each live (target, tag) key to
+/// its outbox position with one array read instead of a hash probe.
+/// First-touch still appends to the outbox, so outbox bytes are identical
+/// to the hash path's at every shard and thread count. Epoch tagging makes
+/// Clear O(1); tables are cleared once per round after delivery drains the
+/// outboxes, exactly when the per-worker CombineIndexes are.
+struct SyncEngine::DenseCombineTable {
+  std::vector<uint32_t> position;  // slot -> outbox position
+  std::vector<uint32_t> epoch;     // valid iff == cur_epoch
+  uint32_t cur_epoch = 1;
+
+  void EnsureSlots(size_t slots) {
+    if (position.size() < slots) {
+      position.resize(slots);
+      epoch.resize(slots, 0);
+    }
+  }
+  void Clear() {
+    ++cur_epoch;
+    if (cur_epoch == 0) {  // Wrapped: stale epochs could alias; rezero.
+      std::fill(epoch.begin(), epoch.end(), 0u);
+      cur_epoch = 1;
+    }
+  }
+};
+
+/// Accumulator for the unified per-destination fold (engine-level sender
+/// combining without mirroring or real OOC): one table per destination
+/// machine folds EVERY sender's shard arenas — senders in machine order,
+/// each sender's arenas in shard order — which is precisely the FP
+/// operation sequence the receiver's per-run fold would perform on the
+/// raw grouped inbox (grouping is stable, sender-major). The fold result,
+/// emitted in ascending (target, tag) slot order, therefore IS the next
+/// round's inbox: already combined, already sorted, no per-pair outboxes
+/// to stage, deliver, or re-group. `last_sender` reproduces the per-pair
+/// wire counts (a sender contributes one wire unit per distinct key it
+/// touches) without materializing per-sender outboxes.
+struct SyncEngine::UnifiedCombineTable {
+  /// One slot per (local vertex, tag) key, packed so a fold touches one
+  /// cache line, not one per column.
+  struct Slot {
+    double value;
+    double mult;
+    uint32_t last_sender;
+    uint32_t epoch;  // valid iff == cur_epoch
+  };
+  static constexpr size_t kBlockShift = 6;  // 64 slots per block.
+  std::vector<Slot> slots;
+  /// Per-64-slot-block epoch marks: the emission scan skips whole blocks
+  /// no fold entry touched, which is most of them for sparse rounds.
+  std::vector<uint32_t> block_epoch;
+  uint32_t cur_epoch = 0;
+
+  void EnsureSlots(size_t count) {
+    if (slots.size() < count) {
+      slots.resize(count, Slot{0.0, 0.0, 0, 0});
+      block_epoch.resize((count >> kBlockShift) + 1, 0);
+    }
+  }
+  /// Starts a fresh fold; entries only live for one fold episode.
+  void BeginFold() {
+    ++cur_epoch;
+    if (cur_epoch == 0) {  // Wrapped: stale epochs could alias; rezero.
+      for (Slot& slot : slots) slot.epoch = 0;
+      std::fill(block_epoch.begin(), block_epoch.end(), 0u);
+      cur_epoch = 1;
+    }
+  }
+};
+
 /// Per-(machine, shard) MessageSink: raw staging arenas (one per
 /// destination machine), per-vertex log records, and a per-vertex-reseeded
 /// random stream.
@@ -150,6 +243,14 @@ class SyncEngine::ShardSink : public MessageSink {
     bool aggregate_used = false;
   };
 
+  /// One pre-combine table entry: where in the destination arena this
+  /// (local vertex, tag) key currently lives, valid iff epoch matches
+  /// the sink's current round epoch.
+  struct DenseSlot {
+    uint32_t position;
+    uint32_t epoch;
+  };
+
   ShardSink() = default;
 
   /// (Re)binds the sink to an engine for one Run. The engine pointer is
@@ -157,21 +258,47 @@ class SyncEngine::ShardSink : public MessageSink {
   /// across a query's batches, while the runner constructs a fresh
   /// engine per batch.
   void Configure(const SyncEngine* engine, uint32_t machine,
-                 uint32_t num_machines, uint64_t query) {
+                 uint32_t num_machines, uint64_t query,
+                 const Combiner* combiner, bool precombine,
+                 uint32_t tag_universe, bool slot_targets) {
     engine_ = engine;
     machine_ = machine;
     num_machines_ = num_machines;
     query_ = query;
     machine_of_ = engine_->partition_.assignment.data();
+    local_index_ = engine_->local_index_.data();
     mirror_broadcast_only_ = engine_->options_.profile.mirroring;
+    combiner_ = combiner;
+    combiner_kind_ = combiner ? combiner->kind() : CombinerKind::kCustom;
+    precombine_ = precombine;
+    tag_universe_ = tag_universe;
+    slot_targets_ = slot_targets;
     arenas_.resize(num_machines);
     cross_weights_.resize(num_machines);
+    dense_.resize(num_machines);
+    for (uint32_t dest = 0; dest < num_machines; ++dest) {
+      size_t slots =
+          (precombine_ && tag_universe > 0)
+              ? engine_->vertices_by_machine_[dest].size() * tag_universe
+              : 0;
+      if (slots == 0 || slots > kDensePrecombineMaxSlots) slots = 0;
+      if (dense_[dest].size() != slots) {
+        dense_[dest].assign(slots, DenseSlot{0, 0});
+      }
+    }
   }
 
   void BeginRound(uint64_t round) {
     round_ = round;
     for (MessageBlock& arena : arenas_) arena.Clear();
     for (std::vector<double>& weights : cross_weights_) weights.clear();
+    ++dense_epoch_;
+    if (dense_epoch_ == 0) {  // Wrapped: stale epochs could alias; rezero.
+      for (std::vector<DenseSlot>& table : dense_) {
+        std::fill(table.begin(), table.end(), DenseSlot{0, 0});
+      }
+      dense_epoch_ = 1;
+    }
     log_.clear();
     cur_ = nullptr;
   }
@@ -259,7 +386,6 @@ class SyncEngine::ShardSink : public MessageSink {
   void SendInternal(VertexId target, uint32_t tag, double value,
                     double multiplicity) {
     const uint32_t target_machine = machine_of_[target];
-    arenas_[target_machine].PushBack(target, tag, value, multiplicity);
     cur_->logical_sent += multiplicity;
     cur_->wire_sent += multiplicity;
     if (target_machine != machine_) {
@@ -272,6 +398,57 @@ class SyncEngine::ShardSink : public MessageSink {
         cross_weights_[target_machine].push_back(multiplicity);
       }
     }
+    MessageBlock& arena = arenas_[target_machine];
+    VertexId stored_target = target;
+    std::vector<DenseSlot>& table = dense_[target_machine];
+    if (slot_targets_ || !table.empty()) {
+      const size_t key_slot =
+          static_cast<size_t>(local_index_[target]) * tag_universe_ + tag;
+      // Under the unified fold the arena's target column carries the
+      // destination slot index instead of the vertex id: the fold then
+      // addresses its combine table straight off the stream, with no
+      // dependent local_index_ lookup, and the emission scan restores
+      // real vertex ids from the destination's local vertex list.
+      if (slot_targets_) stored_target = static_cast<VertexId>(key_slot);
+      if (!table.empty()) {
+        // Shard-local dense combine table: fold same-(target, tag)
+        // messages in this shard's emission order before they hit the
+        // arena, via a direct (local vertex, tag) index — no hashing on
+        // the send path. The merge later folds the per-shard segment
+        // results in shard order; exact_fold makes that bit-identical to
+        // folding the raw stream (the per-vertex wire stats above are
+        // ignored under combining — the merge recounts distinct keys),
+        // which is also why destinations too big for a table can skip
+        // pre-combining outright.
+        DenseSlot& entry = table[key_slot];
+        if (entry.epoch == dense_epoch_) {
+          const size_t position = entry.position;
+          switch (combiner_kind_) {
+            case CombinerKind::kSum:
+              arena.values()[position] += value;
+              arena.multiplicities()[position] += multiplicity;
+              break;
+            case CombinerKind::kMin:
+              if (value < arena.values()[position]) {
+                arena.values()[position] = value;
+              }
+              arena.multiplicities()[position] += multiplicity;
+              break;
+            case CombinerKind::kCustom: {
+              Message into = arena.At(position);
+              combiner_->Merge(into,
+                               Message{target, tag, value, multiplicity});
+              arena.Set(position, into);
+              break;
+            }
+          }
+          return;
+        }
+        entry.epoch = dense_epoch_;
+        entry.position = static_cast<uint32_t>(arena.size());
+      }
+    }
+    arena.PushBack(stored_target, tag, value, multiplicity);
   }
 
   const SyncEngine* engine_ = nullptr;  // Rebound by Configure each Run.
@@ -280,10 +457,21 @@ class SyncEngine::ShardSink : public MessageSink {
   uint64_t query_ = 0;
   const uint32_t* machine_of_ = nullptr;
   bool mirror_broadcast_only_ = false;
+  const Combiner* combiner_ = nullptr;
+  CombinerKind combiner_kind_ = CombinerKind::kCustom;
+  bool precombine_ = false;
+  bool slot_targets_ = false;
+  uint32_t tag_universe_ = 0;
+  const uint32_t* local_index_ = nullptr;
   uint64_t round_ = 0;
+  uint32_t dense_epoch_ = 0;
   Rng rng_{0};
   VertexLog* cur_ = nullptr;
   std::vector<MessageBlock> arenas_;          // One per destination.
+  /// Pre-combining only: per destination, one {arena position, epoch}
+  /// entry per (local vertex, tag) slot; empty when the destination's
+  /// slot space exceeds kDensePrecombineMaxSlots.
+  std::vector<std::vector<DenseSlot>> dense_;
   std::vector<std::vector<double>> cross_weights_;  // Mirror mode only.
   std::vector<VertexLog> log_;
   std::vector<uint8_t> mirror_seen_;
@@ -297,6 +485,13 @@ class SyncEngine::ShardSink : public MessageSink {
 struct SyncEngine::RunScratch : QueryContext::Scratch {
   std::vector<Worker> workers;
   std::vector<std::unique_ptr<ShardSink>> shard_sinks;
+  /// machines x machines dense merge tables (sender-major), sized lazily
+  /// to the destination's (local vertices x tag universe) slot space.
+  /// Empty when the program's tag universe is unbounded or too large.
+  std::vector<DenseCombineTable> dense_combine;
+  /// One accumulator per destination for the unified fold path. Empty
+  /// when that path is inactive.
+  std::vector<UnifiedCombineTable> unified_combine;
 };
 
 SyncEngine::~SyncEngine() = default;  // ShardSink is complete here.
@@ -331,8 +526,11 @@ void SyncEngine::ComputeGraphShares() {
   graph_share_bytes_.assign(machines, 0.0);
   edge_stream_bytes_.assign(machines, 0.0);
   vertices_by_machine_.assign(machines, {});
+  local_index_.assign(graph_.NumVertices(), 0);
   for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
     uint32_t machine = partition_.MachineOf(v);
+    local_index_[v] =
+        static_cast<uint32_t>(vertices_by_machine_[machine].size());
     vertices_by_machine_[machine].push_back(v);
     // CSR share: one offset entry + degree target entries.
     graph_share_bytes_[machine] +=
@@ -399,8 +597,59 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program,
   scratch.workers.resize(machines);
   std::vector<Worker>& workers = scratch.workers;
   const bool collect_times = options_.collect_phase_times;
+  // The combiner is active when the simulated system combines (GraphLab
+  // sync) OR the engine-level sender_combining switch exploits the
+  // program's combiner under a non-combining profile (Pregel-style).
+  // Mirror profiles keep their own wire-dedup path. `combining` below is
+  // the one flag every stats/cost branch keys on, so combined counts
+  // flow into RoundLoad, spill accounting and the batcher's fits
+  // regardless of which switch enabled it.
   const Combiner* combiner =
-      options_.profile.combines_messages ? program.combiner() : nullptr;
+      (options_.profile.combines_messages ||
+       (options_.sender_combining && !options_.profile.mirroring))
+          ? program.combiner()
+          : nullptr;
+  const bool combining = combiner != nullptr;
+  // Shard-local pre-combining additionally requires a fold that may be
+  // reassociated bitwise (Combiner::exact_fold): per-shard tables fold
+  // contiguous emission segments, and the merge folds the segment
+  // results in shard order, so exactness makes the outbox bit-identical
+  // to merge-time-only combining at every shard and thread count.
+  const bool precombine =
+      combining && options_.shard_precombine && combiner->exact_fold();
+  // A bounded tag universe (VertexProgram::combine_tag_universe) lets the
+  // merge fold through direct-indexed tables instead of hash probing.
+  // Gate on the largest destination's slot space; unbounded or oversized
+  // universes keep the CombineIndex path.
+  const uint32_t tag_universe =
+      combining ? program.combine_tag_universe() : 0;
+  std::vector<size_t> dense_slots(machines, 0);
+  bool dense_combine = false;
+  if (tag_universe > 0) {
+    size_t max_slots = 0;
+    for (uint32_t machine = 0; machine < machines; ++machine) {
+      dense_slots[machine] = vertices_by_machine_[machine].size() *
+                             static_cast<size_t>(tag_universe);
+      max_slots = std::max(max_slots, dense_slots[machine]);
+    }
+    dense_combine = max_slots > 0 && max_slots <= kDenseCombineMaxSlots;
+  }
+  // Engine-level sender combining (no mirroring, no real OOC, bounded tag
+  // universe) takes the unified per-destination fold: merge, delivery and
+  // grouping collapse into one pass that writes each destination's next
+  // inbox directly — combined, sorted, one element per (target, tag) key.
+  // Profile-level combining (GraphLab et al.) and OOC runs keep the
+  // per-(sender, dest) merge + delivery path, whose byte-for-byte outbox
+  // behaviour existing goldens and the spill machinery depend on.
+  const bool unified_combine = dense_combine &&
+                               !options_.profile.combines_messages &&
+                               rt == nullptr &&
+                               combiner->kind() != CombinerKind::kCustom;
+  scratch.dense_combine.resize(
+      (dense_combine && !unified_combine)
+          ? static_cast<size_t>(machines) * machines
+          : 0);
+  scratch.unified_combine.resize(unified_combine ? machines : 0);
   for (Worker& worker : workers) {
     worker.Reset(machines);
     worker.set_collect_timing(collect_times);
@@ -423,7 +672,8 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program,
       shard_sinks[task] = std::make_unique<ShardSink>();
     }
     shard_sinks[task]->Configure(this, task / shards_per_machine, machines,
-                                 ctx.query_id);
+                                 ctx.query_id, combiner, precombine,
+                                 tag_universe, unified_combine);
   }
 
   // The pool outlives the round loop. A context without a pool gets a
@@ -456,6 +706,10 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program,
   EngineResult result;
   const double scale = options_.stat_scale;
   const double cutoff = options_.cost.overload_cutoff_seconds;
+  // Wall time spent inside ParallelGroupInboxes across all rounds; folded
+  // into phase.group_seconds at the end (per-worker group_ns_ stays zero
+  // on the lockstep path, so there is no double count).
+  uint64_t parallel_group_ns = 0;
 
   // Round-loop scratch, reused every round.
   std::vector<ShardPlan> plans(machines);
@@ -467,6 +721,17 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program,
   std::vector<double> machine_residual_round(machines, 0.0);
   std::vector<double> residual_ledger(machines, 0.0);
   std::vector<double> shard_weights;  // trace_shard_spans only.
+  // Parallel delivery scratch: per-(sender, dest) slice offsets into the
+  // destination inbox, and a per-dest flag marking destinations whose
+  // copy work was deferred to the sub-machine pass.
+  std::vector<size_t> deliver_offsets(static_cast<size_t>(machines) *
+                                      machines);
+  std::vector<uint8_t> deliver_copy(machines, 0);
+  // Unified fold only: wire units folded into each machine's inbox last
+  // round (the per-pair path would have delivered this many outbox
+  // elements). Read by the NEXT round's receive fold, since the
+  // pre-folded inbox no longer carries one element per wire unit.
+  std::vector<double> unified_wire_in(machines, 0.0);
   // Real OOC seeding superstep: per-machine degree columns streamed from
   // the vertex-state files (shard planning without touching the CSR).
   std::vector<std::vector<uint32_t>> ooc_degrees(rt != nullptr ? machines
@@ -502,9 +767,41 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program,
     const uint64_t compute_start_ns = wallclock::NowNs();
 
     // --- Phase A: per-machine prep (group, receive fold, shard plan) ---
-    // Grouping and the inbox receive fold are serial per machine — the
-    // same FP add order at every thread and shard count — and machines
-    // are independent.
+    // The inbox receive fold is serial per machine — the same FP add
+    // order at every thread and shard count — and machines are
+    // independent. Grouping itself runs either serially per machine (the
+    // historical path) or as pool-wide lockstep passes
+    // (ParallelGroupInboxes) with bit-identical grouped output.
+    auto prep_rest = [&](uint32_t machine) {
+      Worker& worker = workers[machine];
+      MachineRoundLoad& load = loads[machine];
+      const double* mults = worker.grouped_multiplicities();
+      const size_t inbox_size = worker.inbox().size();
+      for (size_t i = 0; i < inbox_size; ++i) {
+        load.recv_messages += mults[i];
+        if (!unified_combine) {
+          // Wire units: what was actually serialized/deserialized.
+          load.processed_messages += combining ? 1.0 : mults[i];
+        }
+      }
+      if (unified_combine) {
+        // Pre-folded inbox: one element per key, so wire units come from
+        // the fold that built it (integer counts — bit-identical to what
+        // a walk over per-pair outbox elements would sum).
+        load.processed_messages += unified_wire_in[machine];
+      }
+      if (!use_runs) {
+        // Built once here, read concurrently by this machine's shards.
+        worker.MaterializedInbox();
+      }
+      if (rt != nullptr) {
+        // Page in the vertex-state sections behind this round's targets
+        // (ascending section order; prefetched buffers are consumed at
+        // exactly the point a synchronous load would install them).
+        rt->TouchSections(machine, worker.runs());
+      }
+      plans[machine].BuildForRuns(worker.runs(), shards_per_machine);
+    };
     auto prep_machine = [&](uint32_t machine) {
       Worker& worker = workers[machine];
       ShardPlan& plan = plans[machine];
@@ -530,29 +827,33 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program,
         // uncapped run's.
         rt->RestoreInbox(machine, &worker.inbox());
       }
-      worker.GroupInbox();
-      MachineRoundLoad& load = loads[machine];
-      const double* mults = worker.grouped_multiplicities();
-      const size_t inbox_size = worker.inbox().size();
-      for (size_t i = 0; i < inbox_size; ++i) {
-        load.recv_messages += mults[i];
-        // Wire units: what was actually serialized/deserialized.
-        load.processed_messages +=
-            options_.profile.combines_messages ? 1.0 : mults[i];
+      if (unified_combine) {
+        // Last round's fold wrote the inbox pre-grouped and built the
+        // singleton runs alongside; publishing them replaces grouping.
+        worker.PublishPregroupedRuns();
+      } else {
+        worker.GroupInbox();
       }
-      if (!use_runs) {
-        // Built once here, read concurrently by this machine's shards.
-        worker.MaterializedInbox();
-      }
-      if (rt != nullptr) {
-        // Page in the vertex-state sections behind this round's targets
-        // (ascending section order; prefetched buffers are consumed at
-        // exactly the point a synchronous load would install them).
-        rt->TouchSections(machine, worker.runs());
-      }
-      plan.BuildForRuns(worker.runs(), shards_per_machine);
+      prep_rest(machine);
     };
-    pool.ParallelFor(machines, prep_machine);
+    // With zero pool workers every "parallel" section runs inline on the
+    // caller, so the chunked radix passes would only add pass-switching
+    // overhead over the serial groupers; outputs are bit-identical either
+    // way, so the single-thread case keeps the serial path.
+    if (round > 0 && !unified_combine && options_.parallel_grouping &&
+        pool.num_workers() > 0) {
+      if (rt != nullptr) {
+        pool.ParallelFor(machines, [&](uint32_t machine) {
+          rt->RestoreInbox(machine, &workers[machine].inbox());
+        });
+      }
+      parallel_group_ns += ParallelGroupInboxes(
+          pool, std::span<Worker>(workers.data(), workers.size()), steal,
+          collect_times);
+      pool.ParallelFor(machines, prep_rest);
+    } else {
+      pool.ParallelFor(machines, prep_machine);
+    }
     if (rt != nullptr) VCMP_RETURN_IF_ERROR(rt->ConsumeError());
 
     // --- Phase B: sharded compute kernels ---
@@ -639,10 +940,50 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program,
       if (combiner != nullptr) {
         // Per-message fold through the sender's combining index, counting
         // created keys (integer wire units).
-        CombineIndex& index = worker.combine_index(dest);
         const CombinerKind kind = worker.combiner_kind();
         double new_keys = 0.0;
         double wire_in = 0.0;
+        // One amortized reservation sized by the arenas (an upper bound:
+        // folds only shrink the outbox) replaces the per-PushBack growth
+        // doublings that dominated stage time under contention.
+        size_t arena_total = 0;
+        for (uint32_t shard = 0; shard < shards_per_machine; ++shard) {
+          arena_total += shard_sinks[first_task + shard]->arena(dest).size();
+        }
+        outbox.Reserve(outbox.size() + arena_total);
+        // The fold itself: first touch of a (target, tag) key appends to
+        // the outbox; repeats fold in place. The dense variant performs
+        // the identical appends and folds in the identical order — only
+        // the key lookup differs — so the two paths produce the same
+        // outbox bytes and the same counts.
+        const auto fold = [&](VertexId target, uint32_t tag, double value,
+                              double mult, size_t position, bool inserted) {
+          if (inserted) {
+            outbox.PushBack(target, tag, value, mult);
+            new_keys += 1.0;
+            if (dest != sender) wire_in += 1.0;
+          } else {
+            switch (kind) {
+              case CombinerKind::kSum:
+                outbox.values()[position] += value;
+                outbox.multiplicities()[position] += mult;
+                break;
+              case CombinerKind::kMin:
+                if (value < outbox.values()[position]) {
+                  outbox.values()[position] = value;
+                }
+                outbox.multiplicities()[position] += mult;
+                break;
+              case CombinerKind::kCustom: {
+                Message into = outbox.At(position);
+                combiner->Merge(into, Message{target, tag, value, mult});
+                outbox.Set(position, into);
+                break;
+              }
+            }
+          }
+          if (dest != sender) logical_in += mult;
+        };
         for (uint32_t shard = 0; shard < shards_per_machine; ++shard) {
           const MessageBlock& arena =
               shard_sinks[first_task + shard]->arena(dest);
@@ -651,38 +992,38 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program,
           const double* values = arena.values();
           const double* mults = arena.multiplicities();
           const size_t n = arena.size();
-          for (size_t i = 0; i < n; ++i) {
-            bool inserted = false;
-            const uint64_t key =
-                (static_cast<uint64_t>(targets[i]) << 32) | tags[i];
-            const size_t position =
-                index.FindOrInsert(key, outbox.size(), &inserted);
-            if (inserted) {
-              outbox.PushBack(targets[i], tags[i], values[i], mults[i]);
-              new_keys += 1.0;
-              if (dest != sender) wire_in += 1.0;
-            } else {
-              switch (kind) {
-                case CombinerKind::kSum:
-                  outbox.values()[position] += values[i];
-                  outbox.multiplicities()[position] += mults[i];
-                  break;
-                case CombinerKind::kMin:
-                  if (values[i] < outbox.values()[position]) {
-                    outbox.values()[position] = values[i];
-                  }
-                  outbox.multiplicities()[position] += mults[i];
-                  break;
-                case CombinerKind::kCustom: {
-                  Message into = outbox.At(position);
-                  combiner->Merge(into, Message{targets[i], tags[i],
-                                                values[i], mults[i]});
-                  outbox.Set(position, into);
-                  break;
-                }
+          if (dense_combine) {
+            // Direct-indexed lookup: one array read per message instead
+            // of a hash probe chain.
+            DenseCombineTable& table = scratch.dense_combine[pair];
+            table.EnsureSlots(dense_slots[dest]);
+            for (size_t i = 0; i < n; ++i) {
+              assert(tags[i] < tag_universe &&
+                     "program sent a tag outside its declared universe");
+              const size_t key_slot =
+                  static_cast<size_t>(local_index_[targets[i]]) *
+                      tag_universe +
+                  tags[i];
+              const bool inserted = table.epoch[key_slot] != table.cur_epoch;
+              if (inserted) {
+                table.epoch[key_slot] = table.cur_epoch;
+                table.position[key_slot] =
+                    static_cast<uint32_t>(outbox.size());
               }
+              fold(targets[i], tags[i], values[i], mults[i],
+                   table.position[key_slot], inserted);
             }
-            if (dest != sender) logical_in += mults[i];
+          } else {
+            CombineIndex& index = worker.combine_index(dest);
+            for (size_t i = 0; i < n; ++i) {
+              bool inserted = false;
+              const uint64_t key =
+                  (static_cast<uint64_t>(targets[i]) << 32) | tags[i];
+              const size_t position =
+                  index.FindOrInsert(key, outbox.size(), &inserted);
+              fold(targets[i], tags[i], values[i], mults[i], position,
+                   inserted);
+            }
           }
         }
         slot.new_wire_keys = new_keys;
@@ -723,7 +1064,173 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program,
       slot.logical_cross_in = logical_in;
       if (collect_times) slot.merge_ns = wallclock::NowNs() - t0;
     };
-    parallel_shards(machines * machines, merge_pair);
+    // Unified fold: one task per destination replaces that destination's
+    // column of merge_pair tasks AND its delivery AND next round's
+    // grouping. Folding senders in machine order, each sender's arenas in
+    // shard order, is the exact FP operation sequence the receiver's
+    // per-run fold would see over the raw grouped inbox (stable grouping
+    // is sender-major), so task results are bit-identical to the
+    // non-combining run at every thread and shard count.
+    auto fold_dest = [&](uint32_t dest) {
+      const uint64_t t0 = collect_times ? wallclock::NowNs() : 0;
+      UnifiedCombineTable& table = scratch.unified_combine[dest];
+      table.EnsureSlots(dense_slots[dest]);
+      table.BeginFold();
+      const uint32_t cur_epoch = table.cur_epoch;
+      UnifiedCombineTable::Slot* const slots = table.slots.data();
+      uint32_t* const block_epoch = table.block_epoch.data();
+      MessageBlock& inbox = workers[dest].inbox();
+      inbox.Clear();
+      double wire_total = 0.0;
+      size_t distinct = 0;
+      // The arenas' target column holds destination slot indices (the
+      // sinks store them under slot_targets), so the fold addresses its
+      // table straight off the stream; the combine op is lifted out of
+      // the loop as a template parameter so each kind gets a tight
+      // specialised loop.
+      auto fold_senders = [&](double identity, auto&& combine_op) {
+        for (uint32_t sender = 0; sender < machines; ++sender) {
+          MergeSlot& slot = merge_slots[sender * machines + dest];
+          slot.Clear();
+          size_t new_key_count = 0;
+          double mult_sum = 0.0;
+          const uint32_t first_task = sender * shards_per_machine;
+          for (uint32_t shard = 0; shard < shards_per_machine; ++shard) {
+            const MessageBlock& arena =
+                shard_sinks[first_task + shard]->arena(dest);
+            const VertexId* key_slots = arena.targets();
+            const double* values = arena.values();
+            const double* mults = arena.multiplicities();
+            const size_t n = arena.size();
+            // The table access is a random load; prefetching a fixed
+            // distance ahead keeps several misses in flight at once. The
+            // body is branchless — a first touch folds into the
+            // combiner's identity element instead of taking a separate
+            // store path, because the fresh/live mix is unpredictable in
+            // sparse rounds and mispredicts would dominate the loop.
+            constexpr size_t kFoldPrefetchDistance = 16;
+            double mult_even = 0.0;
+            double mult_odd = 0.0;
+            const size_t prefetch_end =
+                n > kFoldPrefetchDistance ? n - kFoldPrefetchDistance : 0;
+            for (size_t i = 0; i < n; ++i) {
+              if (i < prefetch_end) {
+                __builtin_prefetch(
+                    &slots[key_slots[i + kFoldPrefetchDistance]], 1, 1);
+              }
+              const size_t key_slot = key_slots[i];
+              assert(key_slot < dense_slots[dest] &&
+                     "program sent a tag outside its declared universe");
+              UnifiedCombineTable::Slot& entry = slots[key_slot];
+              const bool fresh = entry.epoch != cur_epoch;
+              const double base_value = fresh ? identity : entry.value;
+              const double base_mult = fresh ? 0.0 : entry.mult;
+              const uint32_t prev_sender = entry.last_sender;
+              entry.value = combine_op(base_value, values[i]);
+              entry.mult = base_mult + mults[i];
+              entry.epoch = cur_epoch;
+              entry.last_sender = sender;
+              block_epoch[key_slot >> UnifiedCombineTable::kBlockShift] =
+                  cur_epoch;
+              // A sender's first touch of a key — fresh or last touched
+              // by an earlier sender — is one wire unit from that sender
+              // (the per-pair path would have appended it to the
+              // sender's outbox).
+              new_key_count +=
+                  static_cast<size_t>(fresh | (prev_sender != sender));
+              distinct += static_cast<size_t>(fresh);
+              if (i & 1) {
+                mult_odd += mults[i];
+              } else {
+                mult_even += mults[i];
+              }
+            }
+            mult_sum += mult_even + mult_odd;
+          }
+          const double new_keys = static_cast<double>(new_key_count);
+          slot.new_wire_keys = new_keys;
+          if (dest != sender) {
+            slot.wire_cross_in = new_keys;
+            slot.logical_cross_in = mult_sum;
+          }
+          wire_total += new_keys;
+        }
+      };
+      const CombinerKind kind = workers[dest].combiner_kind();
+      if (kind == CombinerKind::kMin) {
+        fold_senders(std::numeric_limits<double>::infinity(),
+                     [](double base, double value) {
+                       return value < base ? value : base;
+                     });
+      } else {
+        fold_senders(0.0,
+                     [](double base, double value) { return base + value; });
+      }
+      unified_wire_in[dest] = wire_total;
+      // Emit in ascending slot order — ascending (target, tag), since
+      // local indices ascend with vertex ids — so the inbox arrives
+      // pre-sorted and next round's GroupInbox takes its no-permutation
+      // fast path. Blocks no fold entry marked are skipped wholesale.
+      // One slot of slack: the branchless compaction below stores
+      // unconditionally, so dead slots after the last live one write
+      // (and a growth landing exactly on `distinct` would overflow)
+      // one past the cursor.
+      inbox.Reserve(distinct + 1);
+      inbox.ResizeUninitialized(distinct);
+      double* const out_values = inbox.values();
+      double* const out_mults = inbox.multiplicities();
+      // Every emitted key is distinct, so its run is a singleton; build
+      // the runs here while target and tag are in registers and next
+      // round's prep publishes them instead of re-deriving them from a
+      // grouping scan. The runs are the round's only key source (the
+      // Worker contract already routes consumers through runs()), so the
+      // inbox's own target/tag columns stay unwritten — two dead store
+      // streams fewer per key.
+      std::vector<MessageRun>& runs = workers[dest].pregrouped_runs();
+      runs.resize(distinct + 1);
+      MessageRun* const out_runs = runs.data();
+      size_t emitted = 0;
+      const std::vector<VertexId>& locals = vertices_by_machine_[dest];
+      const size_t total_slots = dense_slots[dest];
+      constexpr size_t kBlockSlots =
+          size_t{1} << UnifiedCombineTable::kBlockShift;
+      for (size_t block = 0; block * kBlockSlots < total_slots; ++block) {
+        if (block_epoch[block] != cur_epoch) continue;
+        const size_t begin = block * kBlockSlots;
+        const size_t end = std::min(begin + kBlockSlots, total_slots);
+        size_t local = begin / tag_universe;
+        uint32_t tag = static_cast<uint32_t>(begin % tag_universe);
+        // Branchless compaction: store unconditionally, advance the
+        // cursor only on live slots — the live/dead mix inside a touched
+        // block is as unpredictable as the fold's.
+        for (size_t s = begin; s < end; ++s) {
+          const UnifiedCombineTable::Slot& entry = slots[s];
+          out_values[emitted] = entry.value;
+          out_mults[emitted] = entry.mult;
+          out_runs[emitted] =
+              MessageRun{locals[local], tag, static_cast<uint32_t>(emitted),
+                         static_cast<uint32_t>(emitted) + 1};
+          emitted += static_cast<size_t>(entry.epoch == cur_epoch);
+          if (++tag == tag_universe) {
+            tag = 0;
+            ++local;
+          }
+        }
+      }
+      assert(emitted == distinct &&
+             "emission must cover exactly the folded keys");
+      (void)emitted;
+      runs.resize(distinct);
+      if (collect_times) {
+        merge_slots[static_cast<size_t>(dest) * machines + dest].merge_ns =
+            wallclock::NowNs() - t0;
+      }
+    };
+    if (unified_combine) {
+      pool.ParallelFor(machines, fold_dest);
+    } else {
+      parallel_shards(machines * machines, merge_pair);
+    }
 
     // --- Phase D: fold per-vertex logs in vertex order ---
     // Shard s holds a contiguous vertex range, so concatenating the
@@ -803,9 +1310,8 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program,
             merge_slots[sender * machines + machine].wire_cross_in;
       }
       load.cross_bytes_in = wire_cross_in * bytes_per_message * scale;
-      double recv_wire_units = options_.profile.combines_messages
-                                   ? load.processed_messages
-                                   : load.recv_messages;
+      double recv_wire_units =
+          combining ? load.processed_messages : load.recv_messages;
       // A machine's message work is the larger of its receive and send
       // sides (serialization costs the sender as much as deserialization
       // costs the receiver); this prices seed supersteps, whose traffic
@@ -814,9 +1320,11 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program,
       // shrinks wire bytes and buffers).
       load.processed_messages =
           std::max(load.recv_messages, send.logical_sent);
-      if (options_.profile.combines_messages) {
+      if (combining) {
         // Merged messages skip serialization/allocation; only the fold
-        // remains.
+        // remains. (combined_work_fraction defaults to 1.0, so flipping
+        // sender_combining on under Pregel+ leaves compute pricing
+        // untouched — the win shows up in wire bytes and buffers.)
         load.processed_messages *= options_.profile.combined_work_fraction;
       }
       // Receive buffers drain into compute while send buffers stream out:
@@ -907,6 +1415,24 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program,
     RoundStats stats =
         cost_model_.EvaluateRound(loads, edge_stream_per_machine);
     stats.round = round;
+    // Combine ratio: logical messages emitted vs. what actually hit the
+    // wire/buffers this round. Plain runs fold the same two sequences and
+    // report exactly 1.0; combining (and mirror wire dedup) report > 1.
+    {
+      double round_logical_sent = 0.0;
+      double round_wire_sent = 0.0;
+      for (const Worker& worker : workers) {
+        const WorkerSendStats& send = worker.send_stats();
+        round_logical_sent += send.logical_sent;
+        round_wire_sent += send.wire_sent;
+      }
+      stats.wire_messages = round_wire_sent * scale;
+      stats.combined_ratio = round_wire_sent > 0.0
+                                 ? round_logical_sent / round_wire_sent
+                                 : 1.0;
+      result.total_logical_sent += round_logical_sent * scale;
+      result.total_wire_messages += round_wire_sent * scale;
+    }
     if (round_extra_barriers > 0.0) {
       double extra = round_extra_barriers * stats.barrier_seconds;
       stats.barrier_seconds += extra;
@@ -1051,71 +1577,116 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program,
     }
 
     // --- Deliver: drain all outboxes into next-round inboxes ---
-    // Parallel by destination: shard d touches only the senders' outboxes
-    // for machine d and machine d's inbox, and appends them in fixed
-    // sender order — byte-identical to the serial sender-major drain.
-    // A destination fed by exactly one sender (every single-machine
-    // cluster, and any quiet destination) swaps buffers instead of
-    // copying; multi-sender destinations reserve the exact total before
-    // the column appends.
+    // Two passes, both sub-machine parallel in the common (non-OOC) case:
+    // pass 1 (per destination) sizes the inbox as the fixed sender-major
+    // concatenation and records each sender's slice offset; pass 2 (per
+    // (sender, dest) pair) memcpys the disjoint column slices. The inbox
+    // layout equals the serial sender-major drain byte for byte — only
+    // who performs each copy changes. A destination fed by exactly one
+    // sender (every single-machine cluster, and any quiet destination)
+    // swaps buffers in pass 1 instead of copying.
     const uint64_t deliver_start_ns = wallclock::NowNs();
-    pool.ParallelFor(machines, [&workers, machines, rt](uint32_t dest) {
-      MessageBlock& inbox = workers[dest].inbox();
-      inbox.Clear();
-      uint32_t nonempty_senders = 0;
-      uint32_t solo_sender = 0;
-      size_t total = 0;
-      for (uint32_t sender = 0; sender < machines; ++sender) {
-        const size_t outbox_size = workers[sender].OutboxSize(dest);
-        if (outbox_size != 0) {
-          ++nonempty_senders;
-          solo_sender = sender;
-          total += outbox_size;
-        }
-      }
-      const size_t cap = rt != nullptr
-                             ? static_cast<size_t>(rt->resident_message_cap())
-                             : ~size_t{0};
-      if (total > cap) {
-        // Hard budget: keep the prefix of the sender-major concatenation
-        // resident and page the suffix to the spill file. Exactly one
-        // sender straddles the cut, so resident ++ restored reproduces
-        // the uncapped inbox order byte for byte (and GroupInbox's
-        // stable sort then folds identical payload orders).
-        inbox.Reserve(cap);
-        size_t kept = 0;
+    if (unified_combine) {
+      // The unified fold already wrote every destination's inbox; there
+      // are no outboxes to move.
+    } else if (rt == nullptr) {
+      pool.ParallelFor(machines, [&](uint32_t dest) {
+        MessageBlock& inbox = workers[dest].inbox();
+        inbox.Clear();
+        uint32_t nonempty_senders = 0;
+        uint32_t solo_sender = 0;
+        size_t total = 0;
         for (uint32_t sender = 0; sender < machines; ++sender) {
-          MessageBlock& outbox = workers[sender].outbox(dest);
-          const size_t n = outbox.size();
-          if (n == 0) continue;
-          const size_t take = std::min(n, cap - kept);
-          if (take > 0) {
-            inbox.AppendColumns(outbox.targets(), outbox.tags(),
-                                outbox.values(), outbox.multiplicities(),
-                                take);
-            kept += take;
+          deliver_offsets[static_cast<size_t>(sender) * machines + dest] =
+              total;
+          const size_t outbox_size = workers[sender].OutboxSize(dest);
+          if (outbox_size != 0) {
+            ++nonempty_senders;
+            solo_sender = sender;
+            total += outbox_size;
           }
-          if (take < n) {
-            rt->SpillMessages(dest, outbox, take, n - take);
-          }
-          outbox.Clear();
-          workers[sender].combine_index(dest).Clear();
         }
-      } else if (nonempty_senders == 1) {
-        workers[solo_sender].SwapOutbox(dest, &inbox);
-      } else if (nonempty_senders > 1) {
-        inbox.Reserve(total);
+        deliver_copy[dest] = 0;
+        if (nonempty_senders == 1) {
+          workers[solo_sender].SwapOutbox(dest, &inbox);
+        } else if (nonempty_senders > 1) {
+          inbox.ResizeUninitialized(total);
+          deliver_copy[dest] = 1;
+        }
+      });
+      parallel_shards(machines * machines, [&](uint32_t pair) {
+        const uint32_t dest = pair % machines;
+        if (deliver_copy[dest] == 0) return;
+        const uint32_t sender = pair / machines;
+        MessageBlock& outbox = workers[sender].outbox(dest);
+        if (outbox.empty()) return;
+        workers[dest].inbox().WriteAt(deliver_offsets[pair], outbox);
+        outbox.Clear();
+        workers[sender].combine_index(dest).Clear();
+      });
+    } else {
+      // OOC: the resident-message cap cuts the sender-major concatenation
+      // at an arbitrary point, so delivery stays serial per destination.
+      pool.ParallelFor(machines, [&workers, machines, rt](uint32_t dest) {
+        MessageBlock& inbox = workers[dest].inbox();
+        inbox.Clear();
+        uint32_t nonempty_senders = 0;
+        uint32_t solo_sender = 0;
+        size_t total = 0;
         for (uint32_t sender = 0; sender < machines; ++sender) {
-          if (workers[sender].OutboxSize(dest) != 0) {
-            workers[sender].Drain(dest, &inbox);
+          const size_t outbox_size = workers[sender].OutboxSize(dest);
+          if (outbox_size != 0) {
+            ++nonempty_senders;
+            solo_sender = sender;
+            total += outbox_size;
           }
         }
-      }
-      if (rt != nullptr) rt->FinishDeliverRound(dest);
-    });
+        const size_t cap = static_cast<size_t>(rt->resident_message_cap());
+        if (total > cap) {
+          // Hard budget: keep the prefix of the sender-major concatenation
+          // resident and page the suffix to the spill file. Exactly one
+          // sender straddles the cut, so resident ++ restored reproduces
+          // the uncapped inbox order byte for byte (and GroupInbox's
+          // stable sort then folds identical payload orders).
+          inbox.Reserve(cap);
+          size_t kept = 0;
+          for (uint32_t sender = 0; sender < machines; ++sender) {
+            MessageBlock& outbox = workers[sender].outbox(dest);
+            const size_t n = outbox.size();
+            if (n == 0) continue;
+            const size_t take = std::min(n, cap - kept);
+            if (take > 0) {
+              inbox.AppendColumns(outbox.targets(), outbox.tags(),
+                                  outbox.values(), outbox.multiplicities(),
+                                  take);
+              kept += take;
+            }
+            if (take < n) {
+              rt->SpillMessages(dest, outbox, take, n - take);
+            }
+            outbox.Clear();
+            workers[sender].combine_index(dest).Clear();
+          }
+        } else if (nonempty_senders == 1) {
+          workers[solo_sender].SwapOutbox(dest, &inbox);
+        } else if (nonempty_senders > 1) {
+          inbox.Reserve(total);
+          for (uint32_t sender = 0; sender < machines; ++sender) {
+            if (workers[sender].OutboxSize(dest) != 0) {
+              workers[sender].Drain(dest, &inbox);
+            }
+          }
+        }
+        rt->FinishDeliverRound(dest);
+      });
+    }
     if (collect_times) {
       result.phase.deliver_seconds += wallclock::SecondsSince(deliver_start_ns);
     }
+    // Every delivery branch above drains the outboxes and clears the
+    // per-worker CombineIndexes; retire the dense tables' epochs in
+    // lockstep (O(1) per table).
+    for (DenseCombineTable& table : scratch.dense_combine) table.Clear();
     if (rt != nullptr) VCMP_RETURN_IF_ERROR(rt->ConsumeError());
     for (uint32_t machine = 0; machine < machines; ++machine) {
       if (!workers[machine].inbox().empty() ||
@@ -1168,6 +1739,9 @@ Result<EngineResult> SyncEngine::Run(VertexProgram& program,
     for (const Worker& worker : workers) {
       result.phase.group_seconds += worker.group_ns() * 1e-9;
     }
+    // Lockstep grouping bypasses the per-worker timers (one wall clock
+    // around the whole fan-out instead), so this is an add, not overlap.
+    result.phase.group_seconds += parallel_group_ns * 1e-9;
   }
   if (tracer != nullptr) {
     // One Add per run, mirroring RunReport::Absorb's per-batch

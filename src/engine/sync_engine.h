@@ -70,6 +70,27 @@ struct EngineOptions {
   /// (perf-trajectory benches). Off by default: the hot paths then pay
   /// only a predictable branch per round.
   bool collect_phase_times = false;
+  /// Exploit the program's Combiner even when the simulated system's
+  /// profile does not combine (Pregel-style sender-side combining,
+  /// DESIGN.md section 16). Task results are bit-identical with this on
+  /// or off — only wire-message counts, buffered bytes and the costs
+  /// derived from them change. Ignored under mirroring profiles (mirror
+  /// routing already dedupes the wire) and when the program has no
+  /// combiner.
+  bool sender_combining = false;
+  /// When combining is active (profile-driven or sender_combining) and
+  /// the combiner's fold is exact (Combiner::exact_fold), additionally
+  /// pre-combine inside each compute shard through a per-(shard, dest)
+  /// combine table, shrinking staging arenas before the merge. Outputs
+  /// are bit-identical to merge-time-only combining at every shard and
+  /// thread count; this switch exists as an escape hatch / A-B knob.
+  bool shard_precombine = true;
+  /// Group large inboxes with pool-wide lockstep passes (per-chunk
+  /// histogram + prefix-sum scatter, fixed chunk count) instead of one
+  /// serial sort per machine, making grouping parallelism
+  /// machines x threads. Grouped output is bit-identical to the serial
+  /// strategies at every thread count (DESIGN.md section 16).
+  bool parallel_grouping = true;
 
   /// --- Observability (src/obs) ---
   /// When set, the engine emits one nested span group per round on
@@ -134,6 +155,18 @@ struct EngineResult {
   bool overloaded = false;
   uint64_t num_rounds = 0;
   double total_messages = 0.0;       // Logical, paper scale.
+  /// Physical messages that crossed the wire (paper scale) and the
+  /// logical units they stand for. Equal unless a combiner (or mirror
+  /// routing) merged messages; their ratio is the run's combine ratio.
+  double total_wire_messages = 0.0;
+  double total_logical_sent = 0.0;
+  /// Logical sent units per wire message (>= 1 under combining; exactly
+  /// 1.0 when nothing merged).
+  double CombinedRatio() const {
+    return total_wire_messages > 0.0
+               ? total_logical_sent / total_wire_messages
+               : 1.0;
+  }
   double peak_memory_bytes = 0.0;    // Max machine demand over rounds.
   double peak_residual_bytes = 0.0;  // Max machine residual over rounds.
   /// Peak per-round in-memory message-buffer demand before any
@@ -218,6 +251,8 @@ class SyncEngine {
   class ShardSink;
   struct ShardPlan;
   struct MergeSlot;
+  struct DenseCombineTable;
+  struct UnifiedCombineTable;
   struct RunScratch;
 
   /// Per-machine share of CSR storage, generated scale.
@@ -238,6 +273,10 @@ class SyncEngine {
   std::vector<double> graph_share_bytes_;    // Per machine.
   std::vector<double> edge_stream_bytes_;    // Per machine (OOC).
   std::vector<std::vector<VertexId>> vertices_by_machine_;
+  /// local_index_[v] = position of v within vertices_by_machine_[its
+  /// machine] — the dense per-machine vertex numbering the direct-indexed
+  /// combine tables key on. Ascending in v within each machine.
+  std::vector<uint32_t> local_index_;
 };
 
 }  // namespace vcmp

@@ -145,6 +145,14 @@ class VertexProgram {
 
   /// Sender-side combiner, or nullptr when messages must not be merged.
   virtual const Combiner* combiner() const { return nullptr; }
+
+  /// Upper bound on the tag values this program ever sends: every tag is
+  /// in [0, combine_tag_universe()), or 0 when tags are unbounded /
+  /// unknown (e.g. tags carrying raw vertex ids). A small dense universe
+  /// lets combining engines replace the hash-probe combine index with a
+  /// direct-indexed table over (local vertex, tag) — the same first-touch
+  /// fold, minus the probing.
+  virtual uint32_t combine_tag_universe() const { return 0; }
 };
 
 }  // namespace vcmp

@@ -20,6 +20,11 @@ struct RoundStats {
   /// Bytes that crossed machine boundaries.
   double cross_machine_bytes = 0.0;
   double active_vertices = 0.0;
+  /// Physical messages put on the wire this round (equals the logical
+  /// sent units unless a combiner or mirror routing merged messages).
+  double wire_messages = 0.0;
+  /// Logical sent units per wire message (1.0 when nothing merged).
+  double combined_ratio = 1.0;
 
   // --- Modelled (cost-model-side) ---
   double compute_seconds = 0.0;   // Slowest machine's compute.

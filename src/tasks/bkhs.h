@@ -54,6 +54,8 @@ class BkhsProgram : public VertexProgram {
     return rounds_completed >= params_.k + 1;
   }
   const Combiner* combiner() const override { return &min_combiner_; }
+  // Tags are sample indices: [0, num_samples).
+  uint32_t combine_tag_universe() const override { return num_samples(); }
 
   uint32_t num_samples() const {
     return static_cast<uint32_t>(sources_.size());

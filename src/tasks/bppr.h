@@ -81,6 +81,8 @@ class BpprCountingProgram : public VertexProgram {
   uint64_t TotalStopped() const;
   uint64_t walks_per_vertex() const { return walks_per_vertex_; }
   const Combiner* combiner() const override { return &sum_combiner_; }
+  // Counting mode sends on the single tag 0.
+  uint32_t combine_tag_universe() const override { return 1; }
 
  private:
   void AdvanceResident(VertexId v, uint64_t resident, MessageSink& sink);
@@ -89,7 +91,9 @@ class BpprCountingProgram : public VertexProgram {
   const TaskContext context_;
   const uint64_t walks_per_vertex_;
   const BpprTask::Params params_;
-  SumCombiner sum_combiner_;
+  // Walk counts: value and multiplicity streams are integers < 2^53, so
+  // the sum fold may be reassociated (shard pre-combining, DESIGN.md §16).
+  SumCombiner sum_combiner_{/*exact=*/true};
   std::vector<uint64_t> stopped_;
 };
 

@@ -25,6 +25,8 @@ class ConnectedComponentsProgram : public VertexProgram {
                   MessageSink& sink) override;
   double StateBytes(uint32_t machine) const override;
   const Combiner* combiner() const override { return &min_combiner_; }
+  // Labels travel on the single tag 0.
+  uint32_t combine_tag_universe() const override { return 1; }
 
   /// The component label (minimum vertex id in the component) of v after
   /// the run.
@@ -38,7 +40,8 @@ class ConnectedComponentsProgram : public VertexProgram {
   void Offer(VertexId v, uint32_t label, MessageSink& sink);
 
   const TaskContext context_;
-  MinCombiner min_combiner_;
+  // Integer labels and unit multiplicities: the fold reassociates exactly.
+  MinCombiner min_combiner_{/*exact=*/true};
   std::vector<uint32_t> labels_;
 };
 

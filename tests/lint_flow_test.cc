@@ -188,6 +188,30 @@ TEST(LintC4, AnnotationsAllowAndCrossMatchBothRuleFamilies) {
   EXPECT_TRUE(report.allows[1].used);
 }
 
+TEST(LintC4, CoversSubMachineGroupingAndFoldLoops) {
+  // The sub-machine loop shapes from the parallel-grouping / sender-side
+  // combining work: chunked histogram and scatter passes plus the
+  // per-destination combine fold. Sharing the histogram (41), claiming
+  // output slots through a shared cursor (62, 63) and folding every
+  // destination into one table (91) must all fire; the sanctioned
+  // variants — slab/cursor rows and fold tables bound through the loop
+  // index before the entry loop — must all stay quiet.
+  LintReport report = LintAs("c4_subround.cc", "src/engine/c4_subround.cc");
+  EXPECT_EQ(Keys(report),
+            (std::vector<std::string>{"src/engine/c4_subround.cc:41:C4",
+                                      "src/engine/c4_subround.cc:41:D4",
+                                      "src/engine/c4_subround.cc:62:C4",
+                                      "src/engine/c4_subround.cc:63:C4",
+                                      "src/engine/c4_subround.cc:63:D4",
+                                      "src/engine/c4_subround.cc:91:C4",
+                                      "src/engine/c4_subround.cc:91:D4"}));
+  // The shared-fold finding names the chain through the table member, so
+  // the report points at the actual slot write, not just the capture.
+  const Finding* fold = FindingAt(report, 91, "C4");
+  ASSERT_NE(fold, nullptr);
+  EXPECT_NE(fold->message.find("shared.slots.value"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------
 // D6: interprocedural nondeterminism taint.
 // ---------------------------------------------------------------------
